@@ -1,0 +1,175 @@
+// Command cmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cmbench -exp figure3            # one experiment
+//	cmbench -exp all                # everything (default)
+//	cmbench -exp figure8 -scale 4   # scale row counts up
+//
+// Output is printed in the paper's table/series layout; elapsed values
+// are virtual disk-bound times from the simulated disk (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|all")
+	scale := flag.Int("scale", 1, "row-count multiplier over the bench defaults")
+	flag.Parse()
+
+	if err := run(*exp, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "cmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	all := exp == "all"
+	ran := false
+	out := os.Stdout
+
+	section := func(name string) {
+		fmt.Fprintf(out, "\n===== %s =====\n", name)
+	}
+
+	if all || exp == "figure1" {
+		section("figure1")
+		res, err := experiments.RunFigure1(experiments.Figure1Config{
+			TPCH: datagen.TPCHConfig{Orders: 6000 * scale, Suppliers: 500 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "figure2" {
+		section("figure2")
+		res, err := experiments.RunFigure2(experiments.Figure2Config{
+			SDSS: datagen.SDSSConfig{Stripes: 10, FieldsPerStripe: 25, ObjsPerField: 400 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		best := res.Best()
+		fmt.Fprintf(out, "best clustering: %s (%d queries >=2x)\n", best.ClusterAttr, best.Speedup2x)
+		ran = true
+	}
+	if all || exp == "figure3" {
+		section("figure3")
+		res, err := experiments.RunFigure3(experiments.Figure3Config{Orders: 20000 * scale})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "table3" {
+		section("table3")
+		res, err := experiments.RunTable3(experiments.Table3Config{
+			SDSS: datagen.SDSSConfig{Stripes: 10, FieldsPerStripe: 25, ObjsPerField: 200 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "tables45" || exp == "table4" || exp == "table5" {
+		section("tables 4 and 5")
+		res, err := experiments.RunAdvisorTables(experiments.AdvisorTablesConfig{
+			SDSS: datagen.SDSSConfig{Stripes: 10, FieldsPerStripe: 25, ObjsPerField: 120 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "figure6" {
+		section("figure6")
+		res, err := experiments.RunFigure6(experiments.Figure6Config{
+			EBay: datagen.EBayConfig{Categories: 600 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "figure7" {
+		section("figure7")
+		res, err := experiments.RunFigure7(experiments.Figure7Config{
+			EBay: datagen.EBayConfig{Categories: 600 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "figure8" {
+		section("figure8")
+		res, err := experiments.RunFigure8(experiments.Figure8Config{
+			EBay:       datagen.EBayConfig{Categories: 300 * scale},
+			InsertRows: 50000 * scale,
+			BatchSize:  5000,
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "figure9" {
+		section("figure9")
+		res, err := experiments.RunFigure9(experiments.Figure9Config{
+			EBay: datagen.EBayConfig{Categories: 300 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "figure10" {
+		section("figure10")
+		res, err := experiments.RunFigure10(experiments.Figure10Config{
+			EBay: datagen.EBayConfig{Categories: 600 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if all || exp == "table6" {
+		section("table6")
+		res, err := experiments.RunTable6(experiments.Table6Config{
+			SDSS: datagen.SDSSConfig{Stripes: 10, FieldsPerStripe: 25, ObjsPerField: 200 * scale},
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (try %s)", exp,
+			strings.Join([]string{"figure1", "figure2", "figure3", "table3", "tables45",
+				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "all"}, "|"))
+	}
+	return nil
+}

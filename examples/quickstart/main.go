@@ -1,0 +1,98 @@
+// Quickstart: the paper's running example (Figure 4).
+//
+// A people table is clustered on state; city is correlated with state
+// (a soft functional dependency: "boston" is almost always in MA, but
+// also in NH). A correlation map on city answers city predicates through
+// the clustered index at a fraction of a secondary B+Tree's size.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db := repro.Open(repro.Config{})
+	people, err := db.CreateTable(repro.TableSpec{
+		Name: "people",
+		Columns: []repro.Column{
+			{Name: "state", Kind: repro.String},
+			{Name: "city", Kind: repro.String},
+			{Name: "salary", Kind: repro.Int},
+		},
+		ClusteredBy:  []string{"state"},
+		BucketTuples: 1, // one clustered bucket per state
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := []repro.Row{
+		{repro.StringVal("MA"), repro.StringVal("boston"), repro.IntVal(25000)},
+		{repro.StringVal("NH"), repro.StringVal("boston"), repro.IntVal(45000)},
+		{repro.StringVal("MA"), repro.StringVal("boston"), repro.IntVal(50000)},
+		{repro.StringVal("MN"), repro.StringVal("manchester"), repro.IntVal(40000)},
+		{repro.StringVal("MA"), repro.StringVal("cambridge"), repro.IntVal(110000)},
+		{repro.StringVal("MS"), repro.StringVal("jackson"), repro.IntVal(80000)},
+		{repro.StringVal("MA"), repro.StringVal("springfield"), repro.IntVal(90000)},
+		{repro.StringVal("NH"), repro.StringVal("manchester"), repro.IntVal(60000)},
+		{repro.StringVal("OH"), repro.StringVal("springfield"), repro.IntVal(95000)},
+		{repro.StringVal("OH"), repro.StringVal("toledo"), repro.IntVal(70000)},
+	}
+	if err := people.Load(rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the correlation map on city (Algorithm 1: one scan).
+	if err := people.CreateCM("city_cm", repro.CMColumn{Name: "city"}); err != nil {
+		log.Fatal(err)
+	}
+	info := people.CMs()[0]
+	fmt.Printf("CM on city: %d keys, %d (city,state-bucket) pairs, %d bytes, c_per_u %.2f\n",
+		info.Keys, info.Pairs, info.SizeBytes, info.CPerU)
+
+	// The paper's query:
+	//   SELECT AVG(salary) FROM people
+	//   WHERE city = 'boston' OR city = 'springfield'
+	// The CM rewrites it into a scan of the MA, NH and OH state ranges,
+	// re-filtered on city.
+	var sum, n int64
+	err = people.SelectVia(repro.CMScan, func(r repro.Row) bool {
+		fmt.Printf("  %s / %-12s salary %6d\n", r[0].Str(), r[1].Str(), r[2].Int())
+		sum += r[2].Int()
+		n++
+		return true
+	}, repro.In("city", repro.StringVal("boston"), repro.StringVal("springfield")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AVG(salary) over %d matching rows = %d\n\n", n, sum/n)
+
+	// Maintenance: a new Boston appears in Ohio; the CM tracks it.
+	if err := people.Insert(repro.Row{
+		repro.StringVal("OH"), repro.StringVal("boston"), repro.IntVal(33000),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := people.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	if err := people.SelectVia(repro.CMScan, func(repro.Row) bool { count++; return true },
+		repro.Eq("city", repro.StringVal("boston"))); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after insert, boston matches %d rows (CM now maps boston to MA, NH and OH)\n", count)
+
+	// What does the optimizer think?
+	plan, err := people.Explain(repro.Eq("city", repro.StringVal("boston")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %v (estimated %.2f ms)\n", plan.Method,
+		float64(plan.EstimatedCost.Microseconds())/1000)
+}

@@ -1,0 +1,164 @@
+// Skysurvey: composite correlation maps and the advisor (Section 6,
+// Table 6 of the paper).
+//
+// A sky catalog is clustered on a spatial object ID laid out stripe by
+// stripe: declination picks the stripe, right ascension the position
+// within it. Neither coordinate alone determines a region's place in the
+// clustered order, but the (ra, dec) pair does — the same shape as
+// (longitude, latitude) -> zipcode. The example lets the advisor's FD
+// search find the spatial structure, compares single-attribute CMs, the
+// composite CM and a composite B+Tree on a region query, and asks the
+// advisor for a design under a performance target.
+//
+// Run with: go run ./examples/skysurvey
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+const (
+	stripes      = 10
+	fieldsPerStr = 20
+	objsPerField = 200
+)
+
+func genCatalog(seed int64) []repro.Row {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []repro.Row
+	objID := int64(1000000)
+	for s := 0; s < stripes; s++ {
+		decBase := -5.0 + float64(s)*2.5
+		for f := 0; f < fieldsPerStr; f++ {
+			raBase := float64(f) * (360.0 / fieldsPerStr)
+			for o := 0; o < objsPerField; o++ {
+				b := 14 + rng.Float64()*10
+				rows = append(rows, repro.Row{
+					repro.IntVal(objID),
+					repro.FloatVal(raBase + rng.Float64()*(360.0/fieldsPerStr)),
+					repro.FloatVal(decBase + rng.Float64()*2.5),
+					repro.IntVal(int64(s*fieldsPerStr + f)), // field
+					repro.IntVal(int64(s)),                  // stripe
+					repro.FloatVal(b),                       // g magnitude
+					repro.FloatVal(b + rng.NormFloat64()*0.1),
+				})
+				objID++
+			}
+		}
+	}
+	return rows
+}
+
+func main() {
+	db := repro.Open(repro.Config{})
+	sky, err := db.CreateTable(repro.TableSpec{
+		Name: "photo",
+		Columns: []repro.Column{
+			{Name: "objID", Kind: repro.Int},
+			{Name: "ra", Kind: repro.Float},
+			{Name: "dec", Kind: repro.Float},
+			{Name: "field", Kind: repro.Int},
+			{Name: "stripe", Kind: repro.Int},
+			{Name: "g", Kind: repro.Float},
+			{Name: "rho", Kind: repro.Float},
+		},
+		ClusteredBy: []string{"objID"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sky.Load(genCatalog(11)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d rows, %d pages, clustered on objID\n\n", sky.RowCount(), sky.HeapPages())
+
+	// Soft-FD discovery over the categorical structure.
+	fds, err := sky.DiscoverFDs(0.9, false, "field", "stripe", "g")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("discovered soft FDs (strength = D(det)/D(det,dep)):")
+	for i, fd := range fds {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %v -> %s: %.3f\n", fd.Determinant, fd.Dependent, fd.Strength)
+	}
+
+	// Manual designs: singles vs the composite pair (4-degree and
+	// 2-degree buckets, like the advisor's power-of-two enumeration).
+	if err := sky.CreateCM("ra_cm", repro.CMColumn{Name: "ra", Width: 4}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sky.CreateCM("dec_cm", repro.CMColumn{Name: "dec", Width: 2}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sky.CreateCM("radec_cm",
+		repro.CMColumn{Name: "ra", Width: 4},
+		repro.CMColumn{Name: "dec", Width: 2}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sky.CreateIndex("radec_ix", "ra", "dec"); err != nil {
+		log.Fatal(err)
+	}
+
+	region := []repro.Pred{
+		repro.Between("ra", repro.FloatVal(100), repro.FloatVal(106)),
+		repro.Between("dec", repro.FloatVal(2.0), repro.FloatVal(4.0)),
+		repro.Between("g", repro.FloatVal(14), repro.FloatVal(23)),
+	}
+	fmt.Printf("\nregion query: ra in [100,106], dec in [2,4], g in [14,23]\n")
+	fmt.Printf("%-20s %12s %10s %10s\n", "method", "elapsed", "reads", "rows")
+
+	measure := func(label string, run func(fn func(repro.Row) bool) error) {
+		if err := db.ColdCache(); err != nil {
+			log.Fatal(err)
+		}
+		db.ResetStats()
+		n := 0
+		if err := run(func(repro.Row) bool { n++; return true }); err != nil {
+			log.Fatal(err)
+		}
+		st := db.Stats()
+		fmt.Printf("%-20s %9.2f ms %10d %10d\n", label, msf(st.Elapsed), st.Reads, n)
+	}
+	measure("table scan", func(fn func(repro.Row) bool) error {
+		return sky.SelectVia(repro.TableScan, fn, region...)
+	})
+	measure("B+Tree(ra,dec)", func(fn func(repro.Row) bool) error {
+		return sky.SelectVia(repro.SortedIndexScan, fn, region...)
+	})
+	for _, name := range []string{"ra_cm", "dec_cm", "radec_cm"} {
+		measure("CM "+name, func(fn func(repro.Row) bool) error {
+			return sky.SelectViaCM(name, fn, region...)
+		})
+	}
+	fmt.Println()
+	for _, cm := range sky.CMs() {
+		fmt.Printf("  %-10s %6d keys %10.1f KB\n", cm.Name, cm.Keys, float64(cm.SizeBytes)/1024)
+	}
+	for _, ix := range sky.Indexes() {
+		fmt.Printf("  %-10s %6d entries %8.1f KB\n", ix.Name, ix.Entries, float64(ix.SizeBytes)/1024)
+	}
+
+	// Let the advisor pick a design for this query under a 25% target.
+	recs, err := sky.Advise(25, region...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadvisor recommendations within +25%% of the B+Tree (smallest first):\n")
+	for i, r := range recs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-36s %8.1f KB  slowdown %+6.1f%%\n",
+			r.Design, float64(r.SizeBytes)/1024, r.SlowdownPct)
+	}
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

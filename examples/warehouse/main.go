@@ -1,0 +1,172 @@
+// Warehouse: the paper's TPC-H motivation (Sections 3.3–3.4, Figure 3).
+//
+// A lineitem-style order log ships goods 2, 4 or 5 days before they are
+// received, so receiptdate is a strong soft predictor of shipdate. With
+// the table clustered on receiptdate, a tiny correlation map on shipdate
+// matches a dense secondary B+Tree's I/O pattern; clustered on the
+// primary key, shipdate lookups degrade to scattered reads.
+//
+// The example builds both clusterings, compares the virtual disk time of
+// shipdate lookups, and prints the size of the CM next to the B+Tree it
+// replaces.
+//
+// Run with: go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+const (
+	orders    = 8000
+	dateRange = 2400
+)
+
+func genLineitems(seed int64) []repro.Row {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []repro.Row
+	for o := 1; o <= orders; o++ {
+		orderDate := int64(rng.Intn(dateRange))
+		lines := 1 + rng.Intn(7)
+		for l := 1; l <= lines; l++ {
+			ship := orderDate + 1 + int64(rng.Intn(121))
+			bump := []int64{2, 2, 4, 4, 5, 3, 7}[rng.Intn(7)]
+			price := 900 + rng.Float64()*99000
+			rows = append(rows, repro.Row{
+				repro.IntVal(int64(o)),
+				repro.IntVal(int64(l)),
+				repro.IntVal(ship),
+				repro.IntVal(ship + bump),
+				repro.FloatVal(price),
+				repro.FloatVal(float64(rng.Intn(11)) / 100),
+			})
+		}
+	}
+	return rows
+}
+
+func buildDB(clusterBy []string, seed int64) (*repro.DB, *repro.Table, error) {
+	db := repro.Open(repro.Config{})
+	tbl, err := db.CreateTable(repro.TableSpec{
+		Name: "lineitem",
+		Columns: []repro.Column{
+			{Name: "orderkey", Kind: repro.Int},
+			{Name: "linenumber", Kind: repro.Int},
+			{Name: "shipdate", Kind: repro.Int},
+			{Name: "receiptdate", Kind: repro.Int},
+			{Name: "extendedprice", Kind: repro.Float},
+			{Name: "discount", Kind: repro.Float},
+		},
+		ClusteredBy: clusterBy,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tbl.Load(genLineitems(seed)); err != nil {
+		return nil, nil, err
+	}
+	return db, tbl, nil
+}
+
+// avgRevenue runs the paper's Figure 3 query through the given method
+// cold-cached and returns the virtual elapsed time.
+func avgRevenue(db *repro.DB, tbl *repro.Table, method repro.AccessMethod, dates []repro.Value) (time.Duration, int, error) {
+	if err := db.ColdCache(); err != nil {
+		return 0, 0, err
+	}
+	db.ResetStats()
+	var sum float64
+	var n int
+	err := tbl.SelectVia(method, func(r repro.Row) bool {
+		sum += r[4].Float() * r[5].Float()
+		n++
+		return true
+	}, repro.In("shipdate", dates...))
+	if err != nil {
+		return 0, 0, err
+	}
+	return db.Stats().Elapsed, n, nil
+}
+
+func main() {
+	// Correlated clustering: receiptdate.
+	dbCorr, corr, err := buildDB([]string{"receiptdate"}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Uncorrelated clustering: the primary key.
+	dbUnc, unc, err := buildDB([]string{"orderkey", "linenumber"}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The soft FD the engine will exploit.
+	ps, err := corr.PairStats("shipdate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lineitem: %d rows, %d pages\n", corr.RowCount(), corr.HeapPages())
+	fmt.Printf("shipdate vs receiptdate: c_per_u = %.2f (each ship date hits ~%.0f receipt dates)\n\n",
+		ps.CPerU, ps.CPerU)
+
+	// Access methods on both clusterings.
+	for _, tc := range []struct {
+		label string
+		db    *repro.DB
+		tbl   *repro.Table
+	}{
+		{"clustered on receiptdate (correlated)", dbCorr, corr},
+		{"clustered on primary key (uncorrelated)", dbUnc, unc},
+	} {
+		if err := tc.tbl.CreateIndex("shipdate_ix", "shipdate"); err != nil {
+			log.Fatal(err)
+		}
+		if err := tc.tbl.CreateCM("shipdate_cm", repro.CMColumn{Name: "shipdate"}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tc.label)
+		rng := rand.New(rand.NewSource(7))
+		for _, n := range []int{1, 10, 50} {
+			dates := make([]repro.Value, n)
+			for i := range dates {
+				dates[i] = repro.IntVal(int64(rng.Intn(dateRange) + 3))
+			}
+			bt, rowsBT, err := avgRevenue(tc.db, tc.tbl, repro.SortedIndexScan, dates)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cm, rowsCM, err := avgRevenue(tc.db, tc.tbl, repro.CMScan, dates)
+			if err != nil {
+				log.Fatal(err)
+			}
+			scan, _, err := avgRevenue(tc.db, tc.tbl, repro.TableScan, dates)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rowsBT != rowsCM {
+				log.Fatalf("row count mismatch: %d vs %d", rowsBT, rowsCM)
+			}
+			fmt.Printf("  %3d shipdates: B+Tree %8.2f ms   CM %8.2f ms   scan %8.2f ms   (%d rows)\n",
+				n, msf(bt), msf(cm), msf(scan), rowsBT)
+		}
+		for _, ix := range tc.tbl.Indexes() {
+			fmt.Printf("  B+Tree size: %d KB", ix.SizeBytes/1024)
+		}
+		for _, cm := range tc.tbl.CMs() {
+			fmt.Printf(", CM size: %.1f KB (%.1fx smaller)\n\n",
+				float64(cm.SizeBytes)/1024,
+				float64(tc.tbl.Indexes()[0].SizeBytes)/float64(cm.SizeBytes))
+		}
+	}
+	fmt.Println("the correlation (c_per_u ~ 4) keeps the CM both small and useful: it matches")
+	fmt.Println("the B+Tree's access pattern at a fraction of its size. Without the correlated")
+	fmt.Println("clustering the CM covers most of the table and degrades toward a scan —")
+	fmt.Println("the paper's Figure 3 effect (at paper scale the crossover sits near n=100).")
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

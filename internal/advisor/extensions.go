@@ -1,0 +1,128 @@
+package advisor
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/keyenc"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// VariableBucketing implements the paper's future-work extension
+// (Section 8): variable-width buckets for skewed value distributions,
+// packing more attribute values into a bucket when that bucket's values
+// share the same clustered buckets. The bucketing is derived from the
+// advisor's row sample; maxCBucketsPerBucket bounds how many clustered
+// buckets one CM bucket may fan out to (1 keeps per-bucket c_per_u at
+// the minimum; larger values trade lookup cost for fewer CM keys).
+func (a *Advisor) VariableBucketing(col int, maxCBucketsPerBucket int) core.VarWidth {
+	o := core.NewObserver()
+	for _, row := range a.rows {
+		o.Add(row[col], a.tbl.ClusterBucketFor(row))
+	}
+	return core.BuildVarWidth(o.Observations(), maxCBucketsPerBucket)
+}
+
+// ClusteringCandidate scores one attribute as a clustered-index choice.
+type ClusteringCandidate struct {
+	Col int
+	// CorrelatedAttrs counts the other candidate attributes whose
+	// estimated c_per_u against this clustering stays below the
+	// threshold — the "correlations to many unclustered attributes"
+	// criterion of Section 4.1.
+	CorrelatedAttrs int
+	// CPages is c_tups/tups_per_page for this attribute: the expected
+	// scan length per clustered value — Section 4.1's "small c_pages"
+	// criterion. Few-valued attributes (the gender example) score badly.
+	CPages float64
+	// MeanCPerU is the average estimated c_per_u over the other
+	// attributes, for reporting.
+	MeanCPerU float64
+}
+
+// SuggestClustering ranks candidate attributes as clustered-index
+// choices for the table, generalizing the Figure 2 observation into the
+// designer the paper's conclusions sketch: a good clustering has (1) a
+// small c_pages and (2) correlations to many of the attributes queries
+// predicate. Estimates come from the advisor's sample; candidates are
+// returned best first.
+func (a *Advisor) SuggestClustering(candidateCols []int, cPerUThreshold float64) []ClusteringCandidate {
+	if cPerUThreshold <= 0 {
+		cPerUThreshold = 10
+	}
+	// Precompute per-column sample keys once.
+	keyCache := make(map[int][][]byte, len(candidateCols))
+	for _, c := range candidateCols {
+		keys := make([][]byte, len(a.rows))
+		for i, row := range a.rows {
+			keys[i] = encodeSampleCol(row, c)
+		}
+		keyCache[c] = keys
+	}
+	estimateD := func(keys [][]byte) float64 {
+		return adaptive(a.total, keys)
+	}
+	var out []ClusteringCandidate
+	for _, cc := range candidateCols {
+		dC := estimateD(keyCache[cc])
+		if dC <= 0 {
+			continue
+		}
+		cTups := float64(a.total) / dC
+		cand := ClusteringCandidate{
+			Col:    cc,
+			CPages: cTups / nonZero(a.tstats.TupsPerPage),
+		}
+		var sum float64
+		var n int
+		for _, uc := range candidateCols {
+			if uc == cc {
+				continue
+			}
+			// c_per_u of uc against clustering cc, at value granularity:
+			// D(uc, cc) / D(uc).
+			pairKeys := make([][]byte, len(a.rows))
+			for i := range a.rows {
+				pairKeys[i] = append(append([]byte{}, keyCache[uc][i]...), keyCache[cc][i]...)
+			}
+			dU := estimateD(keyCache[uc])
+			if dU <= 0 {
+				continue
+			}
+			cPerU := estimateD(pairKeys) / dU
+			sum += cPerU
+			n++
+			if cPerU <= cPerUThreshold {
+				cand.CorrelatedAttrs++
+			}
+		}
+		if n > 0 {
+			cand.MeanCPerU = sum / float64(n)
+		}
+		out = append(out, cand)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CorrelatedAttrs != out[j].CorrelatedAttrs {
+			return out[i].CorrelatedAttrs > out[j].CorrelatedAttrs
+		}
+		return out[i].CPages < out[j].CPages
+	})
+	return out
+}
+
+func nonZero(f float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// encodeSampleCol and adaptive keep SuggestClustering readable.
+func encodeSampleCol(row value.Row, col int) []byte {
+	return keyenc.AppendValue(nil, row[col])
+}
+
+func adaptive(total int64, keys [][]byte) float64 {
+	return stats.AdaptiveEstimate(total, stats.CountFrequencies(keys))
+}

@@ -1,0 +1,196 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/heap"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// skewedFixture builds a table whose u column is heavily skewed: half
+// the domain maps to one clustered region, the rest spreads out.
+func skewedFixture(t *testing.T) (*table.Table, *Advisor) {
+	t.Helper()
+	d := sim.NewDisk(sim.Config{})
+	pool := buffer.NewPool(d, 1024)
+	sch := table.NewSchema(
+		table.Column{Name: "c", Kind: value.Int},
+		table.Column{Name: "u", Kind: value.Int},
+	)
+	tbl, err := table.New(pool, nil, table.Config{
+		Name: "t", Schema: sch, ClusteredCols: []int{0}, BucketTuples: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 8000; i++ {
+		u := int64(i % 1000)
+		var c int64
+		if u < 500 {
+			c = 1 // hot clustered region: half the u domain lands here
+		} else {
+			c = u / 10
+		}
+		rows = append(rows, value.Row{value.NewInt(c), value.NewInt(u)})
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := New(tbl, Config{SampleSize: 8000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, adv
+}
+
+func TestVariableBucketingCompressesSkew(t *testing.T) {
+	tbl, adv := skewedFixture(t)
+	vb := adv.VariableBucketing(1, 1)
+	// 500 hot values collapse toward one bucket; the spread tail keeps
+	// roughly one bucket per clustered region. Far fewer than 1000.
+	if len(vb.Bounds) >= 500 {
+		t.Fatalf("variable bucketing kept %d bounds for 1000 values", len(vb.Bounds))
+	}
+	// A CM built with it is both small and exact.
+	cm, err := tbl.CreateCM(core.Spec{Name: "u_var", UCols: []int{1},
+		Bucketers: []core.Bucketer{vb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Keys() != len(vb.Bounds) {
+		t.Errorf("CM keys %d != bounds %d", cm.Keys(), len(vb.Bounds))
+	}
+	// Compare against a fixed-width CM with a similar key budget: the
+	// variable one should not have a worse c_per_u.
+	fixedWidth := int64(1000 / len(vb.Bounds))
+	if fixedWidth < 1 {
+		fixedWidth = 1
+	}
+	fixed, err := tbl.CreateCM(core.Spec{Name: "u_fixed", UCols: []int{1},
+		Bucketers: []core.Bucketer{core.IntWidth{Width: fixedWidth}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.CPerU() > fixed.CPerU()+1e-9 {
+		t.Errorf("variable c_per_u %.3f worse than fixed %.3f at similar size",
+			cm.CPerU(), fixed.CPerU())
+	}
+}
+
+func TestVariableBucketingLookupStaysExact(t *testing.T) {
+	tbl, adv := skewedFixture(t)
+	vb := adv.VariableBucketing(1, 1)
+	cm, err := tbl.CreateCM(core.Spec{Name: "u_var", UCols: []int{1},
+		Bucketers: []core.Bucketer{vb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every u value's true clustered bucket must be covered by the CM.
+	missed := 0
+	if err := tbl.Scan(func(_ heap.RID, row value.Row) bool {
+		buckets := cm.Lookup(row[1])
+		cb := tbl.ClusterBucketFor(row)
+		found := false
+		for _, b := range buckets {
+			if b == cb {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missed++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if missed > 0 {
+		t.Errorf("%d rows not covered by variable-width CM", missed)
+	}
+}
+
+func TestSuggestClustering(t *testing.T) {
+	// Build a table where column "hub" correlates with two others and
+	// "noise" with none; the suggester must rank hub first and noise
+	// last.
+	d := sim.NewDisk(sim.Config{})
+	pool := buffer.NewPool(d, 1024)
+	sch := table.NewSchema(
+		table.Column{Name: "id", Kind: value.Int},
+		table.Column{Name: "hub", Kind: value.Int},
+		table.Column{Name: "friend1", Kind: value.Int},
+		table.Column{Name: "friend2", Kind: value.Int},
+		table.Column{Name: "noise", Kind: value.Int},
+	)
+	tbl, err := table.New(pool, nil, table.Config{Name: "t", Schema: sch, ClusteredCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 6000; i++ {
+		hub := int64(i % 300)
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(hub),
+			value.NewInt(hub / 3),
+			value.NewInt(hub * 2),
+			value.NewInt(int64((i * 7919) % 6000)),
+		})
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := New(tbl, Config{SampleSize: 6000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := adv.SuggestClustering([]int{1, 2, 3, 4}, 5)
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if cands[0].Col != 1 {
+		t.Errorf("best clustering col = %d, want hub (1); %+v", cands[0].Col, cands)
+	}
+	if cands[0].CorrelatedAttrs < 2 {
+		t.Errorf("hub correlated attrs = %d, want >= 2", cands[0].CorrelatedAttrs)
+	}
+	// noise correlates with nothing.
+	for _, c := range cands {
+		if c.Col == 4 && c.CorrelatedAttrs != 0 {
+			t.Errorf("noise correlated attrs = %d", c.CorrelatedAttrs)
+		}
+	}
+	if cands[len(cands)-1].Col != 4 {
+		t.Errorf("worst clustering col = %d, want noise (4)", cands[len(cands)-1].Col)
+	}
+}
+
+func TestSuggestClusteringOnSDSS(t *testing.T) {
+	_, adv := sdssFixture(t)
+	cols := []int{
+		datagen.SDSSFieldID, datagen.SDSSRun, datagen.SDSSMjd,
+		datagen.SDSSPsfMagG, datagen.SDSSRowc,
+	}
+	cands := adv.SuggestClustering(cols, 10)
+	if len(cands) != len(cols) {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// The position-group attributes must outrank the noise column rowc.
+	rankOf := func(col int) int {
+		for i, c := range cands {
+			if c.Col == col {
+				return i
+			}
+		}
+		return -1
+	}
+	if rankOf(datagen.SDSSFieldID) > rankOf(datagen.SDSSRowc) {
+		t.Errorf("fieldID ranked below rowc: %+v", cands)
+	}
+}

@@ -1,0 +1,215 @@
+// Package buffer implements a fixed-size buffer pool over the simulated
+// disk with clock-sweep eviction and dirty-page write-back.
+//
+// The buffer pool is central to the paper's Experiment 3: maintaining many
+// secondary B+Trees floods the pool with dirty pages, forcing evictions
+// and random write-back I/O, while correlation maps are small enough to
+// live outside the pool entirely. The pool therefore tracks hits, misses,
+// evictions and dirty write-backs so experiments can report them.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PageKey identifies a page on the simulated disk.
+type PageKey struct {
+	File sim.FileID
+	Page int64
+}
+
+// Stats aggregates buffer pool counters.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	DirtyWrites uint64 // evictions (or flushes) that wrote a dirty page
+}
+
+// Frame is a pinned page in the pool. Callers mutate Data in place and
+// must Unpin (marking dirty when modified) when done.
+type Frame struct {
+	Data []byte
+
+	key   PageKey
+	pin   int
+	dirty bool
+	ref   bool // clock reference bit
+	used  bool
+}
+
+// Key returns the page identity held by the frame.
+func (f *Frame) Key() PageKey { return f.key }
+
+// Pool is a clock-sweep buffer pool. Not safe for concurrent use.
+type Pool struct {
+	disk   *sim.Disk
+	frames []Frame
+	table  map[PageKey]int
+	hand   int
+	stats  Stats
+}
+
+// NewPool creates a pool of capacity pages over disk.
+func NewPool(disk *sim.Disk, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &Pool{
+		disk:   disk,
+		frames: make([]Frame, capacity),
+		table:  make(map[PageKey]int, capacity),
+	}
+	ps := disk.PageSize()
+	for i := range p.frames {
+		p.frames[i].Data = make([]byte, ps)
+	}
+	return p
+}
+
+// Disk returns the underlying simulated disk.
+func (p *Pool) Disk() *sim.Disk { return p.disk }
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters (page contents are unaffected).
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// victim finds an evictable frame using the clock algorithm, writing back
+// dirty contents. It returns an error if every frame is pinned.
+func (p *Pool) victim() (int, error) {
+	for scanned := 0; scanned < 2*len(p.frames); scanned++ {
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		fr := &p.frames[i]
+		if !fr.used {
+			return i, nil
+		}
+		if fr.pin > 0 {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		if fr.dirty {
+			if err := p.disk.WritePage(fr.key.File, fr.key.Page, fr.Data); err != nil {
+				return 0, err
+			}
+			p.stats.DirtyWrites++
+		}
+		delete(p.table, fr.key)
+		p.stats.Evictions++
+		fr.used = false
+		return i, nil
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+}
+
+// Get pins the page into the pool, reading it from disk on a miss.
+func (p *Pool) Get(file sim.FileID, page int64) (*Frame, error) {
+	key := PageKey{file, page}
+	if i, ok := p.table[key]; ok {
+		fr := &p.frames[i]
+		fr.pin++
+		fr.ref = true
+		p.stats.Hits++
+		return fr, nil
+	}
+	p.stats.Misses++
+	i, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	fr := &p.frames[i]
+	if err := p.disk.ReadPage(file, page, fr.Data); err != nil {
+		return nil, err
+	}
+	fr.key = key
+	fr.pin = 1
+	fr.dirty = false
+	fr.ref = true
+	fr.used = true
+	p.table[key] = i
+	return fr, nil
+}
+
+// NewPage allocates a fresh page in the file and pins a zeroed frame for
+// it without any read I/O. The page reaches disk when evicted or flushed.
+func (p *Pool) NewPage(file sim.FileID) (int64, *Frame, error) {
+	page := p.disk.AllocPage(file)
+	i, err := p.victim()
+	if err != nil {
+		return 0, nil, err
+	}
+	fr := &p.frames[i]
+	for j := range fr.Data {
+		fr.Data[j] = 0
+	}
+	fr.key = PageKey{file, page}
+	fr.pin = 1
+	fr.dirty = true // a new page must eventually be written
+	fr.ref = true
+	fr.used = true
+	p.table[fr.key] = i
+	return page, fr, nil
+}
+
+// Unpin releases a pin, marking the frame dirty when the caller modified it.
+func (p *Pool) Unpin(fr *Frame, dirty bool) {
+	if fr.pin <= 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	fr.pin--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// FlushAll writes every dirty page back to disk. Pages stay cached.
+func (p *Pool) FlushAll() error {
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if fr.used && fr.dirty {
+			if err := p.disk.WritePage(fr.key.File, fr.key.Page, fr.Data); err != nil {
+				return err
+			}
+			p.stats.DirtyWrites++
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every cached page without writing dirty contents. It
+// models the paper's cold-cache methodology (dropping OS caches between
+// runs); callers flush first when contents must survive.
+func (p *Pool) Invalidate() {
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if fr.pin > 0 {
+			panic("buffer: invalidate with pinned frames")
+		}
+		fr.used = false
+		fr.dirty = false
+	}
+	p.table = make(map[PageKey]int, len(p.frames))
+}
+
+// DirtyCount returns the number of dirty frames, used by experiments to
+// observe pool pressure.
+func (p *Pool) DirtyCount() int {
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].used && p.frames[i].dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+)
+
+// ClusteredBuckets is the clustered-attribute bucket directory of Section
+// 6.1.1. During the clustered load the table assigns consecutive tuples to
+// buckets of roughly b tuples, never splitting one clustered value across
+// buckets. The directory records each bucket's encoded lower-bound key; a
+// correlation map then stores small bucket IDs instead of clustered-key
+// values, and the executor converts IDs back to clustered key ranges.
+//
+// The directory is engine metadata (like a histogram): it lives in memory
+// and its size is charged to the correlation maps that use it via
+// DirectorySizeBytes.
+type ClusteredBuckets struct {
+	bounds [][]byte // bounds[i] = encoded first clustered key of bucket i
+}
+
+// NewClusteredBuckets wraps a sorted list of encoded lower bounds.
+// Bounds must be strictly increasing; bucket i spans [bounds[i],
+// bounds[i+1]).
+func NewClusteredBuckets(bounds [][]byte) *ClusteredBuckets {
+	return &ClusteredBuckets{bounds: bounds}
+}
+
+// Builder incrementally assigns bucket IDs during a clustered scan,
+// implementing the paper's rule: fill a bucket with targetTuples tuples,
+// then keep extending it until the clustered key changes.
+type Builder struct {
+	target  int
+	bounds  [][]byte
+	inCur   int    // tuples in the current bucket
+	lastKey []byte // last clustered key seen
+}
+
+// NewBuilder creates a builder targeting targetTuples per bucket
+// (minimum 1).
+func NewBuilder(targetTuples int) *Builder {
+	if targetTuples < 1 {
+		targetTuples = 1
+	}
+	return &Builder{target: targetTuples}
+}
+
+// Add assigns the next tuple (in clustered order) to a bucket and returns
+// the bucket ID. key is the tuple's encoded clustered key.
+func (b *Builder) Add(key []byte) int32 {
+	switch {
+	case len(b.bounds) == 0:
+		b.bounds = append(b.bounds, append([]byte(nil), key...))
+		b.inCur = 1
+	case b.inCur >= b.target && !bytes.Equal(key, b.lastKey):
+		b.bounds = append(b.bounds, append([]byte(nil), key...))
+		b.inCur = 1
+	default:
+		b.inCur++
+	}
+	b.lastKey = append(b.lastKey[:0], key...)
+	return int32(len(b.bounds) - 1)
+}
+
+// Finish returns the completed directory.
+func (b *Builder) Finish() *ClusteredBuckets {
+	return NewClusteredBuckets(b.bounds)
+}
+
+// NumBuckets returns the number of buckets.
+func (cb *ClusteredBuckets) NumBuckets() int { return len(cb.bounds) }
+
+// Locate returns the bucket containing the encoded clustered key: the
+// rightmost bucket whose lower bound is <= key. Keys below the first
+// bound map to bucket 0 so the function is total (new small keys inserted
+// after load still resolve).
+func (cb *ClusteredBuckets) Locate(key []byte) int32 {
+	if len(cb.bounds) == 0 {
+		return 0
+	}
+	// First bound > key.
+	i := sort.Search(len(cb.bounds), func(i int) bool {
+		return bytes.Compare(cb.bounds[i], key) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return int32(i - 1)
+}
+
+// LowerBound returns bucket i's encoded lower-bound key.
+func (cb *ClusteredBuckets) LowerBound(i int32) []byte {
+	return cb.bounds[i]
+}
+
+// UpperBound returns the encoded lower bound of bucket i+1 (the exclusive
+// upper bound of bucket i), or ok=false for the last bucket, whose range
+// is unbounded above.
+func (cb *ClusteredBuckets) UpperBound(i int32) (key []byte, ok bool) {
+	if int(i)+1 >= len(cb.bounds) {
+		return nil, false
+	}
+	return cb.bounds[i+1], true
+}
+
+// DirectorySizeBytes returns the in-memory footprint of the directory,
+// counted against the access method that relies on it.
+func (cb *ClusteredBuckets) DirectorySizeBytes() int64 {
+	var n int64
+	for _, b := range cb.bounds {
+		n += int64(len(b)) + 8 // key bytes + slice header overhead estimate
+	}
+	return n
+}

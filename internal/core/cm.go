@@ -1,0 +1,323 @@
+// Package core implements the Correlation Map, the paper's primary
+// contribution (Section 5).
+//
+// A CM on an attribute (or attribute list) Au of a table clustered on Ac
+// is a mapping
+//
+//	bucket(u) -> { clustered bucket IDs co-occurring with u }
+//
+// with a co-occurrence count per pair so deletions can retract entries
+// (Algorithm 1). Compared to a dense secondary B+Tree — one entry per
+// tuple — the CM stores one entry per distinct (bucketed) value pair,
+// which is what makes it orders of magnitude smaller when the attributes
+// are correlated.
+//
+// The CM lives in main memory (the paper's prototype caches CMs in a Java
+// front end); recoverability comes from the engine's write-ahead log, and
+// Serialize/Deserialize provide checkpoints and the honest size number
+// reported by the experiments.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/keyenc"
+	"repro/internal/value"
+)
+
+// Spec describes a correlation map design: which columns form the CM
+// attribute and how each is bucketed.
+type Spec struct {
+	Name      string
+	UCols     []int      // column indexes of the CM attribute(s)
+	Bucketers []Bucketer // one per column; nil entries mean Identity
+}
+
+// normalize fills nil bucketers with Identity.
+func (s *Spec) normalize() {
+	if len(s.Bucketers) == 0 {
+		s.Bucketers = make([]Bucketer, len(s.UCols))
+	}
+	for i := range s.Bucketers {
+		if s.Bucketers[i] == nil {
+			s.Bucketers[i] = Identity{}
+		}
+	}
+}
+
+// CM is a correlation map. Not safe for concurrent use.
+type CM struct {
+	spec  Spec
+	m     map[string]map[int32]uint32
+	pairs int64
+	size  int64 // serialized-size accounting
+}
+
+// entry size accounting: per distinct key 2 (len) + len + 4 (pair count);
+// per pair 4 (bucket id) + 4 (count).
+const (
+	keyOverhead  = 6
+	pairOverhead = 8
+)
+
+// New creates an empty CM from a spec.
+func New(spec Spec) *CM {
+	spec.normalize()
+	if len(spec.UCols) == 0 {
+		panic("core: CM spec needs at least one column")
+	}
+	if len(spec.Bucketers) != len(spec.UCols) {
+		panic("core: spec bucketer count mismatch")
+	}
+	return &CM{spec: spec, m: make(map[string]map[int32]uint32)}
+}
+
+// Spec returns the CM's design.
+func (cm *CM) Spec() Spec { return cm.spec }
+
+// BucketValues applies the spec's bucketers to the CM-attribute values.
+func (cm *CM) BucketValues(vals []value.Value) []value.Value {
+	out := make([]value.Value, len(vals))
+	for i, v := range vals {
+		out[i] = cm.spec.Bucketers[i].Bucket(v)
+	}
+	return out
+}
+
+// KeyForRow buckets and encodes the CM attribute of a full table row.
+func (cm *CM) KeyForRow(row value.Row) []byte {
+	dst := make([]byte, 0, 10*len(cm.spec.UCols))
+	for i, c := range cm.spec.UCols {
+		dst = keyenc.AppendValue(dst, cm.spec.Bucketers[i].Bucket(row[c]))
+	}
+	return dst
+}
+
+// keyForValues buckets and encodes explicit CM-attribute values.
+func (cm *CM) keyForValues(vals []value.Value) []byte {
+	dst := make([]byte, 0, 10*len(vals))
+	for i, v := range vals {
+		dst = keyenc.AppendValue(dst, cm.spec.Bucketers[i].Bucket(v))
+	}
+	return dst
+}
+
+// AddRow records the co-occurrence of the row's CM attribute with the
+// clustered bucket, incrementing the pair's count (Algorithm 1).
+func (cm *CM) AddRow(row value.Row, cbucket int32) {
+	cm.add(cm.KeyForRow(row), cbucket)
+}
+
+func (cm *CM) add(key []byte, cbucket int32) {
+	set, ok := cm.m[string(key)]
+	if !ok {
+		set = make(map[int32]uint32, 2)
+		cm.m[string(key)] = set
+		cm.size += keyOverhead + int64(len(key))
+	}
+	if set[cbucket] == 0 {
+		cm.pairs++
+		cm.size += pairOverhead
+	}
+	set[cbucket]++
+}
+
+// RemoveRow retracts one co-occurrence, deleting the pair when its count
+// reaches zero and the key when its last pair disappears.
+func (cm *CM) RemoveRow(row value.Row, cbucket int32) error {
+	key := cm.KeyForRow(row)
+	set, ok := cm.m[string(key)]
+	if !ok || set[cbucket] == 0 {
+		return fmt.Errorf("core: remove of unrecorded pair (%x, %d)", key, cbucket)
+	}
+	set[cbucket]--
+	if set[cbucket] == 0 {
+		delete(set, cbucket)
+		cm.pairs--
+		cm.size -= pairOverhead
+		if len(set) == 0 {
+			delete(cm.m, string(key))
+			cm.size -= keyOverhead + int64(len(key))
+		}
+	}
+	return nil
+}
+
+// Lookup returns the clustered buckets co-occurring with the given CM
+// attribute values (one value per CM column), sorted ascending.
+func (cm *CM) Lookup(vals ...value.Value) []int32 {
+	if len(vals) != len(cm.spec.UCols) {
+		panic("core: Lookup arity mismatch")
+	}
+	set := cm.m[string(cm.keyForValues(vals))]
+	out := make([]int32, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LookupMany unions the clustered buckets for several CM-attribute value
+// combinations (the cm_lookup({vu1..vuN}) API of Section 5.2), sorted.
+func (cm *CM) LookupMany(valLists [][]value.Value) []int32 {
+	seen := make(map[int32]struct{})
+	for _, vals := range valLists {
+		for _, b := range cm.Lookup(vals...) {
+			seen[b] = struct{}{}
+		}
+	}
+	return setToSorted(seen)
+}
+
+// LookupMatch returns the clustered buckets of every CM entry whose
+// bucketed attribute values satisfy match. Range predicates use this
+// path: the whole CM is scanned, which is cheap because CMs are small
+// and memory-resident.
+func (cm *CM) LookupMatch(match func(vals []value.Value) bool) ([]int32, error) {
+	seen := make(map[int32]struct{})
+	for key, set := range cm.m {
+		vals, err := keyenc.DecodeAll([]byte(key))
+		if err != nil {
+			return nil, err
+		}
+		if !match(vals) {
+			continue
+		}
+		for b := range set {
+			seen[b] = struct{}{}
+		}
+	}
+	return setToSorted(seen), nil
+}
+
+func setToSorted(seen map[int32]struct{}) []int32 {
+	out := make([]int32, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Walk visits every entry (decoded bucketed values, bucket->count map).
+// Iteration order is unspecified. Returning false stops the walk.
+func (cm *CM) Walk(fn func(vals []value.Value, buckets map[int32]uint32) bool) error {
+	for key, set := range cm.m {
+		vals, err := keyenc.DecodeAll([]byte(key))
+		if err != nil {
+			return err
+		}
+		if !fn(vals, set) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Keys returns the number of distinct (bucketed) CM-attribute values.
+func (cm *CM) Keys() int { return len(cm.m) }
+
+// Pairs returns the number of distinct (u, c-bucket) pairs — the quantity
+// that determines CM size ("the CM needs to store every unique pair").
+func (cm *CM) Pairs() int64 { return cm.pairs }
+
+// SizeBytes returns the serialized size of the CM, maintained
+// incrementally. This is the number experiments report against B+Tree
+// footprints.
+func (cm *CM) SizeBytes() int64 { return cm.size }
+
+// CPerU returns the average number of clustered buckets per CM key — the
+// bucket-level c_per_u that drives the cost model's CM predictions.
+func (cm *CM) CPerU() float64 {
+	if len(cm.m) == 0 {
+		return 0
+	}
+	return float64(cm.pairs) / float64(len(cm.m))
+}
+
+// Serialize writes the CM in a stable binary format:
+// [numKeys u32] then per key [klen u16][key][npairs u32][(bucket i32,
+// count u32)*] with keys and buckets in sorted order.
+func (cm *CM) Serialize(w io.Writer) error {
+	keys := make([]string, 0, len(cm.m))
+	for k := range cm.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(keys)))
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		set := cm.m[k]
+		binary.LittleEndian.PutUint16(buf[:2], uint16(len(k)))
+		if _, err := w.Write(buf[:2]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, k); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(set)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+		buckets := make([]int32, 0, len(set))
+		for b := range set {
+			buckets = append(buckets, b)
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+		for _, b := range buckets {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(b))
+			binary.LittleEndian.PutUint32(buf[4:8], set[b])
+			if _, err := w.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Deserialize replaces the CM's contents from Serialize's format. The
+// spec is unchanged: callers pair a checkpoint with the CM it came from.
+func (cm *CM) Deserialize(r io.Reader) error {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return err
+	}
+	nk := binary.LittleEndian.Uint32(buf[:4])
+	m := make(map[string]map[int32]uint32, nk)
+	var pairs, size int64
+	for i := uint32(0); i < nk; i++ {
+		if _, err := io.ReadFull(r, buf[:2]); err != nil {
+			return err
+		}
+		klen := binary.LittleEndian.Uint16(buf[:2])
+		kb := make([]byte, klen)
+		if _, err := io.ReadFull(r, kb); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return err
+		}
+		np := binary.LittleEndian.Uint32(buf[:4])
+		set := make(map[int32]uint32, np)
+		for j := uint32(0); j < np; j++ {
+			if _, err := io.ReadFull(r, buf[:8]); err != nil {
+				return err
+			}
+			set[int32(binary.LittleEndian.Uint32(buf[:4]))] = binary.LittleEndian.Uint32(buf[4:8])
+		}
+		m[string(kb)] = set
+		pairs += int64(np)
+		size += keyOverhead + int64(klen) + pairOverhead*int64(np)
+	}
+	cm.m = m
+	cm.pairs = pairs
+	cm.size = size
+	return nil
+}

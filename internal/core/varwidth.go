@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// VarWidth is the paper's future-work bucketing (Section 8): variable
+// width buckets for skewed distributions, packing more attribute values
+// into a bucket where doing so does not grow the set of clustered
+// buckets the CM must record. Boundaries are explicit lower bounds; a
+// value belongs to the rightmost bucket whose bound is <= it.
+type VarWidth struct {
+	// Bounds are encoded-comparison-free: plain values sorted ascending.
+	// Bounds[0] is the representative of everything below Bounds[1].
+	Bounds []value.Value
+}
+
+// Bucket returns the lower bound of the bucket containing v. Values
+// below the first bound clamp to it, keeping the function total.
+func (b VarWidth) Bucket(v value.Value) value.Value {
+	if len(b.Bounds) == 0 {
+		return v
+	}
+	i := sort.Search(len(b.Bounds), func(i int) bool {
+		return b.Bounds[i].Compare(v) > 0
+	})
+	if i == 0 {
+		return b.Bounds[0]
+	}
+	return b.Bounds[i-1]
+}
+
+// String describes the bucketing.
+func (b VarWidth) String() string { return fmt.Sprintf("var(%d)", len(b.Bounds)) }
+
+// BuildVarWidth derives a variable-width bucketing from (value, clustered
+// bucket) observations using the paper's own intuition: "if there are two
+// adjacent buckets in the CM that point to the same set of buckets in the
+// clustered index, doubling the CM bucket size has no effect on c_per_u."
+// It sorts the distinct values, then greedily merges each run of adjacent
+// values whose clustered-bucket sets are subsets of the running union, as
+// long as the union stays within maxCBuckets. Skewed regions — many
+// values hitting the same few clustered buckets — collapse into single
+// wide buckets; transition regions keep narrow ones.
+func BuildVarWidth(obs []ValueBuckets, maxCBuckets int) VarWidth {
+	if maxCBuckets < 1 {
+		maxCBuckets = 1
+	}
+	sorted := make([]ValueBuckets, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Val.Compare(sorted[j].Val) < 0
+	})
+
+	var bounds []value.Value
+	var union map[int32]struct{}
+	for _, o := range sorted {
+		if union != nil {
+			grown := 0
+			for b := range o.Buckets {
+				if _, ok := union[b]; !ok {
+					grown++
+				}
+			}
+			if len(union)+grown <= maxCBuckets {
+				for b := range o.Buckets {
+					union[b] = struct{}{}
+				}
+				continue
+			}
+		}
+		// Start a new bucket at this value.
+		bounds = append(bounds, o.Val)
+		union = make(map[int32]struct{}, len(o.Buckets))
+		for b := range o.Buckets {
+			union[b] = struct{}{}
+		}
+	}
+	return VarWidth{Bounds: bounds}
+}
+
+// ValueBuckets pairs one distinct attribute value with the clustered
+// buckets it co-occurs with, the observation unit BuildVarWidth consumes.
+type ValueBuckets struct {
+	Val     value.Value
+	Buckets map[int32]struct{}
+}
+
+// ObserveValueBuckets folds a stream of (value, clustered bucket) pairs
+// into per-value bucket sets, a convenience for building the BuildVarWidth
+// input from a scan or sample.
+type ObserveValueBuckets struct {
+	m map[string]*ValueBuckets
+}
+
+// NewObserver creates an empty observer.
+func NewObserver() *ObserveValueBuckets {
+	return &ObserveValueBuckets{m: make(map[string]*ValueBuckets)}
+}
+
+// Add records one co-occurrence.
+func (o *ObserveValueBuckets) Add(v value.Value, cbucket int32) {
+	key := v.String() + "\x00" + v.K.String()
+	vb, ok := o.m[key]
+	if !ok {
+		vb = &ValueBuckets{Val: v, Buckets: make(map[int32]struct{}, 2)}
+		o.m[key] = vb
+	}
+	vb.Buckets[cbucket] = struct{}{}
+}
+
+// Observations returns the accumulated per-value bucket sets.
+func (o *ObserveValueBuckets) Observations() []ValueBuckets {
+	out := make([]ValueBuckets, 0, len(o.m))
+	for _, vb := range o.m {
+		out = append(out, *vb)
+	}
+	return out
+}

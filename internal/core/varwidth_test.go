@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func obs(v int64, buckets ...int32) ValueBuckets {
+	set := make(map[int32]struct{}, len(buckets))
+	for _, b := range buckets {
+		set[b] = struct{}{}
+	}
+	return ValueBuckets{Val: value.NewInt(v), Buckets: set}
+}
+
+func TestBuildVarWidthMergesRedundantValues(t *testing.T) {
+	// Values 0..9 all map to cluster bucket 1 (a skewed hot region);
+	// values 10..12 map to distinct buckets. The skewed region should
+	// collapse into one bucket; the tail should stay separate.
+	var o []ValueBuckets
+	for v := int64(0); v < 10; v++ {
+		o = append(o, obs(v, 1))
+	}
+	o = append(o, obs(10, 2), obs(11, 3), obs(12, 4))
+	b := BuildVarWidth(o, 1)
+	if len(b.Bounds) != 4 {
+		t.Fatalf("bounds = %d, want 4 (hot region + 3 tail values)", len(b.Bounds))
+	}
+	// All hot values share a representative.
+	rep := b.Bucket(value.NewInt(0))
+	for v := int64(1); v < 10; v++ {
+		if !b.Bucket(value.NewInt(v)).Equal(rep) {
+			t.Errorf("value %d not merged into hot bucket", v)
+		}
+	}
+	// Tail values are separate.
+	if b.Bucket(value.NewInt(10)).Equal(rep) || b.Bucket(value.NewInt(11)).Equal(b.Bucket(value.NewInt(12))) {
+		t.Error("tail values wrongly merged")
+	}
+}
+
+func TestBuildVarWidthRespectsBudget(t *testing.T) {
+	// Adjacent values hit alternating buckets; with budget 2 pairs can
+	// merge, with budget 1 nothing merges.
+	var o []ValueBuckets
+	for v := int64(0); v < 8; v++ {
+		o = append(o, obs(v, int32(v%2)))
+	}
+	tight := BuildVarWidth(o, 1)
+	if len(tight.Bounds) != 8 {
+		t.Errorf("budget 1 bounds = %d, want 8", len(tight.Bounds))
+	}
+	loose := BuildVarWidth(o, 2)
+	if len(loose.Bounds) != 1 {
+		t.Errorf("budget 2 bounds = %d, want 1 (union {0,1} fits)", len(loose.Bounds))
+	}
+}
+
+func TestVarWidthBucketMonotone(t *testing.T) {
+	b := VarWidth{Bounds: []value.Value{
+		value.NewInt(0), value.NewInt(10), value.NewInt(100),
+	}}
+	f := func(x, y int16) bool {
+		vx, vy := b.Bucket(value.NewInt(int64(x))), b.Bucket(value.NewInt(int64(y)))
+		if x <= y {
+			return vx.Compare(vy) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarWidthClampsBelowFirstBound(t *testing.T) {
+	b := VarWidth{Bounds: []value.Value{value.NewInt(10), value.NewInt(20)}}
+	if got := b.Bucket(value.NewInt(-5)); got.I != 10 {
+		t.Errorf("below-range bucket = %v", got)
+	}
+	if got := b.Bucket(value.NewInt(15)); got.I != 10 {
+		t.Errorf("mid bucket = %v", got)
+	}
+	if got := b.Bucket(value.NewInt(99)); got.I != 20 {
+		t.Errorf("top bucket = %v", got)
+	}
+	// Empty bounds: identity.
+	if got := (VarWidth{}).Bucket(value.NewInt(7)); got.I != 7 {
+		t.Error("empty VarWidth should be identity")
+	}
+}
+
+func TestObserver(t *testing.T) {
+	o := NewObserver()
+	o.Add(value.NewInt(1), 5)
+	o.Add(value.NewInt(1), 6)
+	o.Add(value.NewInt(1), 5) // duplicate
+	o.Add(value.NewInt(2), 5)
+	obs := o.Observations()
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	for _, vb := range obs {
+		switch vb.Val.I {
+		case 1:
+			if len(vb.Buckets) != 2 {
+				t.Errorf("value 1 buckets = %d", len(vb.Buckets))
+			}
+		case 2:
+			if len(vb.Buckets) != 1 {
+				t.Errorf("value 2 buckets = %d", len(vb.Buckets))
+			}
+		}
+	}
+}
+
+func TestVarWidthInCM(t *testing.T) {
+	// A CM built with a VarWidth bucketer over a skewed column is much
+	// smaller than unbucketed but still correct for lookups.
+	var o []ValueBuckets
+	for v := int64(0); v < 1000; v++ {
+		o = append(o, obs(v, int32(v/250))) // 4 clustered buckets
+	}
+	b := BuildVarWidth(o, 1)
+	if len(b.Bounds) != 4 {
+		t.Fatalf("skewed bounds = %d, want 4", len(b.Bounds))
+	}
+	cm := New(Spec{Name: "s", UCols: []int{0}, Bucketers: []Bucketer{b}})
+	for v := int64(0); v < 1000; v++ {
+		cm.AddRow(value.Row{value.NewInt(v)}, int32(v/250))
+	}
+	if cm.Keys() != 4 {
+		t.Errorf("CM keys = %d, want 4", cm.Keys())
+	}
+	got := cm.Lookup(value.NewInt(300))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("lookup(300) = %v", got)
+	}
+}

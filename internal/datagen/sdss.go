@@ -1,0 +1,226 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// SDSSConfig scales the synthetic sky catalog standing in for the SDSS
+// PhotoObj/PhotoTag tables. Objects are generated in survey order —
+// stripe by stripe, field by field — which is what makes objID a spatial
+// clustering key exactly as in the real SkyServer.
+type SDSSConfig struct {
+	Stripes         int // default 10
+	FieldsPerStripe int // default 25 (250 fields total, near the paper's 251 fieldID cardinality)
+	ObjsPerField    int // default 80
+	Seed            int64
+}
+
+func (c *SDSSConfig) defaults() {
+	if c.Stripes <= 0 {
+		c.Stripes = 10
+	}
+	if c.FieldsPerStripe <= 0 {
+		c.FieldsPerStripe = 25
+	}
+	if c.ObjsPerField <= 0 {
+		c.ObjsPerField = 80
+	}
+}
+
+// Rows returns the total row count the config generates.
+func (c SDSSConfig) Rows() int {
+	cc := c
+	cc.defaults()
+	return cc.Stripes * cc.FieldsPerStripe * cc.ObjsPerField
+}
+
+// SDSS column positions. Column 0 is the spatial object ID the paper
+// clusters PhotoTag on; columns 1..39 are the 39 queryable attributes of
+// the Figure 2 benchmark.
+const (
+	SDSSObjID = iota
+	SDSSFieldID
+	SDSSRa
+	SDSSDec
+	SDSSRun
+	SDSSCamcol
+	SDSSField
+	SDSSMjd
+	SDSSG
+	SDSSPsfMagU
+	SDSSPsfMagG
+	SDSSPsfMagR
+	SDSSPsfMagI
+	SDSSPsfMagZ
+	SDSSPetroMagU
+	SDSSPetroMagG
+	SDSSPetroMagR
+	SDSSPetroMagI
+	SDSSPetroMagZ
+	SDSSModelMagU
+	SDSSModelMagG
+	SDSSModelMagR
+	SDSSModelMagI
+	SDSSModelMagZ
+	SDSSFiberMagU
+	SDSSFiberMagG
+	SDSSFiberMagR
+	SDSSFiberMagI
+	SDSSFiberMagZ
+	SDSSPetroRadR
+	SDSSDeVRadR
+	SDSSExpRadR
+	SDSSRho
+	SDSSType
+	SDSSMode
+	SDSSStatus
+	SDSSNChild
+	SDSSRowc
+	SDSSColc
+	SDSSFlags
+	SDSSNumCols // 40: objID + 39 attributes
+)
+
+// SDSSSchema returns the PhotoTag-like schema.
+func SDSSSchema() table.Schema {
+	names := []struct {
+		name string
+		kind value.Kind
+	}{
+		{"objID", value.Int},
+		{"fieldID", value.Int},
+		{"ra", value.Float},
+		{"dec", value.Float},
+		{"run", value.Int},
+		{"camcol", value.Int},
+		{"field", value.Int},
+		{"mjd", value.Float},
+		{"g", value.Float},
+		{"psfMag_u", value.Float},
+		{"psfMag_g", value.Float},
+		{"psfMag_r", value.Float},
+		{"psfMag_i", value.Float},
+		{"psfMag_z", value.Float},
+		{"petroMag_u", value.Float},
+		{"petroMag_g", value.Float},
+		{"petroMag_r", value.Float},
+		{"petroMag_i", value.Float},
+		{"petroMag_z", value.Float},
+		{"modelMag_u", value.Float},
+		{"modelMag_g", value.Float},
+		{"modelMag_r", value.Float},
+		{"modelMag_i", value.Float},
+		{"modelMag_z", value.Float},
+		{"fiberMag_u", value.Float},
+		{"fiberMag_g", value.Float},
+		{"fiberMag_r", value.Float},
+		{"fiberMag_i", value.Float},
+		{"fiberMag_z", value.Float},
+		{"petroRad_r", value.Float},
+		{"deVRad_r", value.Float},
+		{"expRad_r", value.Float},
+		{"rho", value.Float},
+		{"type", value.Int},
+		{"mode", value.Int},
+		{"status", value.Int},
+		{"nChild", value.Int},
+		{"rowc", value.Float},
+		{"colc", value.Float},
+		{"flags", value.Int},
+	}
+	cols := make([]table.Column, len(names))
+	for i, n := range names {
+		cols[i] = table.Column{Name: n.name, Kind: n.kind}
+	}
+	return table.NewSchema(cols...)
+}
+
+var psfBandOffsets = [5]float64{1.4, 0.0, -0.3, -0.5, -0.6}
+
+// PhotoTag generates the catalog in survey order. Correlation groups:
+//
+//   - Position: objID, fieldID, run, mjd follow the survey order; dec
+//     identifies the stripe (contiguous in survey order) while ra is the
+//     position *within* a stripe, so neither coordinate alone pins down a
+//     field but the (ra, dec) pair does — the Table 6 composite effect.
+//   - Brightness: the 21 magnitude columns share a per-object base plus
+//     a per-field systematic, so they predict one another strongly and
+//     fieldID moderately.
+//   - Size: petroRad/deVRad/expRad/rho share a per-object radius.
+//   - Class: type follows size; status follows mode and type; nChild is
+//     small and skewed.
+//   - Noise: rowc, colc, flags carry no correlation.
+func PhotoTag(cfg SDSSConfig) []value.Row {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]value.Row, 0, cfg.Rows())
+	objID := int64(1000000)
+	fieldID := int64(100)
+	for stripe := 0; stripe < cfg.Stripes; stripe++ {
+		decBase := -5.0 + float64(stripe)*2.5
+		run := int64(2000 + stripe)
+		for fpos := 0; fpos < cfg.FieldsPerStripe; fpos++ {
+			raBase := float64(fpos) * (360.0 / float64(cfg.FieldsPerStripe))
+			fieldSys := rng.NormFloat64() * 0.8 // per-field photometric systematic
+			mjd := 51000 + float64(stripe*cfg.FieldsPerStripe+fpos)*0.3
+			for o := 0; o < cfg.ObjsPerField; o++ {
+				b := 14 + rng.Float64()*10    // base magnitude
+				s := 0.5 + rng.ExpFloat64()*2 // base radius
+				row := make(value.Row, SDSSNumCols)
+				row[SDSSObjID] = value.NewInt(objID)
+				row[SDSSFieldID] = value.NewInt(fieldID)
+				row[SDSSRa] = value.NewFloat(raBase + rng.Float64()*(360.0/float64(cfg.FieldsPerStripe)))
+				row[SDSSDec] = value.NewFloat(decBase + rng.Float64()*2.5)
+				row[SDSSRun] = value.NewInt(run)
+				row[SDSSCamcol] = value.NewInt(int64(1 + (stripe*cfg.FieldsPerStripe+fpos)%6))
+				row[SDSSField] = value.NewInt(int64(fpos))
+				row[SDSSMjd] = value.NewFloat(mjd + rng.Float64()*0.1)
+				for band := 0; band < 5; band++ {
+					mag := b + psfBandOffsets[band] + fieldSys + rng.NormFloat64()*0.15
+					row[SDSSPsfMagU+band] = value.NewFloat(mag)
+					row[SDSSPetroMagU+band] = value.NewFloat(mag + rng.NormFloat64()*0.1)
+					row[SDSSModelMagU+band] = value.NewFloat(mag + rng.NormFloat64()*0.05)
+					row[SDSSFiberMagU+band] = value.NewFloat(mag + rng.NormFloat64()*0.15)
+				}
+				row[SDSSG] = value.NewFloat(row[SDSSPsfMagG].F + rng.NormFloat64()*0.02)
+				row[SDSSPetroRadR] = value.NewFloat(s + rng.NormFloat64()*0.1)
+				row[SDSSDeVRadR] = value.NewFloat(s*0.8 + rng.NormFloat64()*0.1)
+				row[SDSSExpRadR] = value.NewFloat(s*1.1 + rng.NormFloat64()*0.1)
+				row[SDSSRho] = value.NewFloat(s*0.5 + rng.NormFloat64()*0.05)
+				typ := int64(6) // star
+				if s > 2.0 {
+					typ = 3 // galaxy
+				}
+				if rng.Float64() < 0.05 {
+					typ = int64(rng.Intn(5))
+				}
+				row[SDSSType] = value.NewInt(typ)
+				mode := int64(1)
+				r := rng.Float64()
+				if r > 0.9 {
+					mode = 2
+				}
+				if r > 0.98 {
+					mode = 3
+				}
+				row[SDSSMode] = value.NewInt(mode)
+				row[SDSSStatus] = value.NewInt(mode*16 + typ)
+				nChild := int64(0)
+				if rng.Float64() < 0.1 {
+					nChild = int64(1 + rng.Intn(4))
+				}
+				row[SDSSNChild] = value.NewInt(nChild)
+				row[SDSSRowc] = value.NewFloat(rng.Float64() * 1489)
+				row[SDSSColc] = value.NewFloat(rng.Float64() * 2048)
+				row[SDSSFlags] = value.NewInt(rng.Int63n(1 << 20))
+				rows = append(rows, row)
+				objID++
+			}
+			fieldID++
+		}
+	}
+	return rows
+}

@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// TPCHConfig scales the lineitem table. The paper runs scale factor 3
+// (~18M rows); defaults here produce a small table with the same
+// correlation structure.
+type TPCHConfig struct {
+	Orders    int // default 5000 (≈ 20k lineitems)
+	Parts     int // default Orders/2, min 100
+	Suppliers int // default Parts/10, min 20
+	Seed      int64
+}
+
+func (c *TPCHConfig) defaults() {
+	if c.Orders <= 0 {
+		c.Orders = 5000
+	}
+	if c.Parts <= 0 {
+		c.Parts = c.Orders / 2
+		if c.Parts < 100 {
+			c.Parts = 100
+		}
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = c.Parts / 10
+		if c.Suppliers < 20 {
+			c.Suppliers = 20
+		}
+	}
+}
+
+// Lineitem column positions.
+const (
+	LOrderKey = iota
+	LLineNumber
+	LPartKey
+	LSuppKey
+	LQuantity
+	LExtendedPrice
+	LDiscount
+	LTax
+	LReturnFlag
+	LLineStatus
+	LShipDate
+	LCommitDate
+	LReceiptDate
+	LShipMode
+	LShipInstruct
+	LComment
+)
+
+// LineitemSchema returns the 16-attribute lineitem table the paper
+// searches for correlations.
+func LineitemSchema() table.Schema {
+	return table.NewSchema(
+		table.Column{Name: "orderkey", Kind: value.Int},
+		table.Column{Name: "linenumber", Kind: value.Int},
+		table.Column{Name: "partkey", Kind: value.Int},
+		table.Column{Name: "suppkey", Kind: value.Int},
+		table.Column{Name: "quantity", Kind: value.Int},
+		table.Column{Name: "extendedprice", Kind: value.Float},
+		table.Column{Name: "discount", Kind: value.Float},
+		table.Column{Name: "tax", Kind: value.Float},
+		table.Column{Name: "returnflag", Kind: value.String},
+		table.Column{Name: "linestatus", Kind: value.String},
+		table.Column{Name: "shipdate", Kind: value.Int},
+		table.Column{Name: "commitdate", Kind: value.Int},
+		table.Column{Name: "receiptdate", Kind: value.Int},
+		table.Column{Name: "shipmode", Kind: value.String},
+		table.Column{Name: "shipinstruct", Kind: value.String},
+		table.Column{Name: "comment", Kind: value.String},
+	)
+}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var comments = []string{"quick", "fluffy", "regular", "express", "ironic", "careful"}
+
+// receiptBump draws the ship-to-receipt delay: the paper's "bumps" —
+// roughly 2 days for air, 4 for standard, 5 for ground — that make
+// receiptdate a strong soft predictor of shipdate.
+func receiptBump(rng *rand.Rand) int64 {
+	r := rng.Float64()
+	switch {
+	case r < 0.40:
+		return 2
+	case r < 0.70:
+		return 4
+	case r < 0.90:
+		return 5
+	case r < 0.95:
+		return 3
+	default:
+		return 7
+	}
+}
+
+// Lineitems generates the lineitem rows. Embedded soft FDs:
+//
+//   - receiptdate = shipdate + bump{2,4,5,...}: the Figure 1/3 pair
+//   - suppkey is one of 4 suppliers determined by partkey (TPC-H's own
+//     part-supplier formula), the moderate Figure 1 pair
+//   - shipdate = orderdate + U[1,121], so orderkey correlates weakly
+//
+// Dates are integer day numbers over a ~7-year range (0..2555), matching
+// TPC-H's ~2526 distinct ship dates.
+func Lineitems(cfg TPCHConfig) []value.Row {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []value.Row
+	for o := 1; o <= cfg.Orders; o++ {
+		orderDate := int64(rng.Intn(2400))
+		lines := 1 + rng.Intn(7)
+		for l := 1; l <= lines; l++ {
+			part := 1 + rng.Intn(cfg.Parts)
+			// TPC-H: supplier j of part p is
+			// (p + j*(S/4 + (p-1)/S)) mod S + 1, j in 0..3.
+			j := rng.Intn(4)
+			s := cfg.Suppliers
+			supp := (part+j*(s/4+(part-1)/s))%s + 1
+			ship := orderDate + 1 + int64(rng.Intn(121))
+			commit := orderDate + 30 + int64(rng.Intn(61))
+			receipt := ship + receiptBump(rng)
+			qty := 1 + rng.Intn(50)
+			price := float64(qty) * (900 + float64(part%2000))
+			rows = append(rows, value.Row{
+				value.NewInt(int64(o)),
+				value.NewInt(int64(l)),
+				value.NewInt(int64(part)),
+				value.NewInt(int64(supp)),
+				value.NewInt(int64(qty)),
+				value.NewFloat(price),
+				value.NewFloat(float64(rng.Intn(11)) / 100),
+				value.NewFloat(float64(rng.Intn(9)) / 100),
+				value.NewString([]string{"A", "N", "R"}[rng.Intn(3)]),
+				value.NewString([]string{"F", "O"}[rng.Intn(2)]),
+				value.NewInt(ship),
+				value.NewInt(commit),
+				value.NewInt(receipt),
+				value.NewString(shipModes[rng.Intn(len(shipModes))]),
+				value.NewString(shipInstructs[rng.Intn(len(shipInstructs))]),
+				value.NewString(comments[rng.Intn(len(comments))]),
+			})
+		}
+	}
+	return rows
+}
+
+// ShipDates returns the distinct ship dates present in rows, sorted
+// ascending (deterministic for query generation in Figure 3).
+func ShipDates(rows []value.Row) []int64 {
+	seen := map[int64]struct{}{}
+	for _, r := range rows {
+		seen[r[LShipDate].I] = struct{}{}
+	}
+	out := make([]int64, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

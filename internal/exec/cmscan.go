@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// cmBuckets evaluates the query's predicates over the CM and returns the
+// matching clustered bucket IDs, sorted.
+//
+// When every CM column carries an equality or IN predicate the lookup is
+// a direct probe (the cm_lookup({v1..vN}) API). Otherwise — range
+// predicates or partially covered composites — the CM is scanned with the
+// predicates mapped through the bucketers: a bucket representative
+// matches a range [lo, hi] iff it lies in [bucket(lo), bucket(hi)],
+// because representatives are bucket lower bounds on the same grid.
+func cmBuckets(cm *core.CM, q Query) ([]int32, error) {
+	spec := cm.Spec()
+	allPoint := true
+	for _, col := range spec.UCols {
+		p := q.PredOn(col)
+		if p == nil || p.Op == OpRange {
+			allPoint = false
+			break
+		}
+	}
+	if allPoint {
+		combos := [][]value.Value{nil}
+		for _, col := range spec.UCols {
+			p := q.PredOn(col)
+			var next [][]value.Value
+			for _, combo := range combos {
+				for _, v := range p.Vals {
+					ext := make([]value.Value, len(combo), len(combo)+1)
+					copy(ext, combo)
+					next = append(next, append(ext, v))
+				}
+			}
+			combos = next
+		}
+		return cm.LookupMany(combos), nil
+	}
+
+	// Bucket-transformed predicate match over the whole (small) CM.
+	type bpred struct {
+		idx int // position within the CM key
+		p   Pred
+	}
+	var bpreds []bpred
+	for i, col := range spec.UCols {
+		p := q.PredOn(col)
+		if p == nil {
+			continue
+		}
+		tp := Pred{Col: i, Op: p.Op}
+		b := spec.Bucketers[i]
+		switch p.Op {
+		case OpEq, OpIn:
+			tp.Vals = make([]value.Value, len(p.Vals))
+			for j, v := range p.Vals {
+				tp.Vals[j] = b.Bucket(v)
+			}
+		case OpRange:
+			if p.Lo != nil {
+				lo := b.Bucket(*p.Lo)
+				tp.Lo = &lo
+			}
+			if p.Hi != nil {
+				hi := b.Bucket(*p.Hi)
+				tp.Hi = &hi
+			}
+		}
+		bpreds = append(bpreds, bpred{idx: i, p: tp})
+	}
+	return cm.LookupMatch(func(vals []value.Value) bool {
+		for _, bp := range bpreds {
+			if !bp.p.Matches(vals) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// bucketRuns coalesces sorted bucket IDs into maximal contiguous runs,
+// so adjacent buckets become one clustered-index range scan.
+func bucketRuns(buckets []int32) [][2]int32 {
+	var runs [][2]int32
+	for i := 0; i < len(buckets); {
+		j := i
+		for j+1 < len(buckets) && buckets[j+1] == buckets[j]+1 {
+			j++
+		}
+		runs = append(runs, [2]int32{buckets[i], buckets[j]})
+		i = j + 1
+	}
+	return runs
+}
+
+// CMScan evaluates the query through a correlation map (Section 5.2):
+// the CM probe yields clustered bucket IDs; each run of buckets becomes a
+// clustered-index range scan collecting RIDs; the heap pages are then
+// swept in physical order and rows re-filtered with the original
+// predicates, discarding the CM's false positives.
+func CMScan(t *table.Table, cm *core.CM, q Query, fn RowFunc) error {
+	covered := false
+	for _, col := range cm.Spec().UCols {
+		if q.PredOn(col) != nil {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return fmt.Errorf("exec: query predicates none of the CM's columns")
+	}
+	buckets, err := cmBuckets(cm, q)
+	if err != nil {
+		return err
+	}
+	dir := t.Buckets()
+	var rids []heap.RID
+	for _, run := range bucketRuns(buckets) {
+		lo := dir.LowerBound(run[0])
+		hiExcl, _ := dir.UpperBound(run[1]) // nil means scan to the end
+		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return sweepPages(t, pagesOf(rids), q, fn)
+}
+
+// CMRewrite describes the predicate-introduction rewrite a CM performs:
+// the clustered-attribute key ranges that will be added to the query, as
+// the prototype added "AND shipdate IN (s1 ... sn)" (Section 7.1). For
+// single-value clustered buckets the ranges degenerate to the IN list.
+type CMRewrite struct {
+	Buckets []int32
+	Ranges  []KeyRange
+}
+
+// KeyRange is a clustered-key interval [Lo, HiExcl); HiExcl nil means
+// unbounded.
+type KeyRange struct {
+	Lo     []byte
+	HiExcl []byte
+}
+
+// RewriteWithCM computes the rewrite without executing it, for
+// explanation, tests and the advisor's what-if output.
+func RewriteWithCM(t *table.Table, cm *core.CM, q Query) (CMRewrite, error) {
+	buckets, err := cmBuckets(cm, q)
+	if err != nil {
+		return CMRewrite{}, err
+	}
+	dir := t.Buckets()
+	rw := CMRewrite{Buckets: buckets}
+	for _, run := range bucketRuns(buckets) {
+		lo := dir.LowerBound(run[0])
+		hiExcl, _ := dir.UpperBound(run[1])
+		rw.Ranges = append(rw.Ranges, KeyRange{Lo: lo, HiExcl: hiExcl})
+	}
+	return rw, nil
+}

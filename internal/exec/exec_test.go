@@ -1,0 +1,507 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/heap"
+	"repro/internal/keyenc"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// testDB builds a table clustered on column "c" with a correlated column
+// "u" (u = c/step + noise), a secondary index on u, and a CM on u.
+type testDB struct {
+	tbl  *table.Table
+	ix   *table.Index
+	cm   *core.CM
+	disk *sim.Disk
+	rows []value.Row
+}
+
+func buildTestDB(t *testing.T, n int, seed int64, bucketTuples int) *testDB {
+	t.Helper()
+	d := sim.NewDisk(sim.Config{PageSize: 1024})
+	pool := buffer.NewPool(d, 512)
+	sch := table.NewSchema(
+		table.Column{Name: "c", Kind: value.Int},
+		table.Column{Name: "u", Kind: value.Int},
+		table.Column{Name: "payload", Kind: value.String},
+	)
+	tbl, err := table.New(pool, nil, table.Config{
+		Name:          "t",
+		Schema:        sch,
+		ClusteredCols: []int{0},
+		BucketTuples:  bucketTuples,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]value.Row, n)
+	for i := range rows {
+		c := int64(rng.Intn(500))
+		u := c/10 + int64(rng.Intn(2)) // soft FD: u mostly determined by c
+		rows[i] = value.Row{
+			value.NewInt(c),
+			value.NewInt(u),
+			value.NewString(fmt.Sprintf("row-%d", i)),
+		}
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := tbl.CreateIndex("u", []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := tbl.CreateCM(core.Spec{Name: "u", UCols: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testDB{tbl: tbl, ix: ix, cm: cm, disk: d, rows: rows}
+}
+
+// runAll executes the query under every access method and returns the
+// result multisets keyed by payload.
+func (db *testDB) runAll(t *testing.T, q Query) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	collect := func(name string, run func(fn RowFunc) error) {
+		var got []string
+		if err := run(func(_ heap.RID, row value.Row) bool {
+			got = append(got, row[2].S)
+			return true
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sort.Strings(got)
+		out[name] = got
+	}
+	collect("tablescan", func(fn RowFunc) error { return TableScan(db.tbl, q, fn) })
+	collect("pipelined", func(fn RowFunc) error { return PipelinedIndexScan(db.tbl, db.ix, q, fn) })
+	collect("sorted", func(fn RowFunc) error { return SortedIndexScan(db.tbl, db.ix, q, fn) })
+	collect("cm", func(fn RowFunc) error { return CMScan(db.tbl, db.cm, q, fn) })
+	return out
+}
+
+func assertAllEqual(t *testing.T, results map[string][]string) {
+	t.Helper()
+	ref := results["tablescan"]
+	for name, got := range results {
+		if len(got) != len(ref) {
+			t.Errorf("%s returned %d rows, tablescan %d", name, len(got), len(ref))
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Errorf("%s result %d = %q, want %q", name, i, got[i], ref[i])
+				break
+			}
+		}
+	}
+}
+
+func TestAllMethodsAgreeOnEquality(t *testing.T) {
+	db := buildTestDB(t, 3000, 1, 0)
+	for _, u := range []int64{0, 7, 23, 49, 999} {
+		q := NewQuery(Eq(1, value.NewInt(u)))
+		assertAllEqual(t, db.runAll(t, q))
+	}
+}
+
+func TestAllMethodsAgreeOnIn(t *testing.T) {
+	db := buildTestDB(t, 3000, 2, 0)
+	q := NewQuery(In(1, value.NewInt(3), value.NewInt(17), value.NewInt(40)))
+	results := db.runAll(t, q)
+	assertAllEqual(t, results)
+	if len(results["tablescan"]) == 0 {
+		t.Fatal("test query matched nothing; fixture broken")
+	}
+}
+
+func TestAllMethodsAgreeOnRange(t *testing.T) {
+	db := buildTestDB(t, 3000, 3, 0)
+	q := NewQuery(Between(1, value.NewInt(10), value.NewInt(14)))
+	assertAllEqual(t, db.runAll(t, q))
+	// Open-ended ranges too.
+	q = NewQuery(Ge(1, value.NewInt(45)))
+	assertAllEqual(t, db.runAll(t, q))
+	q = NewQuery(Le(1, value.NewInt(3)))
+	assertAllEqual(t, db.runAll(t, q))
+}
+
+func TestAllMethodsAgreeWithExtraPredicates(t *testing.T) {
+	db := buildTestDB(t, 3000, 4, 0)
+	// Conjunction with a non-indexed predicate on c.
+	q := NewQuery(
+		Eq(1, value.NewInt(20)),
+		Between(0, value.NewInt(195), value.NewInt(210)),
+	)
+	assertAllEqual(t, db.runAll(t, q))
+}
+
+func TestAllMethodsAgreeAfterInserts(t *testing.T) {
+	db := buildTestDB(t, 2000, 5, 0)
+	// Appended rows land on out-of-order heap pages; every method must
+	// still find them.
+	for i := 0; i < 200; i++ {
+		c := int64(i % 500)
+		row := value.Row{
+			value.NewInt(c),
+			value.NewInt(c / 10),
+			value.NewString(fmt.Sprintf("new-%d", i)),
+		}
+		if _, err := db.tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := NewQuery(Eq(1, value.NewInt(11)))
+	results := db.runAll(t, q)
+	assertAllEqual(t, results)
+	found := false
+	for _, s := range results["cm"] {
+		if len(s) > 3 && s[:4] == "new-" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("CM scan missed inserted rows")
+	}
+}
+
+func TestCMScanFiltersFalsePositives(t *testing.T) {
+	// Heavily bucketed CM: lookups cover extra values; results must
+	// still be exact.
+	d := sim.NewDisk(sim.Config{PageSize: 1024})
+	pool := buffer.NewPool(d, 256)
+	sch := table.NewSchema(
+		table.Column{Name: "c", Kind: value.Int},
+		table.Column{Name: "u", Kind: value.Int},
+	)
+	tbl, err := table.New(pool, nil, table.Config{Name: "t", Schema: sch, ClusteredCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []value.Row
+	for i := 0; i < 2000; i++ {
+		c := int64(i % 100)
+		rows = append(rows, value.Row{value.NewInt(c), value.NewInt(c * 3)})
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := tbl.CreateCM(core.Spec{
+		Name:      "u",
+		UCols:     []int{1},
+		Bucketers: []core.Bucketer{core.IntWidth{Width: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(Eq(1, value.NewInt(33)))
+	n := 0
+	if err := CMScan(tbl, cm, q, func(_ heap.RID, row value.Row) bool {
+		if row[1].I != 33 {
+			t.Errorf("false positive leaked: u=%d", row[1].I)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 { // c=11 appears 2000/100 = 20 times
+		t.Errorf("matched %d rows, want 20", n)
+	}
+}
+
+func TestCMScanRequiresCoveredPredicate(t *testing.T) {
+	db := buildTestDB(t, 100, 6, 0)
+	q := NewQuery(Eq(0, value.NewInt(5))) // predicate on c, not u
+	if err := CMScan(db.tbl, db.cm, q, func(heap.RID, value.Row) bool { return true }); err == nil {
+		t.Error("CM scan without covered predicate should fail")
+	}
+}
+
+func TestSortedScanIOPattern(t *testing.T) {
+	db := buildTestDB(t, 5000, 7, 0)
+	db.tbl.Pool().FlushAll()
+	db.tbl.Pool().Invalidate()
+	db.disk.ResetStats()
+	q := NewQuery(Eq(1, value.NewInt(25)))
+	if err := SortedIndexScan(db.tbl, db.ix, q, func(heap.RID, value.Row) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	sorted := db.disk.Stats()
+
+	db.tbl.Pool().Invalidate()
+	db.disk.ResetStats()
+	if err := PipelinedIndexScan(db.tbl, db.ix, q, func(heap.RID, value.Row) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	pipelined := db.disk.Stats()
+
+	// The sorted scan reads each heap page once; the pipelined scan
+	// fetches per tuple and must touch at least as many pages.
+	if sorted.Reads > pipelined.Reads {
+		t.Errorf("sorted scan reads %d > pipelined %d", sorted.Reads, pipelined.Reads)
+	}
+}
+
+func TestRewriteWithCMBostonExample(t *testing.T) {
+	// Rebuild the Figure 4 people table and check the rewrite yields
+	// state IN (MA, NH) for city = boston.
+	d := sim.NewDisk(sim.Config{PageSize: 512})
+	pool := buffer.NewPool(d, 64)
+	sch := table.NewSchema(
+		table.Column{Name: "state", Kind: value.String},
+		table.Column{Name: "city", Kind: value.String},
+	)
+	tbl, err := table.New(pool, nil, table.Config{
+		Name: "people", Schema: sch, ClusteredCols: []int{0}, BucketTuples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []value.Row{
+		{value.NewString("MA"), value.NewString("boston")},
+		{value.NewString("MA"), value.NewString("cambridge")},
+		{value.NewString("MN"), value.NewString("manchester")},
+		{value.NewString("MS"), value.NewString("jackson")},
+		{value.NewString("NH"), value.NewString("boston")},
+		{value.NewString("OH"), value.NewString("toledo")},
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := tbl.CreateCM(core.Spec{Name: "city", UCols: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RewriteWithCM(tbl, cm, NewQuery(Eq(1, value.NewString("boston"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	for _, r := range rw.Ranges {
+		vals, err := keyenc.DecodeAll(r.Lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, vals[0].S)
+	}
+	sort.Strings(states)
+	if len(states) != 2 || states[0] != "MA" || states[1] != "NH" {
+		t.Errorf("rewrite states = %v, want [MA NH]", states)
+	}
+}
+
+func TestPredMatches(t *testing.T) {
+	row := value.Row{value.NewInt(5), value.NewString("x")}
+	if !Eq(0, value.NewInt(5)).Matches(row) {
+		t.Error("Eq failed")
+	}
+	if Eq(0, value.NewInt(6)).Matches(row) {
+		t.Error("Eq false positive")
+	}
+	if !In(1, value.NewString("y"), value.NewString("x")).Matches(row) {
+		t.Error("In failed")
+	}
+	if !Between(0, value.NewInt(5), value.NewInt(9)).Matches(row) {
+		t.Error("Between inclusive lower failed")
+	}
+	if !Between(0, value.NewInt(1), value.NewInt(5)).Matches(row) {
+		t.Error("Between inclusive upper failed")
+	}
+	if Between(0, value.NewInt(6), value.NewInt(9)).Matches(row) {
+		t.Error("Between false positive")
+	}
+	if !Ge(0, value.NewInt(5)).Matches(row) || Ge(0, value.NewInt(6)).Matches(row) {
+		t.Error("Ge wrong")
+	}
+	if !Le(0, value.NewInt(5)).Matches(row) || Le(0, value.NewInt(4)).Matches(row) {
+		t.Error("Le wrong")
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	q := NewQuery(Eq(2, value.NewInt(1)), Between(0, value.NewInt(1), value.NewInt(2)))
+	if q.PredOn(2) == nil || q.PredOn(5) != nil {
+		t.Error("PredOn wrong")
+	}
+	cols := q.Cols()
+	if len(cols) != 2 || cols[0] != 2 || cols[1] != 0 {
+		t.Errorf("Cols = %v", cols)
+	}
+	if q.String() == "" {
+		t.Error("query string empty")
+	}
+	if Eq(0, value.NewInt(1)).NLookups() != 1 ||
+		In(0, value.NewInt(1), value.NewInt(2)).NLookups() != 2 ||
+		Ge(0, value.NewInt(1)).NLookups() != 1 {
+		t.Error("NLookups wrong")
+	}
+}
+
+func TestEarlyStopAllMethods(t *testing.T) {
+	db := buildTestDB(t, 1000, 8, 0)
+	q := NewQuery(Le(1, value.NewInt(100))) // matches everything
+	methods := map[string]func(fn RowFunc) error{
+		"tablescan": func(fn RowFunc) error { return TableScan(db.tbl, q, fn) },
+		"pipelined": func(fn RowFunc) error { return PipelinedIndexScan(db.tbl, db.ix, q, fn) },
+		"sorted":    func(fn RowFunc) error { return SortedIndexScan(db.tbl, db.ix, q, fn) },
+		"cm":        func(fn RowFunc) error { return CMScan(db.tbl, db.cm, q, fn) },
+	}
+	for name, run := range methods {
+		n := 0
+		if err := run(func(heap.RID, value.Row) bool {
+			n++
+			return n < 10
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != 10 {
+			t.Errorf("%s visited %d rows after stop", name, n)
+		}
+	}
+}
+
+// paperScaleStats stubs StatsProvider with statistics shaped like the
+// paper's multi-gigabyte tables, where a 5.5 ms seek is cheap relative to
+// scanning hundreds of thousands of pages.
+type paperScaleStats struct {
+	pair costmodel.PairStats
+}
+
+func (s paperScaleStats) TableStats(*table.Table) costmodel.TableStats {
+	return costmodel.TableStats{TupsPerPage: 60, TotalTups: 18e6, BTreeHeight: 3}
+}
+
+func (s paperScaleStats) PairStats(*table.Table, []int) (costmodel.PairStats, bool) {
+	return s.pair, true
+}
+
+func TestPlannerPrefersIndexAtPaperScale(t *testing.T) {
+	db := buildTestDB(t, 500, 9, 0)
+	// Correlated pair: a selective lookup through the index beats a 300k
+	// page scan.
+	sp := paperScaleStats{pair: costmodel.PairStats{UTups: 7000, CTups: 7000, CPerU: 3}}
+	q := NewQuery(Eq(1, value.NewInt(25)))
+	plan := ChoosePlan(db.tbl, q, sp)
+	if plan.Method == MethodTableScan {
+		t.Errorf("plan = %v, expected an index-based method at paper scale", plan.Method)
+	}
+	if plan.Cost <= 0 {
+		t.Error("plan cost not positive")
+	}
+}
+
+func TestPlannerPrefersScanWhenUncorrelated(t *testing.T) {
+	db := buildTestDB(t, 500, 10, 0)
+	// Uncorrelated pair with many lookups: cost model caps at scan, so
+	// the tie goes to the plain scan (strictly-less comparison).
+	sp := paperScaleStats{pair: costmodel.PairStats{UTups: 7000, CTups: 7000, CPerU: 7000}}
+	q := NewQuery(In(1, value.NewInt(1), value.NewInt(2), value.NewInt(3),
+		value.NewInt(4), value.NewInt(5)))
+	plan := ChoosePlan(db.tbl, q, sp)
+	// The CM on the tiny fixture has few buckets, so it may still win;
+	// the B+Tree paths must not.
+	if plan.Method == MethodSorted || plan.Method == MethodPipelined {
+		t.Errorf("plan = %v, B+Tree should not beat scan when uncorrelated", plan.Method)
+	}
+}
+
+func TestPlannerChosenPlanExecutes(t *testing.T) {
+	db := buildTestDB(t, 5000, 9, 0)
+	sp := NewExactStats()
+	q := NewQuery(Eq(1, value.NewInt(25)))
+	plan := ChoosePlan(db.tbl, q, sp)
+	rows, err := Collect(func(fn RowFunc) error { return plan.Run(db.tbl, q, fn) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, r := range db.rows {
+		if r[1].I == 25 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Errorf("plan (%v) returned %d rows, want %d", plan.Method, len(rows), want)
+	}
+}
+
+func TestPlannerFallsBackToScanWithoutAccessPaths(t *testing.T) {
+	d := sim.NewDisk(sim.Config{PageSize: 1024})
+	pool := buffer.NewPool(d, 64)
+	sch := table.NewSchema(table.Column{Name: "a", Kind: value.Int})
+	tbl, err := table.New(pool, nil, table.Config{Name: "t", Schema: sch, ClusteredCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load([]value.Row{{value.NewInt(1)}, {value.NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	plan := ChoosePlan(tbl, NewQuery(Eq(0, value.NewInt(1))), NewExactStats())
+	if plan.Method != MethodTableScan {
+		t.Errorf("plan = %v, want table scan", plan.Method)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range []Method{MethodTableScan, MethodPipelined, MethodSorted, MethodCM, Method(9)} {
+		if m.String() == "" {
+			t.Error("empty method name")
+		}
+	}
+}
+
+func TestCompositeCMScanWithPartialPredicates(t *testing.T) {
+	// CM on (u1, u2); query predicates only u1. The scan path must use
+	// LookupMatch and stay exact.
+	d := sim.NewDisk(sim.Config{PageSize: 1024})
+	pool := buffer.NewPool(d, 256)
+	sch := table.NewSchema(
+		table.Column{Name: "c", Kind: value.Int},
+		table.Column{Name: "u1", Kind: value.Int},
+		table.Column{Name: "u2", Kind: value.Int},
+	)
+	tbl, err := table.New(pool, nil, table.Config{Name: "t", Schema: sch, ClusteredCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var rows []value.Row
+	for i := 0; i < 2000; i++ {
+		c := int64(rng.Intn(200))
+		rows = append(rows, value.Row{
+			value.NewInt(c), value.NewInt(c / 20), value.NewInt(c % 20),
+		})
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := tbl.CreateCM(core.Spec{Name: "u12", UCols: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(Eq(1, value.NewInt(4)))
+	var got, want int
+	if err := CMScan(tbl, cm, q, func(heap.RID, value.Row) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := TableScan(tbl, q, func(heap.RID, value.Row) bool { want++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != want || want == 0 {
+		t.Errorf("composite partial CM scan = %d rows, table scan = %d", got, want)
+	}
+}

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/table"
+)
+
+// Method identifies an access path.
+type Method int
+
+// The access paths the engine can choose among.
+const (
+	MethodTableScan Method = iota
+	MethodPipelined
+	MethodSorted
+	MethodCM
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodTableScan:
+		return "table-scan"
+	case MethodPipelined:
+		return "pipelined-index-scan"
+	case MethodSorted:
+		return "sorted-index-scan"
+	case MethodCM:
+		return "cm-scan"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// StatsProvider supplies the correlation statistics the planner's cost
+// model needs. The facade caches these; tests can stub them.
+type StatsProvider interface {
+	// TableStats returns the Table 1 statistics for the table.
+	TableStats(t *table.Table) costmodel.TableStats
+	// PairStats returns the Table 2 statistics for the attribute set
+	// uCols against the table's clustering attribute. ok=false when
+	// unknown, which disqualifies index paths needing them.
+	PairStats(t *table.Table, uCols []int) (costmodel.PairStats, bool)
+}
+
+// Plan is a chosen access path with its predicted cost.
+type Plan struct {
+	Method Method
+	Index  *table.Index // for MethodPipelined / MethodSorted
+	CM     *core.CM     // for MethodCM
+	Cost   time.Duration
+}
+
+// Run executes the plan.
+func (p Plan) Run(t *table.Table, q Query, fn RowFunc) error {
+	switch p.Method {
+	case MethodTableScan:
+		return TableScan(t, q, fn)
+	case MethodPipelined:
+		return PipelinedIndexScan(t, p.Index, q, fn)
+	case MethodSorted:
+		return SortedIndexScan(t, p.Index, q, fn)
+	case MethodCM:
+		return CMScan(t, p.CM, q, fn)
+	default:
+		return fmt.Errorf("exec: unknown method %v", p.Method)
+	}
+}
+
+// ChoosePlan costs every applicable access path with the Section 4 model
+// and returns the cheapest. A secondary index applies when its leading
+// key column is predicated; a CM applies when at least one of its columns
+// is predicated (false positives are filtered after the heap sweep).
+func ChoosePlan(t *table.Table, q Query, sp StatsProvider) Plan {
+	h := costmodel.DefaultHardware()
+	ts := sp.TableStats(t)
+	best := Plan{Method: MethodTableScan, Cost: costmodel.Scan(h, ts)}
+
+	consider := func(p Plan) {
+		if p.Cost < best.Cost {
+			best = p
+		}
+	}
+
+	for _, ix := range t.Indexes() {
+		p := q.PredOn(ix.Cols[0])
+		if p == nil {
+			continue
+		}
+		ps, ok := sp.PairStats(t, ix.Cols)
+		if !ok {
+			continue
+		}
+		n := p.NLookups()
+		consider(Plan{
+			Method: MethodSorted,
+			Index:  ix,
+			Cost:   costmodel.SortedIndex(h, ts, ps, n),
+		})
+		consider(Plan{
+			Method: MethodPipelined,
+			Index:  ix,
+			Cost:   costmodel.PipelinedIndex(h, ts, ps, n),
+		})
+	}
+
+	for _, cm := range t.CMs() {
+		n := 0
+		for _, col := range cm.Spec().UCols {
+			if p := q.PredOn(col); p != nil {
+				if n == 0 {
+					n = 1
+				}
+				n *= p.NLookups()
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		bps := t.BucketPairStatsFor(cm)
+		consider(Plan{
+			Method: MethodCM,
+			CM:     cm,
+			Cost: costmodel.CMLookup(h, ts, costmodel.CMStats{
+				CPerU:           bps.CPerU,
+				PagesPerCBucket: bps.PagesPerCBucket,
+			}, n),
+		})
+	}
+	return best
+}
+
+// ExactStats is a StatsProvider computing exact statistics with table
+// scans, caching per attribute set. Fine for tests and moderate tables;
+// production advisors use the sampling estimators instead.
+type ExactStats struct {
+	cacheTS map[*table.Table]costmodel.TableStats
+	cachePS map[string]costmodel.PairStats
+}
+
+// NewExactStats creates an empty provider.
+func NewExactStats() *ExactStats {
+	return &ExactStats{
+		cacheTS: make(map[*table.Table]costmodel.TableStats),
+		cachePS: make(map[string]costmodel.PairStats),
+	}
+}
+
+// TableStats implements StatsProvider.
+func (e *ExactStats) TableStats(t *table.Table) costmodel.TableStats {
+	if ts, ok := e.cacheTS[t]; ok {
+		return ts
+	}
+	st := t.Stats()
+	ts := costmodel.TableStats{
+		TupsPerPage: st.TupsPerPage,
+		TotalTups:   float64(st.TotalTups),
+		BTreeHeight: float64(st.BTreeHeight),
+	}
+	e.cacheTS[t] = ts
+	return ts
+}
+
+// PairStats implements StatsProvider.
+func (e *ExactStats) PairStats(t *table.Table, uCols []int) (costmodel.PairStats, bool) {
+	key := fmt.Sprintf("%s/%v", t.Name(), uCols)
+	if ps, ok := e.cachePS[key]; ok {
+		return ps, true
+	}
+	pc, err := t.PairStats(uCols)
+	if err != nil {
+		return costmodel.PairStats{}, false
+	}
+	ps := costmodel.PairStats{
+		UTups: pc.UTups(),
+		CTups: pc.CTups(),
+		CPerU: pc.CPerU(),
+	}
+	e.cachePS[key] = ps
+	return ps, true
+}

@@ -1,0 +1,161 @@
+// Package exec implements query execution: conjunctive predicates and the
+// four access paths the paper compares — full table scan, pipelined
+// secondary index scan, sorted (bitmap-style) secondary index scan, and
+// the correlation-map scan — plus the cost-based choice among them and
+// the predicate-introduction rewrite of Section 7.1.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Op is a predicate operator.
+type Op int
+
+// Predicate operators.
+const (
+	OpEq Op = iota
+	OpIn
+	OpRange
+)
+
+// Pred is one predicate over a column. Range bounds are inclusive; a nil
+// bound is open.
+type Pred struct {
+	Col  int
+	Op   Op
+	Vals []value.Value // OpEq: 1 value, OpIn: n values
+	Lo   *value.Value
+	Hi   *value.Value
+}
+
+// Eq builds an equality predicate.
+func Eq(col int, v value.Value) Pred { return Pred{Col: col, Op: OpEq, Vals: []value.Value{v}} }
+
+// In builds a membership predicate.
+func In(col int, vals ...value.Value) Pred { return Pred{Col: col, Op: OpIn, Vals: vals} }
+
+// Between builds an inclusive range predicate.
+func Between(col int, lo, hi value.Value) Pred {
+	return Pred{Col: col, Op: OpRange, Lo: &lo, Hi: &hi}
+}
+
+// Ge builds a lower-bounded range predicate.
+func Ge(col int, lo value.Value) Pred { return Pred{Col: col, Op: OpRange, Lo: &lo} }
+
+// Le builds an upper-bounded range predicate.
+func Le(col int, hi value.Value) Pred { return Pred{Col: col, Op: OpRange, Hi: &hi} }
+
+// Matches reports whether the row satisfies the predicate.
+func (p Pred) Matches(row value.Row) bool {
+	v := row[p.Col]
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Vals[0])
+	case OpIn:
+		for _, w := range p.Vals {
+			if v.Equal(w) {
+				return true
+			}
+		}
+		return false
+	default:
+		if p.Lo != nil && v.Compare(*p.Lo) < 0 {
+			return false
+		}
+		if p.Hi != nil && v.Compare(*p.Hi) > 0 {
+			return false
+		}
+		return true
+	}
+}
+
+// NLookups returns the number of distinct value lookups the predicate
+// implies for the cost model's n_lookups parameter (1 for ranges, which
+// the executor probes as a single contiguous range).
+func (p Pred) NLookups() int {
+	switch p.Op {
+	case OpEq:
+		return 1
+	case OpIn:
+		return len(p.Vals)
+	default:
+		return 1
+	}
+}
+
+// String renders the predicate for logs and advisor output.
+func (p Pred) String() string {
+	switch p.Op {
+	case OpEq:
+		return fmt.Sprintf("col%d = %v", p.Col, p.Vals[0])
+	case OpIn:
+		parts := make([]string, len(p.Vals))
+		for i, v := range p.Vals {
+			parts[i] = v.String()
+		}
+		return fmt.Sprintf("col%d IN (%s)", p.Col, strings.Join(parts, ", "))
+	default:
+		lo, hi := "-inf", "+inf"
+		if p.Lo != nil {
+			lo = p.Lo.String()
+		}
+		if p.Hi != nil {
+			hi = p.Hi.String()
+		}
+		return fmt.Sprintf("col%d BETWEEN %s AND %s", p.Col, lo, hi)
+	}
+}
+
+// Query is a conjunction of predicates.
+type Query struct {
+	Preds []Pred
+}
+
+// NewQuery builds a query from predicates.
+func NewQuery(preds ...Pred) Query { return Query{Preds: preds} }
+
+// Matches reports whether the row satisfies every predicate.
+func (q Query) Matches(row value.Row) bool {
+	for _, p := range q.Preds {
+		if !p.Matches(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// PredOn returns the first predicate over col, or nil.
+func (q Query) PredOn(col int) *Pred {
+	for i := range q.Preds {
+		if q.Preds[i].Col == col {
+			return &q.Preds[i]
+		}
+	}
+	return nil
+}
+
+// Cols returns the set of predicated columns in first-appearance order.
+func (q Query) Cols() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range q.Preds {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+// String renders the conjunction.
+func (q Query) String() string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}

@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/keyenc"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// RowFunc receives result rows; returning false stops execution early.
+type RowFunc func(rid heap.RID, row value.Row) bool
+
+// TableScan evaluates the query with a full sequential heap scan.
+func TableScan(t *table.Table, q Query, fn RowFunc) error {
+	return t.Scan(func(rid heap.RID, row value.Row) bool {
+		if !q.Matches(row) {
+			return true
+		}
+		return fn(rid, row)
+	})
+}
+
+// probeRange is an encoded key interval probed in an index: every entry
+// whose attribute prefix lies in [Lo, Hi] (inclusive prefixes) matches.
+type probeRange struct {
+	Lo, Hi []byte
+}
+
+// indexProbeRanges converts the query's predicates over the index's key
+// columns into encoded probe ranges. Leading equality predicates extend a
+// fixed prefix, one IN fans out into several prefixes, and one range
+// predicate terminates the key prefix — matching how a composite B+Tree
+// can only use the prefix of its key for ranges (the effect behind the
+// paper's Table 6, where B+Tree(ra, dec) degrades on two-range queries).
+func indexProbeRanges(cols []int, q Query) []probeRange {
+	prefixes := [][]byte{nil}
+	for _, col := range cols {
+		p := q.PredOn(col)
+		if p == nil {
+			break
+		}
+		switch p.Op {
+		case OpEq:
+			for i := range prefixes {
+				prefixes[i] = keyenc.AppendValue(prefixes[i], p.Vals[0])
+			}
+			continue
+		case OpIn:
+			var next [][]byte
+			for _, pre := range prefixes {
+				for _, v := range p.Vals {
+					key := make([]byte, len(pre), len(pre)+10)
+					copy(key, pre)
+					next = append(next, keyenc.AppendValue(key, v))
+				}
+			}
+			prefixes = next
+			// Further key columns could extend each branch; stop here
+			// and re-filter instead, as real optimizers commonly do.
+		case OpRange:
+			out := make([]probeRange, 0, len(prefixes))
+			for _, pre := range prefixes {
+				lo := pre
+				if p.Lo != nil {
+					lo = keyenc.AppendValue(append([]byte(nil), pre...), *p.Lo)
+				}
+				hi := pre
+				if p.Hi != nil {
+					hi = keyenc.AppendValue(append([]byte(nil), pre...), *p.Hi)
+				}
+				out = append(out, probeRange{Lo: lo, Hi: hi})
+			}
+			return out
+		}
+		break
+	}
+	out := make([]probeRange, len(prefixes))
+	for i, pre := range prefixes {
+		out[i] = probeRange{Lo: pre, Hi: pre}
+	}
+	return out
+}
+
+// sortRanges orders probe ranges by their lower bound — the paper's
+// "standard optimization is to sort the index keys before looking them
+// up": consecutive probes then walk the index in key order, turning leaf
+// accesses into a mostly sequential pass instead of random re-descents.
+func sortRanges(ranges []probeRange) []probeRange {
+	sort.Slice(ranges, func(i, j int) bool {
+		return bytes.Compare(ranges[i].Lo, ranges[j].Lo) < 0
+	})
+	return ranges
+}
+
+// collectRIDs gathers the RIDs of every index entry in the probe ranges.
+func collectRIDs(ix *table.Index, ranges []probeRange) ([]heap.RID, error) {
+	var rids []heap.RID
+	for _, r := range ranges {
+		err := ix.ScanRange(r.Lo, r.Hi, func(rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rids, nil
+}
+
+// PipelinedIndexScan evaluates the query by probing the index and
+// fetching each matching tuple immediately (the Section 3.1 iterator
+// pattern): every tuple access is a potential random seek, which is why
+// this path only pays off for very selective lookups.
+func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error {
+	ranges := indexProbeRanges(ix.Cols, q)
+	for _, r := range ranges {
+		var cbErr error
+		stop := false
+		err := ix.ScanRange(r.Lo, r.Hi, func(rid heap.RID) bool {
+			row, err := t.FetchRow(rid)
+			if err != nil {
+				cbErr = err
+				return false
+			}
+			if row == nil || !q.Matches(row) {
+				return true
+			}
+			if !fn(rid, row) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if cbErr != nil {
+			return cbErr
+		}
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SortedIndexScan evaluates the query with the Section 3.2 optimization:
+// probe the index for all matching RIDs up front, sort them, and sweep
+// the heap pages in physical order (PostgreSQL's bitmap heap scan).
+// Fetched pages are re-filtered with the full predicate set.
+func SortedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error {
+	rids, err := collectRIDs(ix, sortRanges(indexProbeRanges(ix.Cols, q)))
+	if err != nil {
+		return err
+	}
+	return sweepPages(t, pagesOf(rids), q, fn)
+}
+
+// pagesOf returns the sorted distinct pages referenced by the RIDs.
+func pagesOf(rids []heap.RID) []int64 {
+	seen := make(map[int64]struct{}, len(rids))
+	for _, r := range rids {
+		seen[r.Page] = struct{}{}
+	}
+	pages := make([]int64, 0, len(seen))
+	for p := range seen {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// sweepPages reads the given heap pages in ascending order, re-filters
+// rows against the query and emits matches. Runs separated by a gap
+// smaller than one seek's worth of sequential reads are read straight
+// through (the read-ahead economics a bitmap heap scan relies on; it is
+// also what lets dense access degrade gracefully toward a sequential
+// scan, the min(..., cost_scan) cap in the paper's model). Rows on
+// gap pages are filtered out by the query like any other non-match.
+func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
+	sch := t.Schema()
+	cfg := t.Pool().Disk().Config()
+	maxGap := int64(cfg.SeekCost / cfg.SeqPageCost)
+	if maxGap < 1 {
+		maxGap = 1
+	}
+	var decodeErr error
+	for i := 0; i < len(pages); {
+		// Extend a run across small gaps.
+		j := i
+		for j+1 < len(pages) && pages[j+1]-pages[j] <= maxGap {
+			j++
+		}
+		stop := false
+		err := t.Heap().ScanPages(pages[i], pages[j], func(rid heap.RID, tuple []byte) bool {
+			row, err := sch.DecodeRow(tuple)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			if !q.Matches(row) {
+				return true
+			}
+			if !fn(rid, row) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if decodeErr != nil {
+			return decodeErr
+		}
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		i = j + 1
+	}
+	return nil
+}
+
+// Collect runs an access method and gathers all result rows, a
+// convenience for tests and examples.
+func Collect(run func(fn RowFunc) error) ([]value.Row, error) {
+	var out []value.Row
+	err := run(func(_ heap.RID, row value.Row) bool {
+		out = append(out, row.Clone())
+		return true
+	})
+	return out, err
+}

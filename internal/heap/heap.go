@@ -1,0 +1,244 @@
+// Package heap implements slotted-page heap files: the tuple storage that
+// every table, index scan and correlation-map scan ultimately reads.
+//
+// A heap page holds a small header, a slot directory that grows forward and
+// tuple bytes that grow backward from the end of the page. Tuples are
+// opaque byte strings; the table layer encodes and decodes rows.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/sim"
+)
+
+// Page header layout.
+const (
+	offNumSlots  = 0 // uint16
+	offCellStart = 2 // uint16: lowest byte offset used by tuple data
+	headerSize   = 4
+	slotSize     = 4 // offset uint16, length uint16
+)
+
+// RID identifies a tuple: heap page number and slot within the page.
+type RID struct {
+	Page int64
+	Slot uint16
+}
+
+// Less orders RIDs by physical position, which a sorted index scan uses to
+// turn scattered lookups into one forward sweep.
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// String renders the RID as page:slot.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// File is a heap file of slotted pages.
+type File struct {
+	pool *buffer.Pool
+	file sim.FileID
+
+	numPages int64
+	tuples   int64
+}
+
+// NewFile creates an empty heap file on the pool's disk.
+func NewFile(pool *buffer.Pool) *File {
+	return &File{pool: pool, file: pool.Disk().CreateFile()}
+}
+
+// FileID returns the simulated-disk file backing the heap.
+func (h *File) FileID() sim.FileID { return h.file }
+
+// NumPages returns the number of allocated heap pages.
+func (h *File) NumPages() int64 { return h.numPages }
+
+// TupleCount returns the number of live tuples.
+func (h *File) TupleCount() int64 { return h.tuples }
+
+func pageNumSlots(d []byte) int {
+	return int(binary.LittleEndian.Uint16(d[offNumSlots:]))
+}
+
+func pageCellStart(d []byte) int {
+	return int(binary.LittleEndian.Uint16(d[offCellStart:]))
+}
+
+func setPageNumSlots(d []byte, n int) {
+	binary.LittleEndian.PutUint16(d[offNumSlots:], uint16(n))
+}
+
+func setPageCellStart(d []byte, v int) {
+	binary.LittleEndian.PutUint16(d[offCellStart:], uint16(v))
+}
+
+func slotAt(d []byte, i int) (off, length int) {
+	base := headerSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(d[base:])), int(binary.LittleEndian.Uint16(d[base+2:]))
+}
+
+func setSlotAt(d []byte, i, off, length int) {
+	base := headerSize + i*slotSize
+	binary.LittleEndian.PutUint16(d[base:], uint16(off))
+	binary.LittleEndian.PutUint16(d[base+2:], uint16(length))
+}
+
+// initPage prepares an empty slotted page.
+func initPage(d []byte) {
+	setPageNumSlots(d, 0)
+	setPageCellStart(d, len(d))
+}
+
+// pageFree returns the free bytes between the slot directory and tuple data.
+func pageFree(d []byte) int {
+	return pageCellStart(d) - headerSize - pageNumSlots(d)*slotSize
+}
+
+// Append stores tuple at the end of the file and returns its RID.
+func (h *File) Append(tuple []byte) (RID, error) {
+	need := len(tuple) + slotSize
+	ps := h.pool.Disk().PageSize()
+	if need > ps-headerSize {
+		return RID{}, fmt.Errorf("heap: tuple of %d bytes exceeds page capacity", len(tuple))
+	}
+	if h.numPages > 0 {
+		last := h.numPages - 1
+		fr, err := h.pool.Get(h.file, last)
+		if err != nil {
+			return RID{}, err
+		}
+		if pageFree(fr.Data) >= need {
+			rid := placeTuple(fr.Data, last, tuple)
+			h.pool.Unpin(fr, true)
+			h.tuples++
+			return rid, nil
+		}
+		h.pool.Unpin(fr, false)
+	}
+	page, fr, err := h.pool.NewPage(h.file)
+	if err != nil {
+		return RID{}, err
+	}
+	initPage(fr.Data)
+	rid := placeTuple(fr.Data, page, tuple)
+	h.pool.Unpin(fr, true)
+	h.numPages++
+	h.tuples++
+	return rid, nil
+}
+
+// placeTuple writes the tuple into the page, assuming space was checked.
+func placeTuple(d []byte, page int64, tuple []byte) RID {
+	n := pageNumSlots(d)
+	start := pageCellStart(d) - len(tuple)
+	copy(d[start:], tuple)
+	setSlotAt(d, n, start, len(tuple))
+	setPageNumSlots(d, n+1)
+	setPageCellStart(d, start)
+	return RID{Page: page, Slot: uint16(n)}
+}
+
+// Get returns a copy of the tuple at rid. Deleted tuples return nil data.
+func (h *File) Get(rid RID) ([]byte, error) {
+	if rid.Page < 0 || rid.Page >= h.numPages {
+		return nil, fmt.Errorf("heap: RID %v out of range (pages=%d)", rid, h.numPages)
+	}
+	fr, err := h.pool.Get(h.file, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(fr, false)
+	if int(rid.Slot) >= pageNumSlots(fr.Data) {
+		return nil, fmt.Errorf("heap: RID %v slot out of range", rid)
+	}
+	off, length := slotAt(fr.Data, int(rid.Slot))
+	if length == 0 {
+		return nil, nil // deleted
+	}
+	out := make([]byte, length)
+	copy(out, fr.Data[off:off+length])
+	return out, nil
+}
+
+// Delete marks the tuple at rid deleted. Space is not reclaimed; the
+// engine's workloads (like the paper's) are append-and-delete light.
+func (h *File) Delete(rid RID) error {
+	if rid.Page < 0 || rid.Page >= h.numPages {
+		return fmt.Errorf("heap: RID %v out of range", rid)
+	}
+	fr, err := h.pool.Get(h.file, rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(fr, true)
+	if int(rid.Slot) >= pageNumSlots(fr.Data) {
+		return fmt.Errorf("heap: RID %v slot out of range", rid)
+	}
+	off, length := slotAt(fr.Data, int(rid.Slot))
+	if length == 0 {
+		return nil // already deleted
+	}
+	setSlotAt(fr.Data, int(rid.Slot), off, 0)
+	h.tuples--
+	return nil
+}
+
+// Scan visits every live tuple in physical order. The callback's tuple
+// slice is only valid during the call. Returning false stops the scan.
+func (h *File) Scan(fn func(rid RID, tuple []byte) bool) error {
+	return h.ScanPages(0, h.numPages-1, fn)
+}
+
+// ScanPages visits live tuples on pages [from, to] in physical order.
+func (h *File) ScanPages(from, to int64, fn func(rid RID, tuple []byte) bool) error {
+	if from < 0 {
+		from = 0
+	}
+	if to >= h.numPages {
+		to = h.numPages - 1
+	}
+	for p := from; p <= to; p++ {
+		fr, err := h.pool.Get(h.file, p)
+		if err != nil {
+			return err
+		}
+		n := pageNumSlots(fr.Data)
+		for s := 0; s < n; s++ {
+			off, length := slotAt(fr.Data, s)
+			if length == 0 {
+				continue
+			}
+			if !fn(RID{Page: p, Slot: uint16(s)}, fr.Data[off:off+length]) {
+				h.pool.Unpin(fr, false)
+				return nil
+			}
+		}
+		h.pool.Unpin(fr, false)
+	}
+	return nil
+}
+
+// TuplesOnPage returns the number of live tuples on a page, used by the
+// statistics collector for tups_per_page.
+func (h *File) TuplesOnPage(page int64) (int, error) {
+	fr, err := h.pool.Get(h.file, page)
+	if err != nil {
+		return 0, err
+	}
+	defer h.pool.Unpin(fr, false)
+	n := pageNumSlots(fr.Data)
+	live := 0
+	for s := 0; s < n; s++ {
+		if _, length := slotAt(fr.Data, s); length > 0 {
+			live++
+		}
+	}
+	return live, nil
+}

@@ -1,0 +1,280 @@
+package heap
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/sim"
+)
+
+func newHeap(t *testing.T, pageSize, frames int) *File {
+	t.Helper()
+	d := sim.NewDisk(sim.Config{PageSize: pageSize})
+	return NewFile(buffer.NewPool(d, frames))
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	h := newHeap(t, 256, 8)
+	var rids []RID
+	for i := 0; i < 50; i++ {
+		rid, err := h.Append([]byte(fmt.Sprintf("tuple-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if h.TupleCount() != 50 {
+		t.Errorf("tuple count = %d", h.TupleCount())
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("tuple-%03d", i)
+		if string(got) != want {
+			t.Errorf("Get(%v) = %q, want %q", rid, got, want)
+		}
+	}
+}
+
+func TestTuplesSpanMultiplePages(t *testing.T) {
+	h := newHeap(t, 128, 8)
+	for i := 0; i < 40; i++ {
+		if _, err := h.Append(make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("expected multiple pages, got %d", h.NumPages())
+	}
+}
+
+func TestOversizedTupleRejected(t *testing.T) {
+	h := newHeap(t, 128, 4)
+	if _, err := h.Append(make([]byte, 130)); err == nil {
+		t.Error("oversized tuple accepted")
+	}
+}
+
+func TestScanOrderAndCompleteness(t *testing.T) {
+	h := newHeap(t, 256, 8)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := h.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []byte
+	var last RID
+	first := true
+	err := h.Scan(func(rid RID, tuple []byte) bool {
+		if !first && !last.Less(rid) {
+			t.Errorf("scan out of order: %v then %v", last, rid)
+		}
+		last, first = rid, false
+		seen = append(seen, tuple[0])
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("scan saw %d tuples", len(seen))
+	}
+	for i, b := range seen {
+		if int(b) != i {
+			t.Fatalf("tuple %d = %d", i, b)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := newHeap(t, 256, 8)
+	for i := 0; i < 20; i++ {
+		if _, err := h.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := h.Scan(func(RID, []byte) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("scan visited %d tuples after stop", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := newHeap(t, 256, 8)
+	rid1, err := h.Append([]byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid2, err := h.Append([]byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(rid1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := h.Get(rid1); err != nil || got != nil {
+		t.Errorf("deleted tuple Get = %q, %v", got, err)
+	}
+	if got, _ := h.Get(rid2); string(got) != "two" {
+		t.Error("delete damaged neighbour")
+	}
+	if h.TupleCount() != 1 {
+		t.Errorf("tuple count after delete = %d", h.TupleCount())
+	}
+	// Idempotent.
+	if err := h.Delete(rid1); err != nil {
+		t.Fatal(err)
+	}
+	if h.TupleCount() != 1 {
+		t.Error("double delete decremented count twice")
+	}
+	// Scan skips deleted tuples.
+	n := 0
+	if err := h.Scan(func(RID, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("scan visited %d tuples", n)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	h := newHeap(t, 256, 8)
+	if _, err := h.Get(RID{Page: 0, Slot: 0}); err == nil {
+		t.Error("Get on empty heap should fail")
+	}
+	if _, err := h.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(RID{Page: 0, Slot: 9}); err == nil {
+		t.Error("Get with bad slot should fail")
+	}
+	if err := h.Delete(RID{Page: 7}); err == nil {
+		t.Error("Delete with bad page should fail")
+	}
+}
+
+func TestScanPagesRange(t *testing.T) {
+	h := newHeap(t, 128, 8)
+	for i := 0; i < 60; i++ {
+		if _, err := h.Append(make([]byte, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 3 {
+		t.Skip("need at least 3 pages")
+	}
+	var pages []int64
+	if err := h.ScanPages(1, 1, func(rid RID, _ []byte) bool {
+		pages = append(pages, rid.Page)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no tuples on page 1")
+	}
+	for _, p := range pages {
+		if p != 1 {
+			t.Errorf("ScanPages(1,1) visited page %d", p)
+		}
+	}
+	// Out-of-range bounds clamp instead of failing.
+	n := 0
+	if err := h.ScanPages(-5, 999, func(RID, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Errorf("clamped scan saw %d", n)
+	}
+}
+
+func TestTuplesOnPage(t *testing.T) {
+	h := newHeap(t, 256, 8)
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, err := h.Append([]byte("abcdef"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	n, err := h.TuplesOnPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("TuplesOnPage = %d", n)
+	}
+	if err := h.Delete(rids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.TuplesOnPage(0); n != 9 {
+		t.Errorf("TuplesOnPage after delete = %d", n)
+	}
+}
+
+func TestRIDLess(t *testing.T) {
+	cases := []struct {
+		a, b RID
+		want bool
+	}{
+		{RID{1, 0}, RID{2, 0}, true},
+		{RID{2, 0}, RID{1, 5}, false},
+		{RID{1, 1}, RID{1, 2}, true},
+		{RID{1, 2}, RID{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestAppendGetPropertyRandomSizes(t *testing.T) {
+	h := newHeap(t, 512, 16)
+	type stored struct {
+		rid  RID
+		data []byte
+	}
+	var all []stored
+	f := func(raw []byte) bool {
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		rid, err := h.Append(raw)
+		if err != nil {
+			return false
+		}
+		all = append(all, stored{rid, append([]byte(nil), raw...)})
+		got, err := h.Get(rid)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// All earlier tuples still intact.
+	for _, s := range all {
+		got, err := h.Get(s.rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(s.data) {
+			t.Fatalf("tuple at %v corrupted", s.rid)
+		}
+	}
+}

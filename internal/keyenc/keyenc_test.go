@@ -1,0 +1,175 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestIntOrderPreserved(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := EncodeValue(value.NewInt(a)), EncodeValue(value.NewInt(b))
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatOrderPreserved(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := EncodeValue(value.NewFloat(a)), EncodeValue(value.NewFloat(b))
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOrderPreserved(t *testing.T) {
+	f := func(a, b string) bool {
+		ea, eb := EncodeValue(value.NewString(a)), EncodeValue(value.NewString(b))
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringWithNulBytes(t *testing.T) {
+	a := value.NewString("a\x00b")
+	b := value.NewString("a\x00c")
+	ea, eb := EncodeValue(a), EncodeValue(b)
+	if bytes.Compare(ea, eb) >= 0 {
+		t.Error("NUL-containing strings mis-ordered")
+	}
+	got, rest, err := DecodeValue(ea)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	if got.S != "a\x00b" {
+		t.Errorf("roundtrip = %q", got.S)
+	}
+}
+
+func TestRoundTripInt(t *testing.T) {
+	f := func(a int64) bool {
+		v, rest, err := DecodeValue(EncodeValue(value.NewInt(a)))
+		return err == nil && len(rest) == 0 && v.I == a && v.K == value.Int
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripFloat(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		v, rest, err := DecodeValue(EncodeValue(value.NewFloat(a)))
+		return err == nil && len(rest) == 0 && v.F == a && v.K == value.Float
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	f := func(s string) bool {
+		v, rest, err := DecodeValue(EncodeValue(value.NewString(s)))
+		return err == nil && len(rest) == 0 && v.S == s && v.K == value.String
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeOrder(t *testing.T) {
+	// ("boston", 2) must sort before ("boston", 10) and before ("chicago", 1).
+	k1 := EncodeValues(value.NewString("boston"), value.NewInt(2))
+	k2 := EncodeValues(value.NewString("boston"), value.NewInt(10))
+	k3 := EncodeValues(value.NewString("chicago"), value.NewInt(1))
+	if !(bytes.Compare(k1, k2) < 0 && bytes.Compare(k2, k3) < 0) {
+		t.Error("composite ordering violated")
+	}
+}
+
+func TestCompositePrefixOrder(t *testing.T) {
+	// A key must sort after any of its proper prefixes.
+	p := EncodeValues(value.NewString("bos"))
+	full := EncodeValues(value.NewString("bos"), value.NewInt(-5))
+	if bytes.Compare(p, full) >= 0 {
+		t.Error("prefix should sort before extension")
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	k := EncodeValues(value.NewInt(7), value.NewFloat(1.25), value.NewString("x"))
+	vals, err := DecodeAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0].I != 7 || vals[1].F != 1.25 || vals[2].S != "x" {
+		t.Errorf("DecodeAll = %v", vals)
+	}
+}
+
+func TestEncodeRowPrefix(t *testing.T) {
+	row := value.Row{value.NewInt(1), value.NewString("a"), value.NewFloat(3)}
+	k := EncodeRowPrefix(row, []int{2, 0})
+	vals, err := DecodeAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].F != 3 || vals[1].I != 1 {
+		t.Errorf("EncodeRowPrefix order wrong: %v", vals)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x99},                  // unknown tag
+		{tagInt, 1, 2},          // truncated int
+		{tagFloat, 1},           // truncated float
+		{tagString, 'a'},        // unterminated string
+		{tagString, 0x00},       // truncated escape
+		{tagString, 0x00, 0x7F}, // invalid escape
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeValue(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

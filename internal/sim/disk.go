@@ -1,0 +1,197 @@
+// Package sim implements the simulated disk that underlies every access
+// method in this reproduction.
+//
+// The paper's experiments are disk-bound on a 7200rpm SATA drive and its
+// analytical methodology (Table 1, Table 3) converts page-access patterns
+// into elapsed time using two measured constants:
+//
+//	seek_cost     = 5.5 ms   time to seek to a random page and read it
+//	seq_page_cost = 0.078 ms time to read one page sequentially
+//
+// sim.Disk stores pages in memory, classifies each access as sequential or
+// random by comparing it with the previous head position, and accumulates a
+// virtual elapsed time from the same constants. Every "Elapsed [s]" number
+// in our experiment output is this virtual, disk-bound time, so result
+// shapes are independent of host hardware and dataset scale.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default hardware parameters, matching Table 1 of the paper.
+const (
+	DefaultPageSize    = 8192
+	DefaultSeekCost    = 5500 * time.Microsecond
+	DefaultSeqPageCost = 78 * time.Microsecond
+)
+
+// Config holds the simulated hardware parameters.
+type Config struct {
+	PageSize    int           // bytes per page
+	SeekCost    time.Duration // random page access (seek + read)
+	SeqPageCost time.Duration // sequential page read/write
+}
+
+// DefaultConfig returns the paper's measured hardware parameters.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:    DefaultPageSize,
+		SeekCost:    DefaultSeekCost,
+		SeqPageCost: DefaultSeqPageCost,
+	}
+}
+
+// FileID names a file (segment) on the simulated disk.
+type FileID uint32
+
+// Stats aggregates I/O counters and the virtual clock.
+type Stats struct {
+	Reads      uint64 // total page reads
+	Writes     uint64 // total page writes
+	SeqReads   uint64 // reads classified sequential
+	RandReads  uint64 // reads classified random (seeks)
+	SeqWrites  uint64
+	RandWrites uint64
+	Syncs      uint64        // fsync-style barriers (each costs one seek)
+	Elapsed    time.Duration // accumulated virtual time
+}
+
+// Seeks returns the total number of random accesses including syncs.
+func (s Stats) Seeks() uint64 { return s.RandReads + s.RandWrites + s.Syncs }
+
+// Disk is an in-memory page store with mechanical-disk cost accounting.
+// It is not safe for concurrent use; the engine serializes access.
+type Disk struct {
+	cfg   Config
+	files [][][]byte
+
+	hasPos   bool
+	lastFile FileID
+	lastPage int64
+
+	stats Stats
+}
+
+// NewDisk creates a disk with the given configuration. Zero fields fall
+// back to the defaults.
+func NewDisk(cfg Config) *Disk {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.SeekCost <= 0 {
+		cfg.SeekCost = DefaultSeekCost
+	}
+	if cfg.SeqPageCost <= 0 {
+		cfg.SeqPageCost = DefaultSeqPageCost
+	}
+	return &Disk{cfg: cfg}
+}
+
+// Config returns the disk's configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// PageSize returns the configured page size in bytes.
+func (d *Disk) PageSize() int { return d.cfg.PageSize }
+
+// CreateFile allocates a new empty file and returns its ID.
+func (d *Disk) CreateFile() FileID {
+	d.files = append(d.files, nil)
+	return FileID(len(d.files) - 1)
+}
+
+// NumPages returns the number of pages in the file.
+func (d *Disk) NumPages(f FileID) int64 {
+	return int64(len(d.files[f]))
+}
+
+// AllocPage appends a zeroed page to the file and returns its page number.
+// Allocation itself is free; the subsequent write pays the I/O cost.
+func (d *Disk) AllocPage(f FileID) int64 {
+	d.files[f] = append(d.files[f], make([]byte, d.cfg.PageSize))
+	return int64(len(d.files[f]) - 1)
+}
+
+func (d *Disk) page(f FileID, p int64) ([]byte, error) {
+	if int(f) >= len(d.files) {
+		return nil, fmt.Errorf("sim: no such file %d", f)
+	}
+	pages := d.files[f]
+	if p < 0 || p >= int64(len(pages)) {
+		return nil, fmt.Errorf("sim: file %d has no page %d (size %d)", f, p, len(pages))
+	}
+	return pages[p], nil
+}
+
+// charge classifies an access at (f, p) and advances the virtual clock.
+func (d *Disk) charge(f FileID, p int64, write bool) {
+	seq := d.hasPos && d.lastFile == f && p == d.lastPage+1
+	d.hasPos = true
+	d.lastFile = f
+	d.lastPage = p
+	if seq {
+		d.stats.Elapsed += d.cfg.SeqPageCost
+		if write {
+			d.stats.SeqWrites++
+		} else {
+			d.stats.SeqReads++
+		}
+	} else {
+		d.stats.Elapsed += d.cfg.SeekCost
+		if write {
+			d.stats.RandWrites++
+		} else {
+			d.stats.RandReads++
+		}
+	}
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+}
+
+// ReadPage reads page p of file f into dst (which must be PageSize bytes)
+// and charges the access.
+func (d *Disk) ReadPage(f FileID, p int64, dst []byte) error {
+	pg, err := d.page(f, p)
+	if err != nil {
+		return err
+	}
+	d.charge(f, p, false)
+	copy(dst, pg)
+	return nil
+}
+
+// WritePage writes src to page p of file f and charges the access.
+func (d *Disk) WritePage(f FileID, p int64, src []byte) error {
+	pg, err := d.page(f, p)
+	if err != nil {
+		return err
+	}
+	d.charge(f, p, true)
+	copy(pg, src)
+	return nil
+}
+
+// Sync models an fsync barrier: one random access.
+func (d *Disk) Sync() {
+	d.stats.Syncs++
+	d.stats.Elapsed += d.cfg.SeekCost
+	d.hasPos = false // the head position is unknown after a barrier
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Elapsed returns the accumulated virtual time.
+func (d *Disk) Elapsed() time.Duration { return d.stats.Elapsed }
+
+// ResetStats zeroes the counters and the virtual clock. The head position
+// is also forgotten so the first access after a reset is a seek, matching
+// the paper's cold-cache methodology.
+func (d *Disk) ResetStats() {
+	d.stats = Stats{}
+	d.hasPos = false
+}

@@ -1,0 +1,14 @@
+package table
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/sim"
+)
+
+func simDiskForTest() *sim.Disk {
+	return sim.NewDisk(sim.Config{PageSize: 512})
+}
+
+func poolForTest(d *sim.Disk, frames int) *buffer.Pool {
+	return buffer.NewPool(d, frames)
+}

@@ -1,0 +1,154 @@
+package table
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/keyenc"
+	"repro/internal/value"
+)
+
+// ridKeyLen is the fixed RID suffix appended to index keys: page (8 bytes
+// big-endian) + slot (2 bytes big-endian), ordering entries physically
+// within equal attribute values.
+const ridKeyLen = 10
+
+// AppendRID appends the RID suffix to an encoded key prefix.
+func AppendRID(key []byte, rid heap.RID) []byte {
+	key = binary.BigEndian.AppendUint64(key, uint64(rid.Page))
+	key = binary.BigEndian.AppendUint16(key, rid.Slot)
+	return key
+}
+
+// ridFromKey extracts the RID from an index entry key.
+func ridFromKey(key []byte) (heap.RID, error) {
+	if len(key) < ridKeyLen {
+		return heap.RID{}, fmt.Errorf("table: index key too short for RID suffix")
+	}
+	tail := key[len(key)-ridKeyLen:]
+	return heap.RID{
+		Page: int64(binary.BigEndian.Uint64(tail[:8])),
+		Slot: binary.BigEndian.Uint16(tail[8:]),
+	}, nil
+}
+
+// Index is a dense B+Tree index: one (attribute key ‖ RID) entry per
+// tuple. It serves both as the clustered index (over the clustering
+// attribute of a physically sorted heap) and as the secondary indexes the
+// paper's correlation maps compress away.
+type Index struct {
+	Name string
+	Cols []int // indexed column positions, in key order
+	Tree *btree.Tree
+}
+
+// keyFor builds the full entry key for a row at rid.
+func (ix *Index) keyFor(row value.Row, rid heap.RID) []byte {
+	return AppendRID(keyenc.EncodeRowPrefix(row, ix.Cols), rid)
+}
+
+// Insert adds the entry for row at rid.
+func (ix *Index) Insert(row value.Row, rid heap.RID) error {
+	return ix.Tree.Insert(ix.keyFor(row, rid), nil)
+}
+
+// Delete removes the entry for row at rid, reporting whether it existed.
+func (ix *Index) Delete(row value.Row, rid heap.RID) (bool, error) {
+	return ix.Tree.Delete(ix.keyFor(row, rid))
+}
+
+// maxSuffix extends an encoded prefix so every entry sharing the prefix
+// compares <= the result (RID suffix is 10 bytes; 11 x 0xFF dominates).
+func maxSuffix(prefix []byte) []byte {
+	out := make([]byte, 0, len(prefix)+ridKeyLen+1)
+	out = append(out, prefix...)
+	for i := 0; i <= ridKeyLen; i++ {
+		out = append(out, 0xFF)
+	}
+	return out
+}
+
+// ScanPrefix visits the RIDs of every entry whose attribute key equals the
+// encoded prefix (an equality lookup). Field encodings are prefix-free, so
+// a bytes prefix match is an exact attribute match.
+func (ix *Index) ScanPrefix(prefix []byte, fn func(rid heap.RID) bool) error {
+	return ix.ScanRange(prefix, prefix, fn)
+}
+
+// ScanRange visits the RIDs of entries with attribute keys in [lo, hi]
+// (both inclusive encoded prefixes; nil means open). Entries stream in
+// key order.
+func (ix *Index) ScanRange(lo, hi []byte, fn func(rid heap.RID) bool) error {
+	var it *btree.Iterator
+	var err error
+	if lo == nil {
+		it, err = ix.Tree.SeekFirst()
+	} else {
+		it, err = ix.Tree.SeekGE(lo)
+	}
+	if err != nil {
+		return err
+	}
+	var hiMax []byte
+	if hi != nil {
+		hiMax = maxSuffix(hi)
+	}
+	for it.Valid() {
+		k := it.Key()
+		if hiMax != nil && bytes.Compare(k, hiMax) > 0 {
+			return nil
+		}
+		rid, err := ridFromKey(k)
+		if err != nil {
+			return err
+		}
+		if !fn(rid) {
+			return nil
+		}
+		if err := it.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanKeyRange visits the RIDs of entries whose full key is >= lo and
+// strictly below hiExcl in raw byte order (nil bounds are open). The CM
+// executor uses this form for clustered-bucket runs, whose upper bound is
+// the next bucket's lower bound. Column encodings of a fixed column count
+// are prefix-free, so the raw comparison respects value order.
+func (ix *Index) ScanKeyRange(lo, hiExcl []byte, fn func(rid heap.RID) bool) error {
+	var it *btree.Iterator
+	var err error
+	if lo == nil {
+		it, err = ix.Tree.SeekFirst()
+	} else {
+		it, err = ix.Tree.SeekGE(lo)
+	}
+	if err != nil {
+		return err
+	}
+	for it.Valid() {
+		k := it.Key()
+		if hiExcl != nil && bytes.Compare(k, hiExcl) >= 0 {
+			return nil
+		}
+		rid, err := ridFromKey(k)
+		if err != nil {
+			return err
+		}
+		if !fn(rid) {
+			return nil
+		}
+		if err := it.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the on-disk footprint of the index.
+func (ix *Index) SizeBytes() int64 { return ix.Tree.SizeBytes() }

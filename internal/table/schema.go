@@ -1,0 +1,124 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) Schema { return Schema{Cols: cols} }
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol returns the position of the named column, panicking when absent;
+// used by experiment code where schemas are static.
+func (s Schema) MustCol(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("table: no column %q", name))
+	}
+	return i
+}
+
+// Validate checks a row against the schema.
+func (s Schema) Validate(row value.Row) error {
+	if len(row) != len(s.Cols) {
+		return fmt.Errorf("table: row has %d values, schema has %d columns", len(row), len(s.Cols))
+	}
+	for i, v := range row {
+		if v.K != s.Cols[i].Kind {
+			return fmt.Errorf("table: column %s expects %v, got %v", s.Cols[i].Name, s.Cols[i].Kind, v.K)
+		}
+	}
+	return nil
+}
+
+// EncodeRow serializes a row for heap storage: ints and floats as 8
+// little-endian bytes, strings as a 2-byte length prefix plus bytes.
+func (s Schema) EncodeRow(row value.Row) ([]byte, error) {
+	if err := s.Validate(row); err != nil {
+		return nil, err
+	}
+	size := 0
+	for i, c := range s.Cols {
+		if c.Kind == value.String {
+			size += 2 + len(row[i].S)
+		} else {
+			size += 8
+		}
+	}
+	out := make([]byte, 0, size)
+	for i, c := range s.Cols {
+		switch c.Kind {
+		case value.Int:
+			out = binary.LittleEndian.AppendUint64(out, uint64(row[i].I))
+		case value.Float:
+			out = binary.LittleEndian.AppendUint64(out, floatBits(row[i].F))
+		default:
+			if len(row[i].S) > 0xFFFF {
+				return nil, fmt.Errorf("table: string too long in column %s", c.Name)
+			}
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(row[i].S)))
+			out = append(out, row[i].S...)
+		}
+	}
+	return out, nil
+}
+
+// DecodeRow deserializes a heap tuple.
+func (s Schema) DecodeRow(data []byte) (value.Row, error) {
+	row := make(value.Row, len(s.Cols))
+	off := 0
+	for i, c := range s.Cols {
+		switch c.Kind {
+		case value.Int:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("table: truncated int column %s", c.Name)
+			}
+			row[i] = value.NewInt(int64(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case value.Float:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("table: truncated float column %s", c.Name)
+			}
+			row[i] = value.NewFloat(floatFromBits(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		default:
+			if off+2 > len(data) {
+				return nil, fmt.Errorf("table: truncated string column %s", c.Name)
+			}
+			n := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if off+n > len(data) {
+				return nil, fmt.Errorf("table: truncated string column %s", c.Name)
+			}
+			row[i] = value.NewString(string(data[off : off+n]))
+			off += n
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("table: %d trailing bytes after row", len(data)-off)
+	}
+	return row, nil
+}

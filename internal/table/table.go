@@ -1,0 +1,531 @@
+// Package table ties the storage substrates together: a slotted-page heap
+// holding rows physically sorted by the clustered attribute, a dense
+// clustered B+Tree index, optional secondary B+Tree indexes, and
+// correlation maps maintained alongside them. It also collects the
+// statistics the cost model and CM Advisor consume (Tables 1 and 2 of the
+// paper).
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/keyenc"
+	"repro/internal/stats"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Config describes a table to create.
+type Config struct {
+	Name          string
+	Schema        Schema
+	ClusteredCols []int // columns of the clustering key, in order
+	// BucketPages sets the clustered bucket directory granularity in
+	// pages per bucket (Section 6.1.1). The paper finds ~10 pages per
+	// bucket loses almost nothing (Table 3); 0 selects that default.
+	BucketPages int
+	// BucketTuples, when positive, sets the bucket target directly in
+	// tuples per bucket, overriding BucketPages. A value of 1 gives every
+	// distinct clustered value its own bucket (an unbucketed clustered
+	// attribute, as in the paper's Figure 4 example).
+	BucketTuples int
+}
+
+// DefaultBucketPages is the clustered bucketing granularity used when the
+// configuration does not specify one.
+const DefaultBucketPages = 10
+
+// Table is a clustered table with its access methods. Not safe for
+// concurrent use.
+type Table struct {
+	cfg  Config
+	pool *buffer.Pool
+	log  *wal.Log
+
+	heapf     *heap.File
+	clustered *Index
+	cbuckets  *core.ClusteredBuckets
+
+	secondary []*Index
+	cms       []*core.CM
+
+	loaded bool
+}
+
+// New creates an empty table. Rows are added either with Load (bulk,
+// clustered) or Insert (appended, as in the paper's update experiments).
+func New(pool *buffer.Pool, log *wal.Log, cfg Config) (*Table, error) {
+	if len(cfg.ClusteredCols) == 0 {
+		return nil, fmt.Errorf("table %s: clustered columns required", cfg.Name)
+	}
+	for _, c := range cfg.ClusteredCols {
+		if c < 0 || c >= len(cfg.Schema.Cols) {
+			return nil, fmt.Errorf("table %s: clustered column %d out of range", cfg.Name, c)
+		}
+	}
+	if cfg.BucketPages <= 0 {
+		cfg.BucketPages = DefaultBucketPages
+	}
+	t := &Table{cfg: cfg, pool: pool, log: log}
+	t.heapf = heap.NewFile(pool)
+	tree, err := newTree(pool)
+	if err != nil {
+		return nil, err
+	}
+	t.clustered = &Index{Name: cfg.Name + ".clustered", Cols: cfg.ClusteredCols, Tree: tree}
+	t.cbuckets = core.NewClusteredBuckets(nil)
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.cfg.Name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.cfg.Schema }
+
+// ClusteredCols returns the clustering key column positions.
+func (t *Table) ClusteredCols() []int { return t.cfg.ClusteredCols }
+
+// Heap returns the underlying heap file.
+func (t *Table) Heap() *heap.File { return t.heapf }
+
+// Clustered returns the clustered index.
+func (t *Table) Clustered() *Index { return t.clustered }
+
+// Buckets returns the clustered bucket directory.
+func (t *Table) Buckets() *core.ClusteredBuckets { return t.cbuckets }
+
+// Pool returns the buffer pool the table runs on.
+func (t *Table) Pool() *buffer.Pool { return t.pool }
+
+// clusteredKey encodes the row's clustering attribute.
+func (t *Table) clusteredKey(row value.Row) []byte {
+	return keyenc.EncodeRowPrefix(row, t.cfg.ClusteredCols)
+}
+
+// ClusterBucketFor returns the clustered bucket holding the row's
+// clustering key.
+func (t *Table) ClusterBucketFor(row value.Row) int32 {
+	return t.cbuckets.Locate(t.clusteredKey(row))
+}
+
+// Load bulk-loads rows in clustered order: rows are sorted by the
+// clustering key, appended to the heap, indexed, and assigned to
+// clustered buckets with the Section 6.1.1 boundary rule. Load must run
+// before any secondary index or CM is created and only on an empty table.
+func (t *Table) Load(rows []value.Row) error {
+	if t.loaded || t.heapf.TupleCount() > 0 {
+		return fmt.Errorf("table %s: already loaded", t.cfg.Name)
+	}
+	for _, r := range rows {
+		if err := t.cfg.Schema.Validate(r); err != nil {
+			return err
+		}
+	}
+	type keyed struct {
+		key []byte
+		row value.Row
+	}
+	ks := make([]keyed, len(rows))
+	var rowBytes int64
+	for i, r := range rows {
+		ks[i] = keyed{key: t.clusteredKey(r), row: r}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return bytes.Compare(ks[i].key, ks[j].key) < 0 })
+
+	// Estimate tuples per page to convert the pages-per-bucket setting
+	// into the bucket builder's tuples-per-bucket target.
+	for i := 0; i < len(ks) && i < 100; i++ {
+		enc, err := t.cfg.Schema.EncodeRow(ks[i].row)
+		if err != nil {
+			return err
+		}
+		rowBytes += int64(len(enc) + 4)
+	}
+	target := 1
+	switch {
+	case t.cfg.BucketTuples > 0:
+		target = t.cfg.BucketTuples
+	case len(ks) > 0 && rowBytes > 0:
+		sampled := int64(len(ks))
+		if sampled > 100 {
+			sampled = 100
+		}
+		perRow := rowBytes / sampled
+		if perRow < 1 {
+			perRow = 1
+		}
+		tpp := int64(t.pool.Disk().PageSize()) / perRow
+		if tpp < 1 {
+			tpp = 1
+		}
+		target = int(tpp) * t.cfg.BucketPages
+	}
+	builder := core.NewBuilder(target)
+	for _, k := range ks {
+		enc, err := t.cfg.Schema.EncodeRow(k.row)
+		if err != nil {
+			return err
+		}
+		rid, err := t.heapf.Append(enc)
+		if err != nil {
+			return err
+		}
+		if err := t.clustered.Insert(k.row, rid); err != nil {
+			return err
+		}
+		builder.Add(k.key)
+	}
+	t.cbuckets = builder.Finish()
+	t.loaded = true
+	return nil
+}
+
+// CreateIndex builds a dense secondary B+Tree index over cols by scanning
+// the heap.
+func (t *Table) CreateIndex(name string, cols []int) (*Index, error) {
+	for _, c := range cols {
+		if c < 0 || c >= len(t.cfg.Schema.Cols) {
+			return nil, fmt.Errorf("table %s: index column %d out of range", t.cfg.Name, c)
+		}
+	}
+	tree, err := newTree(t.pool)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Cols: cols, Tree: tree}
+	err = t.Scan(func(rid heap.RID, row value.Row) bool {
+		if e := ix.Insert(row, rid); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.secondary = append(t.secondary, ix)
+	return ix, nil
+}
+
+// CreateCM builds a correlation map per Algorithm 1: one scan recording
+// the co-occurrence of each (bucketed) CM key with its clustered bucket.
+func (t *Table) CreateCM(spec core.Spec) (*core.CM, error) {
+	for _, c := range spec.UCols {
+		if c < 0 || c >= len(t.cfg.Schema.Cols) {
+			return nil, fmt.Errorf("table %s: CM column %d out of range", t.cfg.Name, c)
+		}
+	}
+	cm := core.New(spec)
+	var err error
+	scanErr := t.Scan(func(rid heap.RID, row value.Row) bool {
+		cm.AddRow(row, t.ClusterBucketFor(row))
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.cms = append(t.cms, cm)
+	return cm, nil
+}
+
+// Indexes returns the secondary indexes.
+func (t *Table) Indexes() []*Index { return t.secondary }
+
+// CMs returns the table's correlation maps.
+func (t *Table) CMs() []*core.CM { return t.cms }
+
+// IndexOn returns the first secondary index whose key starts with cols,
+// or nil.
+func (t *Table) IndexOn(cols ...int) *Index {
+	for _, ix := range t.secondary {
+		if len(ix.Cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.Cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// CMOn returns the first CM whose attribute columns are exactly cols, or
+// nil.
+func (t *Table) CMOn(cols ...int) *core.CM {
+	for _, cm := range t.cms {
+		sc := cm.Spec().UCols
+		if len(sc) != len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if sc[i] != c {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cm
+		}
+	}
+	return nil
+}
+
+// Insert appends a row: heap, clustered index, secondary indexes and CMs
+// are all maintained, and the operation is WAL-logged. The row's bucket
+// comes from the directory built at load time, so CM lookups keep finding
+// tuples inserted after the load.
+func (t *Table) Insert(row value.Row) (heap.RID, error) {
+	enc, err := t.cfg.Schema.EncodeRow(row)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	rid, err := t.heapf.Append(enc)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	if err := t.clustered.Insert(row, rid); err != nil {
+		return heap.RID{}, err
+	}
+	for _, ix := range t.secondary {
+		if err := ix.Insert(row, rid); err != nil {
+			return heap.RID{}, err
+		}
+	}
+	cb := t.ClusterBucketFor(row)
+	for _, cm := range t.cms {
+		cm.AddRow(row, cb)
+	}
+	if t.log != nil {
+		if err := t.log.Append(wal.Record{Type: wal.RecInsert, Target: t.cfg.Name, Payload: enc}); err != nil {
+			return heap.RID{}, err
+		}
+	}
+	return rid, nil
+}
+
+// Delete removes the row at rid from the heap and all access methods.
+func (t *Table) Delete(rid heap.RID) error {
+	row, err := t.FetchRow(rid)
+	if err != nil {
+		return err
+	}
+	if row == nil {
+		return fmt.Errorf("table %s: delete of missing row %v", t.cfg.Name, rid)
+	}
+	if err := t.heapf.Delete(rid); err != nil {
+		return err
+	}
+	if _, err := t.clustered.Delete(row, rid); err != nil {
+		return err
+	}
+	for _, ix := range t.secondary {
+		if _, err := ix.Delete(row, rid); err != nil {
+			return err
+		}
+	}
+	cb := t.ClusterBucketFor(row)
+	for _, cm := range t.cms {
+		if err := cm.RemoveRow(row, cb); err != nil {
+			return err
+		}
+	}
+	if t.log != nil {
+		enc, err := t.cfg.Schema.EncodeRow(row)
+		if err != nil {
+			return err
+		}
+		if err := t.log.Append(wal.Record{Type: wal.RecDelete, Target: t.cfg.Name, Payload: enc}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit makes pending logged work durable with the prototype's 2PC
+// discipline: PREPARE flush then COMMIT PREPARED flush (Section 7.1).
+func (t *Table) Commit() error {
+	if t.log == nil {
+		return nil
+	}
+	if err := t.log.Append(wal.Record{Type: wal.RecCommit, Target: t.cfg.Name}); err != nil {
+		return err
+	}
+	t.log.Flush() // PREPARE COMMIT
+	t.log.Flush() // COMMIT PREPARED
+	return nil
+}
+
+// RecoverCM reconstructs a correlation map after a crash, as the
+// prototype does (Section 7.1): start from an optional checkpoint
+// (written earlier with CheckpointCM) and replay the table's logged
+// inserts and deletes through the CM's maintenance operations. Replay
+// reads the log from disk, charging recovery I/O. The recovered CM is
+// registered with the table.
+func (t *Table) RecoverCM(spec core.Spec, checkpoint io.Reader, fromLSN int64) (*core.CM, error) {
+	if t.log == nil {
+		return nil, fmt.Errorf("table %s: no WAL to recover from", t.cfg.Name)
+	}
+	cm := core.New(spec)
+	if checkpoint != nil {
+		if err := cm.Deserialize(checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	var replayErr error
+	err := t.log.ReplayFrom(fromLSN, func(rec wal.Record) bool {
+		if rec.Target != t.cfg.Name {
+			return true
+		}
+		switch rec.Type {
+		case wal.RecInsert, wal.RecDelete:
+			row, err := t.cfg.Schema.DecodeRow(rec.Payload)
+			if err != nil {
+				replayErr = err
+				return false
+			}
+			cb := t.ClusterBucketFor(row)
+			if rec.Type == wal.RecInsert {
+				cm.AddRow(row, cb)
+			} else if err := cm.RemoveRow(row, cb); err != nil {
+				replayErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if replayErr != nil {
+		return nil, replayErr
+	}
+	t.cms = append(t.cms, cm)
+	return cm, nil
+}
+
+// CheckpointCM serializes a CM to the writer, appends a checkpoint
+// record to the WAL (the prototype's "occasionally flushes to disk"
+// policy) and returns the LSN recovery should replay from.
+func (t *Table) CheckpointCM(cm *core.CM, w io.Writer) (lsn int64, err error) {
+	if err := cm.Serialize(w); err != nil {
+		return 0, err
+	}
+	if t.log != nil {
+		if err := t.log.Append(wal.Record{Type: wal.RecCheckpoint, Target: t.cfg.Name}); err != nil {
+			return 0, err
+		}
+		t.log.Flush()
+		return t.log.Len(), nil
+	}
+	return 0, nil
+}
+
+// FetchRow reads and decodes the row at rid; nil for deleted rows.
+func (t *Table) FetchRow(rid heap.RID) (value.Row, error) {
+	data, err := t.heapf.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		return nil, nil
+	}
+	return t.cfg.Schema.DecodeRow(data)
+}
+
+// Scan visits every live row in physical order.
+func (t *Table) Scan(fn func(rid heap.RID, row value.Row) bool) error {
+	var decodeErr error
+	err := t.heapf.Scan(func(rid heap.RID, tuple []byte) bool {
+		row, err := t.cfg.Schema.DecodeRow(tuple)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(rid, row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// Stats are the per-table quantities of the paper's Table 1.
+type Stats struct {
+	Pages       int64
+	TotalTups   int64
+	TupsPerPage float64
+	BTreeHeight int // clustered index height
+}
+
+// Stats computes the current table statistics.
+func (t *Table) Stats() Stats {
+	pages := t.heapf.NumPages()
+	tups := t.heapf.TupleCount()
+	tpp := 0.0
+	if pages > 0 {
+		tpp = float64(tups) / float64(pages)
+	}
+	return Stats{
+		Pages:       pages,
+		TotalTups:   tups,
+		TupsPerPage: tpp,
+		BTreeHeight: t.clustered.Tree.Height(),
+	}
+}
+
+// PairStats scans the table once and computes the exact Table 2
+// correlation statistics between the given attribute(s) and the
+// clustering attribute: u_tups, c_tups and c_per_u.
+func (t *Table) PairStats(uCols []int) (*stats.PairCounter, error) {
+	pc := stats.NewPairCounter()
+	err := t.Scan(func(rid heap.RID, row value.Row) bool {
+		pc.Add(keyenc.EncodeRowPrefix(row, uCols), t.clusteredKey(row))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pc, nil
+}
+
+// BucketPairStats computes correlation statistics at bucket granularity
+// for a CM design: the average number of clustered *buckets* per bucketed
+// CM key and the average pages spanned by one clustered bucket. These
+// feed the cost model's CM prediction.
+type BucketPairStats struct {
+	CPerU           float64 // clustered buckets per CM key
+	PagesPerCBucket float64
+	Keys            int
+}
+
+// BucketPairStatsFor derives bucket-level statistics from an existing CM.
+func (t *Table) BucketPairStatsFor(cm *core.CM) BucketPairStats {
+	st := t.Stats()
+	nb := t.cbuckets.NumBuckets()
+	ppb := 0.0
+	if nb > 0 {
+		ppb = float64(st.Pages) / float64(nb)
+	}
+	return BucketPairStats{
+		CPerU:           cm.CPerU(),
+		PagesPerCBucket: ppb,
+		Keys:            cm.Keys(),
+	}
+}

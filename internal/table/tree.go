@@ -1,0 +1,11 @@
+package table
+
+import (
+	"repro/internal/btree"
+	"repro/internal/buffer"
+)
+
+// newTree creates an empty B+Tree on the pool; split out for testability.
+func newTree(pool *buffer.Pool) (*btree.Tree, error) {
+	return btree.New(pool)
+}

@@ -1,0 +1,116 @@
+// Package value defines the typed scalar values that flow through the
+// storage engine, indexes, correlation maps and query executor.
+//
+// The engine supports three kinds: 64-bit signed integers, 64-bit floats
+// and strings. These cover every attribute used by the paper's three
+// evaluation datasets (eBay, TPC-H lineitem, SDSS PhotoObj/PhotoTag).
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	Int Kind = iota
+	Float
+	String
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is the integer 0.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// NewInt returns an integer Value.
+func NewInt(i int64) Value { return Value{K: Int, I: i} }
+
+// NewFloat returns a float Value.
+func NewFloat(f float64) Value { return Value{K: Float, F: f} }
+
+// NewString returns a string Value.
+func NewString(s string) Value { return Value{K: String, S: s} }
+
+// Compare orders v relative to o: -1 if v < o, 0 if equal, +1 if v > o.
+// Values of different kinds order by kind; callers normally compare values
+// of the same column and therefore the same kind.
+func (v Value) Compare(o Value) int {
+	if v.K != o.K {
+		if v.K < o.K {
+			return -1
+		}
+		return 1
+	}
+	switch v.K {
+	case Int:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	case Float:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Equal reports whether v and o hold the same kind and payload.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the payload; integers and floats use decimal notation.
+func (v Value) String() string {
+	switch v.K {
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}
+
+// Row is a tuple of values positionally matching a table schema.
+type Row []Value
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

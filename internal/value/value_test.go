@@ -1,0 +1,103 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareInts(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {5, 5, 0}, {-3, 3, -1}, {-3, -4, 1},
+	}
+	for _, c := range cases {
+		if got := NewInt(c.a).Compare(NewInt(c.b)); got != c.want {
+			t.Errorf("Compare(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareFloats(t *testing.T) {
+	if got := NewFloat(1.5).Compare(NewFloat(1.6)); got != -1 {
+		t.Errorf("1.5 vs 1.6 = %d, want -1", got)
+	}
+	if got := NewFloat(-0.0).Compare(NewFloat(0.0)); got != 0 {
+		t.Errorf("-0.0 vs 0.0 = %d, want 0", got)
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	if got := NewString("apple").Compare(NewString("banana")); got != -1 {
+		t.Errorf("apple vs banana = %d, want -1", got)
+	}
+	if !NewString("x").Equal(NewString("x")) {
+		t.Error("identical strings not Equal")
+	}
+}
+
+func TestCompareMixedKinds(t *testing.T) {
+	// Kinds order Int < Float < String.
+	if got := NewInt(100).Compare(NewFloat(0)); got != -1 {
+		t.Errorf("int vs float = %d, want -1", got)
+	}
+	if got := NewString("").Compare(NewFloat(1e30)); got != 1 {
+		t.Errorf("string vs float = %d, want 1", got)
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return NewInt(a).Compare(NewInt(b)) == -NewInt(b).Compare(NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityOnFloats(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		va, vb, vc := NewFloat(a), NewFloat(b), NewFloat(c)
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := NewInt(-42).String(); s != "-42" {
+		t.Errorf("int string = %q", s)
+	}
+	if s := NewFloat(2.5).String(); s != "2.5" {
+		t.Errorf("float string = %q", s)
+	}
+	if s := NewString("hi").String(); s != "hi" {
+		t.Errorf("string string = %q", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" || String.String() != "string" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].I != 1 {
+		t.Error("Clone aliases original row")
+	}
+	if len(c) != 2 {
+		t.Errorf("clone length %d", len(c))
+	}
+}

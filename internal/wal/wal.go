@@ -1,0 +1,186 @@
+// Package wal implements a write-ahead log on the simulated disk.
+//
+// The paper's prototype keeps correlation maps in main memory and makes
+// them as recoverable as a secondary B+Tree by logging every maintenance
+// operation and flushing the log during two-phase commit with PostgreSQL
+// (Section 7.1). This log reproduces that cost structure: appends fill
+// sequential pages, and Flush writes the partial tail page and pays one
+// fsync barrier (a seek).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RecordType distinguishes logged operations.
+type RecordType uint8
+
+// Record types used by the engine.
+const (
+	RecInsert RecordType = iota + 1
+	RecDelete
+	RecCommit
+	RecCheckpoint
+)
+
+// Record is one logged operation.
+type Record struct {
+	Type    RecordType
+	Target  string // table or structure the record applies to
+	Payload []byte
+}
+
+// Log is an append-only write-ahead log. Not safe for concurrent use.
+type Log struct {
+	disk *sim.Disk
+	file sim.FileID
+
+	page    int64  // page currently being filled, -1 before first write
+	buf     []byte // in-memory tail page image
+	bufUsed int
+	length  int64 // total logged bytes (LSN of the end of log)
+	flushed int64 // bytes durably on disk
+	appends uint64
+	flushes uint64
+}
+
+// NewLog creates an empty log in a fresh file.
+func NewLog(disk *sim.Disk) *Log {
+	return &Log{
+		disk: disk,
+		file: disk.CreateFile(),
+		page: -1,
+		buf:  make([]byte, disk.PageSize()),
+	}
+}
+
+// Len returns the total number of bytes appended (the end-of-log LSN).
+func (l *Log) Len() int64 { return l.length }
+
+// Appends returns the number of records appended.
+func (l *Log) Appends() uint64 { return l.appends }
+
+// Flushes returns the number of Flush barriers.
+func (l *Log) Flushes() uint64 { return l.flushes }
+
+// Append adds a record to the log buffer. The record becomes durable at
+// the next Flush. Record framing: type byte, target length (u16), target,
+// payload length (u32), payload.
+func (l *Log) Append(r Record) error {
+	if len(r.Target) > 0xFFFF {
+		return fmt.Errorf("wal: target name too long")
+	}
+	hdr := make([]byte, 0, 7+len(r.Target))
+	hdr = append(hdr, byte(r.Type))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(r.Target)))
+	hdr = append(hdr, r.Target...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(r.Payload)))
+	l.writeBytes(hdr)
+	l.writeBytes(r.Payload)
+	l.appends++
+	return nil
+}
+
+// writeBytes streams bytes across page boundaries, writing out full pages.
+func (l *Log) writeBytes(b []byte) {
+	for len(b) > 0 {
+		if l.page < 0 || l.bufUsed == len(l.buf) {
+			l.rotatePage()
+		}
+		n := copy(l.buf[l.bufUsed:], b)
+		l.bufUsed += n
+		l.length += int64(n)
+		b = b[n:]
+		if l.bufUsed == len(l.buf) {
+			// Full page: write it immediately (sequential I/O).
+			l.writeTail()
+		}
+	}
+}
+
+func (l *Log) rotatePage() {
+	l.page = l.disk.AllocPage(l.file)
+	l.bufUsed = 0
+}
+
+func (l *Log) writeTail() {
+	// Errors cannot occur for a page we just allocated; sim.Disk only
+	// fails on out-of-range access.
+	if err := l.disk.WritePage(l.file, l.page, l.buf); err != nil {
+		panic(fmt.Sprintf("wal: tail write: %v", err))
+	}
+}
+
+// Flush makes every appended record durable: it writes the partial tail
+// page and issues an fsync barrier.
+func (l *Log) Flush() {
+	if l.length > l.flushed {
+		if l.page >= 0 && l.bufUsed > 0 && l.bufUsed < len(l.buf) {
+			l.writeTail()
+		}
+		l.flushed = l.length
+	}
+	l.disk.Sync()
+	l.flushes++
+}
+
+// Replay decodes every record in order and passes it to fn, reading the
+// log pages back from disk (charging recovery I/O). It stops early if fn
+// returns false.
+func (l *Log) Replay(fn func(Record) bool) error {
+	return l.ReplayFrom(0, fn)
+}
+
+// ReplayFrom replays records starting at the given LSN, which must be a
+// record boundary previously obtained from Len() (for example at a
+// checkpoint). Only the pages holding the suffix are read back.
+func (l *Log) ReplayFrom(lsn int64, fn func(Record) bool) error {
+	// Ensure the tail is readable from disk.
+	if l.page >= 0 && l.bufUsed > 0 {
+		l.writeTail()
+		l.flushed = l.length
+	}
+	if lsn < 0 || lsn > l.length {
+		return fmt.Errorf("wal: LSN %d out of range [0, %d]", lsn, l.length)
+	}
+	pageSize := int64(len(l.buf))
+	firstPage := lsn / pageSize
+	stream := make([]byte, 0, l.length-firstPage*pageSize)
+	pageBuf := make([]byte, len(l.buf))
+	numPages := l.disk.NumPages(l.file)
+	for p := firstPage; p < numPages; p++ {
+		if err := l.disk.ReadPage(l.file, p, pageBuf); err != nil {
+			return err
+		}
+		stream = append(stream, pageBuf...)
+	}
+	if max := l.length - firstPage*pageSize; int64(len(stream)) > max {
+		stream = stream[:max]
+	}
+	for off := lsn - firstPage*pageSize; off < int64(len(stream)); {
+		rest := stream[off:]
+		if len(rest) < 7 {
+			return fmt.Errorf("wal: truncated record header at %d", off)
+		}
+		typ := RecordType(rest[0])
+		tlen := int(binary.LittleEndian.Uint16(rest[1:]))
+		if len(rest) < 3+tlen+4 {
+			return fmt.Errorf("wal: truncated record target at %d", off)
+		}
+		target := string(rest[3 : 3+tlen])
+		plen := int(binary.LittleEndian.Uint32(rest[3+tlen:]))
+		start := 3 + tlen + 4
+		if len(rest) < start+plen {
+			return fmt.Errorf("wal: truncated record payload at %d", off)
+		}
+		payload := append([]byte(nil), rest[start:start+plen]...)
+		off += int64(start + plen)
+		if !fn(Record{Type: typ, Target: target, Payload: payload}) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Pred is a predicate over a named column. Build with Eq, In, Between,
+// Ge or Le; predicates combine conjunctively in Select.
+type Pred struct {
+	col   string
+	build func(col int) exec.Pred
+}
+
+// Eq matches rows whose column equals v.
+func Eq(col string, v Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Eq(c, v.v) }}
+}
+
+// In matches rows whose column equals any of vals.
+func In(col string, vals ...Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred {
+		iv := make([]value.Value, len(vals))
+		for i, v := range vals {
+			iv[i] = v.v
+		}
+		return exec.In(c, iv...)
+	}}
+}
+
+// Between matches rows whose column lies in [lo, hi] inclusive.
+func Between(col string, lo, hi Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Between(c, lo.v, hi.v) }}
+}
+
+// Ge matches rows whose column is >= lo.
+func Ge(col string, lo Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Ge(c, lo.v) }}
+}
+
+// Le matches rows whose column is <= hi.
+func Le(col string, hi Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Le(c, hi.v) }}
+}
+
+func buildQuery(t *Table, preds []Pred) (exec.Query, error) {
+	q := exec.Query{}
+	for _, p := range preds {
+		ci, err := t.colIndex(p.col)
+		if err != nil {
+			return exec.Query{}, err
+		}
+		q.Preds = append(q.Preds, p.build(ci))
+	}
+	return q, nil
+}
+
+// AccessMethod selects a query access path explicitly.
+type AccessMethod int
+
+// The access paths of the paper's comparison.
+const (
+	// Auto lets the correlation-aware cost model choose.
+	Auto AccessMethod = iota
+	// TableScan forces a full sequential scan.
+	TableScan
+	// SortedIndexScan forces a bitmap-style secondary index scan (RIDs
+	// sorted before the heap sweep).
+	SortedIndexScan
+	// PipelinedIndexScan forces per-tuple index probing.
+	PipelinedIndexScan
+	// CMScan forces the correlation-map path.
+	CMScan
+)
+
+// String names the method.
+func (m AccessMethod) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case TableScan:
+		return "table-scan"
+	case SortedIndexScan:
+		return "sorted-index-scan"
+	case PipelinedIndexScan:
+		return "pipelined-index-scan"
+	case CMScan:
+		return "cm-scan"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Select streams the rows matching all predicates to fn, choosing the
+// access path with the cost model. Return false from fn to stop early.
+func (t *Table) Select(fn func(Row) bool, preds ...Pred) error {
+	return t.SelectVia(Auto, fn, preds...)
+}
+
+// SelectVia is Select with an explicit access method. SortedIndexScan,
+// PipelinedIndexScan and CMScan use the first applicable index or CM
+// (one whose leading column — any column, for CMs — is predicated).
+func (t *Table) SelectVia(method AccessMethod, fn func(Row) bool, preds ...Pred) error {
+	q, err := buildQuery(t, preds)
+	if err != nil {
+		return err
+	}
+	emit := func(_ heap.RID, row value.Row) bool { return fn(externalRow(row)) }
+	switch method {
+	case Auto:
+		plan := exec.ChoosePlan(t.inner, q, t.exactStats())
+		return plan.Run(t.inner, q, emit)
+	case TableScan:
+		return exec.TableScan(t.inner, q, emit)
+	case SortedIndexScan, PipelinedIndexScan:
+		ix := t.applicableIndex(q)
+		if ix == nil {
+			return fmt.Errorf("repro: no secondary index applies to %s", q.String())
+		}
+		if method == SortedIndexScan {
+			return exec.SortedIndexScan(t.inner, ix, q, emit)
+		}
+		return exec.PipelinedIndexScan(t.inner, ix, q, emit)
+	case CMScan:
+		for _, cm := range t.inner.CMs() {
+			for _, c := range cm.Spec().UCols {
+				if q.PredOn(c) != nil {
+					return exec.CMScan(t.inner, cm, q, emit)
+				}
+			}
+		}
+		return fmt.Errorf("repro: no CM applies to %s", q.String())
+	default:
+		return fmt.Errorf("repro: unknown access method %v", method)
+	}
+}
+
+// SelectViaCM evaluates the predicates through the named correlation
+// map, for benchmarking specific designs against each other.
+func (t *Table) SelectViaCM(cmName string, fn func(Row) bool, preds ...Pred) error {
+	q, err := buildQuery(t, preds)
+	if err != nil {
+		return err
+	}
+	for _, cm := range t.inner.CMs() {
+		if cm.Spec().Name == cmName {
+			return exec.CMScan(t.inner, cm, q, func(_ heap.RID, row value.Row) bool {
+				return fn(externalRow(row))
+			})
+		}
+	}
+	return fmt.Errorf("repro: table %s has no CM %q", t.inner.Name(), cmName)
+}
+
+func (t *Table) applicableIndex(q exec.Query) *table.Index {
+	for _, ix := range t.inner.Indexes() {
+		if q.PredOn(ix.Cols[0]) != nil {
+			return ix
+		}
+	}
+	return nil
+}
+
+// PlanInfo describes the access path the cost model would choose.
+type PlanInfo struct {
+	Method        AccessMethod
+	EstimatedCost time.Duration
+	Uses          string // name of the index or CM used, if any
+}
+
+// Explain returns the plan the cost model picks for the predicates.
+func (t *Table) Explain(preds ...Pred) (PlanInfo, error) {
+	q, err := buildQuery(t, preds)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	plan := exec.ChoosePlan(t.inner, q, t.exactStats())
+	info := PlanInfo{EstimatedCost: plan.Cost}
+	switch plan.Method {
+	case exec.MethodTableScan:
+		info.Method = TableScan
+	case exec.MethodSorted:
+		info.Method = SortedIndexScan
+		info.Uses = plan.Index.Name
+	case exec.MethodPipelined:
+		info.Method = PipelinedIndexScan
+		info.Uses = plan.Index.Name
+	case exec.MethodCM:
+		info.Method = CMScan
+		info.Uses = plan.CM.Spec().Name
+	}
+	return info, nil
+}
+
+func (t *Table) exactStats() *exec.ExactStats {
+	if t.stats == nil {
+		t.stats = exec.NewExactStats()
+	}
+	return t.stats
+}
+
+// Recommendation is one CM design proposed by the advisor.
+type Recommendation struct {
+	Design      string
+	Columns     []string
+	Levels      []int     // 2^Level values per bucket, 0 = unbucketed
+	Widths      []float64 // concrete numeric bucket widths (0 = none)
+	Prefixes    []int     // string prefix lengths (0 = none)
+	SizeBytes   int64
+	SlowdownPct float64
+	EstRuntime  time.Duration
+	EstBTreeSz  int64
+}
+
+// Advise runs the CM Advisor for a training query: it samples the table,
+// enumerates composite designs and bucketings (2^2..2^16 buckets), and
+// returns the designs within maxSlowdownPct of the estimated secondary
+// B+Tree runtime, smallest first — the first element is the paper's
+// recommendation.
+func (t *Table) Advise(maxSlowdownPct float64, preds ...Pred) ([]Recommendation, error) {
+	q, err := buildQuery(t, preds)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := advisor.New(t.inner, advisor.Config{})
+	if err != nil {
+		return nil, err
+	}
+	cands, err := adv.Recommend(q, maxSlowdownPct)
+	if err != nil {
+		return nil, err
+	}
+	sch := t.inner.Schema()
+	out := make([]Recommendation, 0, len(cands))
+	for _, c := range cands {
+		rec := Recommendation{
+			Design:      c.Describe(sch),
+			Levels:      c.Levels,
+			Widths:      make([]float64, len(c.Bucketers)),
+			Prefixes:    make([]int, len(c.Bucketers)),
+			SizeBytes:   c.EstSize,
+			SlowdownPct: c.SlowdownPct,
+			EstRuntime:  c.EstRuntime,
+			EstBTreeSz:  c.EstBTreeSz,
+		}
+		for i, b := range c.Bucketers {
+			switch bb := b.(type) {
+			case core.IntWidth:
+				rec.Widths[i] = float64(bb.Width)
+			case core.FloatWidth:
+				rec.Widths[i] = bb.Width
+			case core.StringPrefix:
+				rec.Prefixes[i] = bb.Len
+			}
+		}
+		for _, col := range c.Cols {
+			rec.Columns = append(rec.Columns, sch.Cols[col].Name)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// CreateRecommended materializes an advisor recommendation as a CM.
+func (t *Table) CreateRecommended(name string, rec Recommendation) error {
+	cols := make([]CMColumn, len(rec.Columns))
+	for i, c := range rec.Columns {
+		cols[i] = CMColumn{Name: c, Width: rec.Widths[i], Prefix: rec.Prefixes[i]}
+	}
+	return t.CreateCM(name, cols...)
+}
+
+// SoftFD is a discovered approximate functional dependency between
+// columns.
+type SoftFD struct {
+	Determinant []string
+	Dependent   string
+	Strength    float64 // D(det)/D(det,dep); 1 = hard FD
+}
+
+// DiscoverFDs searches the named columns (all columns when empty) for
+// soft functional dependencies at least minStrength strong, including
+// two-attribute determinants when pairs is true.
+func (t *Table) DiscoverFDs(minStrength float64, pairs bool, cols ...string) ([]SoftFD, error) {
+	sch := t.inner.Schema()
+	var idxs []int
+	if len(cols) == 0 {
+		for i := range sch.Cols {
+			idxs = append(idxs, i)
+		}
+	} else {
+		for _, c := range cols {
+			ci, err := t.colIndex(c)
+			if err != nil {
+				return nil, err
+			}
+			idxs = append(idxs, ci)
+		}
+	}
+	adv, err := advisor.New(t.inner, advisor.Config{})
+	if err != nil {
+		return nil, err
+	}
+	fds := adv.DiscoverFDs(idxs, minStrength, pairs)
+	out := make([]SoftFD, 0, len(fds))
+	for _, fd := range fds {
+		sfd := SoftFD{Dependent: sch.Cols[fd.Dependent].Name, Strength: fd.Strength}
+		for _, d := range fd.Determinant {
+			sfd.Determinant = append(sfd.Determinant, sch.Cols[d].Name)
+		}
+		out = append(out, sfd)
+	}
+	return out, nil
+}
+
+// PairStats returns the paper's Table 2 correlation statistics between
+// the named columns and the table's clustering attribute.
+type PairStatsInfo struct {
+	DistinctU  int64   // D(Au)
+	DistinctUC int64   // D(Au, Ac)
+	CPerU      float64 // D(Au,Ac)/D(Au)
+	UTups      float64
+	CTups      float64
+}
+
+// PairStats computes exact pair statistics with one scan.
+func (t *Table) PairStats(cols ...string) (PairStatsInfo, error) {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		ci, err := t.colIndex(c)
+		if err != nil {
+			return PairStatsInfo{}, err
+		}
+		idxs[i] = ci
+	}
+	pc, err := t.inner.PairStats(idxs)
+	if err != nil {
+		return PairStatsInfo{}, err
+	}
+	return PairStatsInfo{
+		DistinctU:  pc.DU(),
+		DistinctUC: pc.DUC(),
+		CPerU:      pc.CPerU(),
+		UTups:      pc.UTups(),
+		CTups:      pc.CTups(),
+	}, nil
+}
+
+// VarBucketBounds derives a variable-width bucketing for a column from a
+// table sample — the paper's future-work extension for skewed value
+// distributions (Section 8). Adjacent values are merged while their
+// clustered buckets fit within maxCBucketsPerBucket; the returned bounds
+// plug into CreateVarCM.
+func (t *Table) VarBucketBounds(col string, maxCBucketsPerBucket int) ([]Value, error) {
+	ci, err := t.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := advisor.New(t.inner, advisor.Config{})
+	if err != nil {
+		return nil, err
+	}
+	vb := adv.VariableBucketing(ci, maxCBucketsPerBucket)
+	out := make([]Value, len(vb.Bounds))
+	for i, b := range vb.Bounds {
+		out[i] = Value{b}
+	}
+	return out, nil
+}
+
+// CreateVarCM builds a single-column CM using an explicit variable-width
+// bucketing (lower bounds ascending), typically from VarBucketBounds.
+func (t *Table) CreateVarCM(name, col string, bounds []Value) error {
+	ci, err := t.colIndex(col)
+	if err != nil {
+		return err
+	}
+	vb := core.VarWidth{Bounds: make([]value.Value, len(bounds))}
+	for i, b := range bounds {
+		vb.Bounds[i] = b.v
+	}
+	_, err = t.inner.CreateCM(core.Spec{
+		Name:      name,
+		UCols:     []int{ci},
+		Bucketers: []core.Bucketer{vb},
+	})
+	return err
+}
+
+// ClusteringSuggestion scores one attribute as a clustered-index choice
+// (see SuggestClustering).
+type ClusteringSuggestion struct {
+	Column          string
+	CorrelatedAttrs int     // attributes with low c_per_u against this clustering
+	CPages          float64 // expected pages per clustered value
+	MeanCPerU       float64
+}
+
+// SuggestClustering ranks the named columns as clustering choices using
+// the Section 4.1 criteria — small c_pages and correlations to many
+// other attributes — generalizing the paper's Figure 2 observation into
+// the physical-design direction its conclusions sketch.
+func (t *Table) SuggestClustering(threshold float64, cols ...string) ([]ClusteringSuggestion, error) {
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		ci, err := t.colIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idxs[i] = ci
+	}
+	adv, err := advisor.New(t.inner, advisor.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sch := t.inner.Schema()
+	cands := adv.SuggestClustering(idxs, threshold)
+	out := make([]ClusteringSuggestion, len(cands))
+	for i, c := range cands {
+		out[i] = ClusteringSuggestion{
+			Column:          sch.Cols[c.Col].Name,
+			CorrelatedAttrs: c.CorrelatedAttrs,
+			CPages:          c.CPages,
+			MeanCPerU:       c.MeanCPerU,
+		}
+	}
+	return out, nil
+}
