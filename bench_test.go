@@ -528,3 +528,131 @@ func BenchmarkHeapScan(b *testing.B) {
 func advisorNew(tbl *table.Table, maxLog int) (*advisor.Advisor, error) {
 	return advisor.New(tbl, advisor.Config{MaxBucketsLog: maxLog, SampleSize: 3000})
 }
+
+// --- Parallel scan benchmarks ---
+//
+// A Figure-6-style correlated workload (table clustered on cat, CM over
+// the soft-FD-correlated subcat, IN-list lookups) on a disk configured
+// with IOWaitScale, so accesses block for scaled real time and
+// concurrent workers overlap their waits. Wall-clock ns/op across the
+// workers1/2/4/8 sub-benchmarks is the speedup measurement; the
+// fixture's small buffer pool keeps the working set disk-resident.
+
+// parallelFixture builds the shared correlated-items workload
+// (datagen.CorrelatedItems) against a DB with the given scan fan-out.
+func parallelFixture(b *testing.B, workers int) (*DB, *Table) {
+	b.Helper()
+	db := Open(Config{Workers: workers, IOWaitScale: 5, BufferPoolPages: 256})
+	tbl, err := db.CreateTable(TableSpec{
+		Name: "items",
+		Columns: []Column{
+			{Name: "cat", Kind: Int},
+			{Name: "subcat", Kind: Int},
+			{Name: "price", Kind: Int},
+			{Name: "desc", Kind: String},
+		},
+		ClusteredBy: []string{"cat"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := datagen.CorrelatedItems(60000)
+	rows := make([]Row, len(items))
+	for i, it := range items {
+		rows[i] = Row{IntVal(it.Cat), IntVal(it.Subcat), IntVal(it.Price), StringVal(it.Desc)}
+	}
+	if err := tbl.Load(rows); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.CreateCM("subcat_cm", CMColumn{Name: "subcat"}); err != nil {
+		b.Fatal(err)
+	}
+	return db, tbl
+}
+
+// parallelPreds builds the IN-list of scattered subcategories for query q.
+func parallelPreds(q int) []Pred {
+	subcats := datagen.CorrelatedLookup(q, 16)
+	vals := make([]Value, len(subcats))
+	for i, s := range subcats {
+		vals[i] = IntVal(s)
+	}
+	return []Pred{In("subcat", vals...)}
+}
+
+// BenchmarkParallelCMScan measures one cold CM-scan query at each
+// fan-out; ns/op at workers8 vs workers1 is the single-query speedup.
+func BenchmarkParallelCMScan(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			db, tbl := parallelFixture(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.ColdCache(); err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				err := tbl.SelectVia(CMScan, func(Row) bool { n++; return true }, parallelPreds(i)...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTableScan measures one cold full-scan query (a
+// non-selective range over price, forcing the heap path) at each
+// fan-out.
+func BenchmarkParallelTableScan(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			db, tbl := parallelFixture(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.ColdCache(); err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				err := tbl.SelectVia(TableScan, func(Row) bool { n++; return true },
+					Le("price", IntVal(5000)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectManyCMScan measures a 16-query multi-client batch of
+// CM scans at each fan-out — the SelectMany path: fan-out is across
+// queries, each query serial inside.
+func BenchmarkSelectManyCMScan(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			db, _ := parallelFixture(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				specs := make([]QuerySpec, 16)
+				for q := range specs {
+					specs[q] = QuerySpec{Table: "items", Via: CMScan, Preds: parallelPreds(i*16 + q)}
+				}
+				for _, res := range db.SelectMany(specs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					if len(res.Rows) == 0 {
+						b.Fatal("no rows")
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,298 @@
+// Concurrency stress tests: readers on every access method race
+// inserts, deletes and commits on one table, asserting no lost rows
+// (stable rows always all visible) and no phantoms (volatile rows are
+// seen zero or one time, never partially applied, never duplicated).
+// Run with -race; the suite is sized to finish quickly under it.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+const (
+	stableUs      = 40  // distinct stable u values
+	rowsPerU      = 25  // stable rows per u value
+	volatileUBase = 500 // volatile rows use u >= volatileUBase
+)
+
+// buildStressDB loads a correlated table (c determines u) with a
+// secondary index and a CM on u, so all four access paths apply.
+func buildStressDB(t testing.TB, workers int) (*DB, *Table) {
+	t.Helper()
+	db := Open(Config{Workers: workers})
+	tbl, err := db.CreateTable(TableSpec{
+		Name: "stress",
+		Columns: []Column{
+			{Name: "c", Kind: Int},
+			{Name: "u", Kind: Int},
+			{Name: "tag", Kind: String},
+		},
+		ClusteredBy: []string{"c"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, stableUs*rowsPerU)
+	for u := 0; u < stableUs; u++ {
+		for i := 0; i < rowsPerU; i++ {
+			// c determines u (hard FD) so the CM is small and selective.
+			c := int64(u*rowsPerU + i)
+			rows = append(rows, Row{IntVal(c), IntVal(int64(u)), StringVal(fmt.Sprintf("s-%d-%d", u, i))})
+		}
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("u_idx", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateCM("u_cm", CMColumn{Name: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+var stressMethods = []AccessMethod{TableScan, SortedIndexScan, PipelinedIndexScan, CMScan}
+
+// TestConcurrentReadersVsWriters races Selects on all four access
+// methods against an insert/delete/commit writer. Every read of a
+// stable u must see exactly rowsPerU rows, and every read of a volatile
+// u must see 0 or 1 rows — nothing lost, nothing phantom.
+func TestConcurrentReadersVsWriters(t *testing.T) {
+	db, tbl := buildStressDB(t, 4)
+	_ = db
+
+	const (
+		readers        = 4
+		readsPerReader = 60
+		writerOps      = 150
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: churn volatile rows (insert, commit, delete, commit).
+	wg.Add(1)
+	writerErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for k := 0; k < writerOps; k++ {
+			u := int64(volatileUBase + k%7)
+			c := int64(stableUs*rowsPerU + k%13)
+			if err := tbl.Insert(Row{IntVal(c), IntVal(u), StringVal("v")}); err != nil {
+				writerErr <- err
+				return
+			}
+			if k%5 == 0 {
+				if err := tbl.Commit(); err != nil {
+					writerErr <- err
+					return
+				}
+			}
+			if _, err := tbl.Delete(Eq("u", IntVal(u)), Eq("c", IntVal(c))); err != nil {
+				writerErr <- err
+				return
+			}
+		}
+		if err := tbl.Commit(); err != nil {
+			writerErr <- err
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < readsPerReader && !stop.Load(); i++ {
+				method := stressMethods[(r+i)%len(stressMethods)]
+
+				// Stable slice: must always be fully visible.
+				u := int64((r*7 + i) % stableUs)
+				n := 0
+				err := tbl.SelectVia(method, func(row Row) bool {
+					if row[1].Int() != u {
+						t.Errorf("%v: row with u=%d in result for u=%d", method, row[1].Int(), u)
+					}
+					n++
+					return true
+				}, Eq("u", IntVal(u)))
+				if err != nil {
+					t.Errorf("%v: %v", method, err)
+					return
+				}
+				if n != rowsPerU {
+					t.Errorf("%v: stable u=%d returned %d rows, want %d (lost or phantom rows)", method, u, n, rowsPerU)
+					return
+				}
+
+				// Volatile slice: each (c,u) pair exists 0 or 1 times.
+				vu := int64(volatileUBase + i%7)
+				seen := map[string]int{}
+				err = tbl.SelectVia(method, func(row Row) bool {
+					seen[row[0].String()]++
+					return true
+				}, Eq("u", IntVal(vu)))
+				if err != nil {
+					t.Errorf("%v volatile: %v", method, err)
+					return
+				}
+				for c, cnt := range seen {
+					if cnt > 1 {
+						t.Errorf("%v: volatile row c=%s seen %d times (duplicate)", method, c, cnt)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-writerErr:
+		t.Fatalf("writer: %v", err)
+	default:
+	}
+
+	// Quiesced: the table must be exactly the stable rows again.
+	if got := tbl.RowCount(); got != int64(stableUs*rowsPerU) {
+		t.Fatalf("final row count %d, want %d", got, stableUs*rowsPerU)
+	}
+}
+
+// TestSelectManyDuringWrites drives the batch API concurrently with a
+// writer: every per-query result over stable values must be complete.
+func TestSelectManyDuringWrites(t *testing.T) {
+	db, tbl := buildStressDB(t, 8)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for k := 0; k < 120; k++ {
+			u := int64(volatileUBase + k%3)
+			if err := tbl.Insert(Row{IntVal(int64(stableUs*rowsPerU + k)), IntVal(u), StringVal("v")}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := tbl.Delete(Eq("u", IntVal(u))); err != nil {
+				t.Error(err)
+				return
+			}
+			if k%10 == 0 {
+				if err := tbl.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	for round := 0; round < 15 && !stop.Load(); round++ {
+		specs := make([]QuerySpec, 12)
+		for i := range specs {
+			specs[i] = QuerySpec{
+				Table: "stress",
+				Via:   stressMethods[i%len(stressMethods)],
+				Preds: []Pred{Eq("u", IntVal(int64((round + i) % stableUs)))},
+			}
+		}
+		for i, res := range db.SelectMany(specs) {
+			if res.Err != nil {
+				t.Fatalf("spec %d: %v", i, res.Err)
+			}
+			if len(res.Rows) != rowsPerU {
+				t.Fatalf("spec %d (%v): got %d rows, want %d", i, specs[i].Via, len(res.Rows), rowsPerU)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestSelectManyUnknownTable returns a per-query error, not a panic.
+func TestSelectManyUnknownTable(t *testing.T) {
+	db, _ := buildStressDB(t, 2)
+	res := db.SelectMany([]QuerySpec{{Table: "absent"}})
+	if len(res) != 1 || res[0].Err == nil {
+		t.Fatalf("want error for unknown table, got %+v", res)
+	}
+}
+
+// TestConcurrentTablesShareEngine runs readers and writers on two
+// tables of one DB concurrently: the shared pool, disk and WAL must not
+// race, and per-table latches must not interfere across tables.
+func TestConcurrentTablesShareEngine(t *testing.T) {
+	db := Open(Config{Workers: 4, BufferPoolPages: 128})
+	mk := func(name string) *Table {
+		tbl, err := db.CreateTable(TableSpec{
+			Name: name,
+			Columns: []Column{
+				{Name: "c", Kind: Int},
+				{Name: "u", Kind: Int},
+			},
+			ClusteredBy: []string{"c"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]Row, 600)
+		for i := range rows {
+			rows[i] = Row{IntVal(int64(i)), IntVal(int64(i / 20))}
+		}
+		if err := tbl.Load(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.CreateCM(name+"_cm", CMColumn{Name: "u"}); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	a, b := mk("ta"), mk("tb")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 80; k++ {
+				if err := a.Insert(Row{IntVal(int64(600 + k)), IntVal(999)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := a.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 80; k++ {
+				n := 0
+				err := b.SelectVia(CMScan, func(Row) bool { n++; return true }, Eq("u", IntVal(7)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n != 20 {
+					t.Errorf("table b: got %d rows for u=7, want 20", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWorkersConfig checks the worker default and override plumbing.
+func TestWorkersConfig(t *testing.T) {
+	if got := Open(Config{}).Workers(); got < 1 {
+		t.Errorf("default workers = %d, want >= 1", got)
+	}
+	if got := Open(Config{Workers: 3}).Workers(); got != 3 {
+		t.Errorf("workers = %d, want 3", got)
+	}
+}

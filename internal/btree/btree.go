@@ -44,7 +44,11 @@ const (
 
 const noSibling int64 = -1
 
-// Tree is a disk-backed B+Tree. Not safe for concurrent use.
+// Tree is a disk-backed B+Tree. Concurrent readers (Get, SeekGE,
+// iterators) are safe against each other — page access goes through the
+// thread-safe buffer pool and reads never mutate nodes — but mutators
+// (Insert, Delete) require exclusive access; the engine serializes them
+// with the owning table's latch.
 type Tree struct {
 	pool   *buffer.Pool
 	file   sim.FileID

@@ -6,10 +6,18 @@
 // and random write-back I/O, while correlation maps are small enough to
 // live outside the pool entirely. The pool therefore tracks hits, misses,
 // evictions and dirty write-backs so experiments can report them.
+//
+// The pool is safe for concurrent use. Frames are partitioned into shards
+// (pages hash to a shard by identity), each with its own lock, frame
+// table and clock hand, so parallel scan workers and concurrent queries
+// contend only when they touch the same shard. Small pools collapse to a
+// single shard and behave exactly like the classic one-clock pool.
 package buffer
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -29,7 +37,9 @@ type Stats struct {
 }
 
 // Frame is a pinned page in the pool. Callers mutate Data in place and
-// must Unpin (marking dirty when modified) when done.
+// must Unpin (marking dirty when modified) when done. Frame contents may
+// be read concurrently by multiple pinners; mutation requires external
+// write serialization (the table-level write lock in this engine).
 type Frame struct {
 	Data []byte
 
@@ -43,13 +53,28 @@ type Frame struct {
 // Key returns the page identity held by the frame.
 func (f *Frame) Key() PageKey { return f.key }
 
-// Pool is a clock-sweep buffer pool. Not safe for concurrent use.
-type Pool struct {
-	disk   *sim.Disk
+// Sharding parameters: shards hold at least minShardFrames frames so tiny
+// pools (unit tests, height-bounded trees) keep one deterministic clock,
+// and at most maxShards so shard state stays cache-friendly.
+const (
+	minShardFrames = 64
+	maxShards      = 16
+)
+
+// shard is one lock domain: a slice of frames with its own page table and
+// clock hand.
+type shard struct {
+	mu     sync.Mutex
 	frames []Frame
 	table  map[PageKey]int
 	hand   int
 	stats  Stats
+}
+
+// Pool is a sharded clock-sweep buffer pool, safe for concurrent use.
+type Pool struct {
+	disk   *sim.Disk
+	shards []shard
 }
 
 // NewPool creates a pool of capacity pages over disk.
@@ -57,39 +82,94 @@ func NewPool(disk *sim.Disk, capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	p := &Pool{
-		disk:   disk,
-		frames: make([]Frame, capacity),
-		table:  make(map[PageKey]int, capacity),
+	n := capacity / minShardFrames
+	if n > maxShards {
+		n = maxShards
 	}
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{disk: disk, shards: make([]shard, n)}
 	ps := disk.PageSize()
-	for i := range p.frames {
-		p.frames[i].Data = make([]byte, ps)
+	base, extra := capacity/n, capacity%n
+	for i := range p.shards {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		sh := &p.shards[i]
+		sh.frames = make([]Frame, sz)
+		sh.table = make(map[PageKey]int, sz)
+		for j := range sh.frames {
+			sh.frames[j].Data = make([]byte, ps)
+		}
 	}
 	return p
+}
+
+// shardFor maps a page identity to its shard.
+func (p *Pool) shardFor(key PageKey) *shard {
+	if len(p.shards) == 1 {
+		return &p.shards[0]
+	}
+	h := (uint64(key.File) + 1) * 0x9E3779B97F4A7C15
+	h ^= uint64(key.Page) * 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &p.shards[h%uint64(len(p.shards))]
 }
 
 // Disk returns the underlying simulated disk.
 func (p *Pool) Disk() *sim.Disk { return p.disk }
 
 // Capacity returns the number of frames.
-func (p *Pool) Capacity() int { return len(p.frames) }
+func (p *Pool) Capacity() int {
+	n := 0
+	for i := range p.shards {
+		n += len(p.shards[i].frames)
+	}
+	return n
+}
 
-// Stats returns a snapshot of the counters.
-func (p *Pool) Stats() Stats { return p.stats }
+// Shards returns the number of lock domains the frames are split into.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Stats returns a snapshot of the counters, aggregated over shards.
+func (p *Pool) Stats() Stats {
+	var out Stats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.stats.Hits
+		out.Misses += sh.stats.Misses
+		out.Evictions += sh.stats.Evictions
+		out.DirtyWrites += sh.stats.DirtyWrites
+		sh.mu.Unlock()
+	}
+	return out
+}
 
 // ResetStats zeroes the counters (page contents are unaffected).
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
+}
 
-// victim finds an evictable frame using the clock algorithm, writing back
-// dirty contents. It returns an error if every frame is pinned.
-func (p *Pool) victim() (int, error) {
-	for scanned := 0; scanned < 2*len(p.frames); scanned++ {
-		i := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
-		fr := &p.frames[i]
+// victim finds an evictable frame using the shard's clock, writing back
+// dirty contents. It returns an error if every frame is pinned, and the
+// deferred real-wait cost of any write-back. Called with the shard lock
+// held.
+func (sh *shard) victim(disk *sim.Disk) (int, time.Duration, error) {
+	var owed time.Duration
+	for scanned := 0; scanned < 2*len(sh.frames); scanned++ {
+		i := sh.hand
+		sh.hand = (sh.hand + 1) % len(sh.frames)
+		fr := &sh.frames[i]
 		if !fr.used {
-			return i, nil
+			return i, owed, nil
 		}
 		if fr.pin > 0 {
 			continue
@@ -99,36 +179,51 @@ func (p *Pool) victim() (int, error) {
 			continue
 		}
 		if fr.dirty {
-			if err := p.disk.WritePage(fr.key.File, fr.key.Page, fr.Data); err != nil {
-				return 0, err
+			cost, err := disk.WritePageDeferWait(fr.key.File, fr.key.Page, fr.Data)
+			owed += cost
+			if err != nil {
+				return 0, owed, err
 			}
-			p.stats.DirtyWrites++
+			sh.stats.DirtyWrites++
 		}
-		delete(p.table, fr.key)
-		p.stats.Evictions++
+		delete(sh.table, fr.key)
+		sh.stats.Evictions++
 		fr.used = false
-		return i, nil
+		return i, owed, nil
 	}
-	return 0, fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+	return 0, owed, fmt.Errorf("buffer: all %d frames of shard pinned", len(sh.frames))
 }
 
-// Get pins the page into the pool, reading it from disk on a miss.
+// Get pins the page into the pool, reading it from disk on a miss. The
+// shard lock is held across the disk read so concurrent requests for the
+// same missing page load it exactly once; the real I/O wait (when the
+// disk runs with RealWaitScale) is paid after the lock is released so
+// waiting does not convoy other pages of the shard.
 func (p *Pool) Get(file sim.FileID, page int64) (*Frame, error) {
 	key := PageKey{file, page}
-	if i, ok := p.table[key]; ok {
-		fr := &p.frames[i]
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	if i, ok := sh.table[key]; ok {
+		fr := &sh.frames[i]
 		fr.pin++
 		fr.ref = true
-		p.stats.Hits++
+		sh.stats.Hits++
+		sh.mu.Unlock()
 		return fr, nil
 	}
-	p.stats.Misses++
-	i, err := p.victim()
+	sh.stats.Misses++
+	i, owed, err := sh.victim(p.disk)
 	if err != nil {
+		sh.mu.Unlock()
+		p.disk.PayWait(owed)
 		return nil, err
 	}
-	fr := &p.frames[i]
-	if err := p.disk.ReadPage(file, page, fr.Data); err != nil {
+	fr := &sh.frames[i]
+	cost, err := p.disk.ReadPageDeferWait(file, page, fr.Data)
+	owed += cost
+	if err != nil {
+		sh.mu.Unlock()
+		p.disk.PayWait(owed)
 		return nil, err
 	}
 	fr.key = key
@@ -136,7 +231,9 @@ func (p *Pool) Get(file sim.FileID, page int64) (*Frame, error) {
 	fr.dirty = false
 	fr.ref = true
 	fr.used = true
-	p.table[key] = i
+	sh.table[key] = i
+	sh.mu.Unlock()
+	p.disk.PayWait(owed)
 	return fr, nil
 }
 
@@ -144,25 +241,36 @@ func (p *Pool) Get(file sim.FileID, page int64) (*Frame, error) {
 // it without any read I/O. The page reaches disk when evicted or flushed.
 func (p *Pool) NewPage(file sim.FileID) (int64, *Frame, error) {
 	page := p.disk.AllocPage(file)
-	i, err := p.victim()
+	key := PageKey{file, page}
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	i, owed, err := sh.victim(p.disk)
 	if err != nil {
+		sh.mu.Unlock()
+		p.disk.PayWait(owed)
 		return 0, nil, err
 	}
-	fr := &p.frames[i]
+	fr := &sh.frames[i]
 	for j := range fr.Data {
 		fr.Data[j] = 0
 	}
-	fr.key = PageKey{file, page}
+	fr.key = key
 	fr.pin = 1
 	fr.dirty = true // a new page must eventually be written
 	fr.ref = true
 	fr.used = true
-	p.table[fr.key] = i
+	sh.table[key] = i
+	sh.mu.Unlock()
+	p.disk.PayWait(owed)
 	return page, fr, nil
 }
 
 // Unpin releases a pin, marking the frame dirty when the caller modified it.
 func (p *Pool) Unpin(fr *Frame, dirty bool) {
+	// fr.key is stable while the caller holds its pin.
+	sh := p.shardFor(fr.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if fr.pin <= 0 {
 		panic("buffer: unpin of unpinned frame")
 	}
@@ -174,42 +282,65 @@ func (p *Pool) Unpin(fr *Frame, dirty bool) {
 
 // FlushAll writes every dirty page back to disk. Pages stay cached.
 func (p *Pool) FlushAll() error {
-	for i := range p.frames {
-		fr := &p.frames[i]
-		if fr.used && fr.dirty {
-			if err := p.disk.WritePage(fr.key.File, fr.key.Page, fr.Data); err != nil {
-				return err
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		var owed time.Duration
+		for i := range sh.frames {
+			fr := &sh.frames[i]
+			if fr.used && fr.dirty {
+				cost, err := p.disk.WritePageDeferWait(fr.key.File, fr.key.Page, fr.Data)
+				owed += cost
+				if err != nil {
+					sh.mu.Unlock()
+					p.disk.PayWait(owed)
+					return err
+				}
+				sh.stats.DirtyWrites++
+				fr.dirty = false
 			}
-			p.stats.DirtyWrites++
-			fr.dirty = false
 		}
+		sh.mu.Unlock()
+		p.disk.PayWait(owed)
 	}
 	return nil
 }
 
 // Invalidate drops every cached page without writing dirty contents. It
 // models the paper's cold-cache methodology (dropping OS caches between
-// runs); callers flush first when contents must survive.
+// runs); callers flush first when contents must survive, and must ensure
+// no frames are pinned (no queries in flight).
 func (p *Pool) Invalidate() {
-	for i := range p.frames {
-		fr := &p.frames[i]
-		if fr.pin > 0 {
-			panic("buffer: invalidate with pinned frames")
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			fr := &sh.frames[i]
+			if fr.pin > 0 {
+				sh.mu.Unlock()
+				panic("buffer: invalidate with pinned frames")
+			}
+			fr.used = false
+			fr.dirty = false
 		}
-		fr.used = false
-		fr.dirty = false
+		sh.table = make(map[PageKey]int, len(sh.frames))
+		sh.mu.Unlock()
 	}
-	p.table = make(map[PageKey]int, len(p.frames))
 }
 
 // DirtyCount returns the number of dirty frames, used by experiments to
 // observe pool pressure.
 func (p *Pool) DirtyCount() int {
 	n := 0
-	for i := range p.frames {
-		if p.frames[i].used && p.frames[i].dirty {
-			n++
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			if sh.frames[i].used && sh.frames[i].dirty {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

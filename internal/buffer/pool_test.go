@@ -1,6 +1,8 @@
 package buffer
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/sim"
@@ -192,5 +194,74 @@ func TestMinimumCapacity(t *testing.T) {
 	p := NewPool(d, 0)
 	if p.Capacity() != 1 {
 		t.Errorf("capacity = %d, want clamped to 1", p.Capacity())
+	}
+}
+
+func TestShardingPreservesCapacity(t *testing.T) {
+	d := sim.NewDisk(sim.Config{PageSize: 64})
+	for _, cap := range []int{1, 2, 63, 64, 128, 1000, 4096} {
+		p := NewPool(d, cap)
+		if p.Capacity() != cap {
+			t.Errorf("capacity %d: got %d", cap, p.Capacity())
+		}
+		if cap < 2*minShardFrames && p.Shards() != 1 {
+			t.Errorf("capacity %d: %d shards, want 1 (small pools keep one clock)", cap, p.Shards())
+		}
+		if p.Shards() > maxShards {
+			t.Errorf("capacity %d: %d shards exceeds max %d", cap, p.Shards(), maxShards)
+		}
+	}
+}
+
+// TestConcurrentGets hammers the pool from many goroutines over a page
+// set larger than capacity, forcing concurrent misses and evictions,
+// then verifies page contents and counter totals. Run with -race.
+func TestConcurrentGets(t *testing.T) {
+	d := sim.NewDisk(sim.Config{PageSize: 64})
+	p := NewPool(d, 256)
+	f := d.CreateFile()
+	const pages = 600
+	for i := 0; i < pages; i++ {
+		pg, fr, err := p.NewPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data[0] = byte(pg % 251)
+		p.Unpin(fr, true)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Invalidate()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				pg := int64(rng.Intn(pages))
+				fr, err := p.Get(f, pg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if fr.Data[0] != byte(pg%251) {
+					t.Errorf("page %d holds wrong contents %d", pg, fr.Data[0])
+					p.Unpin(fr, false)
+					return
+				}
+				p.Unpin(fr, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != 8*2000 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*2000)
+	}
+	if p.DirtyCount() != 0 {
+		t.Errorf("dirty frames after read-only load: %d", p.DirtyCount())
 	}
 }

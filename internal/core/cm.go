@@ -48,7 +48,10 @@ func (s *Spec) normalize() {
 	}
 }
 
-// CM is a correlation map. Not safe for concurrent use.
+// CM is a correlation map. Lookups may run concurrently with each other;
+// AddRow/RemoveRow require exclusive access. The engine enforces this
+// with the table latch (readers under RLock, maintenance under Lock), so
+// the CM itself carries no lock.
 type CM struct {
 	spec  Spec
 	m     map[string]map[int32]uint32

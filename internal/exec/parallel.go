@@ -1,0 +1,367 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// The parallel executors fan a scan's independent units — secondary-index
+// probe ranges, the CM's clustered-bucket runs, and the heap's page
+// ranges — across a bounded worker pool. Each worker collects its
+// chunk's matches privately; chunks stream to the caller's RowFunc in
+// physical order as they complete, so parallel scans emit rows in the
+// same order as their serial counterparts. Returning false from the
+// callback cancels the remaining workers at page granularity, keeping
+// the early-stop contract cheap (a LIMIT-style caller stops the scan
+// soon after its limit, it does not pay for a full sweep).
+//
+// Callers must hold the table latch in shared mode (the repro facade
+// does) so workers see one consistent table state; the buffer pool and
+// simulated disk underneath are thread-safe.
+//
+// With workers <= 1 every executor delegates to its serial twin, keeping
+// single-query latency identical to the sequential engine.
+
+// DefaultWorkers returns the default scan fan-out, GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// matchRow is one collected result row.
+type matchRow struct {
+	rid heap.RID
+	row value.Row
+}
+
+// runTasks executes run(0..n-1) across at most workers goroutines and
+// returns the first error. A failing task cancels tasks not yet started.
+// Used for fan-outs whose results are merged after the barrier (RID
+// collection); ordered streaming emission uses collectEmit instead.
+func runTasks(workers, n int, run func(task int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// chunkSlices splits n items into at most chunks near-equal contiguous
+// [from, to) index ranges.
+func chunkSlices(n, chunks int) [][2]int {
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([][2]int, 0, chunks)
+	base, extra := n/chunks, n%chunks
+	at := 0
+	for i := 0; i < chunks; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out = append(out, [2]int{at, at + sz})
+		at += sz
+	}
+	return out
+}
+
+// collectEmit runs scan(0..n-1) across the worker pool and streams each
+// chunk's rows to fn in chunk order as soon as all earlier chunks have
+// been emitted. When fn returns false, or a chunk fails, the shared
+// cancel flag stops in-flight and unstarted chunks.
+func collectEmit(workers, n int, scan func(chunk int, cancel *atomic.Bool) ([]matchRow, error), fn RowFunc) error {
+	type chunkResult struct {
+		rows []matchRow
+		err  error
+	}
+	var cancel atomic.Bool
+	results := make([]chan chunkResult, n)
+	for i := range results {
+		results[i] = make(chan chunkResult, 1)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	nw := workers
+	if nw > n {
+		nw = n
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if cancel.Load() {
+					results[i] <- chunkResult{}
+					continue
+				}
+				rows, err := scan(i, &cancel)
+				if err != nil {
+					cancel.Store(true)
+				}
+				results[i] <- chunkResult{rows: rows, err: err}
+			}
+		}()
+	}
+	var firstErr error
+	stopped := false
+	for i := 0; i < n; i++ {
+		r := <-results[i]
+		// Errors surfacing after an early stop come from cancelled
+		// in-flight chunks whose results are discarded anyway; the
+		// serial path would never have reached those pages.
+		if r.err != nil && firstErr == nil && !stopped {
+			firstErr = r.err
+		}
+		if firstErr != nil || stopped {
+			continue
+		}
+		for _, m := range r.rows {
+			if !fn(m.rid, m.row) {
+				stopped = true
+				cancel.Store(true)
+				break
+			}
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// scanChunks oversplits a sweep's work into more chunks than workers,
+// so an early stop's cancellation skips unstarted chunks instead of
+// finding every chunk already in flight; a minimum chunk size keeps
+// boundary seeks amortized.
+func scanChunks(workers, pages int) int {
+	const (
+		oversplit     = 4
+		minChunkPages = 8
+	)
+	n := workers * oversplit
+	if max := pages / minChunkPages; n > max {
+		n = max
+	}
+	if n < workers {
+		n = workers
+	}
+	return n
+}
+
+// collectPageRange sweeps the contiguous heap pages [lo, hi],
+// appending matching rows to out (DecodeRow allocates fresh rows, so
+// they outlive the pinned frames). cancel aborts at page boundaries
+// when the scan's results are no longer needed.
+func collectPageRange(t *table.Table, lo, hi int64, q Query, cancel *atomic.Bool, out []matchRow) ([]matchRow, error) {
+	sch := t.Schema()
+	var decodeErr error
+	curPage := int64(-1)
+	err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
+		if rid.Page != curPage {
+			curPage = rid.Page
+			if cancel != nil && cancel.Load() {
+				return false
+			}
+		}
+		row, err := sch.DecodeRow(tuple)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		if q.Matches(row) {
+			out = append(out, matchRow{rid: rid, row: row})
+		}
+		return true
+	})
+	if decodeErr != nil {
+		return out, decodeErr
+	}
+	return out, err
+}
+
+// collectPages runs the gap-coalescing page sweep over pages, returning
+// the matching rows. It shares the run economics with the serial
+// sweepPages via forEachPageRun.
+func collectPages(t *table.Table, pages []int64, q Query, cancel *atomic.Bool) ([]matchRow, error) {
+	var out []matchRow
+	err := forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
+		if cancel != nil && cancel.Load() {
+			return false, nil
+		}
+		var err error
+		out, err = collectPageRange(t, lo, hi, q, cancel, out)
+		return err == nil, err
+	})
+	return out, err
+}
+
+// parallelSweepPages sweeps the sorted distinct heap pages with the
+// worker pool: contiguous chunks of the page list are swept
+// concurrently and stream to fn in physical order.
+func parallelSweepPages(t *table.Table, pages []int64, q Query, workers int, fn RowFunc) error {
+	if workers <= 1 || len(pages) < 2 {
+		return sweepPages(t, pages, q, fn)
+	}
+	chunks := chunkSlices(len(pages), scanChunks(workers, len(pages)))
+	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
+		return collectPages(t, pages[chunks[i][0]:chunks[i][1]], q, cancel)
+	}, fn)
+}
+
+// ParallelTableScan evaluates the query with a full heap scan fanned out
+// over the worker pool: the page range [0, n) splits into contiguous
+// chunks swept concurrently. Rows stream to fn in physical order. With
+// workers <= 1 it is exactly TableScan.
+func ParallelTableScan(t *table.Table, q Query, workers int, fn RowFunc) error {
+	n := t.Heap().NumPages()
+	if workers <= 1 || n < 2 {
+		return TableScan(t, q, fn)
+	}
+	chunks := chunkSlices(int(n), scanChunks(workers, int(n)))
+	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
+		return collectPageRange(t, int64(chunks[i][0]), int64(chunks[i][1])-1, q, cancel, nil)
+	}, fn)
+}
+
+// ParallelSortedIndexScan is SortedIndexScan with both phases fanned out:
+// the sorted probe ranges are collected by concurrent workers, and the
+// deduplicated heap pages are swept by concurrent workers. With
+// workers <= 1 it is exactly SortedIndexScan.
+func ParallelSortedIndexScan(t *table.Table, ix *table.Index, q Query, workers int, fn RowFunc) error {
+	if workers <= 1 {
+		return SortedIndexScan(t, ix, q, fn)
+	}
+	ranges := sortRanges(indexProbeRanges(ix.Cols, q))
+	ridLists := make([][]heap.RID, len(ranges))
+	err := runTasks(workers, len(ranges), func(i int) error {
+		var rids []heap.RID
+		err := ix.ScanRange(ranges[i].Lo, ranges[i].Hi, func(rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		ridLists[i] = rids
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var rids []heap.RID
+	for _, l := range ridLists {
+		rids = append(rids, l...)
+	}
+	return parallelSweepPages(t, pagesOf(rids), q, workers, fn)
+}
+
+// ParallelCMScan is CMScan with the clustered-bucket runs and the heap
+// sweep fanned out over the worker pool: each run of adjacent clustered
+// buckets becomes an independent clustered-index range scan collecting
+// RIDs, then the deduplicated pages are swept concurrently and
+// re-filtered with the original predicates. With workers <= 1 it is
+// exactly CMScan.
+func ParallelCMScan(t *table.Table, cm *core.CM, q Query, workers int, fn RowFunc) error {
+	if workers <= 1 {
+		return CMScan(t, cm, q, fn)
+	}
+	covered := false
+	for _, col := range cm.Spec().UCols {
+		if q.PredOn(col) != nil {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return fmt.Errorf("exec: query predicates none of the CM's columns")
+	}
+	buckets, err := cmBuckets(cm, q)
+	if err != nil {
+		return err
+	}
+	runs := bucketRuns(buckets)
+	dir := t.Buckets()
+	ridLists := make([][]heap.RID, len(runs))
+	err = runTasks(workers, len(runs), func(i int) error {
+		lo := dir.LowerBound(runs[i][0])
+		hiExcl, _ := dir.UpperBound(runs[i][1]) // nil means scan to the end
+		var rids []heap.RID
+		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		ridLists[i] = rids
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var rids []heap.RID
+	for _, l := range ridLists {
+		rids = append(rids, l...)
+	}
+	return parallelSweepPages(t, pagesOf(rids), q, workers, fn)
+}
+
+// RunParallel executes the plan with the given scan fan-out. The
+// pipelined index scan stays serial — its per-tuple probe loop is
+// inherently sequential and only wins on very selective lookups where
+// fan-out has nothing to amortize.
+func (p Plan) RunParallel(t *table.Table, q Query, workers int, fn RowFunc) error {
+	switch p.Method {
+	case MethodTableScan:
+		return ParallelTableScan(t, q, workers, fn)
+	case MethodPipelined:
+		return PipelinedIndexScan(t, p.Index, q, fn)
+	case MethodSorted:
+		return ParallelSortedIndexScan(t, p.Index, q, workers, fn)
+	case MethodCM:
+		return ParallelCMScan(t, p.CM, q, workers, fn)
+	default:
+		return fmt.Errorf("exec: unknown method %v", p.Method)
+	}
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/value"
+)
+
+// collectVia gathers payloads in emission order.
+func collectVia(t *testing.T, run func(fn RowFunc) error) []string {
+	t.Helper()
+	var got []string
+	if err := run(func(_ heap.RID, row value.Row) bool {
+		got = append(got, row[2].S)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func sameSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSerial checks that every parallel executor returns
+// exactly the serial executor's rows, in the same (physical) order, for
+// point, IN and range predicates across worker counts.
+func TestParallelMatchesSerial(t *testing.T) {
+	db := buildTestDB(t, 6000, 42, 0)
+	queries := []Query{
+		NewQuery(Eq(1, value.NewInt(17))),
+		NewQuery(In(1, value.NewInt(3), value.NewInt(25), value.NewInt(44))),
+		NewQuery(Between(1, value.NewInt(10), value.NewInt(14))),
+		NewQuery(In(1, value.NewInt(7), value.NewInt(31)), Ge(0, value.NewInt(50))),
+	}
+	for qi, q := range queries {
+		serialTS := collectVia(t, func(fn RowFunc) error { return TableScan(db.tbl, q, fn) })
+		serialSI := collectVia(t, func(fn RowFunc) error { return SortedIndexScan(db.tbl, db.ix, q, fn) })
+		serialCM := collectVia(t, func(fn RowFunc) error { return CMScan(db.tbl, db.cm, q, fn) })
+		for _, w := range []int{1, 2, 4, 9} {
+			t.Run(fmt.Sprintf("q%d/workers%d", qi, w), func(t *testing.T) {
+				gotTS := collectVia(t, func(fn RowFunc) error { return ParallelTableScan(db.tbl, q, w, fn) })
+				if !sameSlices(serialTS, gotTS) {
+					t.Errorf("table scan: parallel (%d rows) != serial (%d rows)", len(gotTS), len(serialTS))
+				}
+				gotSI := collectVia(t, func(fn RowFunc) error { return ParallelSortedIndexScan(db.tbl, db.ix, q, w, fn) })
+				if !sameSlices(serialSI, gotSI) {
+					t.Errorf("sorted index scan: parallel (%d rows) != serial (%d rows)", len(gotSI), len(serialSI))
+				}
+				gotCM := collectVia(t, func(fn RowFunc) error { return ParallelCMScan(db.tbl, db.cm, q, w, fn) })
+				if !sameSlices(serialCM, gotCM) {
+					t.Errorf("cm scan: parallel (%d rows) != serial (%d rows)", len(gotCM), len(serialCM))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEarlyStop checks that returning false from the row
+// callback stops emission: the rows seen are exactly a prefix of the
+// serial result.
+func TestParallelEarlyStop(t *testing.T) {
+	db := buildTestDB(t, 4000, 7, 0)
+	q := NewQuery(Between(1, value.NewInt(5), value.NewInt(30)))
+	full := collectVia(t, func(fn RowFunc) error { return TableScan(db.tbl, q, fn) })
+	if len(full) < 10 {
+		t.Fatalf("fixture too selective: %d rows", len(full))
+	}
+	const limit = 7
+	var got []string
+	err := ParallelTableScan(db.tbl, q, 4, func(_ heap.RID, row value.Row) bool {
+		got = append(got, row[2].S)
+		return len(got) < limit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSlices(full[:limit], got) {
+		t.Errorf("early stop emitted %v, want prefix %v", got, full[:limit])
+	}
+}
+
+// TestParallelCMScanRejectsUncovered mirrors the serial CMScan contract.
+func TestParallelCMScanRejectsUncovered(t *testing.T) {
+	db := buildTestDB(t, 1000, 3, 0)
+	q := NewQuery(Eq(0, value.NewInt(1))) // predicate on c only, not the CM's u
+	err := ParallelCMScan(db.tbl, db.cm, q, 4, func(heap.RID, value.Row) bool { return true })
+	if err == nil {
+		t.Fatal("expected error for query not covering the CM")
+	}
+}
+
+// TestRunTasksError checks the pool propagates the first error and stops
+// scheduling.
+func TestRunTasksError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	err := runTasks(4, 100, func(i int) error {
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestChunkSlices checks partitioning covers [0, n) without overlap.
+func TestChunkSlices(t *testing.T) {
+	for _, tc := range [][2]int{{10, 3}, {3, 10}, {1, 1}, {16, 4}, {7, 8}} {
+		chunks := chunkSlices(tc[0], tc[1])
+		at := 0
+		for _, ch := range chunks {
+			if ch[0] != at {
+				t.Fatalf("chunkSlices(%d,%d): gap at %d: %v", tc[0], tc[1], at, chunks)
+			}
+			if ch[1] <= ch[0] {
+				t.Fatalf("chunkSlices(%d,%d): empty chunk: %v", tc[0], tc[1], chunks)
+			}
+			at = ch[1]
+		}
+		if at != tc[0] {
+			t.Fatalf("chunkSlices(%d,%d): covers %d, want %d", tc[0], tc[1], at, tc[0])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -136,8 +137,10 @@ func ChoosePlan(t *table.Table, q Query, sp StatsProvider) Plan {
 
 // ExactStats is a StatsProvider computing exact statistics with table
 // scans, caching per attribute set. Fine for tests and moderate tables;
-// production advisors use the sampling estimators instead.
+// production advisors use the sampling estimators instead. Safe for
+// concurrent use: concurrent planners share one cache under a mutex.
 type ExactStats struct {
+	mu      sync.Mutex
 	cacheTS map[*table.Table]costmodel.TableStats
 	cachePS map[string]costmodel.PairStats
 }
@@ -150,8 +153,12 @@ func NewExactStats() *ExactStats {
 	}
 }
 
-// TableStats implements StatsProvider.
+// TableStats implements StatsProvider. The mutex is held across the
+// computation so concurrent first queries on a cold cache scan the
+// table once, not once each.
 func (e *ExactStats) TableStats(t *table.Table) costmodel.TableStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ts, ok := e.cacheTS[t]; ok {
 		return ts
 	}
@@ -165,9 +172,13 @@ func (e *ExactStats) TableStats(t *table.Table) costmodel.TableStats {
 	return ts
 }
 
-// PairStats implements StatsProvider.
+// PairStats implements StatsProvider; like TableStats, it computes a
+// missing entry under the mutex to avoid a cache stampede of
+// full-table scans.
 func (e *ExactStats) PairStats(t *table.Table, uCols []int) (costmodel.PairStats, bool) {
 	key := fmt.Sprintf("%s/%v", t.Name(), uCols)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ps, ok := e.cachePS[key]; ok {
 		return ps, true
 	}

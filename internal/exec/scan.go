@@ -173,29 +173,51 @@ func pagesOf(rids []heap.RID) []int64 {
 	return pages
 }
 
-// sweepPages reads the given heap pages in ascending order, re-filters
-// rows against the query and emits matches. Runs separated by a gap
-// smaller than one seek's worth of sequential reads are read straight
-// through (the read-ahead economics a bitmap heap scan relies on; it is
-// also what lets dense access degrade gracefully toward a sequential
-// scan, the min(..., cost_scan) cap in the paper's model). Rows on
-// gap pages are filtered out by the query like any other non-match.
-func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
-	sch := t.Schema()
+// maxGapFor returns the largest page gap worth reading straight
+// through: one seek's worth of sequential reads (the read-ahead
+// economics a bitmap heap scan relies on; it is also what lets dense
+// access degrade gracefully toward a sequential scan, the
+// min(..., cost_scan) cap in the paper's model).
+func maxGapFor(t *table.Table) int64 {
 	cfg := t.Pool().Disk().Config()
 	maxGap := int64(cfg.SeekCost / cfg.SeqPageCost)
 	if maxGap < 1 {
 		maxGap = 1
 	}
-	var decodeErr error
+	return maxGap
+}
+
+// forEachPageRun coalesces the sorted distinct pages into maximal runs
+// whose internal gaps are at most maxGap, invoking visit per run.
+// Returning false from visit stops the iteration.
+func forEachPageRun(pages []int64, maxGap int64, visit func(lo, hi int64) (cont bool, err error)) error {
 	for i := 0; i < len(pages); {
-		// Extend a run across small gaps.
 		j := i
 		for j+1 < len(pages) && pages[j+1]-pages[j] <= maxGap {
 			j++
 		}
+		cont, err := visit(pages[i], pages[j])
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+		i = j + 1
+	}
+	return nil
+}
+
+// sweepPages reads the given heap pages in ascending order, re-filters
+// rows against the query and emits matches. Rows on gap pages read
+// through by a run are filtered out by the query like any other
+// non-match.
+func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
+	sch := t.Schema()
+	return forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
+		var decodeErr error
 		stop := false
-		err := t.Heap().ScanPages(pages[i], pages[j], func(rid heap.RID, tuple []byte) bool {
+		err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
 			row, err := sch.DecodeRow(tuple)
 			if err != nil {
 				decodeErr = err
@@ -211,17 +233,13 @@ func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
 			return true
 		})
 		if decodeErr != nil {
-			return decodeErr
+			return false, decodeErr
 		}
 		if err != nil {
-			return err
+			return false, err
 		}
-		if stop {
-			return nil
-		}
-		i = j + 1
-	}
-	return nil
+		return !stop, nil
+	})
 }
 
 // Collect runs an access method and gathers all result rows, a

@@ -1,0 +1,88 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// FuzzRoundTrip checks that encoding any (int, float, string) triple and
+// decoding it back yields the original values bit-for-bit, and that the
+// encoding preserves composite ordering properties the engine relies on
+// (each field is self-delimiting, so the decode consumes exactly the
+// encoded bytes).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(0), 0.0, "")
+	f.Add(int64(-1), -0.0, "a\x00b")
+	f.Add(int64(math.MaxInt64), math.Inf(1), "\x00\x00")
+	f.Add(int64(math.MinInt64), math.Inf(-1), "zzz")
+	f.Add(int64(42), 3.14, "correlation map")
+	f.Fuzz(func(t *testing.T, i int64, fl float64, s string) {
+		key := EncodeValues(value.NewInt(i), value.NewFloat(fl), value.NewString(s))
+		vals, err := DecodeAll(key)
+		if err != nil {
+			t.Fatalf("DecodeAll(%x): %v", key, err)
+		}
+		if len(vals) != 3 {
+			t.Fatalf("decoded %d values, want 3", len(vals))
+		}
+		if vals[0].K != value.Int || vals[0].I != i {
+			t.Errorf("int round-trip: got %v, want %d", vals[0], i)
+		}
+		if vals[1].K != value.Float || math.Float64bits(vals[1].F) != math.Float64bits(fl) {
+			t.Errorf("float round-trip: got %v (bits %x), want %v (bits %x)",
+				vals[1].F, math.Float64bits(vals[1].F), fl, math.Float64bits(fl))
+		}
+		if vals[2].K != value.String || vals[2].S != s {
+			t.Errorf("string round-trip: got %q, want %q", vals[2].S, s)
+		}
+		// Re-encoding the decoded values must reproduce the bytes: the
+		// encoding is canonical.
+		if again := EncodeValues(vals...); !bytes.Equal(again, key) {
+			t.Errorf("re-encode mismatch: %x vs %x", again, key)
+		}
+	})
+}
+
+// FuzzOrderPreserving checks the core contract: bytewise order of
+// encoded keys matches logical order of the values.
+func FuzzOrderPreserving(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(-5), int64(5))
+	f.Add(int64(math.MinInt64), int64(math.MaxInt64))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		ka := EncodeValue(value.NewInt(a))
+		kb := EncodeValue(value.NewInt(b))
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b && cmp >= 0:
+			t.Errorf("%d < %d but keys compare %d", a, b, cmp)
+		case a > b && cmp <= 0:
+			t.Errorf("%d > %d but keys compare %d", a, b, cmp)
+		case a == b && cmp != 0:
+			t.Errorf("%d == %d but keys compare %d", a, b, cmp)
+		}
+	})
+}
+
+// FuzzDecodeArbitrary throws arbitrary bytes at the decoder: it must
+// never panic, and anything it accepts must re-encode to exactly the
+// input (no two byte strings decode to the same values).
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x10})
+	f.Add(EncodeValue(value.NewInt(77)))
+	f.Add(EncodeValue(value.NewString("x\x00y")))
+	f.Add([]byte{0x30, 0x00, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeAll(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if again := EncodeValues(vals...); !bytes.Equal(again, data) {
+			t.Errorf("accepted non-canonical encoding: %x decodes to %v, re-encodes to %x", data, vals, again)
+		}
+	})
+}

@@ -17,6 +17,8 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,6 +34,16 @@ type Config struct {
 	PageSize    int           // bytes per page
 	SeekCost    time.Duration // random page access (seek + read)
 	SeqPageCost time.Duration // sequential page read/write
+	// RealWaitScale, when positive, makes every access also block the
+	// calling goroutine for its virtual cost divided by this factor
+	// (RealWaitScale 10 turns a 5.5 ms seek into a 0.55 ms sleep). The
+	// wait happens after the disk mutex is released, so independent
+	// accesses from concurrent scan workers overlap their waits the way
+	// requests overlap on hardware with internal parallelism (command
+	// queueing, SSD channels, disk arrays). Zero (the default) disables
+	// real waits: accesses only advance the virtual clock. The virtual
+	// clock itself remains a single serial time line either way.
+	RealWaitScale int
 }
 
 // DefaultConfig returns the paper's measured hardware parameters.
@@ -62,9 +74,13 @@ type Stats struct {
 func (s Stats) Seeks() uint64 { return s.RandReads + s.RandWrites + s.Syncs }
 
 // Disk is an in-memory page store with mechanical-disk cost accounting.
-// It is not safe for concurrent use; the engine serializes access.
+// It is safe for concurrent use: a single mutex serializes every access,
+// modeling the one spindle the cost constants describe — concurrent
+// requests queue at the disk exactly as they would at real hardware.
 type Disk struct {
-	cfg   Config
+	cfg Config
+
+	mu    sync.Mutex
 	files [][][]byte
 
 	hasPos   bool
@@ -72,7 +88,17 @@ type Disk struct {
 	lastPage int64
 
 	stats Stats
+
+	// owed pools un-slept real-wait time (RealWaitScale mode). Host
+	// sleep granularity is ~1 ms, far above a scaled sequential page
+	// read, so waits accumulate here and are paid in chunks: totals are
+	// preserved, and concurrent accessors still overlap their sleeps.
+	owed atomic.Int64
 }
+
+// waitChunk is the minimum real wait paid at once, chosen above typical
+// host sleep granularity so chunked sleeps stay accurate.
+const waitChunk = 2 * time.Millisecond
 
 // NewDisk creates a disk with the given configuration. Zero fields fall
 // back to the defaults.
@@ -97,18 +123,24 @@ func (d *Disk) PageSize() int { return d.cfg.PageSize }
 
 // CreateFile allocates a new empty file and returns its ID.
 func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.files = append(d.files, nil)
 	return FileID(len(d.files) - 1)
 }
 
 // NumPages returns the number of pages in the file.
 func (d *Disk) NumPages(f FileID) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return int64(len(d.files[f]))
 }
 
 // AllocPage appends a zeroed page to the file and returns its page number.
 // Allocation itself is free; the subsequent write pays the I/O cost.
 func (d *Disk) AllocPage(f FileID) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.files[f] = append(d.files[f], make([]byte, d.cfg.PageSize))
 	return int64(len(d.files[f]) - 1)
 }
@@ -124,74 +156,146 @@ func (d *Disk) page(f FileID, p int64) ([]byte, error) {
 	return pages[p], nil
 }
 
-// charge classifies an access at (f, p) and advances the virtual clock.
-func (d *Disk) charge(f FileID, p int64, write bool) {
+// charge classifies an access at (f, p), advances the virtual clock and
+// returns the virtual cost of the access.
+func (d *Disk) charge(f FileID, p int64, write bool) time.Duration {
 	seq := d.hasPos && d.lastFile == f && p == d.lastPage+1
 	d.hasPos = true
 	d.lastFile = f
 	d.lastPage = p
+	var cost time.Duration
 	if seq {
-		d.stats.Elapsed += d.cfg.SeqPageCost
+		cost = d.cfg.SeqPageCost
 		if write {
 			d.stats.SeqWrites++
 		} else {
 			d.stats.SeqReads++
 		}
 	} else {
-		d.stats.Elapsed += d.cfg.SeekCost
+		cost = d.cfg.SeekCost
 		if write {
 			d.stats.RandWrites++
 		} else {
 			d.stats.RandReads++
 		}
 	}
+	d.stats.Elapsed += cost
 	if write {
 		d.stats.Writes++
 	} else {
 		d.stats.Reads++
+	}
+	return cost
+}
+
+// wait blocks for the access's scaled real-time cost when the disk is
+// configured with RealWaitScale. Called without the mutex held so
+// concurrent accesses overlap their waits. Sub-chunk costs pool in owed
+// and the accessor that pushes the pool past waitChunk sleeps it off.
+func (d *Disk) wait(cost time.Duration) {
+	if d.cfg.RealWaitScale <= 0 {
+		return
+	}
+	real := cost / time.Duration(d.cfg.RealWaitScale)
+	owed := d.owed.Add(int64(real))
+	if owed < int64(waitChunk) {
+		return
+	}
+	// Claim the whole pool; on a lost race the racing accessor observed
+	// an even larger pool and claims it instead.
+	if d.owed.CompareAndSwap(owed, 0) {
+		time.Sleep(time.Duration(owed))
 	}
 }
 
 // ReadPage reads page p of file f into dst (which must be PageSize bytes)
 // and charges the access.
 func (d *Disk) ReadPage(f FileID, p int64, dst []byte) error {
+	cost, err := d.ReadPageDeferWait(f, p, dst)
+	d.PayWait(cost)
+	return err
+}
+
+// ReadPageDeferWait is ReadPage without the real wait: it returns the
+// access's virtual cost for the caller to pay with PayWait once it has
+// released its own locks (the buffer pool holds a shard lock across the
+// read, and sleeping inside it would convoy unrelated accessors).
+func (d *Disk) ReadPageDeferWait(f FileID, p int64, dst []byte) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	pg, err := d.page(f, p)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	d.charge(f, p, false)
+	cost := d.charge(f, p, false)
 	copy(dst, pg)
-	return nil
+	return cost, nil
 }
 
 // WritePage writes src to page p of file f and charges the access.
 func (d *Disk) WritePage(f FileID, p int64, src []byte) error {
+	cost, err := d.WritePageDeferWait(f, p, src)
+	d.PayWait(cost)
+	return err
+}
+
+// WritePageDeferWait is WritePage without the real wait; see
+// ReadPageDeferWait.
+func (d *Disk) WritePageDeferWait(f FileID, p int64, src []byte) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	pg, err := d.page(f, p)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	d.charge(f, p, true)
+	cost := d.charge(f, p, true)
 	copy(pg, src)
-	return nil
+	return cost, nil
+}
+
+// PayWait blocks for a previously deferred access cost. A zero cost is
+// free.
+func (d *Disk) PayWait(cost time.Duration) {
+	if cost > 0 {
+		d.wait(cost)
+	}
 }
 
 // Sync models an fsync barrier: one random access.
 func (d *Disk) Sync() {
+	d.PayWait(d.SyncDeferWait())
+}
+
+// SyncDeferWait is Sync without the real wait; see ReadPageDeferWait.
+func (d *Disk) SyncDeferWait() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.stats.Syncs++
 	d.stats.Elapsed += d.cfg.SeekCost
 	d.hasPos = false // the head position is unknown after a barrier
+	return d.cfg.SeekCost
 }
 
 // Stats returns a snapshot of the counters.
-func (d *Disk) Stats() Stats { return d.stats }
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // Elapsed returns the accumulated virtual time.
-func (d *Disk) Elapsed() time.Duration { return d.stats.Elapsed }
+func (d *Disk) Elapsed() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats.Elapsed
+}
 
 // ResetStats zeroes the counters and the virtual clock. The head position
 // is also forgotten so the first access after a reset is a seek, matching
 // the paper's cold-cache methodology.
 func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.stats = Stats{}
 	d.hasPos = false
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -41,12 +42,22 @@ type Config struct {
 // configuration does not specify one.
 const DefaultBucketPages = 10
 
-// Table is a clustered table with its access methods. Not safe for
-// concurrent use.
+// Table is a clustered table with its access methods.
+//
+// Concurrency: the table carries a reader/writer latch but its methods do
+// not take it themselves — callers bracket whole operations so a
+// multi-step read (index probe, then heap sweep) observes one consistent
+// state. Readers (Scan, FetchRow, index and CM probes) run concurrently
+// under RLock; mutators (Load, Insert, Delete, Commit, CreateIndex,
+// CreateCM, RecoverCM, CheckpointCM) require Lock. The repro facade
+// acquires the latch automatically; code driving Table directly
+// single-threaded (experiments, tests) may skip it entirely.
 type Table struct {
 	cfg  Config
 	pool *buffer.Pool
 	log  *wal.Log
+
+	mu sync.RWMutex
 
 	heapf     *heap.File
 	clustered *Index
@@ -82,6 +93,20 @@ func New(pool *buffer.Pool, log *wal.Log, cfg Config) (*Table, error) {
 	t.cbuckets = core.NewClusteredBuckets(nil)
 	return t, nil
 }
+
+// RLock takes the table latch in shared mode: any number of concurrent
+// readers, no writers. Hold it for the full duration of a query so its
+// index probes and heap sweeps see one consistent table state.
+func (t *Table) RLock() { t.mu.RLock() }
+
+// RUnlock releases a shared hold of the table latch.
+func (t *Table) RUnlock() { t.mu.RUnlock() }
+
+// Lock takes the table latch exclusively, for mutations.
+func (t *Table) Lock() { t.mu.Lock() }
+
+// Unlock releases an exclusive hold of the table latch.
+func (t *Table) Unlock() { t.mu.Unlock() }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.cfg.Name }

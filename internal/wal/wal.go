@@ -11,6 +11,8 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -33,11 +35,14 @@ type Record struct {
 	Payload []byte
 }
 
-// Log is an append-only write-ahead log. Not safe for concurrent use.
+// Log is an append-only write-ahead log. Safe for concurrent use: one
+// mutex serializes appends and flushes, since the log is shared by every
+// table of a DB and writers on different tables may commit concurrently.
 type Log struct {
 	disk *sim.Disk
 	file sim.FileID
 
+	mu      sync.Mutex
 	page    int64  // page currently being filled, -1 before first write
 	buf     []byte // in-memory tail page image
 	bufUsed int
@@ -45,6 +50,17 @@ type Log struct {
 	flushed int64 // bytes durably on disk
 	appends uint64
 	flushes uint64
+	// owed accumulates deferred real-wait disk cost incurred under mu;
+	// the public entry points pay it after unlocking so a flushing
+	// writer does not convoy appenders and stat readers.
+	owed time.Duration
+}
+
+// takeOwed drains the deferred wait. Called with mu held.
+func (l *Log) takeOwed() time.Duration {
+	owed := l.owed
+	l.owed = 0
+	return owed
 }
 
 // NewLog creates an empty log in a fresh file.
@@ -58,13 +74,25 @@ func NewLog(disk *sim.Disk) *Log {
 }
 
 // Len returns the total number of bytes appended (the end-of-log LSN).
-func (l *Log) Len() int64 { return l.length }
+func (l *Log) Len() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.length
+}
 
 // Appends returns the number of records appended.
-func (l *Log) Appends() uint64 { return l.appends }
+func (l *Log) Appends() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
 
 // Flushes returns the number of Flush barriers.
-func (l *Log) Flushes() uint64 { return l.flushes }
+func (l *Log) Flushes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushes
+}
 
 // Append adds a record to the log buffer. The record becomes durable at
 // the next Flush. Record framing: type byte, target length (u16), target,
@@ -73,6 +101,7 @@ func (l *Log) Append(r Record) error {
 	if len(r.Target) > 0xFFFF {
 		return fmt.Errorf("wal: target name too long")
 	}
+	l.mu.Lock()
 	hdr := make([]byte, 0, 7+len(r.Target))
 	hdr = append(hdr, byte(r.Type))
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(r.Target)))
@@ -81,6 +110,9 @@ func (l *Log) Append(r Record) error {
 	l.writeBytes(hdr)
 	l.writeBytes(r.Payload)
 	l.appends++
+	owed := l.takeOwed()
+	l.mu.Unlock()
+	l.disk.PayWait(owed)
 	return nil
 }
 
@@ -108,8 +140,11 @@ func (l *Log) rotatePage() {
 
 func (l *Log) writeTail() {
 	// Errors cannot occur for a page we just allocated; sim.Disk only
-	// fails on out-of-range access.
-	if err := l.disk.WritePage(l.file, l.page, l.buf); err != nil {
+	// fails on out-of-range access. The real wait is deferred into
+	// l.owed and paid outside the log mutex.
+	cost, err := l.disk.WritePageDeferWait(l.file, l.page, l.buf)
+	l.owed += cost
+	if err != nil {
 		panic(fmt.Sprintf("wal: tail write: %v", err))
 	}
 }
@@ -117,14 +152,18 @@ func (l *Log) writeTail() {
 // Flush makes every appended record durable: it writes the partial tail
 // page and issues an fsync barrier.
 func (l *Log) Flush() {
+	l.mu.Lock()
 	if l.length > l.flushed {
 		if l.page >= 0 && l.bufUsed > 0 && l.bufUsed < len(l.buf) {
 			l.writeTail()
 		}
 		l.flushed = l.length
 	}
-	l.disk.Sync()
+	l.owed += l.disk.SyncDeferWait()
 	l.flushes++
+	owed := l.takeOwed()
+	l.mu.Unlock()
+	l.disk.PayWait(owed)
 }
 
 // Replay decodes every record in order and passes it to fn, reading the
@@ -138,6 +177,10 @@ func (l *Log) Replay(fn func(Record) bool) error {
 // record boundary previously obtained from Len() (for example at a
 // checkpoint). Only the pages holding the suffix are read back.
 func (l *Log) ReplayFrom(lsn int64, fn func(Record) bool) error {
+	l.mu.Lock()
+	payOwed := func() { l.disk.PayWait(l.takeOwed()) }
+	defer l.mu.Unlock()
+	defer payOwed() // runs before Unlock: recovery is exclusive anyway
 	// Ensure the tail is readable from disk.
 	if l.page >= 0 && l.bufUsed > 0 {
 		l.writeTail()
@@ -152,7 +195,9 @@ func (l *Log) ReplayFrom(lsn int64, fn func(Record) bool) error {
 	pageBuf := make([]byte, len(l.buf))
 	numPages := l.disk.NumPages(l.file)
 	for p := firstPage; p < numPages; p++ {
-		if err := l.disk.ReadPage(l.file, p, pageBuf); err != nil {
+		cost, err := l.disk.ReadPageDeferWait(l.file, p, pageBuf)
+		l.owed += cost
+		if err != nil {
 			return err
 		}
 		stream = append(stream, pageBuf...)

@@ -2,6 +2,8 @@ package repro
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/advisor"
@@ -100,6 +102,12 @@ func (m AccessMethod) String() string {
 
 // Select streams the rows matching all predicates to fn, choosing the
 // access path with the cost model. Return false from fn to stop early.
+//
+// Select holds the table latch shared for the whole query, so concurrent
+// Selects run in parallel and a racing Insert/Delete/Commit waits;
+// result rows reflect one consistent table state. Scans fan out across
+// the DB's worker pool (Config.Workers); parallel scans still emit rows
+// in physical order.
 func (t *Table) Select(fn func(Row) bool, preds ...Pred) error {
 	return t.SelectVia(Auto, fn, preds...)
 }
@@ -108,31 +116,39 @@ func (t *Table) Select(fn func(Row) bool, preds ...Pred) error {
 // PipelinedIndexScan and CMScan use the first applicable index or CM
 // (one whose leading column — any column, for CMs — is predicated).
 func (t *Table) SelectVia(method AccessMethod, fn func(Row) bool, preds ...Pred) error {
+	return t.selectVia(method, t.db.workers, fn, preds)
+}
+
+// selectVia runs one query with an explicit scan fan-out under a shared
+// latch hold.
+func (t *Table) selectVia(method AccessMethod, workers int, fn func(Row) bool, preds []Pred) error {
 	q, err := buildQuery(t, preds)
 	if err != nil {
 		return err
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	emit := func(_ heap.RID, row value.Row) bool { return fn(externalRow(row)) }
 	switch method {
 	case Auto:
 		plan := exec.ChoosePlan(t.inner, q, t.exactStats())
-		return plan.Run(t.inner, q, emit)
+		return plan.RunParallel(t.inner, q, workers, emit)
 	case TableScan:
-		return exec.TableScan(t.inner, q, emit)
+		return exec.ParallelTableScan(t.inner, q, workers, emit)
 	case SortedIndexScan, PipelinedIndexScan:
 		ix := t.applicableIndex(q)
 		if ix == nil {
 			return fmt.Errorf("repro: no secondary index applies to %s", q.String())
 		}
 		if method == SortedIndexScan {
-			return exec.SortedIndexScan(t.inner, ix, q, emit)
+			return exec.ParallelSortedIndexScan(t.inner, ix, q, workers, emit)
 		}
 		return exec.PipelinedIndexScan(t.inner, ix, q, emit)
 	case CMScan:
 		for _, cm := range t.inner.CMs() {
 			for _, c := range cm.Spec().UCols {
 				if q.PredOn(c) != nil {
-					return exec.CMScan(t.inner, cm, q, emit)
+					return exec.ParallelCMScan(t.inner, cm, q, workers, emit)
 				}
 			}
 		}
@@ -149,14 +165,77 @@ func (t *Table) SelectViaCM(cmName string, fn func(Row) bool, preds ...Pred) err
 	if err != nil {
 		return err
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	for _, cm := range t.inner.CMs() {
 		if cm.Spec().Name == cmName {
-			return exec.CMScan(t.inner, cm, q, func(_ heap.RID, row value.Row) bool {
+			return exec.ParallelCMScan(t.inner, cm, q, t.db.workers, func(_ heap.RID, row value.Row) bool {
 				return fn(externalRow(row))
 			})
 		}
 	}
 	return fmt.Errorf("repro: table %s has no CM %q", t.inner.Name(), cmName)
+}
+
+// QuerySpec names one query of a batch: the target table, the access
+// method (Auto lets the cost model choose) and the predicates.
+type QuerySpec struct {
+	Table string
+	Via   AccessMethod
+	Preds []Pred
+}
+
+// QueryResult is the outcome of one query of a batch: the matching rows,
+// or the error that stopped it.
+type QueryResult struct {
+	Rows []Row
+	Err  error
+}
+
+// SelectMany evaluates the queries concurrently across the DB's worker
+// pool (Config.Workers), modeling a multi-client workload: each query
+// takes its table's latch shared, so the batch runs in parallel with
+// other readers and serializes only against writers. Results are
+// returned positionally. Individual queries run with serial scans —
+// the fan-out here is across queries, not within them.
+func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
+	out := make([]QueryResult, len(specs))
+	workers := db.workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(specs) {
+					return
+				}
+				spec := specs[i]
+				tbl := db.Table(spec.Table)
+				if tbl == nil {
+					out[i].Err = fmt.Errorf("repro: no table %q", spec.Table)
+					continue
+				}
+				var rows []Row
+				err := tbl.selectVia(spec.Via, 1, func(r Row) bool {
+					rows = append(rows, r)
+					return true
+				}, spec.Preds)
+				out[i] = QueryResult{Rows: rows, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 func (t *Table) applicableIndex(q exec.Query) *table.Index {
@@ -181,6 +260,8 @@ func (t *Table) Explain(preds ...Pred) (PlanInfo, error) {
 	if err != nil {
 		return PlanInfo{}, err
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	plan := exec.ChoosePlan(t.inner, q, t.exactStats())
 	info := PlanInfo{EstimatedCost: plan.Cost}
 	switch plan.Method {
@@ -199,12 +280,9 @@ func (t *Table) Explain(preds ...Pred) (PlanInfo, error) {
 	return info, nil
 }
 
-func (t *Table) exactStats() *exec.ExactStats {
-	if t.stats == nil {
-		t.stats = exec.NewExactStats()
-	}
-	return t.stats
-}
+// exactStats returns the table's shared planner statistics cache,
+// created eagerly in CreateTable; ExactStats is itself thread-safe.
+func (t *Table) exactStats() *exec.ExactStats { return t.stats }
 
 // Recommendation is one CM design proposed by the advisor.
 type Recommendation struct {
@@ -229,6 +307,8 @@ func (t *Table) Advise(maxSlowdownPct float64, preds ...Pred) ([]Recommendation,
 	if err != nil {
 		return nil, err
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	adv, err := advisor.New(t.inner, advisor.Config{})
 	if err != nil {
 		return nil, err
@@ -304,6 +384,8 @@ func (t *Table) DiscoverFDs(minStrength float64, pairs bool, cols ...string) ([]
 			idxs = append(idxs, ci)
 		}
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	adv, err := advisor.New(t.inner, advisor.Config{})
 	if err != nil {
 		return nil, err
@@ -340,6 +422,8 @@ func (t *Table) PairStats(cols ...string) (PairStatsInfo, error) {
 		}
 		idxs[i] = ci
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	pc, err := t.inner.PairStats(idxs)
 	if err != nil {
 		return PairStatsInfo{}, err
@@ -363,6 +447,8 @@ func (t *Table) VarBucketBounds(col string, maxCBucketsPerBucket int) ([]Value, 
 	if err != nil {
 		return nil, err
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	adv, err := advisor.New(t.inner, advisor.Config{})
 	if err != nil {
 		return nil, err
@@ -386,6 +472,8 @@ func (t *Table) CreateVarCM(name, col string, bounds []Value) error {
 	for i, b := range bounds {
 		vb.Bounds[i] = b.v
 	}
+	t.inner.Lock()
+	defer t.inner.Unlock()
 	_, err = t.inner.CreateCM(core.Spec{
 		Name:      name,
 		UCols:     []int{ci},
@@ -416,6 +504,8 @@ func (t *Table) SuggestClustering(threshold float64, cols ...string) ([]Clusteri
 		}
 		idxs[i] = ci
 	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	adv, err := advisor.New(t.inner, advisor.Config{})
 	if err != nil {
 		return nil, err

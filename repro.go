@@ -31,6 +31,8 @@ package repro
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/buffer"
@@ -110,42 +112,73 @@ func externalRow(r value.Row) Row {
 }
 
 // Config holds engine parameters. Zero values select the paper's
-// defaults: 8 KiB pages, 5.5 ms seeks, 0.078 ms sequential page reads
-// and a 4096-page buffer pool.
+// defaults: 8 KiB pages, 5.5 ms seeks, 0.078 ms sequential page reads,
+// a 4096-page buffer pool and a GOMAXPROCS-sized scan worker pool.
 type Config struct {
 	PageSize        int
 	SeekCost        time.Duration
 	SeqPageCost     time.Duration
 	BufferPoolPages int
+	// Workers bounds the scan fan-out: parallel table scans, sorted
+	// index scans and CM scans split their work across this many
+	// goroutines, and SelectMany runs this many queries concurrently.
+	// 0 selects GOMAXPROCS; 1 keeps every scan serial.
+	Workers int
+	// IOWaitScale, when positive, makes every simulated disk access
+	// block for its virtual cost divided by this factor (10 turns a
+	// 5.5 ms seek into a 0.55 ms wait). Concurrent workers overlap
+	// their waits, so wall-clock timings of parallel scans behave like
+	// a disk-bound system on hardware with internal I/O parallelism.
+	// Zero disables real waits; virtual-time accounting is unaffected.
+	IOWaitScale int
 }
 
 // DB is a database instance: one simulated disk, buffer pool and WAL
-// shared by its tables. Not safe for concurrent use.
+// shared by its tables.
+//
+// DB is safe for concurrent use. Each table carries a reader/writer
+// latch: Select and the other read APIs run concurrently under shared
+// holds, while Insert, Delete, Commit, Load and index/CM creation are
+// exclusive. The buffer pool (sharded locks), simulated disk and WAL are
+// thread-safe underneath, so queries on different tables never block
+// each other.
 type DB struct {
-	disk   *sim.Disk
-	pool   *buffer.Pool
-	log    *wal.Log
+	disk    *sim.Disk
+	pool    *buffer.Pool
+	log     *wal.Log
+	workers int
+
+	mu     sync.RWMutex // guards the tables map
 	tables map[string]*Table
 }
 
 // Open creates a database.
 func Open(cfg Config) *DB {
 	disk := sim.NewDisk(sim.Config{
-		PageSize:    cfg.PageSize,
-		SeekCost:    cfg.SeekCost,
-		SeqPageCost: cfg.SeqPageCost,
+		PageSize:      cfg.PageSize,
+		SeekCost:      cfg.SeekCost,
+		SeqPageCost:   cfg.SeqPageCost,
+		RealWaitScale: cfg.IOWaitScale,
 	})
 	pages := cfg.BufferPoolPages
 	if pages <= 0 {
 		pages = 4096
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = exec.DefaultWorkers()
+	}
 	return &DB{
-		disk:   disk,
-		pool:   buffer.NewPool(disk, pages),
-		log:    wal.NewLog(disk),
-		tables: make(map[string]*Table),
+		disk:    disk,
+		pool:    buffer.NewPool(disk, pages),
+		log:     wal.NewLog(disk),
+		workers: workers,
+		tables:  make(map[string]*Table),
 	}
 }
+
+// Workers returns the configured scan fan-out.
+func (db *DB) Workers() int { return db.workers }
 
 // Column declares one attribute of a table.
 type Column struct {
@@ -167,6 +200,8 @@ type TableSpec struct {
 
 // CreateTable creates an empty clustered table.
 func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[spec.Name]; ok {
 		return nil, fmt.Errorf("repro: table %q exists", spec.Name)
 	}
@@ -193,13 +228,30 @@ func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{db: db, inner: inner}
+	t := &Table{db: db, inner: inner, stats: exec.NewExactStats()}
 	db.tables[spec.Name] = t
 	return t, nil
 }
 
 // Table returns a table by name, or nil.
-func (db *DB) Table(name string) *Table { return db.tables[name] }
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// allTables snapshots the tables sorted by name, for operations that
+// must latch every table in a deterministic order.
+func (db *DB) allTables() []*Table {
+	db.mu.RLock()
+	out := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	db.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
 
 // IOStats reports the disk counters and the virtual clock.
 type IOStats struct {
@@ -232,8 +284,18 @@ func (db *DB) ResetStats() {
 }
 
 // ColdCache flushes and drops every cached page, modeling the paper's
-// between-runs cache drop.
+// between-runs cache drop. It latches every table exclusively (in name
+// order) so no query holds pinned frames while the pool empties.
 func (db *DB) ColdCache() error {
+	tables := db.allTables()
+	for _, t := range tables {
+		t.inner.Lock()
+	}
+	defer func() {
+		for i := len(tables) - 1; i >= 0; i-- {
+			tables[i].inner.Unlock()
+		}
+	}()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -241,7 +303,10 @@ func (db *DB) ColdCache() error {
 	return nil
 }
 
-// Table is a clustered table with its access methods.
+// Table is a clustered table with its access methods. Safe for
+// concurrent use: reads take the table latch shared, mutations take it
+// exclusive, each for the full duration of the operation, so a query
+// never observes a half-applied insert or delete.
 type Table struct {
 	db    *DB
 	inner *table.Table
@@ -267,23 +332,30 @@ func (t *Table) Load(rows []Row) error {
 	for i, r := range rows {
 		internal[i] = r.internal()
 	}
+	t.inner.Lock()
+	defer t.inner.Unlock()
 	return t.inner.Load(internal)
 }
 
 // Insert appends one row, maintaining the clustered index, all secondary
 // indexes and all CMs, under WAL logging.
 func (t *Table) Insert(row Row) error {
+	t.inner.Lock()
+	defer t.inner.Unlock()
 	_, err := t.inner.Insert(row.internal())
 	return err
 }
 
 // Delete removes every row matching the predicates and returns how many
-// were deleted.
+// were deleted. The scan and the removals run under one exclusive latch
+// hold, so concurrent readers see either all matching rows or none.
 func (t *Table) Delete(preds ...Pred) (int, error) {
 	q, err := buildQuery(t, preds)
 	if err != nil {
 		return 0, err
 	}
+	t.inner.Lock()
+	defer t.inner.Unlock()
 	var rids []heap.RID
 	err = exec.TableScan(t.inner, q, func(rid heap.RID, _ value.Row) bool {
 		rids = append(rids, rid)
@@ -302,13 +374,25 @@ func (t *Table) Delete(preds ...Pred) (int, error) {
 
 // Commit flushes the WAL with the prototype's two-phase-commit
 // discipline.
-func (t *Table) Commit() error { return t.inner.Commit() }
+func (t *Table) Commit() error {
+	t.inner.Lock()
+	defer t.inner.Unlock()
+	return t.inner.Commit()
+}
 
 // RowCount returns the number of live rows.
-func (t *Table) RowCount() int64 { return t.inner.Stats().TotalTups }
+func (t *Table) RowCount() int64 {
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	return t.inner.Stats().TotalTups
+}
 
 // HeapPages returns the number of heap pages.
-func (t *Table) HeapPages() int64 { return t.inner.Stats().Pages }
+func (t *Table) HeapPages() int64 {
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	return t.inner.Stats().Pages
+}
 
 // CreateIndex builds a dense secondary B+Tree index over the named
 // columns.
@@ -321,6 +405,8 @@ func (t *Table) CreateIndex(name string, cols ...string) error {
 		}
 		idxCols[i] = ci
 	}
+	t.inner.Lock()
+	defer t.inner.Unlock()
 	_, err := t.inner.CreateIndex(name, idxCols)
 	return err
 }
@@ -370,6 +456,8 @@ func (t *Table) CreateCM(name string, cols ...CMColumn) error {
 		}
 		spec.Bucketers = append(spec.Bucketers, b)
 	}
+	t.inner.Lock()
+	defer t.inner.Unlock()
 	_, err := t.inner.CreateCM(spec)
 	return err
 }
@@ -386,6 +474,8 @@ type CMInfo struct {
 
 // CMs lists the table's correlation maps.
 func (t *Table) CMs() []CMInfo {
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	var out []CMInfo
 	sch := t.inner.Schema()
 	for _, cm := range t.inner.CMs() {
@@ -415,6 +505,8 @@ type IndexInfo struct {
 
 // Indexes lists the table's secondary indexes.
 func (t *Table) Indexes() []IndexInfo {
+	t.inner.RLock()
+	defer t.inner.RUnlock()
 	var out []IndexInfo
 	sch := t.inner.Schema()
 	for _, ix := range t.inner.Indexes() {
