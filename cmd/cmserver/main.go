@@ -1,0 +1,87 @@
+// Command cmserver serves the engine over TCP: a line-oriented protocol
+// carrying SQL statements in and JSON results out (see the README's
+// "cmserver wire protocol" section). Each connection is an independent
+// session; concurrent sessions multiplex onto one shared database
+// through the engine's table latches, and a request line carrying
+// several SELECTs fans out across the scan worker pool.
+//
+// Run with: go run ./cmd/cmserver -addr :7433 -demo
+// then talk to it with: go run ./cmd/cmsql -addr localhost:7433
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7433", "TCP listen address")
+	workers := flag.Int("workers", 0, "scan worker pool size (0 = GOMAXPROCS)")
+	poolPages := flag.Int("pool", 0, "buffer pool pages (0 = default 4096)")
+	iowait := flag.Int("iowait", 0, "IOWaitScale: make simulated I/O block for cost/scale (0 = off)")
+	demo := flag.Bool("demo", false, "preload the paper's Figure 4 people table")
+	quiet := flag.Bool("quiet", false, "suppress session logging")
+	flag.Parse()
+
+	db := repro.Open(repro.Config{
+		Workers:         *workers,
+		BufferPoolPages: *poolPages,
+		IOWaitScale:     *iowait,
+	})
+	if *demo {
+		if err := loadDemo(db); err != nil {
+			log.Fatalf("cmserver: demo data: %v", err)
+		}
+		log.Printf("cmserver: demo table 'people' loaded (10 rows, CM on city)")
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv := server.New(db, server.Config{Logf: logf})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("cmserver: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "cmserver:", err)
+		os.Exit(1)
+	}
+}
+
+// loadDemo creates the paper's running example (Figure 4) so a fresh
+// server has something to query.
+func loadDemo(db *repro.DB) error {
+	script := `
+CREATE TABLE people (state STRING, city STRING, salary INT) CLUSTERED BY (state) BUCKET TUPLES 1;
+LOAD INTO people VALUES
+ ('MA', 'boston', 25000), ('NH', 'boston', 45000), ('MA', 'boston', 50000),
+ ('MN', 'manchester', 40000), ('MA', 'cambridge', 110000), ('MS', 'jackson', 80000),
+ ('MA', 'springfield', 90000), ('NH', 'manchester', 60000), ('OH', 'springfield', 95000),
+ ('OH', 'toledo', 70000);
+CREATE CORRELATION MAP city_cm ON people (city);
+`
+	results, err := db.ExecScript(script)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Command cmsql is a tiny interactive client for cmserver: it reads SQL
+// lines from stdin (or -e for one shot), sends each as one request line,
+// and renders the JSON responses as aligned tables.
+//
+// Run with: go run ./cmd/cmsql -addr localhost:7433
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+// stmtResult mirrors the server's wire type.
+type stmtResult struct {
+	Columns  []string            `json:"columns"`
+	Rows     [][]json.RawMessage `json:"rows"`
+	Message  string              `json:"message"`
+	Affected int                 `json:"affected"`
+	Error    string              `json:"error"`
+}
+
+type response struct {
+	Results []stmtResult `json:"results"`
+	Error   string       `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7433", "cmserver address")
+	oneShot := flag.String("e", "", "execute this SQL and exit")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmsql:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	serverReader := bufio.NewReaderSize(conn, 4<<20)
+
+	if *oneShot != "" {
+		if err := roundTrip(conn, serverReader, *oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, "cmsql:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("connected to %s; end with \\q or Ctrl-D\n", *addr)
+	stdin := bufio.NewScanner(os.Stdin)
+	stdin.Buffer(make([]byte, 64<<10), 4<<20)
+	for {
+		fmt.Print("cm> ")
+		if !stdin.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(stdin.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		if err := roundTrip(conn, serverReader, line); err != nil {
+			fmt.Fprintln(os.Stderr, "cmsql:", err)
+			return
+		}
+	}
+}
+
+// roundTrip sends one request line and renders the response.
+func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string) error {
+	req, err := json.Marshal(map[string]string{"sql": sqlText})
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(append(req, '\n')); err != nil {
+		return err
+	}
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("server closed the connection: %w", err)
+	}
+	var resp response
+	dec := json.NewDecoder(strings.NewReader(string(line)))
+	dec.UseNumber()
+	if err := dec.Decode(&resp); err != nil {
+		return fmt.Errorf("bad response: %w", err)
+	}
+	if resp.Error != "" {
+		fmt.Printf("error: %s\n", resp.Error)
+		return nil
+	}
+	for _, res := range resp.Results {
+		render(res)
+	}
+	return nil
+}
+
+// render prints one statement result as an aligned table.
+func render(res stmtResult) {
+	if res.Error != "" {
+		fmt.Printf("error: %s\n", res.Error)
+		return
+	}
+	if len(res.Columns) == 0 {
+		if res.Message != "" {
+			fmt.Println(res.Message)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	cells := make([][]string, 0, len(res.Rows)+1)
+	cells = append(cells, res.Columns)
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, raw := range row {
+			line[i] = renderCell(raw)
+		}
+		cells = append(cells, line)
+	}
+	widths := make([]int, len(res.Columns))
+	for _, line := range cells {
+		for i, c := range line {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for li, line := range cells {
+		parts := make([]string, len(line))
+		for i, c := range line {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Println(strings.TrimRight(strings.Join(parts, "  "), " "))
+		if li == 0 {
+			seps := make([]string, len(widths))
+			for i, w := range widths {
+				seps[i] = strings.Repeat("-", w)
+			}
+			fmt.Println(strings.Join(seps, "  "))
+		}
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// renderCell formats one JSON cell: numbers print verbatim (UseNumber
+// keeps int64 exact), strings unquote.
+func renderCell(raw json.RawMessage) string {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return s
+	}
+	return strings.TrimSpace(string(raw))
+}

@@ -197,7 +197,7 @@ func TestSelectManyDuringWrites(t *testing.T) {
 			specs[i] = QuerySpec{
 				Table: "stress",
 				Via:   stressMethods[i%len(stressMethods)],
-				Preds: []Pred{Eq("u", IntVal(int64((round + i) % stableUs)))},
+				Preds: []Pred{Eq("u", IntVal(int64((round+i)%stableUs)))},
 			}
 		}
 		for i, res := range db.SelectMany(specs) {

@@ -1,0 +1,82 @@
+// SQL tour: the paper's running example (Figure 4) driven entirely
+// through the SQL front-end — no Go API calls, just statements, the way
+// a cmserver client would issue them.
+//
+// Run with: go run ./examples/sqltour
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	db := repro.Open(repro.Config{})
+
+	script := `
+CREATE TABLE people (state STRING, city STRING, salary INT) CLUSTERED BY (state) BUCKET TUPLES 1;
+LOAD INTO people VALUES
+ ('MA', 'boston', 25000), ('NH', 'boston', 45000), ('MA', 'boston', 50000),
+ ('MN', 'manchester', 40000), ('MA', 'cambridge', 110000), ('MS', 'jackson', 80000),
+ ('MA', 'springfield', 90000), ('NH', 'manchester', 60000), ('OH', 'springfield', 95000),
+ ('OH', 'toledo', 70000);
+CREATE CORRELATION MAP city_cm ON people (city);
+`
+	results, err := db.ExecScript(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+
+	// One statement per call from here on, printing results the way the
+	// cmsql REPL would.
+	for _, stmt := range []string{
+		"SHOW CMS FOR people",
+		"SELECT * FROM people WHERE city IN ('boston', 'springfield')",
+		"EXPLAIN SELECT * FROM people WHERE city = 'boston'",
+		"SELECT city, salary FROM people WHERE salary > 50000 AND city != 'jackson' LIMIT 3",
+		"SHOW SOFT FDS FOR people MIN STRENGTH 0.5",
+		"ADVISE CM FOR SELECT * FROM people WHERE city = 'boston' WITHIN 50 PERCENT",
+		"INSERT INTO people VALUES ('OH', 'boston', 33000)",
+		"SELECT state FROM people WHERE city = 'boston'",
+		"DELETE FROM people WHERE salary < 30000",
+		"COMMIT people",
+		"SHOW TABLES",
+	} {
+		fmt.Printf("cm> %s\n", stmt)
+		res, err := db.Exec(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res)
+		fmt.Println()
+	}
+}
+
+// printResult renders a Result like the cmsql client does.
+func printResult(res *repro.Result) {
+	if len(res.Columns) == 0 {
+		if res.Message != "" {
+			fmt.Println(res.Message)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

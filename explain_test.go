@@ -1,0 +1,310 @@
+package repro
+
+import (
+	"sort"
+	"testing"
+)
+
+// planFixture builds a table whose statistics drive the cost model to
+// each of the four access paths:
+//
+//   - c clusters 40 tuples per value (1 KiB pages make scans expensive),
+//   - u tracks c 2:1 and carries the only CM -> cm-scan on u,
+//   - s tracks c 2:1 and carries an index; each s value has 80 tuples,
+//     so per-tuple probing is hopeless but the sorted sweep is tight ->
+//     sorted-index-scan on s,
+//   - r is a unique pseudo-random permutation with an index -> one
+//     pipelined probe per lookup wins,
+//   - predicates the planner cannot probe (none, or only Ne) ->
+//     table-scan.
+func planFixture(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db := Open(Config{PageSize: 1024})
+	tbl, err := db.CreateTable(TableSpec{
+		Name: "plans",
+		Columns: []Column{
+			{Name: "c", Kind: Int},
+			{Name: "u", Kind: Int},
+			{Name: "s", Kind: Int},
+			{Name: "r", Kind: Int},
+		},
+		ClusteredBy: []string{"c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	rows := make([]Row, n)
+	for i := range rows {
+		c := int64(i / 40)
+		rows[i] = Row{IntVal(c), IntVal(c / 2), IntVal(c / 2), IntVal(int64((i * 7919) % n))}
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("ix_s", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("ix_r", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateCM("cm_u", CMColumn{Name: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// collectVia gathers rows through an access method.
+func collectVia(t *testing.T, tbl *Table, m AccessMethod, preds ...Pred) []Row {
+	t.Helper()
+	var out []Row
+	if err := tbl.SelectVia(m, func(r Row) bool {
+		out = append(out, r)
+		return true
+	}, preds...); err != nil {
+		t.Fatalf("SelectVia(%v): %v", m, err)
+	}
+	return out
+}
+
+// TestExplainAllMethods drives the planner to every access path and
+// asserts (a) the reported method and structure name, and (b) that
+// executing through the reported structure returns exactly the rows the
+// auto-planned Select returns — Uses names what the executor reads.
+func TestExplainAllMethods(t *testing.T) {
+	_, tbl := planFixture(t)
+	cases := []struct {
+		name       string
+		preds      []Pred
+		wantMethod AccessMethod
+		wantUses   string
+	}{
+		{"cm", []Pred{Eq("u", IntVal(25))}, CMScan, "cm_u"},
+		{"sorted", []Pred{Eq("s", IntVal(100))}, SortedIndexScan, "ix_s"},
+		{"pipelined", []Pred{Eq("r", IntVal(77))}, PipelinedIndexScan, "ix_r"},
+		{"scan-none", nil, TableScan, ""},
+		{"scan-ne", []Pred{Ne("u", IntVal(3))}, TableScan, ""},
+	}
+	for _, c := range cases {
+		info, err := tbl.Explain(c.preds...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if info.Method != c.wantMethod || info.Uses != c.wantUses {
+			t.Errorf("%s: Explain = %v/%q, want %v/%q",
+				c.name, info.Method, info.Uses, c.wantMethod, c.wantUses)
+		}
+		if info.EstimatedCost <= 0 {
+			t.Errorf("%s: cost %v not positive", c.name, info.EstimatedCost)
+		}
+
+		auto := collectVia(t, tbl, Auto, c.preds...)
+		// Re-execute through exactly the structure Explain named.
+		var named []Row
+		switch info.Method {
+		case CMScan:
+			err = tbl.SelectViaCM(info.Uses, func(r Row) bool {
+				named = append(named, r)
+				return true
+			}, c.preds...)
+			if err != nil {
+				t.Fatalf("%s: SelectViaCM(%q): %v", c.name, info.Uses, err)
+			}
+		case SortedIndexScan, PipelinedIndexScan:
+			// The executor picks the first applicable index; assert that
+			// is the one Explain named, then run it.
+			q, berr := buildQuery(tbl, c.preds)
+			if berr != nil {
+				t.Fatal(berr)
+			}
+			if ix := tbl.applicableIndex(q); ix == nil || ix.Name != info.Uses {
+				t.Errorf("%s: executor would read %v, Explain said %q", c.name, ix, info.Uses)
+			}
+			named = collectVia(t, tbl, info.Method, c.preds...)
+		default:
+			named = collectVia(t, tbl, TableScan, c.preds...)
+		}
+		rowsEqual(t, c.name, named, auto)
+	}
+}
+
+// TestExplainCostOrdersMethods spot-checks that the reported estimate is
+// the minimum across the paths Explain considered: forcing any other
+// applicable method must not beat the auto choice by rowcount-visible
+// margins (they must at least agree on results).
+func TestExplainCostOrdersMethods(t *testing.T) {
+	_, tbl := planFixture(t)
+	preds := []Pred{Eq("u", IntVal(25))}
+	want := collectVia(t, tbl, Auto, preds...)
+	for _, m := range []AccessMethod{TableScan, CMScan} {
+		rowsEqual(t, m.String(), collectVia(t, tbl, m, preds...), want)
+	}
+}
+
+// TestBoundaryPredicates pins the boundary semantics of the new strict
+// and negated predicates against their inclusive counterparts, across
+// every access path (probes admit boundary values; re-filtering must
+// drop them).
+func TestBoundaryPredicates(t *testing.T) {
+	_, tbl := planFixture(t)
+	const pivot = 100 // a value of u and s with rows on both sides
+
+	count := func(m AccessMethod, preds ...Pred) int {
+		t.Helper()
+		return len(collectVia(t, tbl, m, preds...))
+	}
+
+	for _, col := range []string{"u", "s", "c", "r"} {
+		methods := []AccessMethod{Auto, TableScan}
+		switch col {
+		case "u":
+			methods = append(methods, CMScan)
+		case "s", "r":
+			methods = append(methods, SortedIndexScan, PipelinedIndexScan)
+		}
+		eqN := count(TableScan, Eq(col, IntVal(pivot)))
+		if eqN == 0 {
+			t.Fatalf("fixture has no rows with %s = %d", col, pivot)
+		}
+		total := count(TableScan)
+		for _, m := range methods {
+			// Lt + Eq + Gt partition Le/Ge overlap exactly.
+			lt := count(m, Lt(col, IntVal(pivot)))
+			le := count(m, Le(col, IntVal(pivot)))
+			gt := count(m, Gt(col, IntVal(pivot)))
+			ge := count(m, Ge(col, IntVal(pivot)))
+			if le != lt+eqN {
+				t.Errorf("%s via %v: le=%d, lt=%d + eq=%d", col, m, le, lt, eqN)
+			}
+			if ge != gt+eqN {
+				t.Errorf("%s via %v: ge=%d, gt=%d + eq=%d", col, m, ge, gt, eqN)
+			}
+			if lt+eqN+gt != total {
+				t.Errorf("%s via %v: lt+eq+gt = %d, want %d", col, m, lt+eqN+gt, total)
+			}
+			// BETWEEN is inclusive on both ends.
+			if b := count(m, Between(col, IntVal(pivot), IntVal(pivot))); b != eqN {
+				t.Errorf("%s via %v: between(pivot,pivot)=%d, eq=%d", col, m, b, eqN)
+			}
+			// Strict bounds compose: (pivot, pivot+5] == [pivot, pivot+5] - eq.
+			window := count(m, Ge(col, IntVal(pivot)), Le(col, IntVal(pivot+5)))
+			strict := count(m, Gt(col, IntVal(pivot)), Le(col, IntVal(pivot+5)))
+			if strict != window-eqN {
+				t.Errorf("%s via %v: half-open window %d, want %d", col, m, strict, window-eqN)
+			}
+		}
+		// Ne matches everything but the pivot rows (table scan plans).
+		if ne := count(Auto, Ne(col, IntVal(pivot))); ne != total-eqN {
+			t.Errorf("%s: ne=%d, want %d", col, ne, total-eqN)
+		}
+	}
+}
+
+// TestNePlansAsTableScan asserts Ne never drives a probe: alone it plans
+// a table scan, and alongside an indexable predicate the probe uses the
+// indexable one while Ne re-filters.
+func TestNePlansAsTableScan(t *testing.T) {
+	_, tbl := planFixture(t)
+	info, err := tbl.Explain(Ne("s", IntVal(3)), Ne("r", IntVal(4)), Ne("u", IntVal(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Method != TableScan {
+		t.Errorf("all-Ne query planned %v", info.Method)
+	}
+	// Forced index/CM scans refuse Ne-only queries.
+	if err := tbl.SelectVia(SortedIndexScan, func(Row) bool { return true }, Ne("s", IntVal(3))); err == nil {
+		t.Error("forced index scan accepted Ne-only query")
+	}
+	if err := tbl.SelectVia(CMScan, func(Row) bool { return true }, Ne("u", IntVal(3))); err == nil {
+		t.Error("forced CM scan accepted Ne-only query")
+	}
+
+	// Eq probes, Ne re-filters: same rows as the table scan truth.
+	preds := []Pred{Eq("u", IntVal(25)), Ne("c", IntVal(50))}
+	info, err = tbl.Explain(preds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Method != CMScan {
+		t.Errorf("Eq+Ne planned %v, want cm-scan", info.Method)
+	}
+	rowsEqual(t, "eq+ne", collectVia(t, tbl, Auto, preds...), collectVia(t, tbl, TableScan, preds...))
+}
+
+// TestSelectManyLimit asserts QuerySpec.Limit returns exactly the first
+// rows of the unlimited result and actually stops the scan early (the
+// cancellation path PR 1 built for single queries).
+func TestSelectManyLimit(t *testing.T) {
+	db, tbl := planFixture(t)
+	full := collectVia(t, tbl, Auto, Ge("s", IntVal(10)))
+	if len(full) < 50 {
+		t.Fatalf("fixture too small: %d rows", len(full))
+	}
+	specs := []QuerySpec{
+		{Table: "plans", Preds: []Pred{Ge("s", IntVal(10))}, Limit: 7},
+		{Table: "plans", Preds: []Pred{Ge("s", IntVal(10))}},
+		{Table: "plans", Preds: []Pred{Eq("u", IntVal(25))}, Limit: 1},
+		{Table: "plans", Via: TableScan, Preds: []Pred{Ge("s", IntVal(10))}, Limit: 3},
+	}
+	db.ResetStats()
+	results := db.SelectMany(specs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+	rowsEqual(t, "limit 7", results[0].Rows, full[:7])
+	rowsEqual(t, "unlimited", results[1].Rows, full)
+	if len(results[2].Rows) != 1 {
+		t.Errorf("limit 1 returned %d rows", len(results[2].Rows))
+	}
+	rowsEqual(t, "limit 3 scan", results[3].Rows, full[:3])
+
+	// Early stop is real: a LIMIT-1 table scan alone must read fewer
+	// pages than the full sweep (cold cache so reads hit the disk).
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	db.SelectMany([]QuerySpec{{Table: "plans", Via: TableScan, Preds: nil, Limit: 1}})
+	limited := db.Stats().Reads
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	db.SelectMany([]QuerySpec{{Table: "plans", Via: TableScan, Preds: nil}})
+	fullReads := db.Stats().Reads
+	if limited*2 >= fullReads {
+		t.Errorf("LIMIT 1 read %d pages, full scan %d — early stop not engaged", limited, fullReads)
+	}
+}
+
+// TestSelectManyLimitOrderMatchesSerial pins that limited batch queries
+// see the same physical row order as serial execution (the executors
+// emit in physical order even when parallel).
+func TestSelectManyLimitOrderMatchesSerial(t *testing.T) {
+	db, tbl := planFixture(t)
+	var serial []Row
+	err := tbl.Select(func(r Row) bool {
+		serial = append(serial, r)
+		return len(serial) < 9
+	}, Between("u", IntVal(20), IntVal(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.SelectMany([]QuerySpec{
+		{Table: "plans", Preds: []Pred{Between("u", IntVal(20), IntVal(40))}, Limit: 9},
+	})[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	rowsEqual(t, "batch vs serial limit", res.Rows, serial)
+
+	// Sanity: both are ascending in the clustering column.
+	if !sort.SliceIsSorted(res.Rows, func(i, j int) bool {
+		return res.Rows[i][0].Int() < res.Rows[j][0].Int()
+	}) {
+		t.Error("limited rows not in physical order")
+	}
+}

@@ -22,7 +22,7 @@ func cmBuckets(cm *core.CM, q Query) ([]int32, error) {
 	spec := cm.Spec()
 	allPoint := true
 	for _, col := range spec.UCols {
-		p := q.PredOn(col)
+		p := q.IndexablePredOn(col)
 		if p == nil || p.Op == OpRange {
 			allPoint = false
 			break
@@ -31,7 +31,7 @@ func cmBuckets(cm *core.CM, q Query) ([]int32, error) {
 	if allPoint {
 		combos := [][]value.Value{nil}
 		for _, col := range spec.UCols {
-			p := q.PredOn(col)
+			p := q.IndexablePredOn(col)
 			var next [][]value.Value
 			for _, combo := range combos {
 				for _, v := range p.Vals {
@@ -52,7 +52,7 @@ func cmBuckets(cm *core.CM, q Query) ([]int32, error) {
 	}
 	var bpreds []bpred
 	for i, col := range spec.UCols {
-		p := q.PredOn(col)
+		p := q.IndexablePredOn(col)
 		if p == nil {
 			continue
 		}
@@ -109,7 +109,7 @@ func bucketRuns(buckets []int32) [][2]int32 {
 func CMScan(t *table.Table, cm *core.CM, q Query, fn RowFunc) error {
 	covered := false
 	for _, col := range cm.Spec().UCols {
-		if q.PredOn(col) != nil {
+		if q.IndexablePredOn(col) != nil {
 			covered = true
 			break
 		}

@@ -311,7 +311,7 @@ func ParallelCMScan(t *table.Table, cm *core.CM, q Query, workers int, fn RowFun
 	}
 	covered := false
 	for _, col := range cm.Spec().UCols {
-		if q.PredOn(col) != nil {
+		if q.IndexablePredOn(col) != nil {
 			covered = true
 			break
 		}

@@ -88,7 +88,7 @@ func ChoosePlan(t *table.Table, q Query, sp StatsProvider) Plan {
 	}
 
 	for _, ix := range t.Indexes() {
-		p := q.PredOn(ix.Cols[0])
+		p := q.IndexablePredOn(ix.Cols[0])
 		if p == nil {
 			continue
 		}
@@ -112,7 +112,7 @@ func ChoosePlan(t *table.Table, q Query, sp StatsProvider) Plan {
 	for _, cm := range t.CMs() {
 		n := 0
 		for _, col := range cm.Spec().UCols {
-			if p := q.PredOn(col); p != nil {
+			if p := q.IndexablePredOn(col); p != nil {
 				if n == 0 {
 					n = 1
 				}

@@ -20,16 +20,23 @@ const (
 	OpEq Op = iota
 	OpIn
 	OpRange
+	OpNe
 )
 
-// Pred is one predicate over a column. Range bounds are inclusive; a nil
-// bound is open.
+// Pred is one predicate over a column. Range bounds are inclusive unless
+// the matching Excl flag is set; a nil bound is open.
 type Pred struct {
 	Col  int
 	Op   Op
-	Vals []value.Value // OpEq: 1 value, OpIn: n values
+	Vals []value.Value // OpEq: 1 value, OpIn: n values, OpNe: 1 value
 	Lo   *value.Value
 	Hi   *value.Value
+	// LoExcl / HiExcl make the bound strict (<, > instead of <=, >=).
+	// Index and CM probes ignore them — the boundary entries they admit
+	// are discarded by the executor's re-filter — so exclusive ranges
+	// cost at most one extra boundary value of I/O.
+	LoExcl bool
+	HiExcl bool
 }
 
 // Eq builds an equality predicate.
@@ -49,6 +56,21 @@ func Ge(col int, lo value.Value) Pred { return Pred{Col: col, Op: OpRange, Lo: &
 // Le builds an upper-bounded range predicate.
 func Le(col int, hi value.Value) Pred { return Pred{Col: col, Op: OpRange, Hi: &hi} }
 
+// Lt builds a strict upper-bounded range predicate (col < hi).
+func Lt(col int, hi value.Value) Pred {
+	return Pred{Col: col, Op: OpRange, Hi: &hi, HiExcl: true}
+}
+
+// Gt builds a strict lower-bounded range predicate (col > lo).
+func Gt(col int, lo value.Value) Pred {
+	return Pred{Col: col, Op: OpRange, Lo: &lo, LoExcl: true}
+}
+
+// Ne builds an inequality predicate (col != v). Ne is not an index probe:
+// the planner treats it as unindexable and access paths evaluate it by
+// re-filtering.
+func Ne(col int, v value.Value) Pred { return Pred{Col: col, Op: OpNe, Vals: []value.Value{v}} }
+
 // Matches reports whether the row satisfies the predicate.
 func (p Pred) Matches(row value.Row) bool {
 	v := row[p.Col]
@@ -62,12 +84,20 @@ func (p Pred) Matches(row value.Row) bool {
 			}
 		}
 		return false
+	case OpNe:
+		return !v.Equal(p.Vals[0])
 	default:
-		if p.Lo != nil && v.Compare(*p.Lo) < 0 {
-			return false
+		if p.Lo != nil {
+			c := v.Compare(*p.Lo)
+			if c < 0 || (c == 0 && p.LoExcl) {
+				return false
+			}
 		}
-		if p.Hi != nil && v.Compare(*p.Hi) > 0 {
-			return false
+		if p.Hi != nil {
+			c := v.Compare(*p.Hi)
+			if c > 0 || (c == 0 && p.HiExcl) {
+				return false
+			}
 		}
 		return true
 	}
@@ -87,6 +117,11 @@ func (p Pred) NLookups() int {
 	}
 }
 
+// Indexable reports whether the predicate can drive an index or CM probe.
+// Ne excludes a single value, so probing it through an access method would
+// read essentially the whole structure; it is evaluated by re-filtering.
+func (p Pred) Indexable() bool { return p.Op != OpNe }
+
 // String renders the predicate for logs and advisor output.
 func (p Pred) String() string {
 	switch p.Op {
@@ -98,15 +133,41 @@ func (p Pred) String() string {
 			parts[i] = v.String()
 		}
 		return fmt.Sprintf("col%d IN (%s)", p.Col, strings.Join(parts, ", "))
+	case OpNe:
+		return fmt.Sprintf("col%d != %v", p.Col, p.Vals[0])
 	default:
-		lo, hi := "-inf", "+inf"
-		if p.Lo != nil {
-			lo = p.Lo.String()
+		switch {
+		case p.Lo != nil && p.Hi == nil:
+			op := ">="
+			if p.LoExcl {
+				op = ">"
+			}
+			return fmt.Sprintf("col%d %s %v", p.Col, op, *p.Lo)
+		case p.Lo == nil && p.Hi != nil:
+			op := "<="
+			if p.HiExcl {
+				op = "<"
+			}
+			return fmt.Sprintf("col%d %s %v", p.Col, op, *p.Hi)
+		case p.LoExcl || p.HiExcl:
+			loOp, hiOp := ">=", "<="
+			if p.LoExcl {
+				loOp = ">"
+			}
+			if p.HiExcl {
+				hiOp = "<"
+			}
+			return fmt.Sprintf("col%d %s %v AND col%d %s %v", p.Col, loOp, *p.Lo, p.Col, hiOp, *p.Hi)
+		default:
+			lo, hi := "-inf", "+inf"
+			if p.Lo != nil {
+				lo = p.Lo.String()
+			}
+			if p.Hi != nil {
+				hi = p.Hi.String()
+			}
+			return fmt.Sprintf("col%d BETWEEN %s AND %s", p.Col, lo, hi)
 		}
-		if p.Hi != nil {
-			hi = p.Hi.String()
-		}
-		return fmt.Sprintf("col%d BETWEEN %s AND %s", p.Col, lo, hi)
 	}
 }
 
@@ -132,6 +193,18 @@ func (q Query) Matches(row value.Row) bool {
 func (q Query) PredOn(col int) *Pred {
 	for i := range q.Preds {
 		if q.Preds[i].Col == col {
+			return &q.Preds[i]
+		}
+	}
+	return nil
+}
+
+// IndexablePredOn returns the first predicate over col that can drive an
+// index or CM probe, or nil. A query with only a Ne predicate on col has
+// no indexable predicate there: the probe would cover the whole domain.
+func (q Query) IndexablePredOn(col int) *Pred {
+	for i := range q.Preds {
+		if q.Preds[i].Col == col && q.Preds[i].Indexable() {
 			return &q.Preds[i]
 		}
 	}

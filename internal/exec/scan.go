@@ -38,7 +38,7 @@ type probeRange struct {
 func indexProbeRanges(cols []int, q Query) []probeRange {
 	prefixes := [][]byte{nil}
 	for _, col := range cols {
-		p := q.PredOn(col)
+		p := q.IndexablePredOn(col)
 		if p == nil {
 			break
 		}

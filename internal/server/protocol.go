@@ -1,0 +1,91 @@
+// Package server is the engine's network front door: a line-oriented
+// TCP protocol carrying SQL in and JSON results out, multiplexing
+// per-connection sessions onto one shared repro.DB. Reads from
+// concurrent sessions run in parallel under the engine's table latches;
+// a line carrying several ';'-separated SELECTs additionally fans out
+// across the worker pool through DB.ExecScript / SelectMany.
+package server
+
+import (
+	"encoding/json"
+
+	"repro"
+)
+
+// The wire protocol, newline-delimited in both directions:
+//
+//	client -> server: one line per request, either raw SQL (which may
+//	  contain several ';'-separated statements) or a JSON object
+//	  {"sql": "..."} — lines whose first non-blank byte is '{' are JSON.
+//	client <- server: exactly one JSON line per request:
+//	  {"results": [stmtResult, ...], "error": "..."}
+//	where "error" is set only when the whole line failed to parse (then
+//	"results" is absent), and each stmtResult is
+//	  {"columns": [...], "rows": [[...]], "message": "...",
+//	   "affected": N, "error": "..."}
+//	with "error" set when that statement failed. Ints arrive as JSON
+//	numbers, floats as numbers, strings as strings.
+
+// Request is the JSON form of one client request line.
+type Request struct {
+	SQL string `json:"sql"`
+}
+
+// StmtResult is one statement's outcome on the wire.
+type StmtResult struct {
+	Columns  []string `json:"columns,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Message  string   `json:"message,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Response is one JSON response line.
+type Response struct {
+	Results []StmtResult `json:"results,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// encodeRow renders a result row with native JSON types.
+func encodeRow(r repro.Row) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		switch v.Kind() {
+		case repro.Int:
+			out[i] = v.Int()
+		case repro.Float:
+			out[i] = v.Float()
+		default:
+			out[i] = v.Str()
+		}
+	}
+	return out
+}
+
+// stmtResult converts one facade result to its wire form.
+func stmtResult(sr repro.ScriptResult) StmtResult {
+	if sr.Err != nil {
+		return StmtResult{Error: sr.Err.Error()}
+	}
+	res := sr.Res
+	out := StmtResult{
+		Columns:  res.Columns,
+		Message:  res.Message,
+		Affected: res.Affected,
+	}
+	for _, row := range res.Rows {
+		out.Rows = append(out.Rows, encodeRow(row))
+	}
+	return out
+}
+
+// marshalResponse renders a response line (without the trailing newline).
+// A response that somehow fails to marshal degrades to a JSON error line
+// rather than killing the session.
+func marshalResponse(resp Response) []byte {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		b, _ = json.Marshal(Response{Error: "server: response encoding failed: " + err.Error()})
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+// maxLineBytes bounds one request line (a giant INSERT script still
+// fits; a runaway client cannot balloon server memory).
+const maxLineBytes = 4 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Logf receives connection lifecycle lines; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the line/JSON protocol over a shared database. Every
+// connection gets its own session goroutine; statement execution goes
+// straight through DB.ExecScript, so concurrent sessions interleave
+// under the engine's table latches exactly like native concurrent
+// callers.
+type Server struct {
+	db   *repro.DB
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg       sync.WaitGroup
+	nextSess atomic.Int64
+	active   atomic.Int64
+}
+
+// New creates a server over db.
+func New(db *repro.DB, cfg Config) *Server {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{db: db, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// ActiveSessions reports the number of connected sessions.
+func (s *Server) ActiveSessions() int { return int(s.active.Load()) }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always closes ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("cmserver: listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.session(conn)
+	}
+}
+
+// Close stops accepting, closes every live session and waits for their
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session runs one connection: read a line, execute, write a JSON line.
+func (s *Server) session(conn net.Conn) {
+	defer s.wg.Done()
+	id := s.nextSess.Add(1)
+	s.active.Add(1)
+	s.logf("cmserver: session %d open from %s (%d active)", id, conn.RemoteAddr(), s.active.Load())
+	statements := 0
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.active.Add(-1)
+		s.logf("cmserver: session %d closed after %d statements (%d active)",
+			id, statements, s.active.Load())
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), maxLineBytes)
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		resp, n := s.handle(line)
+		statements += n
+		b := marshalResponse(resp)
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+	// Scanner errors (oversized line, connection reset) end the session;
+	// there is no request boundary left to answer on. Reads cut short by
+	// our own Close are expected and not worth a log line.
+	if err := scanner.Err(); err != nil {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			s.logf("cmserver: session %d read error: %v", id, err)
+		}
+	}
+}
+
+// handle executes one request line and returns the response plus the
+// number of statements it carried.
+func (s *Server) handle(line string) (Response, int) {
+	sqlText := line
+	if strings.HasPrefix(line, "{") {
+		var req Request
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			return Response{Error: fmt.Sprintf("server: bad JSON request: %v", err)}, 0
+		}
+		sqlText = req.SQL
+	}
+	results, err := s.db.ExecScript(sqlText)
+	if err != nil {
+		return Response{Error: err.Error()}, 0
+	}
+	resp := Response{Results: make([]StmtResult, len(results))}
+	for i, r := range results {
+		resp.Results[i] = stmtResult(r)
+	}
+	return resp, len(results)
+}

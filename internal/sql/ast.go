@@ -1,0 +1,216 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// LitKind classifies a literal before binding assigns it a column type.
+type LitKind int
+
+// The literal kinds.
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitString
+)
+
+// Lit is an unbound literal value.
+type Lit struct {
+	Kind LitKind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// String renders the literal in SQL syntax.
+func (l Lit) String() string {
+	switch l.Kind {
+	case LitInt:
+		return strconv.FormatInt(l.Int, 10)
+	case LitFloat:
+		return strconv.FormatFloat(l.Flt, 'g', -1, 64)
+	default:
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	}
+}
+
+// CondOp is a comparison operator in a WHERE conjunction.
+type CondOp int
+
+// The condition operators.
+const (
+	CondEq      CondOp = iota // =
+	CondNe                    // != / <>
+	CondLt                    // <
+	CondLe                    // <=
+	CondGt                    // >
+	CondGe                    // >=
+	CondBetween               // BETWEEN lo AND hi
+	CondIn                    // IN (v1, ..., vn)
+)
+
+// String renders the operator.
+func (op CondOp) String() string {
+	switch op {
+	case CondEq:
+		return "="
+	case CondNe:
+		return "!="
+	case CondLt:
+		return "<"
+	case CondLe:
+		return "<="
+	case CondGt:
+		return ">"
+	case CondGe:
+		return ">="
+	case CondBetween:
+		return "BETWEEN"
+	default:
+		return "IN"
+	}
+}
+
+// Cond is one predicate of a WHERE conjunction: column op args.
+// CondBetween carries exactly two args (lo, hi); CondIn carries one or
+// more; every other operator carries exactly one.
+type Cond struct {
+	Col  string
+	Op   CondOp
+	Args []Lit
+}
+
+// SelectStmt is SELECT cols FROM table [WHERE conj] [LIMIT n].
+type SelectStmt struct {
+	Cols  []string // nil means *
+	Table string
+	Where []Cond
+	Limit int // -1 means no LIMIT clause
+}
+
+func (*SelectStmt) stmt() {}
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (..), (..), or the
+// same shape with LOAD in place of INSERT. LOAD maps to the engine's
+// clustered bulk load: it must run once, on an empty table, before any
+// index or CM is created, and it is what builds the clustered bucket
+// directory CMs probe against.
+type InsertStmt struct {
+	Table string
+	Cols  []string // nil means positional full rows
+	Rows  [][]Lit
+	Load  bool // LOAD INTO instead of INSERT INTO
+}
+
+func (*InsertStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM table [WHERE conj]. An absent WHERE deletes
+// every row.
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+func (*DeleteStmt) stmt() {}
+
+// ColDef declares one column of CREATE TABLE.
+type ColDef struct {
+	Name string
+	Kind value.Kind
+}
+
+// CreateTableStmt is CREATE TABLE t (col type, ...) CLUSTERED BY (cols)
+// [BUCKET PAGES n | BUCKET TUPLES n].
+type CreateTableStmt struct {
+	Name         string
+	Cols         []ColDef
+	ClusteredBy  []string
+	BucketPages  int
+	BucketTuples int
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is CREATE INDEX name ON t (cols).
+type CreateIndexStmt struct {
+	Name  string
+	Table string
+	Cols  []string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// CMCol is one column of a CREATE CORRELATION MAP statement with its
+// bucketing options (zero values mean unbucketed).
+type CMCol struct {
+	Name   string
+	Level  int
+	Width  float64
+	Prefix int
+}
+
+// CreateCMStmt is CREATE CORRELATION MAP name ON t (col [WIDTH w]
+// [PREFIX p] [LEVEL l], ...) [WITH WIDTH w | PREFIX p | LEVEL l].
+// Statement-level WITH options apply to every column that has no
+// per-column option.
+type CreateCMStmt struct {
+	Name  string
+	Table string
+	Cols  []CMCol
+}
+
+func (*CreateCMStmt) stmt() {}
+
+// ExplainStmt is EXPLAIN SELECT ...: report the chosen access method,
+// the index or CM it uses and the estimated cost, without executing.
+type ExplainStmt struct {
+	Sel *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// AdviseStmt is ADVISE CM FOR SELECT ... [WITHIN p PERCENT]: run the CM
+// Advisor for the query with the given slowdown tolerance.
+type AdviseStmt struct {
+	Sel            *SelectStmt
+	MaxSlowdownPct float64
+}
+
+func (*AdviseStmt) stmt() {}
+
+// ShowWhat selects the subject of a SHOW statement.
+type ShowWhat int
+
+// The SHOW subjects.
+const (
+	ShowTables ShowWhat = iota
+	ShowIndexes
+	ShowCMs
+	ShowStats
+	ShowSoftFDs
+)
+
+// ShowStmt is SHOW TABLES | SHOW STATS | SHOW INDEXES FOR t |
+// SHOW CMS FOR t | SHOW SOFT FDS FOR t [MIN STRENGTH s] [WITH PAIRS].
+type ShowStmt struct {
+	What        ShowWhat
+	Table       string
+	MinStrength float64 // SHOW SOFT FDS threshold
+	Pairs       bool    // include two-attribute determinants
+}
+
+func (*ShowStmt) stmt() {}
+
+// CommitStmt is COMMIT [table]: flush the WAL for one table, or for
+// every table when no name is given.
+type CommitStmt struct {
+	Table string // "" means all tables
+}
+
+func (*CommitStmt) stmt() {}

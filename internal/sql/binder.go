@@ -1,0 +1,289 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// The binder resolves parsed statements against a Catalog: column names
+// become indices, literals become typed values coerced to their column's
+// kind, and semantic errors (unknown tables/columns, kind mismatches,
+// inapplicable bucketing options) surface here with statement context,
+// before anything touches the engine.
+
+// ColMeta describes one column to the binder.
+type ColMeta struct {
+	Name string
+	Kind value.Kind
+}
+
+// TableMeta describes one table to the binder.
+type TableMeta struct {
+	Name string
+	Cols []ColMeta
+}
+
+// colIndex resolves a column name, or -1.
+func (t TableMeta) colIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Catalog supplies table metadata; the facade's DB implements it.
+type Catalog interface {
+	// TableMeta returns the schema of the named table, ok=false when the
+	// table does not exist.
+	TableMeta(name string) (TableMeta, bool)
+}
+
+// BoundCond is a Cond with its column resolved and literals typed. For
+// CondBetween Vals is [lo, hi]; for CondIn it is the member list; every
+// other operator carries one value.
+type BoundCond struct {
+	Col    string
+	ColIdx int
+	Op     CondOp
+	Vals   []value.Value
+}
+
+// BoundSelect is a SELECT resolved against the catalog.
+type BoundSelect struct {
+	Table string
+	Proj  []int    // projected column indices, in SELECT-list order
+	Cols  []string // projected column names (the result header)
+	Where []BoundCond
+	Limit int // -1 means no limit
+}
+
+// BoundInsert is an INSERT with rows coerced to the table schema.
+type BoundInsert struct {
+	Table string
+	Rows  []value.Row
+}
+
+// BoundDelete is a DELETE resolved against the catalog.
+type BoundDelete struct {
+	Table string
+	Where []BoundCond
+}
+
+// lookupTable fetches table metadata or fails with a uniform error.
+func lookupTable(cat Catalog, name string) (TableMeta, error) {
+	tm, ok := cat.TableMeta(name)
+	if !ok {
+		return TableMeta{}, fmt.Errorf("sql: no table %q", name)
+	}
+	return tm, nil
+}
+
+// bindLit coerces a literal to a column kind. Integer literals widen to
+// float columns; every other cross-kind use is an error.
+func bindLit(l Lit, kind value.Kind, col string) (value.Value, error) {
+	switch kind {
+	case value.Int:
+		if l.Kind == LitInt {
+			return value.NewInt(l.Int), nil
+		}
+	case value.Float:
+		switch l.Kind {
+		case LitInt:
+			return value.NewFloat(float64(l.Int)), nil
+		case LitFloat:
+			return value.NewFloat(l.Flt), nil
+		}
+	case value.String:
+		if l.Kind == LitString {
+			return value.NewString(l.Str), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("sql: literal %s does not fit %s column %q", l, kind, col)
+}
+
+// bindConds resolves a WHERE conjunction against a table.
+func bindConds(tm TableMeta, conds []Cond) ([]BoundCond, error) {
+	out := make([]BoundCond, 0, len(conds))
+	for _, c := range conds {
+		ci := tm.colIndex(c.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, c.Col)
+		}
+		kind := tm.Cols[ci].Kind
+		bc := BoundCond{Col: c.Col, ColIdx: ci, Op: c.Op}
+		for _, a := range c.Args {
+			v, err := bindLit(a, kind, c.Col)
+			if err != nil {
+				return nil, err
+			}
+			bc.Vals = append(bc.Vals, v)
+		}
+		if c.Op == CondBetween && bc.Vals[0].Compare(bc.Vals[1]) > 0 {
+			return nil, fmt.Errorf("sql: BETWEEN bounds on %q are inverted (%s > %s)",
+				c.Col, c.Args[0], c.Args[1])
+		}
+		out = append(out, bc)
+	}
+	return out, nil
+}
+
+// BindSelect resolves a SELECT statement.
+func BindSelect(cat Catalog, sel *SelectStmt) (*BoundSelect, error) {
+	tm, err := lookupTable(cat, sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	b := &BoundSelect{Table: sel.Table, Limit: sel.Limit}
+	if sel.Cols == nil {
+		for i, c := range tm.Cols {
+			b.Proj = append(b.Proj, i)
+			b.Cols = append(b.Cols, c.Name)
+		}
+	} else {
+		for _, name := range sel.Cols {
+			ci := tm.colIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, name)
+			}
+			b.Proj = append(b.Proj, ci)
+			b.Cols = append(b.Cols, name)
+		}
+	}
+	b.Where, err = bindConds(tm, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// BindInsert resolves an INSERT statement, reordering named-column rows
+// into schema order. Named inserts must cover every column: the engine
+// has no NULLs.
+func BindInsert(cat Catalog, ins *InsertStmt) (*BoundInsert, error) {
+	tm, err := lookupTable(cat, ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, len(tm.Cols)) // schema position -> tuple position
+	if ins.Cols == nil {
+		for i := range perm {
+			perm[i] = i
+		}
+	} else {
+		if len(ins.Cols) != len(tm.Cols) {
+			return nil, fmt.Errorf("sql: INSERT INTO %s names %d of %d columns (all columns are required)",
+				tm.Name, len(ins.Cols), len(tm.Cols))
+		}
+		for i := range perm {
+			perm[i] = -1
+		}
+		for pos, name := range ins.Cols {
+			ci := tm.colIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, name)
+			}
+			if perm[ci] != -1 {
+				return nil, fmt.Errorf("sql: column %q named twice in INSERT", name)
+			}
+			perm[ci] = pos
+		}
+	}
+	b := &BoundInsert{Table: ins.Table}
+	for _, tuple := range ins.Rows {
+		if len(tuple) != len(tm.Cols) {
+			return nil, fmt.Errorf("sql: INSERT tuple has %d values, table %s has %d columns",
+				len(tuple), tm.Name, len(tm.Cols))
+		}
+		row := make(value.Row, len(tm.Cols))
+		for ci := range tm.Cols {
+			v, err := bindLit(tuple[perm[ci]], tm.Cols[ci].Kind, tm.Cols[ci].Name)
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = v
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return b, nil
+}
+
+// BindDelete resolves a DELETE statement.
+func BindDelete(cat Catalog, del *DeleteStmt) (*BoundDelete, error) {
+	tm, err := lookupTable(cat, del.Table)
+	if err != nil {
+		return nil, err
+	}
+	where, err := bindConds(tm, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundDelete{Table: del.Table, Where: where}, nil
+}
+
+// BindCreateTable checks a CREATE TABLE statement: fresh name, distinct
+// columns, clustering columns present.
+func BindCreateTable(cat Catalog, ct *CreateTableStmt) error {
+	if _, ok := cat.TableMeta(ct.Name); ok {
+		return fmt.Errorf("sql: table %q exists", ct.Name)
+	}
+	if len(ct.Cols) == 0 {
+		return fmt.Errorf("sql: table %q needs at least one column", ct.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range ct.Cols {
+		if seen[c.Name] {
+			return fmt.Errorf("sql: duplicate column %q in CREATE TABLE %s", c.Name, ct.Name)
+		}
+		seen[c.Name] = true
+	}
+	if len(ct.ClusteredBy) == 0 {
+		return fmt.Errorf("sql: CREATE TABLE %s needs CLUSTERED BY", ct.Name)
+	}
+	for _, name := range ct.ClusteredBy {
+		if !seen[name] {
+			return fmt.Errorf("sql: clustering column %q is not a column of %s", name, ct.Name)
+		}
+	}
+	return nil
+}
+
+// BindCreateIndex checks a CREATE INDEX statement against the catalog.
+func BindCreateIndex(cat Catalog, ci *CreateIndexStmt) error {
+	tm, err := lookupTable(cat, ci.Table)
+	if err != nil {
+		return err
+	}
+	for _, col := range ci.Cols {
+		if tm.colIndex(col) < 0 {
+			return fmt.Errorf("sql: table %q has no column %q", tm.Name, col)
+		}
+	}
+	return nil
+}
+
+// BindCreateCM checks a CREATE CORRELATION MAP statement: columns exist
+// and bucketing options fit their column kinds (WIDTH needs a numeric
+// column, PREFIX a string column).
+func BindCreateCM(cat Catalog, cc *CreateCMStmt) error {
+	tm, err := lookupTable(cat, cc.Table)
+	if err != nil {
+		return err
+	}
+	for _, col := range cc.Cols {
+		ci := tm.colIndex(col.Name)
+		if ci < 0 {
+			return fmt.Errorf("sql: table %q has no column %q", tm.Name, col.Name)
+		}
+		kind := tm.Cols[ci].Kind
+		if col.Width > 0 && kind == value.String {
+			return fmt.Errorf("sql: WIDTH does not apply to string column %q (use PREFIX)", col.Name)
+		}
+		if col.Prefix > 0 && kind != value.String {
+			return fmt.Errorf("sql: PREFIX does not apply to %s column %q (use WIDTH)", kind, col.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// fakeCatalog is an in-memory Catalog for binder tests.
+type fakeCatalog map[string]TableMeta
+
+func (c fakeCatalog) TableMeta(name string) (TableMeta, bool) {
+	tm, ok := c[name]
+	return tm, ok
+}
+
+func testCatalog() fakeCatalog {
+	return fakeCatalog{
+		"items": {Name: "items", Cols: []ColMeta{
+			{Name: "cat", Kind: value.Int},
+			{Name: "price", Kind: value.Float},
+			{Name: "title", Kind: value.String},
+		}},
+	}
+}
+
+func sel(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	return mustParse(t, src).(*SelectStmt)
+}
+
+func TestBindSelectStarAndProjection(t *testing.T) {
+	cat := testCatalog()
+	b, err := BindSelect(cat, sel(t, "SELECT * FROM items"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Proj, []int{0, 1, 2}) ||
+		!reflect.DeepEqual(b.Cols, []string{"cat", "price", "title"}) {
+		t.Errorf("star projection: %+v", b)
+	}
+
+	b, err = BindSelect(cat, sel(t, "SELECT title, cat FROM items LIMIT 7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Proj, []int{2, 0}) || b.Limit != 7 {
+		t.Errorf("named projection: %+v", b)
+	}
+}
+
+func TestBindSelectCoercion(t *testing.T) {
+	cat := testCatalog()
+	// Int literal widens to a float column.
+	b, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE price > 10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Where[0].Vals[0]; got.K != value.Float || got.F != 10 {
+		t.Errorf("int->float coercion: %+v", got)
+	}
+	// Float literal does not narrow to an int column.
+	if _, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE cat = 1.5")); err == nil {
+		t.Error("float->int narrowing accepted")
+	}
+	// Strings only bind to string columns.
+	if _, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE cat = 'x'")); err == nil {
+		t.Error("string->int accepted")
+	}
+	if _, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE title = 3")); err == nil {
+		t.Error("int->string accepted")
+	}
+}
+
+func TestBindSelectErrors(t *testing.T) {
+	cat := testCatalog()
+	if _, err := BindSelect(cat, sel(t, "SELECT * FROM nope")); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := BindSelect(cat, sel(t, "SELECT zz FROM items")); err == nil {
+		t.Error("unknown projected column accepted")
+	}
+	if _, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE zz = 1")); err == nil {
+		t.Error("unknown predicate column accepted")
+	}
+	_, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE cat BETWEEN 5 AND 2"))
+	if err == nil || !strings.Contains(err.Error(), "inverted") {
+		t.Errorf("inverted BETWEEN: %v", err)
+	}
+}
+
+func TestBindInsert(t *testing.T) {
+	cat := testCatalog()
+	ins := mustParse(t, "INSERT INTO items (title, cat, price) VALUES ('x', 3, 9.5)").(*InsertStmt)
+	b, err := BindInsert(cat, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.Row{value.NewInt(3), value.NewFloat(9.5), value.NewString("x")}
+	if !reflect.DeepEqual(b.Rows[0], want) {
+		t.Errorf("reordered row = %+v, want %+v", b.Rows[0], want)
+	}
+
+	for _, bad := range []string{
+		"INSERT INTO items VALUES (1, 2.5)",                      // arity
+		"INSERT INTO items (cat, price) VALUES (1, 2.5)",         // partial columns
+		"INSERT INTO items (cat, cat, price) VALUES (1, 2, 3.5)", // duplicate
+		"INSERT INTO items (cat, price, zz) VALUES (1, 2.5, 'x')",
+		"INSERT INTO items VALUES (1.5, 2.5, 'x')", // kind mismatch
+		"INSERT INTO nope VALUES (1)",
+	} {
+		if _, err := BindInsert(cat, mustParse(t, bad).(*InsertStmt)); err == nil {
+			t.Errorf("BindInsert(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestBindDelete(t *testing.T) {
+	cat := testCatalog()
+	b, err := BindDelete(cat, mustParse(t, "DELETE FROM items WHERE cat != 4").(*DeleteStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Where[0].Op != CondNe || b.Where[0].ColIdx != 0 {
+		t.Errorf("bound delete: %+v", b.Where[0])
+	}
+	if _, err := BindDelete(cat, mustParse(t, "DELETE FROM items WHERE zz = 1").(*DeleteStmt)); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestBindCreateTable(t *testing.T) {
+	cat := testCatalog()
+	ok := mustParse(t, "CREATE TABLE fresh (a INT, b STRING) CLUSTERED BY (a)").(*CreateTableStmt)
+	if err := BindCreateTable(cat, ok); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"CREATE TABLE items (a INT) CLUSTERED BY (a)",    // exists
+		"CREATE TABLE f (a INT, a INT) CLUSTERED BY (a)", // dup col
+		"CREATE TABLE f (a INT) CLUSTERED BY (zz)",       // unknown clustering col
+	} {
+		if err := BindCreateTable(cat, mustParse(t, bad).(*CreateTableStmt)); err == nil {
+			t.Errorf("BindCreateTable(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestBindCreateIndexAndCM(t *testing.T) {
+	cat := testCatalog()
+	if err := BindCreateIndex(cat, mustParse(t, "CREATE INDEX ix ON items (price, cat)").(*CreateIndexStmt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := BindCreateIndex(cat, mustParse(t, "CREATE INDEX ix ON items (zz)").(*CreateIndexStmt)); err == nil {
+		t.Error("unknown index column accepted")
+	}
+
+	if err := BindCreateCM(cat, mustParse(t, "CREATE CORRELATION MAP cm ON items (price WIDTH 5, title PREFIX 3)").(*CreateCMStmt)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"CREATE CORRELATION MAP cm ON items (title WIDTH 5)", // width on string
+		"CREATE CORRELATION MAP cm ON items (cat PREFIX 2)",  // prefix on int
+		"CREATE CORRELATION MAP cm ON items (zz)",
+		"CREATE CORRELATION MAP cm ON nope (cat)",
+	} {
+		if err := BindCreateCM(cat, mustParse(t, bad).(*CreateCMStmt)); err == nil {
+			t.Errorf("BindCreateCM(%q) did not fail", bad)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the front door's safety contract: arbitrary input
+// must produce a statement or an error, never a panic, and the error
+// path must stay cheap (no unbounded recursion or allocation). The CI
+// fuzz step runs this continuously for a short budget on every push.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"SELECT * FROM t",
+		"SELECT a, b FROM t WHERE a = 1 AND b BETWEEN 2 AND 3 LIMIT 4",
+		"SELECT * FROM t WHERE s IN ('x', 'y''z') AND f >= -1.5e3",
+		"select * from t where a != 7; select b from t limit 0;",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (-2, '')",
+		"LOAD INTO t VALUES (1.5, 2)",
+		"DELETE FROM t WHERE a < 3",
+		"CREATE TABLE t (a INT, b FLOAT, c STRING) CLUSTERED BY (a) BUCKET PAGES 10",
+		"CREATE INDEX ix ON t (a, b)",
+		"CREATE CORRELATION MAP cm ON t (a WIDTH 7, c PREFIX 2) WITH LEVEL 3",
+		"EXPLAIN SELECT * FROM t WHERE a = 1",
+		"ADVISE CM FOR SELECT * FROM t WHERE a = 1 WITHIN 25 PERCENT",
+		"SHOW SOFT FDS FOR t MIN STRENGTH 0.9 WITH PAIRS",
+		"SHOW TABLES; SHOW STATS; SHOW INDEXES FOR t; SHOW CMS FOR t",
+		"COMMIT; COMMIT t",
+		"-- comment only",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a ! b",
+		"((((((((((",
+		"SELECT\x00FROM",
+		strings.Repeat("SELECT * FROM t;", 50),
+		strings.Repeat("(", 1000),
+		"\xff\xfe\xfd",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseScript(src)
+		if err != nil && stmts != nil {
+			t.Errorf("ParseScript returned both statements and error: %v", err)
+		}
+		// Parse must agree with ParseScript on well-formedness.
+		if _, perr := Parse(src); perr == nil && err != nil {
+			t.Errorf("Parse accepted what ParseScript rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,703 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// The grammar, one production per parse function:
+//
+//	script      := statement (';' statement)* [';']
+//	statement   := select | insert | delete | create | explain
+//	             | advise | show | commit
+//	select      := SELECT cols FROM ident [WHERE conj] [LIMIT int]
+//	cols        := '*' | ident (',' ident)*
+//	conj        := cond (AND cond)*
+//	cond        := ident op literal
+//	             | ident BETWEEN literal AND literal
+//	             | ident IN '(' literal (',' literal)* ')'
+//	op          := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//	insert      := (INSERT|LOAD) INTO ident ['(' ident (',' ident)* ')']
+//	               VALUES tuple (',' tuple)*
+//	tuple       := '(' literal (',' literal)* ')'
+//	delete      := DELETE FROM ident [WHERE conj]
+//	create      := CREATE TABLE ident '(' coldef (',' coldef)* ')'
+//	               CLUSTERED BY '(' ident (',' ident)* ')'
+//	               [BUCKET (PAGES|TUPLES) int]
+//	             | CREATE INDEX ident ON ident '(' ident (',' ident)* ')'
+//	             | CREATE CORRELATION MAP ident ON ident
+//	               '(' cmcol (',' cmcol)* ')' [WITH cmopt+]
+//	coldef      := ident (INT|BIGINT|FLOAT|DOUBLE|REAL|STRING|TEXT|VARCHAR)
+//	cmcol       := ident cmopt*
+//	cmopt       := WIDTH number | PREFIX int | LEVEL int
+//	explain     := EXPLAIN select
+//	advise      := ADVISE CM FOR select [WITHIN number PERCENT]
+//	show        := SHOW TABLES | SHOW STATS
+//	             | SHOW INDEXES FOR ident | SHOW CMS FOR ident
+//	             | SHOW SOFT FDS FOR ident [MIN STRENGTH number] [WITH PAIRS]
+//	commit      := COMMIT [ident]
+//
+// Keywords are case-insensitive and reserved only positionally: a column
+// may be named "level" because the parser only treats LEVEL as a keyword
+// where a cmopt can start.
+
+// parser walks the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses exactly one statement (a trailing ';' is allowed).
+func Parse(src string) (Stmt, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	switch len(stmts) {
+	case 0:
+		return nil, fmt.Errorf("sql: empty statement")
+	case 1:
+		return stmts[0], nil
+	default:
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+	}
+}
+
+// ParseScript parses a ';'-separated sequence of statements.
+func ParseScript(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for {
+		for p.peek().Kind == TokSemi {
+			p.next()
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		switch p.peek().Kind {
+		case TokSemi, TokEOF:
+		default:
+			return nil, p.errf("expected ';' or end of input, got %s", p.peek().Kind)
+		}
+	}
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+// kw reports whether the next token is the given keyword (case-insensitive)
+// without consuming it.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, word)
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(word string) bool {
+	if p.kw(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expectKw consumes the keyword or fails.
+func (p *parser) expectKw(word string) error {
+	if !p.acceptKw(word) {
+		return p.errf("expected %s, got %s", strings.ToUpper(word), p.describe())
+	}
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.peek().Kind != kind {
+		return Token{}, p.errf("expected %s, got %s", kind, p.describe())
+	}
+	return p.next(), nil
+}
+
+// describe renders the upcoming token for error messages.
+func (p *parser) describe() string {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// ident consumes an identifier.
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.Text, nil
+}
+
+// identList consumes '(' ident (',' ident)* ')'.
+func (p *parser) identList() ([]string, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// literal consumes one literal token.
+func (p *parser) literal() (Lit, error) {
+	switch t := p.peek(); t.Kind {
+	case TokInt:
+		p.next()
+		return Lit{Kind: LitInt, Int: t.Int}, nil
+	case TokFloat:
+		p.next()
+		return Lit{Kind: LitFloat, Flt: t.Flt}, nil
+	case TokString:
+		p.next()
+		return Lit{Kind: LitString, Str: t.Text}, nil
+	default:
+		return Lit{}, p.errf("expected literal, got %s", p.describe())
+	}
+}
+
+// number consumes an int or float literal as float64.
+func (p *parser) number() (float64, error) {
+	switch t := p.peek(); t.Kind {
+	case TokInt:
+		p.next()
+		return float64(t.Int), nil
+	case TokFloat:
+		p.next()
+		return t.Flt, nil
+	default:
+		return 0, p.errf("expected number, got %s", p.describe())
+	}
+}
+
+// posInt consumes a non-negative integer literal.
+func (p *parser) posInt() (int, error) {
+	t, err := p.expect(TokInt)
+	if err != nil {
+		return 0, err
+	}
+	if t.Int < 0 {
+		return 0, p.errf("expected non-negative integer, got %d", t.Int)
+	}
+	return int(t.Int), nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.kw("select"):
+		return p.selectStmt()
+	case p.kw("insert"), p.kw("load"):
+		return p.insertStmt()
+	case p.kw("delete"):
+		return p.deleteStmt()
+	case p.kw("create"):
+		return p.createStmt()
+	case p.kw("explain"):
+		p.next()
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Sel: sel}, nil
+	case p.kw("advise"):
+		return p.adviseStmt()
+	case p.kw("show"):
+		return p.showStmt()
+	case p.kw("commit"):
+		p.next()
+		stmt := &CommitStmt{}
+		if p.peek().Kind == TokIdent {
+			stmt.Table = p.next().Text
+		}
+		return stmt, nil
+	default:
+		return nil, p.errf("expected a statement keyword, got %s", p.describe())
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	if p.peek().Kind == TokStar {
+		p.next()
+	} else {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Cols = append(sel.Cols, name)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	if p.acceptKw("where") {
+		sel.Where, err = p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("limit") {
+		sel.Limit, err = p.posInt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) conjunction() ([]Cond, error) {
+	var conds []Cond
+	for {
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if !p.acceptKw("and") {
+			return conds, nil
+		}
+	}
+}
+
+func (p *parser) cond() (Cond, error) {
+	col, err := p.ident()
+	if err != nil {
+		return Cond{}, err
+	}
+	switch t := p.peek(); {
+	case t.Kind == TokEq, t.Kind == TokNe, t.Kind == TokLt, t.Kind == TokLe, t.Kind == TokGt, t.Kind == TokGe:
+		p.next()
+		lit, err := p.literal()
+		if err != nil {
+			return Cond{}, err
+		}
+		op := map[TokenKind]CondOp{
+			TokEq: CondEq, TokNe: CondNe, TokLt: CondLt,
+			TokLe: CondLe, TokGt: CondGt, TokGe: CondGe,
+		}[t.Kind]
+		return Cond{Col: col, Op: op, Args: []Lit{lit}}, nil
+	case p.kw("between"):
+		p.next()
+		lo, err := p.literal()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return Cond{}, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Col: col, Op: CondBetween, Args: []Lit{lo, hi}}, nil
+	case p.kw("in"):
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return Cond{}, err
+		}
+		var args []Lit
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return Cond{}, err
+			}
+			args = append(args, lit)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Col: col, Op: CondIn, Args: args}, nil
+	default:
+		return Cond{}, p.errf("expected comparison operator, BETWEEN or IN after column %q", col)
+	}
+}
+
+func (p *parser) insertStmt() (Stmt, error) {
+	verb := p.next() // INSERT or LOAD
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table, Load: strings.EqualFold(verb.Text, "load")}
+	if p.peek().Kind == TokLParen {
+		stmt.Cols, err = p.identList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var row []Lit
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lit)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if p.peek().Kind != TokComma {
+			return stmt, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if p.acceptKw("where") {
+		stmt.Where, err = p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) createStmt() (Stmt, error) {
+	p.next() // CREATE
+	switch {
+	case p.acceptKw("table"):
+		return p.createTable()
+	case p.acceptKw("index"):
+		return p.createIndex()
+	case p.acceptKw("correlation"):
+		if err := p.expectKw("map"); err != nil {
+			return nil, err
+		}
+		return p.createCM()
+	default:
+		return nil, p.errf("expected TABLE, INDEX or CORRELATION MAP after CREATE, got %s", p.describe())
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := typeKind(typeName)
+		if !ok {
+			return nil, p.errf("unknown column type %q (want INT, FLOAT or STRING)", typeName)
+		}
+		stmt.Cols = append(stmt.Cols, ColDef{Name: colName, Kind: kind})
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("clustered"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("by"); err != nil {
+		return nil, err
+	}
+	stmt.ClusteredBy, err = p.identList()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("bucket") {
+		switch {
+		case p.acceptKw("pages"):
+			stmt.BucketPages, err = p.posInt()
+		case p.acceptKw("tuples"):
+			stmt.BucketTuples, err = p.posInt()
+		default:
+			return nil, p.errf("expected PAGES or TUPLES after BUCKET, got %s", p.describe())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+// typeKind maps a SQL type name onto the engine's three kinds.
+func typeKind(name string) (value.Kind, bool) {
+	switch strings.ToLower(name) {
+	case "int", "integer", "bigint":
+		return value.Int, true
+	case "float", "double", "real":
+		return value.Float, true
+	case "string", "text", "varchar":
+		return value.String, true
+	default:
+		return 0, false
+	}
+}
+
+func (p *parser) createIndex() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Cols: cols}, nil
+}
+
+func (p *parser) createCM() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateCMStmt{Name: name, Table: table}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		col := CMCol{Name: colName}
+		if err := p.cmOpts(&col); err != nil {
+			return nil, err
+		}
+		stmt.Cols = append(stmt.Cols, col)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("with") {
+		var def CMCol
+		if err := p.cmOpts(&def); err != nil {
+			return nil, err
+		}
+		if def == (CMCol{}) {
+			return nil, p.errf("expected WIDTH, PREFIX or LEVEL after WITH, got %s", p.describe())
+		}
+		for i := range stmt.Cols {
+			c := &stmt.Cols[i]
+			if c.Width == 0 && c.Prefix == 0 && c.Level == 0 {
+				c.Width, c.Prefix, c.Level = def.Width, def.Prefix, def.Level
+			}
+		}
+	}
+	return stmt, nil
+}
+
+// cmOpts parses zero or more WIDTH/PREFIX/LEVEL options into col.
+func (p *parser) cmOpts(col *CMCol) error {
+	for {
+		switch {
+		case p.acceptKw("width"):
+			w, err := p.number()
+			if err != nil {
+				return err
+			}
+			if w <= 0 {
+				return p.errf("WIDTH must be positive")
+			}
+			col.Width = w
+		case p.acceptKw("prefix"):
+			n, err := p.posInt()
+			if err != nil {
+				return err
+			}
+			col.Prefix = n
+		case p.acceptKw("level"):
+			n, err := p.posInt()
+			if err != nil {
+				return err
+			}
+			col.Level = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) adviseStmt() (Stmt, error) {
+	p.next() // ADVISE
+	if err := p.expectKw("cm"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("for"); err != nil {
+		return nil, err
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &AdviseStmt{Sel: sel, MaxSlowdownPct: 10}
+	if p.acceptKw("within") {
+		stmt.MaxSlowdownPct, err = p.number()
+		if err != nil {
+			return nil, err
+		}
+		if stmt.MaxSlowdownPct < 0 {
+			return nil, p.errf("WITHIN percentage must be non-negative")
+		}
+		if err := p.expectKw("percent"); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) showStmt() (Stmt, error) {
+	p.next() // SHOW
+	switch {
+	case p.acceptKw("tables"):
+		return &ShowStmt{What: ShowTables}, nil
+	case p.acceptKw("stats"):
+		return &ShowStmt{What: ShowStats}, nil
+	case p.acceptKw("indexes"):
+		table, err := p.forTable()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{What: ShowIndexes, Table: table}, nil
+	case p.acceptKw("cms"):
+		table, err := p.forTable()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{What: ShowCMs, Table: table}, nil
+	case p.acceptKw("soft"):
+		if err := p.expectKw("fds"); err != nil {
+			return nil, err
+		}
+		table, err := p.forTable()
+		if err != nil {
+			return nil, err
+		}
+		stmt := &ShowStmt{What: ShowSoftFDs, Table: table, MinStrength: 0.8}
+		if p.acceptKw("min") {
+			if err := p.expectKw("strength"); err != nil {
+				return nil, err
+			}
+			stmt.MinStrength, err = p.number()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.acceptKw("with") {
+			if err := p.expectKw("pairs"); err != nil {
+				return nil, err
+			}
+			stmt.Pairs = true
+		}
+		return stmt, nil
+	default:
+		return nil, p.errf("expected TABLES, STATS, INDEXES, CMS or SOFT FDS after SHOW, got %s", p.describe())
+	}
+}
+
+// forTable consumes FOR ident (ON is accepted as a synonym).
+func (p *parser) forTable() (string, error) {
+	if !p.acceptKw("for") && !p.acceptKw("on") {
+		return "", p.errf("expected FOR <table>, got %s", p.describe())
+	}
+	return p.ident()
+}

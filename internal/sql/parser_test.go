@@ -1,0 +1,267 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseSelectForms(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM lineitem").(*SelectStmt)
+	if s.Cols != nil || s.Table != "lineitem" || s.Where != nil || s.Limit != -1 {
+		t.Errorf("bare select parsed wrong: %+v", s)
+	}
+
+	s = mustParse(t, `select shipdate, partkey from lineitem
+		where shipdate between '1994-01-01' and '1994-01-07'
+		and partkey in (1, 2, 3) and qty >= 5 and price < 10.5
+		and flag != 'N' limit 40;`).(*SelectStmt)
+	if !reflect.DeepEqual(s.Cols, []string{"shipdate", "partkey"}) {
+		t.Errorf("cols = %v", s.Cols)
+	}
+	if s.Limit != 40 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	want := []Cond{
+		{Col: "shipdate", Op: CondBetween, Args: []Lit{
+			{Kind: LitString, Str: "1994-01-01"}, {Kind: LitString, Str: "1994-01-07"}}},
+		{Col: "partkey", Op: CondIn, Args: []Lit{
+			{Kind: LitInt, Int: 1}, {Kind: LitInt, Int: 2}, {Kind: LitInt, Int: 3}}},
+		{Col: "qty", Op: CondGe, Args: []Lit{{Kind: LitInt, Int: 5}}},
+		{Col: "price", Op: CondLt, Args: []Lit{{Kind: LitFloat, Flt: 10.5}}},
+		{Col: "flag", Op: CondNe, Args: []Lit{{Kind: LitString, Str: "N"}}},
+	}
+	if !reflect.DeepEqual(s.Where, want) {
+		t.Errorf("where = %+v, want %+v", s.Where, want)
+	}
+
+	// <> is an alias for !=.
+	s = mustParse(t, "SELECT * FROM t WHERE a <> 3").(*SelectStmt)
+	if s.Where[0].Op != CondNe {
+		t.Errorf("<> parsed as %v", s.Where[0].Op)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]CondOp{
+		"=": CondEq, "!=": CondNe, "<": CondLt, "<=": CondLe, ">": CondGt, ">=": CondGe,
+	}
+	for opText, want := range ops {
+		s := mustParse(t, "SELECT * FROM t WHERE a "+opText+" 1").(*SelectStmt)
+		if s.Where[0].Op != want {
+			t.Errorf("op %q parsed as %v, want %v", opText, s.Where[0].Op, want)
+		}
+	}
+}
+
+func TestParseInsertAndLoad(t *testing.T) {
+	s := mustParse(t, "INSERT INTO t VALUES (1, 2.5, 'x'), (-3, -0.5, 'it''s')").(*InsertStmt)
+	if s.Load || s.Table != "t" || s.Cols != nil || len(s.Rows) != 2 {
+		t.Fatalf("insert parsed wrong: %+v", s)
+	}
+	if s.Rows[1][0] != (Lit{Kind: LitInt, Int: -3}) {
+		t.Errorf("negative int literal: %+v", s.Rows[1][0])
+	}
+	if s.Rows[1][2].Str != "it's" {
+		t.Errorf("escaped quote: %q", s.Rows[1][2].Str)
+	}
+
+	s = mustParse(t, "LOAD INTO t (b, a) VALUES (1, 2)").(*InsertStmt)
+	if !s.Load || !reflect.DeepEqual(s.Cols, []string{"b", "a"}) {
+		t.Errorf("load parsed wrong: %+v", s)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	s := mustParse(t, "DELETE FROM t WHERE a = 1 AND b > 2").(*DeleteStmt)
+	if s.Table != "t" || len(s.Where) != 2 {
+		t.Errorf("delete parsed wrong: %+v", s)
+	}
+	s = mustParse(t, "DELETE FROM t").(*DeleteStmt)
+	if s.Where != nil {
+		t.Errorf("bare delete has where: %+v", s)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := mustParse(t, `CREATE TABLE lineitem (
+		shipdate STRING, partkey INT, price FLOAT
+	) CLUSTERED BY (shipdate) BUCKET PAGES 10`).(*CreateTableStmt)
+	wantCols := []ColDef{
+		{Name: "shipdate", Kind: value.String},
+		{Name: "partkey", Kind: value.Int},
+		{Name: "price", Kind: value.Float},
+	}
+	if !reflect.DeepEqual(s.Cols, wantCols) {
+		t.Errorf("cols = %+v", s.Cols)
+	}
+	if !reflect.DeepEqual(s.ClusteredBy, []string{"shipdate"}) || s.BucketPages != 10 {
+		t.Errorf("clustering parsed wrong: %+v", s)
+	}
+
+	s = mustParse(t, "CREATE TABLE t (a BIGINT, b DOUBLE, c VARCHAR) CLUSTERED BY (a, c) BUCKET TUPLES 1").(*CreateTableStmt)
+	if s.Cols[0].Kind != value.Int || s.Cols[1].Kind != value.Float || s.Cols[2].Kind != value.String {
+		t.Errorf("type aliases: %+v", s.Cols)
+	}
+	if s.BucketTuples != 1 || len(s.ClusteredBy) != 2 {
+		t.Errorf("bucket tuples: %+v", s)
+	}
+}
+
+func TestParseCreateIndexAndCM(t *testing.T) {
+	ci := mustParse(t, "CREATE INDEX ix_sd ON lineitem (shipdate, partkey)").(*CreateIndexStmt)
+	if ci.Name != "ix_sd" || ci.Table != "lineitem" || len(ci.Cols) != 2 {
+		t.Errorf("create index parsed wrong: %+v", ci)
+	}
+
+	cm := mustParse(t, "CREATE CORRELATION MAP cm1 ON lineitem (shipdate WIDTH 7, comment PREFIX 2, partkey LEVEL 3)").(*CreateCMStmt)
+	want := []CMCol{
+		{Name: "shipdate", Width: 7},
+		{Name: "comment", Prefix: 2},
+		{Name: "partkey", Level: 3},
+	}
+	if !reflect.DeepEqual(cm.Cols, want) {
+		t.Errorf("cm cols = %+v", cm.Cols)
+	}
+
+	// Statement-level WITH applies only to columns without options.
+	cm = mustParse(t, "CREATE CORRELATION MAP cm2 ON t (a, b WIDTH 2) WITH WIDTH 16").(*CreateCMStmt)
+	if cm.Cols[0].Width != 16 || cm.Cols[1].Width != 2 {
+		t.Errorf("WITH default: %+v", cm.Cols)
+	}
+}
+
+func TestParseExplainAdviseShowCommit(t *testing.T) {
+	ex := mustParse(t, "EXPLAIN SELECT * FROM t WHERE a = 1").(*ExplainStmt)
+	if ex.Sel.Table != "t" {
+		t.Errorf("explain parsed wrong: %+v", ex)
+	}
+
+	ad := mustParse(t, "ADVISE CM FOR SELECT * FROM t WHERE a = 1 WITHIN 25 PERCENT").(*AdviseStmt)
+	if ad.MaxSlowdownPct != 25 || ad.Sel.Table != "t" {
+		t.Errorf("advise parsed wrong: %+v", ad)
+	}
+	ad = mustParse(t, "ADVISE CM FOR SELECT * FROM t WHERE a = 1").(*AdviseStmt)
+	if ad.MaxSlowdownPct != 10 {
+		t.Errorf("advise default tolerance = %v", ad.MaxSlowdownPct)
+	}
+
+	sh := mustParse(t, "SHOW SOFT FDS FOR t MIN STRENGTH 0.95 WITH PAIRS").(*ShowStmt)
+	if sh.What != ShowSoftFDs || sh.Table != "t" || sh.MinStrength != 0.95 || !sh.Pairs {
+		t.Errorf("show soft fds parsed wrong: %+v", sh)
+	}
+	sh = mustParse(t, "SHOW SOFT FDS FOR t").(*ShowStmt)
+	if sh.MinStrength != 0.8 || sh.Pairs {
+		t.Errorf("show soft fds defaults: %+v", sh)
+	}
+	for src, what := range map[string]ShowWhat{
+		"SHOW TABLES":        ShowTables,
+		"SHOW STATS":         ShowStats,
+		"SHOW INDEXES FOR t": ShowIndexes,
+		"SHOW CMS FOR t":     ShowCMs,
+	} {
+		if got := mustParse(t, src).(*ShowStmt).What; got != what {
+			t.Errorf("%q -> %v, want %v", src, got, what)
+		}
+	}
+
+	co := mustParse(t, "COMMIT people").(*CommitStmt)
+	if co.Table != "people" {
+		t.Errorf("commit parsed wrong: %+v", co)
+	}
+	if mustParse(t, "COMMIT").(*CommitStmt).Table != "" {
+		t.Error("bare commit should have empty table")
+	}
+}
+
+func TestParseScriptAndComments(t *testing.T) {
+	stmts, err := ParseScript(`
+		-- build the demo
+		CREATE TABLE t (a INT) CLUSTERED BY (a); -- trailing comment
+		INSERT INTO t VALUES (1);;
+		SELECT * FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements, want 3", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"FROBNICATE",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a BETWEEN 1",
+		"SELECT * FROM t WHERE a BETWEEN 1 AND",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE a IN (1",
+		"SELECT * FROM t LIMIT",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM t LIMIT x",
+		"SELECT a b FROM t",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (1,)",
+		"INSERT INTO t VALUES (1) garbage",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a INT)",
+		"CREATE TABLE t (a WIBBLE) CLUSTERED BY (a)",
+		"CREATE TABLE t (a INT) CLUSTERED BY (a) BUCKET",
+		"CREATE VIEW v",
+		"CREATE CORRELATION t",
+		"CREATE CORRELATION MAP cm ON t (a WIDTH 0)",
+		"CREATE CORRELATION MAP cm ON t (a) WITH",
+		"ADVISE CM SELECT * FROM t",
+		"ADVISE CM FOR SELECT * FROM t WHERE a = 1 WITHIN 5",
+		"SHOW",
+		"SHOW SOFT",
+		"SHOW SOFT FDS",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a ! 1",
+		"SELECT * FROM t WHERE a = 1.2.3",
+		"SELECT * FROM t WHERE a = 1e",
+		"SELECT * FROM t \x00",
+		"SELECT * FROM t; SELECT * FROM", // script error position
+	}
+	for _, src := range cases {
+		if _, err := ParseScript(src); err == nil && src != "" {
+			t.Errorf("ParseScript(%q) did not fail", src)
+		} else if src == "" {
+			// Empty scripts are fine for ParseScript but not Parse.
+			if _, err := Parse(src); err == nil {
+				t.Errorf("Parse(%q) did not fail", src)
+			}
+		}
+	}
+}
+
+func TestParseErrorsMentionOffset(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE a @ 1")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %v should name an offset", err)
+	}
+}
+
+func TestKeywordsAreCaseInsensitive(t *testing.T) {
+	if _, err := Parse("sElEcT * fRoM t wHeRe a BeTwEeN 1 aNd 2 LiMiT 5"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,8 +14,8 @@ import (
 	"repro/internal/value"
 )
 
-// Pred is a predicate over a named column. Build with Eq, In, Between,
-// Ge or Le; predicates combine conjunctively in Select.
+// Pred is a predicate over a named column. Build with Eq, Ne, In,
+// Between, Ge, Le, Gt or Lt; predicates combine conjunctively in Select.
 type Pred struct {
 	col   string
 	build func(col int) exec.Pred
@@ -50,6 +50,26 @@ func Ge(col string, lo Value) Pred {
 // Le matches rows whose column is <= hi.
 func Le(col string, hi Value) Pred {
 	return Pred{col: col, build: func(c int) exec.Pred { return exec.Le(c, hi.v) }}
+}
+
+// Lt matches rows whose column is strictly < hi. Like Between/Ge/Le it
+// rides index and CM probes (the boundary value is read and re-filtered
+// out), so `a < x` and `a <= x` cost within one value of each other.
+func Lt(col string, hi Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Lt(c, hi.v) }}
+}
+
+// Gt matches rows whose column is strictly > lo.
+func Gt(col string, lo Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Gt(c, lo.v) }}
+}
+
+// Ne matches rows whose column differs from v. Ne never drives an index
+// or CM probe (it would cover the whole domain); access paths evaluate it
+// by re-filtering, and a query whose only predicates are Ne plans as a
+// table scan.
+func Ne(col string, v Value) Pred {
+	return Pred{col: col, build: func(c int) exec.Pred { return exec.Ne(c, v.v) }}
 }
 
 func buildQuery(t *Table, preds []Pred) (exec.Query, error) {
@@ -147,7 +167,7 @@ func (t *Table) selectVia(method AccessMethod, workers int, fn func(Row) bool, p
 	case CMScan:
 		for _, cm := range t.inner.CMs() {
 			for _, c := range cm.Spec().UCols {
-				if q.PredOn(c) != nil {
+				if q.IndexablePredOn(c) != nil {
 					return exec.ParallelCMScan(t.inner, cm, q, workers, emit)
 				}
 			}
@@ -178,11 +198,15 @@ func (t *Table) SelectViaCM(cmName string, fn func(Row) bool, preds ...Pred) err
 }
 
 // QuerySpec names one query of a batch: the target table, the access
-// method (Auto lets the cost model choose) and the predicates.
+// method (Auto lets the cost model choose) and the predicates. A positive
+// Limit caps the result rows and stops the scan early through the
+// executor's cancellation path, so a LIMIT-style batch query does not pay
+// for a full sweep.
 type QuerySpec struct {
 	Table string
 	Via   AccessMethod
 	Preds []Pred
+	Limit int // 0 = unlimited
 }
 
 // QueryResult is the outcome of one query of a batch: the matching rows,
@@ -228,7 +252,7 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 				var rows []Row
 				err := tbl.selectVia(spec.Via, 1, func(r Row) bool {
 					rows = append(rows, r)
-					return true
+					return spec.Limit <= 0 || len(rows) < spec.Limit
 				}, spec.Preds)
 				out[i] = QueryResult{Rows: rows, Err: err}
 			}
@@ -240,7 +264,7 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 
 func (t *Table) applicableIndex(q exec.Query) *table.Index {
 	for _, ix := range t.inner.Indexes() {
-		if q.PredOn(ix.Cols[0]) != nil {
+		if q.IndexablePredOn(ix.Cols[0]) != nil {
 			return ix
 		}
 	}
@@ -307,6 +331,19 @@ func (t *Table) Advise(maxSlowdownPct float64, preds ...Pred) ([]Recommendation,
 	if err != nil {
 		return nil, err
 	}
+	// Only indexable predicates can ever be served by a CM (Ne plans as
+	// a table scan), so advising on them would recommend designs whose
+	// estimated probes can never run.
+	indexable := q.Preds[:0:0]
+	for _, p := range q.Preds {
+		if p.Indexable() {
+			indexable = append(indexable, p)
+		}
+	}
+	if len(indexable) == 0 {
+		return nil, fmt.Errorf("repro: no indexable predicate to advise on in %s", q.String())
+	}
+	q.Preds = indexable
 	t.inner.RLock()
 	defer t.inner.RUnlock()
 	adv, err := advisor.New(t.inner, advisor.Config{})

@@ -18,9 +18,13 @@
 //     2PC-style commits (Open, CreateTable, Load, Insert, Delete, Commit)
 //   - secondary B+Tree indexes and correlation maps (CreateIndex,
 //     CreateCM) with bucketing control
-//   - query execution with predicate builders (Eq, In, Between) across
-//     four access paths, chosen by the paper's correlation-aware cost
-//     model or forced explicitly (Select, SelectVia, Explain)
+//   - query execution with predicate builders (Eq, Ne, In, Between,
+//     Ge, Le, Gt, Lt) across four access paths, chosen by the paper's
+//     correlation-aware cost model or forced explicitly (Select,
+//     SelectVia, Explain)
+//   - a SQL front-end (Exec, ExecScript) parsing the dialect described
+//     in the README onto the same engine, and batch execution
+//     (SelectMany) for multi-client workloads
 //   - the CM Advisor (Advise, DiscoverFDs): soft-FD discovery, bucketing
 //     enumeration and design recommendation under a performance target
 //

@@ -1,0 +1,549 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	sqlfe "repro/internal/sql"
+	"repro/internal/value"
+)
+
+// This file is the top of the SQL front-end: Exec and ExecScript parse
+// statements with internal/sql, bind them against the live catalog and
+// lower them onto the native facade API (Select, Insert, Delete,
+// CreateTable, CreateIndex, CreateCM, Explain, Advise, DiscoverFDs,
+// Commit). Every SQL statement therefore has exactly the semantics of
+// the equivalent native call — the equivalence tests in sql_test.go
+// assert this statement form by statement form.
+
+// Result is the outcome of one SQL statement. Row-producing statements
+// (SELECT, EXPLAIN, ADVISE, SHOW) fill Columns and Rows; mutating
+// statements fill Affected and Message.
+type Result struct {
+	Columns  []string
+	Rows     []Row
+	Message  string
+	Affected int
+	Plan     *PlanInfo // EXPLAIN only
+}
+
+// ScriptResult pairs one statement of a script with its outcome.
+type ScriptResult struct {
+	Res *Result
+	Err error
+}
+
+// Kind returns the value's dynamic kind.
+func (v Value) Kind() Kind {
+	switch v.v.K {
+	case value.Int:
+		return Int
+	case value.Float:
+		return Float
+	default:
+		return String
+	}
+}
+
+// catalogDB adapts DB to the binder's Catalog interface.
+type catalogDB struct{ db *DB }
+
+func (c catalogDB) TableMeta(name string) (sqlfe.TableMeta, bool) {
+	t := c.db.Table(name)
+	if t == nil {
+		return sqlfe.TableMeta{}, false
+	}
+	sch := t.inner.Schema()
+	tm := sqlfe.TableMeta{Name: name, Cols: make([]sqlfe.ColMeta, len(sch.Cols))}
+	for i, col := range sch.Cols {
+		tm.Cols[i] = sqlfe.ColMeta{Name: col.Name, Kind: col.Kind}
+	}
+	return tm, true
+}
+
+// Tables returns the table names, sorted.
+func (db *DB) Tables() []string {
+	tables := db.allTables()
+	out := make([]string, len(tables))
+	for i, t := range tables {
+		out[i] = t.Name()
+	}
+	return out
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(stmt string) (*Result, error) {
+	parsed, err := sqlfe.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return db.execStmt(parsed)
+}
+
+// ExecScript parses a ';'-separated script and executes its statements
+// in order. Consecutive SELECT statements run as one SelectMany batch
+// across the worker pool, the multi-client fast path the cmserver uses
+// for pipelined clients. A parse error fails the whole script (nothing
+// executes); execution errors are per-statement and do not stop later
+// statements.
+func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
+	stmts, err := sqlfe.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScriptResult, len(stmts))
+	for i := 0; i < len(stmts); {
+		j := i
+		for j < len(stmts) {
+			if _, ok := stmts[j].(*sqlfe.SelectStmt); !ok {
+				break
+			}
+			j++
+		}
+		if j-i > 1 {
+			db.execSelectBatch(stmts[i:j], out[i:j])
+			i = j
+			continue
+		}
+		res, err := db.execStmt(stmts[i])
+		out[i] = ScriptResult{Res: res, Err: err}
+		i++
+	}
+	return out, nil
+}
+
+// execSelectBatch binds a run of SELECTs and evaluates them through
+// SelectMany, so they fan out across the worker pool like concurrent
+// clients; LIMIT flows into QuerySpec.Limit and stops scans early.
+func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
+	cat := catalogDB{db}
+	bounds := make([]*sqlfe.BoundSelect, len(stmts))
+	specs := make([]QuerySpec, 0, len(stmts))
+	specAt := make([]int, len(stmts)) // statement -> index into specs, -1 = not run
+	for i, s := range stmts {
+		b, err := sqlfe.BindSelect(cat, s.(*sqlfe.SelectStmt))
+		if err != nil {
+			out[i] = ScriptResult{Err: err}
+			specAt[i] = -1
+			continue
+		}
+		bounds[i] = b
+		if b.Limit == 0 { // LIMIT 0: nothing to run
+			out[i] = ScriptResult{Res: &Result{Columns: b.Cols}}
+			specAt[i] = -1
+			continue
+		}
+		spec := QuerySpec{Table: b.Table, Preds: predsFromBound(b.Where)}
+		if b.Limit > 0 {
+			spec.Limit = b.Limit
+		}
+		specAt[i] = len(specs)
+		specs = append(specs, spec)
+	}
+	results := db.SelectMany(specs)
+	for i, b := range bounds {
+		if b == nil || specAt[i] < 0 {
+			continue
+		}
+		r := results[specAt[i]]
+		if r.Err != nil {
+			out[i] = ScriptResult{Err: r.Err}
+			continue
+		}
+		res := &Result{Columns: b.Cols, Rows: make([]Row, len(r.Rows))}
+		for k, row := range r.Rows {
+			res.Rows[k] = projectRow(row, b.Proj)
+		}
+		out[i] = ScriptResult{Res: res}
+	}
+}
+
+// projectRow maps a full row onto the projected column indices.
+func projectRow(r Row, proj []int) Row {
+	out := make(Row, len(proj))
+	for i, ci := range proj {
+		out[i] = r[ci]
+	}
+	return out
+}
+
+// predsFromBound lowers bound conditions to facade predicates.
+func predsFromBound(conds []sqlfe.BoundCond) []Pred {
+	out := make([]Pred, len(conds))
+	for i, c := range conds {
+		vals := make([]Value, len(c.Vals))
+		for k, v := range c.Vals {
+			vals[k] = Value{v}
+		}
+		switch c.Op {
+		case sqlfe.CondEq:
+			out[i] = Eq(c.Col, vals[0])
+		case sqlfe.CondNe:
+			out[i] = Ne(c.Col, vals[0])
+		case sqlfe.CondLt:
+			out[i] = Lt(c.Col, vals[0])
+		case sqlfe.CondLe:
+			out[i] = Le(c.Col, vals[0])
+		case sqlfe.CondGt:
+			out[i] = Gt(c.Col, vals[0])
+		case sqlfe.CondGe:
+			out[i] = Ge(c.Col, vals[0])
+		case sqlfe.CondBetween:
+			out[i] = Between(c.Col, vals[0], vals[1])
+		default:
+			out[i] = In(c.Col, vals...)
+		}
+	}
+	return out
+}
+
+// PredsForWhere parses a WHERE conjunction (the text after the WHERE
+// keyword) against a table and returns the equivalent native
+// predicates. It bridges the two query surfaces: a SQL-described filter
+// can drive Select, Delete, Explain, Advise or a QuerySpec batch.
+func (db *DB) PredsForWhere(table, where string) ([]Pred, error) {
+	stmt, err := sqlfe.Parse("SELECT * FROM " + table + " WHERE " + where)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlfe.SelectStmt)
+	if !ok || sel.Table != table || sel.Limit != -1 {
+		return nil, fmt.Errorf("sql: %q is not a WHERE conjunction", where)
+	}
+	b, err := sqlfe.BindSelect(catalogDB{db}, sel)
+	if err != nil {
+		return nil, err
+	}
+	return predsFromBound(b.Where), nil
+}
+
+// sqlTable resolves a statement's target table.
+func (db *DB) sqlTable(name string) (*Table, error) {
+	t := db.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("sql: no table %q", name)
+	}
+	return t, nil
+}
+
+func (db *DB) execStmt(stmt sqlfe.Stmt) (*Result, error) {
+	cat := catalogDB{db}
+	switch s := stmt.(type) {
+	case *sqlfe.SelectStmt:
+		return db.execSelect(cat, s)
+	case *sqlfe.InsertStmt:
+		return db.execInsert(cat, s)
+	case *sqlfe.DeleteStmt:
+		return db.execDelete(cat, s)
+	case *sqlfe.CreateTableStmt:
+		return db.execCreateTable(cat, s)
+	case *sqlfe.CreateIndexStmt:
+		return db.execCreateIndex(cat, s)
+	case *sqlfe.CreateCMStmt:
+		return db.execCreateCM(cat, s)
+	case *sqlfe.ExplainStmt:
+		return db.execExplain(cat, s)
+	case *sqlfe.AdviseStmt:
+		return db.execAdvise(cat, s)
+	case *sqlfe.ShowStmt:
+		return db.execShow(s)
+	case *sqlfe.CommitStmt:
+		return db.execCommit(s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execSelect(cat sqlfe.Catalog, s *sqlfe.SelectStmt) (*Result, error) {
+	b, err := sqlfe.BindSelect(cat, s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: b.Cols}
+	if b.Limit == 0 {
+		return res, nil
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	err = tbl.Select(func(r Row) bool {
+		res.Rows = append(res.Rows, projectRow(r, b.Proj))
+		return b.Limit < 0 || len(res.Rows) < b.Limit
+	}, predsFromBound(b.Where)...)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (db *DB) execInsert(cat sqlfe.Catalog, s *sqlfe.InsertStmt) (*Result, error) {
+	b, err := sqlfe.BindInsert(cat, s)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	if s.Load {
+		rows := make([]Row, len(b.Rows))
+		for i, row := range b.Rows {
+			rows[i] = externalRow(row)
+		}
+		if err := tbl.Load(rows); err != nil {
+			return nil, err
+		}
+		return &Result{
+			Affected: len(rows),
+			Message:  fmt.Sprintf("LOAD %d", len(rows)),
+		}, nil
+	}
+	for i, row := range b.Rows {
+		if err := tbl.Insert(externalRow(row)); err != nil {
+			return nil, fmt.Errorf("sql: INSERT row %d: %w", i+1, err)
+		}
+	}
+	return &Result{
+		Affected: len(b.Rows),
+		Message:  fmt.Sprintf("INSERT %d", len(b.Rows)),
+	}, nil
+}
+
+func (db *DB) execDelete(cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error) {
+	b, err := sqlfe.BindDelete(cat, s)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	n, err := tbl.Delete(predsFromBound(b.Where)...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Message: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+func (db *DB) execCreateTable(cat sqlfe.Catalog, s *sqlfe.CreateTableStmt) (*Result, error) {
+	if err := sqlfe.BindCreateTable(cat, s); err != nil {
+		return nil, err
+	}
+	spec := TableSpec{
+		Name:         s.Name,
+		ClusteredBy:  s.ClusteredBy,
+		BucketPages:  s.BucketPages,
+		BucketTuples: s.BucketTuples,
+	}
+	for _, c := range s.Cols {
+		spec.Columns = append(spec.Columns, Column{Name: c.Name, Kind: kindFromInternal(c.Kind)})
+	}
+	if _, err := db.CreateTable(spec); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("CREATE TABLE %s", s.Name)}, nil
+}
+
+// kindFromInternal maps a value kind back onto the facade enum.
+func kindFromInternal(k value.Kind) Kind {
+	switch k {
+	case value.Int:
+		return Int
+	case value.Float:
+		return Float
+	default:
+		return String
+	}
+}
+
+func (db *DB) execCreateIndex(cat sqlfe.Catalog, s *sqlfe.CreateIndexStmt) (*Result, error) {
+	if err := sqlfe.BindCreateIndex(cat, s); err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.CreateIndex(s.Name, s.Cols...); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("CREATE INDEX %s", s.Name)}, nil
+}
+
+func (db *DB) execCreateCM(cat sqlfe.Catalog, s *sqlfe.CreateCMStmt) (*Result, error) {
+	if err := sqlfe.BindCreateCM(cat, s); err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]CMColumn, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = CMColumn{Name: c.Name, Level: c.Level, Width: c.Width, Prefix: c.Prefix}
+	}
+	if err := tbl.CreateCM(s.Name, cols...); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("CREATE CORRELATION MAP %s", s.Name)}, nil
+}
+
+func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
+	b, err := sqlfe.BindSelect(cat, s.Sel)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	info, err := tbl.Explain(predsFromBound(b.Where)...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns: []string{"method", "uses", "est_cost"},
+		Rows: []Row{{
+			StringVal(info.Method.String()),
+			StringVal(info.Uses),
+			StringVal(info.EstimatedCost.String()),
+		}},
+		Plan: &info,
+	}, nil
+}
+
+func (db *DB) execAdvise(cat sqlfe.Catalog, s *sqlfe.AdviseStmt) (*Result, error) {
+	b, err := sqlfe.BindSelect(cat, s.Sel)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := tbl.Advise(s.MaxSlowdownPct, predsFromBound(b.Where)...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Columns: []string{"design", "size_bytes", "slowdown_pct", "est_runtime", "est_btree_bytes"},
+		Message: fmt.Sprintf("%d designs within %.4g%% of the B+Tree estimate", len(recs), s.MaxSlowdownPct),
+	}
+	for _, r := range recs {
+		res.Rows = append(res.Rows, Row{
+			StringVal(r.Design),
+			IntVal(r.SizeBytes),
+			FloatVal(r.SlowdownPct),
+			StringVal(r.EstRuntime.String()),
+			IntVal(r.EstBTreeSz),
+		})
+	}
+	return res, nil
+}
+
+func (db *DB) execShow(s *sqlfe.ShowStmt) (*Result, error) {
+	switch s.What {
+	case sqlfe.ShowTables:
+		res := &Result{Columns: []string{"table", "rows", "heap_pages", "indexes", "cms"}}
+		for _, t := range db.allTables() {
+			res.Rows = append(res.Rows, Row{
+				StringVal(t.Name()),
+				IntVal(t.RowCount()),
+				IntVal(t.HeapPages()),
+				IntVal(int64(len(t.Indexes()))),
+				IntVal(int64(len(t.CMs()))),
+			})
+		}
+		return res, nil
+	case sqlfe.ShowIndexes:
+		tbl, err := db.sqlTable(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"index", "columns", "size_bytes", "entries", "height"}}
+		for _, ix := range tbl.Indexes() {
+			res.Rows = append(res.Rows, Row{
+				StringVal(ix.Name),
+				StringVal(joinCols(ix.Columns)),
+				IntVal(ix.SizeBytes),
+				IntVal(ix.Entries),
+				IntVal(int64(ix.Height)),
+			})
+		}
+		return res, nil
+	case sqlfe.ShowCMs:
+		tbl, err := db.sqlTable(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"cm", "columns", "size_bytes", "keys", "pairs", "c_per_u"}}
+		for _, cm := range tbl.CMs() {
+			res.Rows = append(res.Rows, Row{
+				StringVal(cm.Name),
+				StringVal(joinCols(cm.Columns)),
+				IntVal(cm.SizeBytes),
+				IntVal(int64(cm.Keys)),
+				IntVal(cm.Pairs),
+				FloatVal(cm.CPerU),
+			})
+		}
+		return res, nil
+	case sqlfe.ShowStats:
+		st := db.Stats()
+		return &Result{
+			Columns: []string{"reads", "writes", "seeks", "elapsed", "pool_hits", "pool_misses"},
+			Rows: []Row{{
+				IntVal(int64(st.Reads)),
+				IntVal(int64(st.Writes)),
+				IntVal(int64(st.Seeks)),
+				StringVal(st.Elapsed.String()),
+				IntVal(int64(st.PoolHits)),
+				IntVal(int64(st.PoolMisses)),
+			}},
+		}, nil
+	case sqlfe.ShowSoftFDs:
+		tbl, err := db.sqlTable(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		fds, err := tbl.DiscoverFDs(s.MinStrength, s.Pairs)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"determinant", "dependent", "strength"}}
+		for _, fd := range fds {
+			res.Rows = append(res.Rows, Row{
+				StringVal(joinCols(fd.Determinant)),
+				StringVal(fd.Dependent),
+				FloatVal(fd.Strength),
+			})
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported SHOW form")
+	}
+}
+
+func (db *DB) execCommit(s *sqlfe.CommitStmt) (*Result, error) {
+	if s.Table != "" {
+		tbl, err := db.sqlTable(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("COMMIT %s", s.Table)}, nil
+	}
+	tables := db.allTables() // already in name order
+	for _, t := range tables {
+		if err := t.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("COMMIT %d tables", len(tables))}, nil
+}
+
+// joinCols renders a column list for SHOW output.
+func joinCols(cols []string) string { return strings.Join(cols, ",") }
