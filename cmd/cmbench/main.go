@@ -11,19 +11,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/buffer"
 	"repro/internal/datagen"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/heap"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/value"
 )
 
+var lazyJSON = flag.String("json", "BENCH_3.json", "output path for the -exp lazy JSON report")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|all")
 	scale := flag.Int("scale", 1, "row-count multiplier over the bench defaults")
 	flag.Parse()
 
@@ -175,10 +185,17 @@ func run(exp string, scale int) error {
 		}
 		ran = true
 	}
+	if all || exp == "lazy" {
+		section("lazy materialization")
+		if err := runLazy(scale, out); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (try %s)", exp,
 			strings.Join([]string{"figure1", "figure2", "figure3", "table3", "tables45",
-				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "all"}, "|"))
+				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "all"}, "|"))
 	}
 	return nil
 }
@@ -286,5 +303,144 @@ func runParallel(scale int, out *os.File) error {
 			float64(batch.Microseconds())/1000,
 			float64(base)/float64(batch))
 	}
+	return nil
+}
+
+// lazyVariant is one engine configuration measured by the lazy
+// experiment.
+type lazyVariant struct {
+	Name         string  `json:"name"`
+	Millis       float64 `json:"ms"`
+	RowsPerSec   float64 `json:"rows_per_s"`
+	AllocsPerRow float64 `json:"allocs_per_row"`
+	Matches      int     `json:"matches"`
+}
+
+// lazyReport is the BENCH_3.json document: the before/after table for
+// the lazy materialization engine.
+type lazyReport struct {
+	Experiment string        `json:"experiment"`
+	Rows       int           `json:"rows"`
+	Query      string        `json:"query"`
+	Variants   []lazyVariant `json:"variants"`
+}
+
+// runLazy measures the row-materialization path on the Figure-6-style
+// correlated workload: the pre-engine baseline (DecodeRow every tuple,
+// then filter the materialized row) against the compiled tuple filter
+// (filter on encoded bytes, materialize survivors) and the compiled
+// filter with projection pushdown (survivors decode one column). The
+// buffer pool holds the whole table and the disk runs without real
+// waits, so the numbers isolate decode CPU and allocation — the
+// bottleneck PR 1 found. Results print as a table and are written as
+// JSON (BENCH_3.json) for the perf trajectory.
+func runLazy(scale int, out *os.File) error {
+	rows := 60000 * scale
+	disk := sim.NewDisk(sim.Config{})
+	pool := buffer.NewPool(disk, 4096)
+	sch := table.NewSchema(
+		table.Column{Name: "cat", Kind: value.Int},
+		table.Column{Name: "subcat", Kind: value.Int},
+		table.Column{Name: "price", Kind: value.Int},
+		table.Column{Name: "desc", Kind: value.String},
+	)
+	tbl, err := table.New(pool, nil, table.Config{Name: "items", Schema: sch, ClusteredCols: []int{0}, BucketPages: 1})
+	if err != nil {
+		return err
+	}
+	items := datagen.CorrelatedItems(rows)
+	data := make([]value.Row, len(items))
+	for i, it := range items {
+		data[i] = value.Row{
+			value.NewInt(it.Cat), value.NewInt(it.Subcat),
+			value.NewInt(it.Price), value.NewString(it.Desc),
+		}
+	}
+	if err := tbl.Load(data); err != nil {
+		return err
+	}
+	q := exec.NewQuery(exec.Le(2, value.NewInt(5000)))
+	proj := q
+	proj.Proj = []int{2}
+
+	// decode-all: the pre-lazy engine — materialize every tuple, then
+	// filter the row.
+	decodeAll := func() (int, error) {
+		n := 0
+		err := tbl.Scan(func(rid heap.RID, row value.Row) bool {
+			if q.Matches(row) {
+				n++
+			}
+			return true
+		})
+		return n, err
+	}
+	compiled := func() (int, error) {
+		n := 0
+		err := exec.TableScan(tbl, q, func(heap.RID, value.Row) bool { n++; return true })
+		return n, err
+	}
+	projected := func() (int, error) {
+		n := 0
+		err := exec.TableScan(tbl, proj, func(heap.RID, value.Row) bool { n++; return true })
+		return n, err
+	}
+
+	measure := func(name string, fn func() (int, error)) (lazyVariant, error) {
+		if _, err := fn(); err != nil { // warm the pool
+			return lazyVariant{}, err
+		}
+		const reps = 5
+		var m1, m2 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		start := time.Now()
+		n := 0
+		for r := 0; r < reps; r++ {
+			var err error
+			n, err = fn()
+			if err != nil {
+				return lazyVariant{}, err
+			}
+		}
+		wall := time.Since(start) / reps
+		runtime.ReadMemStats(&m2)
+		allocs := float64(m2.Mallocs-m1.Mallocs) / reps
+		return lazyVariant{
+			Name:         name,
+			Millis:       float64(wall.Microseconds()) / 1000,
+			RowsPerSec:   float64(rows) / wall.Seconds(),
+			AllocsPerRow: allocs / float64(rows),
+			Matches:      n,
+		}, nil
+	}
+
+	report := lazyReport{Experiment: "lazy", Rows: rows, Query: "price <= 5000, project (price)"}
+	variants := []struct {
+		name string
+		fn   func() (int, error)
+	}{
+		{"decode-all (pre-lazy baseline)", decodeAll},
+		{"compiled filter", compiled},
+		{"compiled filter + projection", projected},
+	}
+	fmt.Fprintf(out, "%d rows, warm pool, wall-clock CPU cost of the scan path\n", rows)
+	fmt.Fprintf(out, "%-32s %10s %14s %12s\n", "variant", "ms", "rows/s", "allocs/row")
+	for _, v := range variants {
+		res, err := measure(v.name, v.fn)
+		if err != nil {
+			return err
+		}
+		report.Variants = append(report.Variants, res)
+		fmt.Fprintf(out, "%-32s %10.2f %14.0f %12.2f\n", res.Name, res.Millis, res.RowsPerSec, res.AllocsPerRow)
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*lazyJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *lazyJSON)
 	return nil
 }

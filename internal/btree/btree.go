@@ -533,11 +533,15 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 }
 
 // Iterator walks entries in key order. It materializes one leaf at a time
-// so it never holds buffer pins across calls.
+// so it never holds buffer pins across calls. Leaf contents copy into a
+// reused arena, so iterating allocates per leaf (amortized to nothing on
+// uniform leaves), not per entry — index probes sweep millions of
+// entries and a per-entry key copy dominated their profile.
 type Iterator struct {
 	tree    *Tree
-	keys    [][]byte
-	vals    [][]byte
+	buf     []byte   // arena backing keys and vals of the current leaf
+	keys    [][]byte // alias buf
+	vals    [][]byte // alias buf
 	idx     int
 	next    int64
 	invalid bool
@@ -578,9 +582,23 @@ func (it *Iterator) loadLeafLocked(d []byte) {
 	n := numKeys(d)
 	it.keys = it.keys[:0]
 	it.vals = it.vals[:0]
+	size := 0
 	for i := 0; i < n; i++ {
-		it.keys = append(it.keys, append([]byte(nil), leafCellKey(d, i)...))
-		it.vals = append(it.vals, append([]byte(nil), leafCellVal(d, i)...))
+		size += len(leafCellKey(d, i)) + len(leafCellVal(d, i))
+	}
+	// Reserve up front so the appends below never reallocate: the
+	// subslices handed out as keys and vals stay valid.
+	if cap(it.buf) < size {
+		it.buf = make([]byte, 0, size)
+	}
+	it.buf = it.buf[:0]
+	for i := 0; i < n; i++ {
+		start := len(it.buf)
+		it.buf = append(it.buf, leafCellKey(d, i)...)
+		it.keys = append(it.keys, it.buf[start:len(it.buf):len(it.buf)])
+		start = len(it.buf)
+		it.buf = append(it.buf, leafCellVal(d, i)...)
+		it.vals = append(it.vals, it.buf[start:len(it.buf):len(it.buf)])
 	}
 	it.next = aux(d)
 	it.idx = 0
@@ -607,10 +625,11 @@ func (it *Iterator) advanceLeaf() error {
 // Valid reports whether the iterator is positioned on an entry.
 func (it *Iterator) Valid() bool { return !it.invalid && it.idx < len(it.keys) }
 
-// Key returns the current key. Valid only while Valid() is true.
+// Key returns the current key. The slice aliases the iterator's arena:
+// it is valid only until the next call to Next — copy it to retain.
 func (it *Iterator) Key() []byte { return it.keys[it.idx] }
 
-// Value returns the current value.
+// Value returns the current value, with Key's lifetime.
 func (it *Iterator) Value() []byte { return it.vals[it.idx] }
 
 // Next advances to the following entry.

@@ -22,6 +22,12 @@ import (
 // the early-stop contract cheap (a LIMIT-style caller stops the scan
 // soon after its limit, it does not pay for a full sweep).
 //
+// All paths filter on encoded tuple bytes with the compiled TupleFilter;
+// only surviving tuples materialize, and only the query's referenced +
+// projected columns are decoded. Parallel collectors buffer survivors
+// past the scan, so each survivor gets a fresh row (the serial executors
+// reuse a scratch row instead — see the RowFunc contract).
+//
 // Callers must hold the table latch in shared mode (the repro facade
 // does) so workers see one consistent table state; the buffer pool and
 // simulated disk underneath are thread-safe.
@@ -195,13 +201,12 @@ func scanChunks(workers, pages int) int {
 	return n
 }
 
-// collectPageRange sweeps the contiguous heap pages [lo, hi],
-// appending matching rows to out (DecodeRow allocates fresh rows, so
-// they outlive the pinned frames). cancel aborts at page boundaries
-// when the scan's results are no longer needed.
-func collectPageRange(t *table.Table, lo, hi int64, q Query, cancel *atomic.Bool, out []matchRow) ([]matchRow, error) {
-	sch := t.Schema()
-	var decodeErr error
+// collectPageRange sweeps the contiguous heap pages [lo, hi], filtering
+// tuples on their encoded bytes (lazyScan.collect) and appending
+// surviving rows to out. cancel aborts at page boundaries when the
+// scan's results are no longer needed.
+func collectPageRange(t *table.Table, lo, hi int64, ls *lazyScan, cancel *atomic.Bool, out []matchRow) ([]matchRow, error) {
+	var innerErr error
 	curPage := int64(-1)
 	err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
 		if rid.Page != curPage {
@@ -210,18 +215,18 @@ func collectPageRange(t *table.Table, lo, hi int64, q Query, cancel *atomic.Bool
 				return false
 			}
 		}
-		row, err := sch.DecodeRow(tuple)
+		row, err := ls.collect(tuple)
 		if err != nil {
-			decodeErr = err
+			innerErr = err
 			return false
 		}
-		if q.Matches(row) {
+		if row != nil {
 			out = append(out, matchRow{rid: rid, row: row})
 		}
 		return true
 	})
-	if decodeErr != nil {
-		return out, decodeErr
+	if innerErr != nil {
+		return out, innerErr
 	}
 	return out, err
 }
@@ -229,14 +234,14 @@ func collectPageRange(t *table.Table, lo, hi int64, q Query, cancel *atomic.Bool
 // collectPages runs the gap-coalescing page sweep over pages, returning
 // the matching rows. It shares the run economics with the serial
 // sweepPages via forEachPageRun.
-func collectPages(t *table.Table, pages []int64, q Query, cancel *atomic.Bool) ([]matchRow, error) {
+func collectPages(t *table.Table, pages []int64, ls *lazyScan, cancel *atomic.Bool) ([]matchRow, error) {
 	var out []matchRow
 	err := forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
 		if cancel != nil && cancel.Load() {
 			return false, nil
 		}
 		var err error
-		out, err = collectPageRange(t, lo, hi, q, cancel, out)
+		out, err = collectPageRange(t, lo, hi, ls, cancel, out)
 		return err == nil, err
 	})
 	return out, err
@@ -249,9 +254,10 @@ func parallelSweepPages(t *table.Table, pages []int64, q Query, workers int, fn 
 	if workers <= 1 || len(pages) < 2 {
 		return sweepPages(t, pages, q, fn)
 	}
+	ls := newLazyScan(t, q)
 	chunks := chunkSlices(len(pages), scanChunks(workers, len(pages)))
 	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
-		return collectPages(t, pages[chunks[i][0]:chunks[i][1]], q, cancel)
+		return collectPages(t, pages[chunks[i][0]:chunks[i][1]], ls, cancel)
 	}, fn)
 }
 
@@ -264,9 +270,10 @@ func ParallelTableScan(t *table.Table, q Query, workers int, fn RowFunc) error {
 	if workers <= 1 || n < 2 {
 		return TableScan(t, q, fn)
 	}
+	ls := newLazyScan(t, q)
 	chunks := chunkSlices(int(n), scanChunks(workers, int(n)))
 	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
-		return collectPageRange(t, int64(chunks[i][0]), int64(chunks[i][1])-1, q, cancel, nil)
+		return collectPageRange(t, int64(chunks[i][0]), int64(chunks[i][1])-1, ls, cancel, nil)
 	}, fn)
 }
 
@@ -347,16 +354,134 @@ func ParallelCMScan(t *table.Table, cm *core.CM, q Query, workers int, fn RowFun
 	return parallelSweepPages(t, pagesOf(rids), q, workers, fn)
 }
 
+// probeBatchSize bounds how many RIDs a batched probe fetches per heap
+// pass: it sets the fetch granularity (and the size of the per-batch
+// lookup structures), and an early stop (LIMIT) cancels between
+// batches. A range's RID list and its collected rows still scale with
+// the range itself — collectEmit buffers one chunk's rows either way.
+const probeBatchSize = 4096
+
+// BatchedIndexScan is the batched async form of PipelinedIndexScan: the
+// probe ranges fan out across the worker pool, each worker accumulates
+// its range's RIDs in index key order and fetches them batch by batch
+// with the gap-coalescing page runs (so scattered fetches become few
+// physical sweeps), and surviving rows stream to fn in the exact order
+// the serial pipelined scan would emit them — range by range, key order
+// within a range. First-match/LIMIT early stops cancel in-flight ranges
+// at page granularity. With workers <= 1, or with a single probe range
+// (nothing to fan out, and the serial iterator keeps first-match
+// economics), it is exactly PipelinedIndexScan.
+func BatchedIndexScan(t *table.Table, ix *table.Index, q Query, workers int, fn RowFunc) error {
+	ranges := indexProbeRanges(ix.Cols, q) // serial emission order: as returned
+	if workers <= 1 || len(ranges) < 2 {
+		// A single probe range has nothing to fan out, and the serial
+		// iterator keeps the pipelined path's first-match economics: a
+		// LIMIT-1 caller stops after a handful of fetches instead of
+		// waiting for the whole range's RIDs to collect.
+		return PipelinedIndexScan(t, ix, q, fn)
+	}
+	ls := newLazyScan(t, q)
+	return collectEmit(workers, len(ranges), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
+		return probeRangeBatched(t, ix, ranges[i], ls, cancel)
+	}, fn)
+}
+
+// probeRangeBatched probes one index range, accumulating its RIDs in key
+// order, then fetches them in probeBatchSize batches through the heap.
+func probeRangeBatched(t *table.Table, ix *table.Index, r probeRange, ls *lazyScan, cancel *atomic.Bool) ([]matchRow, error) {
+	var rids []heap.RID
+	err := ix.ScanRange(r.Lo, r.Hi, func(rid heap.RID) bool {
+		if len(rids)&1023 == 1023 && cancel != nil && cancel.Load() {
+			return false // cancelled: partial results are discarded anyway
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []matchRow
+	for start := 0; start < len(rids); start += probeBatchSize {
+		if cancel != nil && cancel.Load() {
+			return out, nil
+		}
+		end := start + probeBatchSize
+		if end > len(rids) {
+			end = len(rids)
+		}
+		batch, err := fetchRIDBatch(t, rids[start:end], ls, cancel)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, batch...)
+	}
+	return out, nil
+}
+
+// fetchRIDBatch reads the rows of one RID batch via a physical-order
+// page sweep (gap-coalesced runs) and returns the surviving rows in the
+// batch's original (index key) order, preserving the pipelined scan's
+// emission order while paying the sorted scan's I/O pattern.
+func fetchRIDBatch(t *table.Table, batch []heap.RID, ls *lazyScan, cancel *atomic.Bool) ([]matchRow, error) {
+	want := make(map[heap.RID]struct{}, len(batch))
+	for _, rid := range batch {
+		want[rid] = struct{}{}
+	}
+	pages := pagesOf(append([]heap.RID(nil), batch...)) // keep batch order intact
+	rows := make(map[heap.RID]value.Row, len(batch))
+	err := forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
+		if cancel != nil && cancel.Load() {
+			return false, nil
+		}
+		var innerErr error
+		curPage := int64(-1)
+		err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
+			if rid.Page != curPage {
+				curPage = rid.Page
+				if cancel != nil && cancel.Load() {
+					return false
+				}
+			}
+			if _, ok := want[rid]; !ok {
+				return true
+			}
+			row, err := ls.collect(tuple)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if row != nil {
+				rows[rid] = row
+			}
+			return true
+		})
+		if innerErr != nil {
+			return false, innerErr
+		}
+		return err == nil, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]matchRow, 0, len(rows))
+	for _, rid := range batch {
+		if row, ok := rows[rid]; ok {
+			out = append(out, matchRow{rid: rid, row: row})
+		}
+	}
+	return out, nil
+}
+
 // RunParallel executes the plan with the given scan fan-out. The
-// pipelined index scan stays serial — its per-tuple probe loop is
-// inherently sequential and only wins on very selective lookups where
-// fan-out has nothing to amortize.
+// pipelined index scan runs as its batched async twin: probe ranges fan
+// out, RID batches fetch through coalesced page runs, and emission order
+// matches the serial scan.
 func (p Plan) RunParallel(t *table.Table, q Query, workers int, fn RowFunc) error {
 	switch p.Method {
 	case MethodTableScan:
 		return ParallelTableScan(t, q, workers, fn)
 	case MethodPipelined:
-		return PipelinedIndexScan(t, p.Index, q, fn)
+		return BatchedIndexScan(t, p.Index, q, workers, fn)
 	case MethodSorted:
 		return ParallelSortedIndexScan(t, p.Index, q, workers, fn)
 	case MethodCM:

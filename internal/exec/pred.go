@@ -171,13 +171,56 @@ func (p Pred) String() string {
 	}
 }
 
-// Query is a conjunction of predicates.
+// Query is a conjunction of predicates, optionally with a projection.
 type Query struct {
 	Preds []Pred
+	// Proj lists the columns the caller will read from result rows
+	// (projection pushdown). nil means every column: executors
+	// materialize full rows. Non-nil means executors decode only the
+	// union of Proj and the predicated columns into result rows; the
+	// remaining entries stay zero values. An empty non-nil slice is
+	// valid for callers that only need RIDs or match counts.
+	Proj []int
 }
 
 // NewQuery builds a query from predicates.
 func NewQuery(preds ...Pred) Query { return Query{Preds: preds} }
+
+// MaterializeCols returns the sorted distinct columns the executor must
+// decode for result rows: all ncols columns when the query has no
+// projection, otherwise the union of the projection and every
+// predicated column. EXPLAIN surfaces its length so tests (and users)
+// can verify projection pushdown engaged.
+func (q Query) MaterializeCols(ncols int) []int {
+	if q.Proj == nil {
+		out := make([]int, ncols)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make([]bool, ncols)
+	n := 0
+	mark := func(c int) {
+		if c >= 0 && c < ncols && !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	for _, c := range q.Proj {
+		mark(c)
+	}
+	for _, p := range q.Preds {
+		mark(p.Col)
+	}
+	out := make([]int, 0, n)
+	for c, ok := range seen {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 // Matches reports whether the row satisfies every predicate.
 func (q Query) Matches(row value.Row) bool {

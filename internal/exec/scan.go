@@ -11,16 +11,87 @@ import (
 )
 
 // RowFunc receives result rows; returning false stops execution early.
+//
+// Scratch-row contract: the row is only valid for the duration of the
+// call — serial executors reuse one scratch row across survivors, so a
+// caller that retains rows must Clone them. Extracted scalar values
+// (row[i].I, row[i].S, ...) are plain copies and safe to keep. When the
+// query carries a projection (Query.Proj), only the projected and
+// predicated entries of the row are materialized; the rest are zero
+// values.
 type RowFunc func(rid heap.RID, row value.Row) bool
 
-// TableScan evaluates the query with a full sequential heap scan.
+// lazyScan bundles what every lazy access path needs: the compiled
+// filter, the columns to materialize for survivors, and a reusable
+// scratch row for serial emission.
+type lazyScan struct {
+	sch     table.Schema
+	filter  *TupleFilter
+	need    []int
+	scratch value.Row
+}
+
+func newLazyScan(t *table.Table, q Query) *lazyScan {
+	sch := t.Schema()
+	return &lazyScan{
+		sch:     sch,
+		filter:  CompileFilter(sch, q),
+		need:    q.MaterializeCols(len(sch.Cols)),
+		scratch: make(value.Row, len(sch.Cols)),
+	}
+}
+
+// emit filters one encoded tuple and, for survivors, decodes the needed
+// columns into the scratch row and calls fn. The returned cont is false
+// when the scan should stop (error or early stop from fn).
+func (ls *lazyScan) emit(rid heap.RID, tuple []byte, fn RowFunc) (cont bool, err error) {
+	ok, err := ls.filter.Matches(tuple)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return true, nil
+	}
+	if err := ls.sch.DecodeCols(ls.scratch, tuple, ls.need); err != nil {
+		return false, err
+	}
+	return fn(rid, ls.scratch), nil
+}
+
+// collect is emit's buffering twin for the parallel collectors: a
+// surviving tuple decodes into a fresh row (collected rows outlive the
+// pinned frame and the scan), a rejected one returns nil. Safe to share
+// one lazyScan across workers — collect never touches the scratch row
+// and the filter is read-only after compilation.
+func (ls *lazyScan) collect(tuple []byte) (value.Row, error) {
+	ok, err := ls.filter.Matches(tuple)
+	if err != nil || !ok {
+		return nil, err
+	}
+	row := make(value.Row, len(ls.sch.Cols))
+	if err := ls.sch.DecodeCols(row, tuple, ls.need); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// TableScan evaluates the query with a full sequential heap scan,
+// filtering on encoded bytes and materializing only surviving rows.
 func TableScan(t *table.Table, q Query, fn RowFunc) error {
-	return t.Scan(func(rid heap.RID, row value.Row) bool {
-		if !q.Matches(row) {
-			return true
+	ls := newLazyScan(t, q)
+	var innerErr error
+	err := t.Heap().Scan(func(rid heap.RID, tuple []byte) bool {
+		cont, err := ls.emit(rid, tuple, fn)
+		if err != nil {
+			innerErr = err
+			return false
 		}
-		return fn(rid, row)
+		return cont
 	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
 }
 
 // probeRange is an encoded key interval probed in an index: every entry
@@ -113,26 +184,36 @@ func collectRIDs(ix *table.Index, ranges []probeRange) ([]heap.RID, error) {
 // PipelinedIndexScan evaluates the query by probing the index and
 // fetching each matching tuple immediately (the Section 3.1 iterator
 // pattern): every tuple access is a potential random seek, which is why
-// this path only pays off for very selective lookups.
+// this path only pays off for very selective lookups. Fetched tuples are
+// filtered on their encoded bytes; only survivors materialize.
+// BatchedIndexScan is its parallel twin.
 func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error {
+	ls := newLazyScan(t, q)
+	h := t.Heap()
 	ranges := indexProbeRanges(ix.Cols, q)
+	// One view closure for the whole scan (a fresh closure per probed
+	// RID would allocate per tuple): it reads the current RID from
+	// curRID, set by the probe loop below.
+	var curRID heap.RID
+	stop := false
+	view := func(tuple []byte) error {
+		// View hands out the pinned frame's bytes: a tuple the filter
+		// rejects is never copied or decoded.
+		cont, err := ls.emit(curRID, tuple, fn)
+		if !cont && err == nil {
+			stop = true
+		}
+		return err
+	}
 	for _, r := range ranges {
 		var cbErr error
-		stop := false
 		err := ix.ScanRange(r.Lo, r.Hi, func(rid heap.RID) bool {
-			row, err := t.FetchRow(rid)
-			if err != nil {
+			curRID = rid
+			if err := h.View(rid, view); err != nil {
 				cbErr = err
 				return false
 			}
-			if row == nil || !q.Matches(row) {
-				return true
-			}
-			if !fn(rid, row) {
-				stop = true
-				return false
-			}
-			return true
+			return !stop
 		})
 		if cbErr != nil {
 			return cbErr
@@ -159,17 +240,27 @@ func SortedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error
 	return sweepPages(t, pagesOf(rids), q, fn)
 }
 
-// pagesOf returns the sorted distinct pages referenced by the RIDs.
+// pagesOf returns the sorted distinct pages referenced by the RIDs. It
+// sorts the RID slice in place (its callers are done with the probe
+// order) and dedupes into one exactly-sized slice — no per-query map.
 func pagesOf(rids []heap.RID) []int64 {
-	seen := make(map[int64]struct{}, len(rids))
-	for _, r := range rids {
-		seen[r.Page] = struct{}{}
+	if len(rids) == 0 {
+		return nil
 	}
-	pages := make([]int64, 0, len(seen))
-	for p := range seen {
-		pages = append(pages, p)
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Page < rids[j].Page })
+	distinct := 1
+	for i := 1; i < len(rids); i++ {
+		if rids[i].Page != rids[i-1].Page {
+			distinct++
+		}
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	pages := make([]int64, 0, distinct)
+	pages = append(pages, rids[0].Page)
+	for i := 1; i < len(rids); i++ {
+		if rids[i].Page != rids[i-1].Page {
+			pages = append(pages, rids[i].Page)
+		}
+	}
 	return pages
 }
 
@@ -208,32 +299,29 @@ func forEachPageRun(pages []int64, maxGap int64, visit func(lo, hi int64) (cont 
 	return nil
 }
 
-// sweepPages reads the given heap pages in ascending order, re-filters
-// rows against the query and emits matches. Rows on gap pages read
-// through by a run are filtered out by the query like any other
-// non-match.
+// sweepPages reads the given heap pages in ascending order, filters
+// tuples on their encoded bytes and emits surviving rows. Rows on gap
+// pages read through by a run are filtered out by the query like any
+// other non-match.
 func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
-	sch := t.Schema()
+	ls := newLazyScan(t, q)
 	return forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
-		var decodeErr error
+		var innerErr error
 		stop := false
 		err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
-			row, err := sch.DecodeRow(tuple)
+			cont, err := ls.emit(rid, tuple, fn)
 			if err != nil {
-				decodeErr = err
+				innerErr = err
 				return false
 			}
-			if !q.Matches(row) {
-				return true
-			}
-			if !fn(rid, row) {
+			if !cont {
 				stop = true
 				return false
 			}
 			return true
 		})
-		if decodeErr != nil {
-			return false, decodeErr
+		if innerErr != nil {
+			return false, innerErr
 		}
 		if err != nil {
 			return false, err

@@ -167,6 +167,29 @@ func (h *File) Get(rid RID) ([]byte, error) {
 	return out, nil
 }
 
+// View calls fn with the live tuple bytes at rid; the slice aliases the
+// pinned frame and is only valid during the call. Deleted tuples skip
+// fn. Unlike Get, View copies nothing — the executor's probe path uses
+// it so tuples rejected by the compiled filter cost no allocation.
+func (h *File) View(rid RID, fn func(tuple []byte) error) error {
+	if rid.Page < 0 || rid.Page >= h.numPages {
+		return fmt.Errorf("heap: RID %v out of range (pages=%d)", rid, h.numPages)
+	}
+	fr, err := h.pool.Get(h.file, rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(fr, false)
+	if int(rid.Slot) >= pageNumSlots(fr.Data) {
+		return fmt.Errorf("heap: RID %v slot out of range", rid)
+	}
+	off, length := slotAt(fr.Data, int(rid.Slot))
+	if length == 0 {
+		return nil // deleted
+	}
+	return fn(fr.Data[off : off+length])
+}
+
 // Delete marks the tuple at rid deleted. Space is not reclaimed; the
 // engine's workloads (like the paper's) are append-and-delete light.
 func (h *File) Delete(rid RID) error {

@@ -278,3 +278,44 @@ func TestAppendGetPropertyRandomSizes(t *testing.T) {
 		}
 	}
 }
+
+func TestView(t *testing.T) {
+	disk := sim.NewDisk(sim.Config{})
+	pool := buffer.NewPool(disk, 16)
+	h := NewFile(pool)
+	a, err := h.Append([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Append([]byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := h.View(a, func(tuple []byte) error {
+		got = string(tuple)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "alpha" {
+		t.Errorf("View = %q, want alpha", got)
+	}
+	if err := h.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := h.View(b, func([]byte) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("View invoked fn for a deleted tuple")
+	}
+	if err := h.View(RID{Page: 99, Slot: 0}, func([]byte) error { return nil }); err == nil {
+		t.Error("View accepted an out-of-range RID")
+	}
+	boom := fmt.Errorf("boom")
+	if err := h.View(a, func([]byte) error { return boom }); err != boom {
+		t.Errorf("View swallowed fn's error: %v", err)
+	}
+}

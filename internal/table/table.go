@@ -83,6 +83,9 @@ func New(pool *buffer.Pool, log *wal.Log, cfg Config) (*Table, error) {
 	if cfg.BucketPages <= 0 {
 		cfg.BucketPages = DefaultBucketPages
 	}
+	// Attach the shared schema layout (name map, field offsets) so every
+	// Schema() copy handed to binders and executors has the fast paths.
+	cfg.Schema = cfg.Schema.Normalized()
 	t := &Table{cfg: cfg, pool: pool, log: log}
 	t.heapf = heap.NewFile(pool)
 	tree, err := newTree(pool)

@@ -136,19 +136,68 @@ func (t *Table) Select(fn func(Row) bool, preds ...Pred) error {
 // PipelinedIndexScan and CMScan use the first applicable index or CM
 // (one whose leading column — any column, for CMs — is predicated).
 func (t *Table) SelectVia(method AccessMethod, fn func(Row) bool, preds ...Pred) error {
-	return t.selectVia(method, t.db.workers, fn, preds)
+	return t.selectVia(method, t.db.workers, nil, fn, preds)
 }
 
-// selectVia runs one query with an explicit scan fan-out under a shared
-// latch hold.
-func (t *Table) selectVia(method AccessMethod, workers int, fn func(Row) bool, preds []Pred) error {
+// SelectProject is Select with projection pushdown: only the named
+// columns reach fn, in the given order, and the executor decodes just
+// those columns (plus predicated ones, for filtering) from each
+// surviving tuple — unreferenced columns are never materialized. The
+// rows fn receives have arity len(cols).
+func (t *Table) SelectProject(cols []string, fn func(Row) bool, preds ...Pred) error {
+	return t.SelectProjectVia(Auto, cols, fn, preds...)
+}
+
+// SelectProjectVia is SelectProject with an explicit access method.
+func (t *Table) SelectProjectVia(method AccessMethod, cols []string, fn func(Row) bool, preds ...Pred) error {
+	proj, err := t.projIndices(cols)
+	if err != nil {
+		return err
+	}
+	return t.selectVia(method, t.db.workers, proj, fn, preds)
+}
+
+// projIndices resolves projection column names to schema positions.
+func (t *Table) projIndices(cols []string) ([]int, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("repro: projection needs at least one column")
+	}
+	proj := make([]int, len(cols))
+	for i, c := range cols {
+		ci, err := t.colIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		proj[i] = ci
+	}
+	return proj, nil
+}
+
+// externalProjRow converts an internal row for emission: the full row
+// when proj is nil, otherwise the projected columns in proj order.
+func externalProjRow(r value.Row, proj []int) Row {
+	if proj == nil {
+		return externalRow(r)
+	}
+	out := make(Row, len(proj))
+	for i, ci := range proj {
+		out[i] = Value{r[ci]}
+	}
+	return out
+}
+
+// selectVia runs one query with an explicit scan fan-out and optional
+// projection pushdown (proj nil = all columns) under a shared latch
+// hold.
+func (t *Table) selectVia(method AccessMethod, workers int, proj []int, fn func(Row) bool, preds []Pred) error {
 	q, err := buildQuery(t, preds)
 	if err != nil {
 		return err
 	}
+	q.Proj = proj
 	t.inner.RLock()
 	defer t.inner.RUnlock()
-	emit := func(_ heap.RID, row value.Row) bool { return fn(externalRow(row)) }
+	emit := func(_ heap.RID, row value.Row) bool { return fn(externalProjRow(row, proj)) }
 	switch method {
 	case Auto:
 		plan := exec.ChoosePlan(t.inner, q, t.exactStats())
@@ -163,7 +212,7 @@ func (t *Table) selectVia(method AccessMethod, workers int, fn func(Row) bool, p
 		if method == SortedIndexScan {
 			return exec.ParallelSortedIndexScan(t.inner, ix, q, workers, emit)
 		}
-		return exec.PipelinedIndexScan(t.inner, ix, q, emit)
+		return exec.BatchedIndexScan(t.inner, ix, q, workers, emit)
 	case CMScan:
 		for _, cm := range t.inner.CMs() {
 			for _, c := range cm.Spec().UCols {
@@ -207,6 +256,10 @@ type QuerySpec struct {
 	Via   AccessMethod
 	Preds []Pred
 	Limit int // 0 = unlimited
+	// Cols, when non-empty, pushes the projection into the scan: result
+	// rows contain exactly these columns in this order, and the executor
+	// decodes only them (plus predicated columns) from surviving tuples.
+	Cols []string
 }
 
 // QueryResult is the outcome of one query of a batch: the matching rows,
@@ -249,8 +302,17 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 					out[i].Err = fmt.Errorf("repro: no table %q", spec.Table)
 					continue
 				}
+				var proj []int
+				if len(spec.Cols) > 0 {
+					var err error
+					proj, err = tbl.projIndices(spec.Cols)
+					if err != nil {
+						out[i].Err = err
+						continue
+					}
+				}
 				var rows []Row
-				err := tbl.selectVia(spec.Via, 1, func(r Row) bool {
+				err := tbl.selectVia(spec.Via, 1, proj, func(r Row) bool {
 					rows = append(rows, r)
 					return spec.Limit <= 0 || len(rows) < spec.Limit
 				}, spec.Preds)
@@ -276,18 +338,44 @@ type PlanInfo struct {
 	Method        AccessMethod
 	EstimatedCost time.Duration
 	Uses          string // name of the index or CM used, if any
+	// DecodedCols counts the columns the executor materializes per
+	// surviving row under the requested projection (predicated columns
+	// included); TotalCols is the schema arity. DecodedCols < TotalCols
+	// means projection pushdown engaged.
+	DecodedCols int
+	TotalCols   int
 }
 
-// Explain returns the plan the cost model picks for the predicates.
+// Explain returns the plan the cost model picks for the predicates,
+// with every column materialized (no projection).
 func (t *Table) Explain(preds ...Pred) (PlanInfo, error) {
+	return t.ExplainProject(nil, preds...)
+}
+
+// ExplainProject is Explain under a projection: DecodedCols reflects
+// what a SelectProject with the same columns would actually decode per
+// surviving row.
+func (t *Table) ExplainProject(cols []string, preds ...Pred) (PlanInfo, error) {
 	q, err := buildQuery(t, preds)
 	if err != nil {
 		return PlanInfo{}, err
 	}
+	if cols != nil {
+		proj, err := t.projIndices(cols)
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		q.Proj = proj
+	}
 	t.inner.RLock()
 	defer t.inner.RUnlock()
 	plan := exec.ChoosePlan(t.inner, q, t.exactStats())
-	info := PlanInfo{EstimatedCost: plan.Cost}
+	ncols := len(t.inner.Schema().Cols)
+	info := PlanInfo{
+		EstimatedCost: plan.Cost,
+		DecodedCols:   len(q.MaterializeCols(ncols)),
+		TotalCols:     ncols,
+	}
 	switch plan.Method {
 	case exec.MethodTableScan:
 		info.Method = TableScan

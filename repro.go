@@ -213,7 +213,7 @@ func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
 	for i, c := range spec.Columns {
 		cols[i] = table.Column{Name: c.Name, Kind: c.Kind.internal()}
 	}
-	sch := table.Schema{Cols: cols}
+	sch := table.NewSchema(cols...)
 	var ccols []int
 	for _, name := range spec.ClusteredBy {
 		i := sch.ColIndex(name)
@@ -358,6 +358,9 @@ func (t *Table) Delete(preds ...Pred) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The scan only collects RIDs: materialize nothing beyond the
+	// predicated columns.
+	q.Proj = []int{}
 	t.inner.Lock()
 	defer t.inner.Unlock()
 	var rids []heap.RID

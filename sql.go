@@ -133,7 +133,10 @@ func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
 			specAt[i] = -1
 			continue
 		}
-		spec := QuerySpec{Table: b.Table, Preds: predsFromBound(b.Where)}
+		// The SELECT list pushes down into the scan: SelectMany returns
+		// rows already projected, and the executor decodes only the
+		// referenced columns of each surviving tuple.
+		spec := QuerySpec{Table: b.Table, Preds: predsFromBound(b.Where), Cols: b.Cols}
 		if b.Limit > 0 {
 			spec.Limit = b.Limit
 		}
@@ -150,21 +153,8 @@ func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
 			out[i] = ScriptResult{Err: r.Err}
 			continue
 		}
-		res := &Result{Columns: b.Cols, Rows: make([]Row, len(r.Rows))}
-		for k, row := range r.Rows {
-			res.Rows[k] = projectRow(row, b.Proj)
-		}
-		out[i] = ScriptResult{Res: res}
+		out[i] = ScriptResult{Res: &Result{Columns: b.Cols, Rows: r.Rows}}
 	}
-}
-
-// projectRow maps a full row onto the projected column indices.
-func projectRow(r Row, proj []int) Row {
-	out := make(Row, len(proj))
-	for i, ci := range proj {
-		out[i] = r[ci]
-	}
-	return out
 }
 
 // predsFromBound lowers bound conditions to facade predicates.
@@ -267,10 +257,12 @@ func (db *DB) execSelect(cat sqlfe.Catalog, s *sqlfe.SelectStmt) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	err = tbl.Select(func(r Row) bool {
-		res.Rows = append(res.Rows, projectRow(r, b.Proj))
+	// Projection pushdown: rows arrive already projected onto the SELECT
+	// list and the executor decodes only the referenced columns.
+	err = tbl.selectVia(Auto, tbl.db.workers, b.Proj, func(r Row) bool {
+		res.Rows = append(res.Rows, r)
 		return b.Limit < 0 || len(res.Rows) < b.Limit
-	}, predsFromBound(b.Where)...)
+	}, predsFromBound(b.Where))
 	if err != nil {
 		return nil, err
 	}
@@ -398,16 +390,17 @@ func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	info, err := tbl.Explain(predsFromBound(b.Where)...)
+	info, err := tbl.ExplainProject(b.Cols, predsFromBound(b.Where)...)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Columns: []string{"method", "uses", "est_cost"},
+		Columns: []string{"method", "uses", "est_cost", "decoded_cols"},
 		Rows: []Row{{
 			StringVal(info.Method.String()),
 			StringVal(info.Uses),
 			StringVal(info.EstimatedCost.String()),
+			IntVal(int64(info.DecodedCols)),
 		}},
 		Plan: &info,
 	}, nil

@@ -166,6 +166,160 @@ func TestSQLSelectEquivalence(t *testing.T) {
 	}
 }
 
+// projectNative projects full native rows onto named columns, the
+// reference for pushdown equivalence.
+func projectNative(t *testing.T, db *DB, cols []string, rows []Row) []Row {
+	t.Helper()
+	sch := db.Table("items").inner.Schema()
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = sch.ColIndex(c)
+		if idx[i] < 0 {
+			t.Fatalf("no column %q", c)
+		}
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		pr := make(Row, len(idx))
+		for j, ci := range idx {
+			pr[j] = r[ci]
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+// TestSQLProjectionPushdownEquivalence re-runs every WHERE operator form
+// of TestSQLSelectEquivalence with a non-trivial projection, through
+// three pushdown paths: Exec (single SELECT), ExecScript (the SelectMany
+// batch with QuerySpec.Cols), and the native SelectProject API. Each
+// must equal the full native result projected after the fact.
+func TestSQLProjectionPushdownEquivalence(t *testing.T) {
+	rows := fixtureRows(400)
+	nat := nativeFixture(t, rows)
+	sql := sqlFixture(t, rows)
+	proj := []string{"city", "qty"} // reordered, partial, mixed kinds
+	cases := []struct {
+		where string
+		preds []Pred
+	}{
+		{"qty = 7", []Pred{Eq("qty", IntVal(7))}},
+		{"qty != 7", []Pred{Ne("qty", IntVal(7))}},
+		{"qty < 5", []Pred{Lt("qty", IntVal(5))}},
+		{"qty <= 5", []Pred{Le("qty", IntVal(5))}},
+		{"qty > 20", []Pred{Gt("qty", IntVal(20))}},
+		{"qty >= 20", []Pred{Ge("qty", IntVal(20))}},
+		{"qty BETWEEN 4 AND 9", []Pred{Between("qty", IntVal(4), IntVal(9))}},
+		{"qty IN (3, 8, 13)", []Pred{In("qty", IntVal(3), IntVal(8), IntVal(13))}},
+		{"city = 'boston'", []Pred{Eq("city", StringVal("boston"))}},
+		{"city != 'boston'", []Pred{Ne("city", StringVal("boston"))}},
+		{"price > 30.5", []Pred{Gt("price", FloatVal(30.5))}},
+		{"price BETWEEN 10 AND 12.5", []Pred{Between("price", FloatVal(10), FloatVal(12.5))}},
+		{"qty >= 4 AND qty < 9 AND city IN ('boston', 'toledo')",
+			[]Pred{Ge("qty", IntVal(4)), Lt("qty", IntVal(9)), In("city", StringVal("boston"), StringVal("toledo"))}},
+		{"cat BETWEEN 10 AND 20 AND qty != 6",
+			[]Pred{Between("cat", IntVal(10), IntVal(20)), Ne("qty", IntVal(6))}},
+	}
+	for _, c := range cases {
+		want := projectNative(t, nat, proj, collectNative(t, nat, c.preds...))
+		stmt := "SELECT city, qty FROM items WHERE " + c.where
+		for name, db := range map[string]*DB{"native-built": nat, "sql-built": sql} {
+			res, err := db.Exec(stmt)
+			if err != nil {
+				t.Fatalf("%s Exec(%q): %v", name, stmt, err)
+			}
+			rowsEqual(t, name+" projected "+c.where, res.Rows, want)
+
+			script, err := db.ExecScript(stmt + "; " + stmt)
+			if err != nil {
+				t.Fatalf("%s ExecScript(%q): %v", name, stmt, err)
+			}
+			for k, sr := range script {
+				if sr.Err != nil {
+					t.Fatalf("%s script stmt %d: %v", name, k, sr.Err)
+				}
+				rowsEqual(t, fmt.Sprintf("%s batched projected %s [%d]", name, c.where, k), sr.Res.Rows, want)
+			}
+
+			var got []Row
+			err = db.Table("items").SelectProject(proj, func(r Row) bool {
+				got = append(got, r)
+				return true
+			}, c.preds...)
+			if err != nil {
+				t.Fatalf("%s SelectProject(%q): %v", name, c.where, err)
+			}
+			rowsEqual(t, name+" SelectProject "+c.where, got, want)
+		}
+	}
+}
+
+// TestSQLExplainDecodedCols pins the EXPLAIN extension that makes
+// pushdown observable: decoded_cols counts projected + predicated
+// columns, and SELECT * decodes everything.
+func TestSQLExplainDecodedCols(t *testing.T) {
+	rows := fixtureRows(400)
+	db := sqlFixture(t, rows)
+	cases := []struct {
+		stmt string
+		want int
+	}{
+		{"EXPLAIN SELECT * FROM items WHERE qty = 7", 4},
+		{"EXPLAIN SELECT qty FROM items WHERE qty = 7", 1},
+		{"EXPLAIN SELECT city FROM items WHERE qty = 7", 2},
+		{"EXPLAIN SELECT city, price FROM items WHERE qty = 7 AND cat = 3", 4},
+	}
+	for _, c := range cases {
+		res, err := db.Exec(c.stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan.DecodedCols != c.want || res.Plan.TotalCols != 4 {
+			t.Errorf("%s: DecodedCols = %d/%d, want %d/4", c.stmt, res.Plan.DecodedCols, res.Plan.TotalCols, c.want)
+		}
+		if len(res.Columns) != 4 || res.Columns[3] != "decoded_cols" {
+			t.Fatalf("%s: columns = %v", c.stmt, res.Columns)
+		}
+		if res.Rows[0][3].Int() != int64(c.want) {
+			t.Errorf("%s: decoded_cols cell = %v, want %d", c.stmt, res.Rows[0][3], c.want)
+		}
+	}
+	// Native surface agrees.
+	info, err := db.Table("items").ExplainProject([]string{"qty"}, Eq("qty", IntVal(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DecodedCols != 1 || info.TotalCols != 4 {
+		t.Errorf("ExplainProject = %d/%d, want 1/4", info.DecodedCols, info.TotalCols)
+	}
+}
+
+// TestSelectManyProjection pins QuerySpec.Cols: rows come back projected
+// with the scan decoding only the named + predicated columns, and
+// unknown projection columns fail per query.
+func TestSelectManyProjection(t *testing.T) {
+	rows := fixtureRows(300)
+	db := nativeFixture(t, rows)
+	specs := []QuerySpec{
+		{Table: "items", Preds: []Pred{Eq("qty", IntVal(5))}, Cols: []string{"price", "city"}},
+		{Table: "items", Preds: []Pred{Eq("qty", IntVal(5))}},
+		{Table: "items", Preds: []Pred{Eq("qty", IntVal(5))}, Cols: []string{"ghost"}},
+		{Table: "items", Via: CMScan, Preds: []Pred{Eq("qty", IntVal(5))}, Cols: []string{"cat"}, Limit: 3},
+	}
+	res := db.SelectMany(specs)
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatal(res[0].Err, res[1].Err)
+	}
+	want := projectNative(t, db, []string{"price", "city"}, res[1].Rows)
+	rowsEqual(t, "SelectMany projected", res[0].Rows, want)
+	if res[2].Err == nil {
+		t.Error("unknown projection column did not fail")
+	}
+	if res[3].Err != nil || len(res[3].Rows) != 3 || len(res[3].Rows[0]) != 1 {
+		t.Errorf("projected CM scan with limit: %+v", res[3])
+	}
+}
+
 func TestSQLProjectionAndLimit(t *testing.T) {
 	rows := fixtureRows(200)
 	db := sqlFixture(t, rows)
