@@ -33,7 +33,7 @@ import (
 var lazyJSON = flag.String("json", "BENCH_3.json", "output path for the -exp lazy JSON report")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|all")
 	scale := flag.Int("scale", 1, "row-count multiplier over the bench defaults")
 	flag.Parse()
 
@@ -192,10 +192,17 @@ func run(exp string, scale int) error {
 		}
 		ran = true
 	}
+	if all || exp == "agg" {
+		section("streaming aggregation")
+		if err := runAgg(scale, out); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (try %s)", exp,
 			strings.Join([]string{"figure1", "figure2", "figure3", "table3", "tables45",
-				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "all"}, "|"))
+				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "all"}, "|"))
 	}
 	return nil
 }
@@ -442,5 +449,104 @@ func runLazy(scale int, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *lazyJSON)
+	return nil
+}
+
+// runAgg measures the streaming-aggregation engine on the paper's own
+// query shape — AVG over a correlated predicate (Section 1's
+// SELECT AVG(salary) example) — at the Figure-6 workload scale: the
+// CM resolves the IN-list to clustered-bucket runs, tuples filter on
+// encoded bytes, and survivors fold into per-chunk partial aggregates
+// (AVG carried as sum+count) merged at the barrier. Results must be
+// byte-identical at every worker count; the table prints the wall-clock
+// effect of overlapping the chunk I/O.
+func runAgg(scale int, out *os.File) error {
+	rows := 100000 * scale
+
+	build := func(workers int) (*repro.DB, error) {
+		db := repro.Open(repro.Config{Workers: workers, IOWaitScale: 5, BufferPoolPages: 256})
+		tbl, err := db.CreateTable(repro.TableSpec{
+			Name: "items",
+			Columns: []repro.Column{
+				{Name: "cat", Kind: repro.Int},
+				{Name: "subcat", Kind: repro.Int},
+				{Name: "price", Kind: repro.Int},
+				{Name: "desc", Kind: repro.String},
+			},
+			ClusteredBy: []string{"cat"},
+			BucketPages: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		items := datagen.CorrelatedItems(rows)
+		data := make([]repro.Row, len(items))
+		for i, it := range items {
+			data[i] = repro.Row{
+				repro.IntVal(it.Cat),
+				repro.IntVal(it.Subcat),
+				repro.IntVal(it.Price),
+				repro.StringVal(it.Desc),
+			}
+		}
+		if err := tbl.Load(data); err != nil {
+			return nil, err
+		}
+		if err := tbl.CreateCM("subcat_cm", repro.CMColumn{Name: "subcat"}); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+
+	subcats := datagen.CorrelatedLookup(0, 16)
+	vals := make([]repro.Value, len(subcats))
+	for i, s := range subcats {
+		vals[i] = repro.IntVal(s)
+	}
+	spec := repro.QuerySpec{
+		Table:   "items",
+		Preds:   []repro.Pred{repro.In("subcat", vals...)},
+		Aggs:    []repro.Agg{{Func: repro.Count}, {Func: repro.Avg, Col: "price"}},
+		GroupBy: []string{"cat"},
+		OrderBy: []repro.Order{{Col: "count(*)", Desc: true}},
+	}
+
+	fmt.Fprintf(out, "%d rows, SELECT count(*), avg(price) WHERE subcat IN (16 values) GROUP BY cat (IOWaitScale 5)\n", rows)
+	fmt.Fprintf(out, "%-8s %12s %10s %9s\n", "workers", "elapsed [ms]", "groups", "speedup")
+	var base time.Duration
+	var ref []repro.Row
+	for _, w := range []int{1, 2, 4, 8} {
+		db, err := build(w)
+		if err != nil {
+			return err
+		}
+		if err := db.ColdCache(); err != nil {
+			return err
+		}
+		start := time.Now()
+		_, groups, err := db.SelectAggregate(spec)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if w == 1 {
+			base = elapsed
+			ref = groups
+		} else if len(groups) != len(ref) {
+			return fmt.Errorf("agg: %d workers returned %d groups, serial %d", w, len(groups), len(ref))
+		} else {
+			// The merge contract: byte-identical to serial, AVG included.
+			for i := range groups {
+				for j := range groups[i] {
+					if groups[i][j].String() != ref[i][j].String() {
+						return fmt.Errorf("agg: %d workers diverged at group %d col %d: %s != %s",
+							w, i, j, groups[i][j], ref[i][j])
+					}
+				}
+			}
+		}
+		fmt.Fprintf(out, "%-8d %12.1f %10d %8.2fx\n",
+			w, float64(elapsed.Microseconds())/1000, len(groups), float64(base)/float64(elapsed))
+	}
 	return nil
 }

@@ -1,6 +1,8 @@
 // SQL tour: the paper's running example (Figure 4) driven entirely
 // through the SQL front-end — no Go API calls, just statements, the way
-// a cmserver client would issue them.
+// a cmserver client would issue them. The second half reproduces the
+// paper's own query shape — SELECT AVG(salary) FROM employees WHERE
+// city = ... — over a correlated workload (CI asserts its output).
 //
 // Run with: go run ./examples/sqltour
 package main
@@ -49,6 +51,60 @@ CREATE CORRELATION MAP city_cm ON people (city);
 		"DELETE FROM people WHERE salary < 30000",
 		"COMMIT people",
 		"SHOW TABLES",
+	} {
+		fmt.Printf("cm> %s\n", stmt)
+		res, err := db.Exec(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res)
+		fmt.Println()
+	}
+
+	aggregationTour(db)
+}
+
+// aggregationTour is the paper's running example — AVG(salary) over an
+// employees table whose city column soft-determines the clustered
+// state column — now expressible verbatim: aggregates, GROUP BY,
+// ORDER BY and OR all ride the CM-planned scan. The workload is
+// deterministic, so CI asserts the printed averages.
+func aggregationTour(db *repro.DB) {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE employees (state STRING, city STRING, salary INT) CLUSTERED BY (state) BUCKET TUPLES 8;\n")
+	sb.WriteString("LOAD INTO employees VALUES ")
+	states := []string{"CA", "MA", "NH", "OH"}
+	cities := []string{"fresno", "boston", "nashua", "toledo"}
+	for i := 0; i < 320; i++ {
+		si := i / 80 // clustered: 80 employees per state
+		ci := si
+		if i%16 == 15 { // soft FD: an out-of-state commuter per 16 rows
+			ci = (si + 1) % len(cities)
+		}
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		// Salaries are deterministic: base 30k + city premium + step.
+		fmt.Fprintf(&sb, "('%s', '%s', %d)", states[si], cities[ci], 30000+ci*10000+(i%8)*1000)
+	}
+	sb.WriteString(";\nCREATE CORRELATION MAP cm_city ON employees (city);")
+	results, err := db.ExecScript(sb.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+
+	for _, stmt := range []string{
+		// The paper's example, verbatim shape (Section 1).
+		"SELECT AVG(salary) FROM employees WHERE city = 'boston'",
+		"EXPLAIN SELECT AVG(salary) FROM employees WHERE city = 'boston'",
+		"SELECT city, COUNT(*), AVG(salary) FROM employees GROUP BY city ORDER BY AVG(salary) DESC",
+		"SELECT state, salary FROM employees WHERE city = 'boston' OR salary > 62000 ORDER BY salary DESC LIMIT 3",
+		"SELECT MIN(salary), MAX(salary), SUM(salary) FROM employees WHERE city IN ('boston', 'toledo')",
 	} {
 		fmt.Printf("cm> %s\n", stmt)
 		res, err := db.Exec(stmt)

@@ -118,6 +118,13 @@ func (f *TupleFilter) Matches(tuple []byte) (bool, error) {
 	if err := f.sch.CheckTuple(tuple); err != nil {
 		return false, err
 	}
+	return f.matchPreds(tuple)
+}
+
+// matchPreds evaluates the conjunction on a tuple that already passed
+// the structural check — the per-disjunct step of an OrFilter, which
+// checks structure once for the whole disjunction.
+func (f *TupleFilter) matchPreds(tuple []byte) (bool, error) {
 	for i := range f.preds {
 		ok, err := f.matchPred(&f.preds[i], tuple)
 		if err != nil {

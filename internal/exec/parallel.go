@@ -251,10 +251,15 @@ func collectPages(t *table.Table, pages []int64, ls *lazyScan, cancel *atomic.Bo
 // worker pool: contiguous chunks of the page list are swept
 // concurrently and stream to fn in physical order.
 func parallelSweepPages(t *table.Table, pages []int64, q Query, workers int, fn RowFunc) error {
+	return parallelSweepPagesLS(t, pages, newLazyScan(t, q), workers, fn)
+}
+
+// parallelSweepPagesLS is parallelSweepPages over a pre-built lazyScan,
+// shared with the OR union executor.
+func parallelSweepPagesLS(t *table.Table, pages []int64, ls *lazyScan, workers int, fn RowFunc) error {
 	if workers <= 1 || len(pages) < 2 {
-		return sweepPages(t, pages, q, fn)
+		return sweepPagesLS(t, pages, ls, fn)
 	}
-	ls := newLazyScan(t, q)
 	chunks := chunkSlices(len(pages), scanChunks(workers, len(pages)))
 	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
 		return collectPages(t, pages[chunks[i][0]:chunks[i][1]], ls, cancel)
@@ -266,26 +271,27 @@ func parallelSweepPages(t *table.Table, pages []int64, q Query, workers int, fn 
 // chunks swept concurrently. Rows stream to fn in physical order. With
 // workers <= 1 it is exactly TableScan.
 func ParallelTableScan(t *table.Table, q Query, workers int, fn RowFunc) error {
+	return parallelTableScanLS(t, newLazyScan(t, q), workers, fn)
+}
+
+// parallelTableScanLS is ParallelTableScan over a pre-built lazyScan,
+// shared with the OR fallback executor.
+func parallelTableScanLS(t *table.Table, ls *lazyScan, workers int, fn RowFunc) error {
 	n := t.Heap().NumPages()
 	if workers <= 1 || n < 2 {
-		return TableScan(t, q, fn)
+		return tableScanLS(t, ls, fn)
 	}
-	ls := newLazyScan(t, q)
 	chunks := chunkSlices(int(n), scanChunks(workers, int(n)))
 	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
 		return collectPageRange(t, int64(chunks[i][0]), int64(chunks[i][1])-1, ls, cancel, nil)
 	}, fn)
 }
 
-// ParallelSortedIndexScan is SortedIndexScan with both phases fanned out:
-// the sorted probe ranges are collected by concurrent workers, and the
-// deduplicated heap pages are swept by concurrent workers. With
-// workers <= 1 it is exactly SortedIndexScan.
-func ParallelSortedIndexScan(t *table.Table, ix *table.Index, q Query, workers int, fn RowFunc) error {
-	if workers <= 1 {
-		return SortedIndexScan(t, ix, q, fn)
-	}
-	ranges := sortRanges(indexProbeRanges(ix.Cols, q))
+// parallelRangeRIDs collects the RIDs of every index entry in the probe
+// ranges, fanning ranges out across the worker pool. The returned order
+// is range-major (range i's RIDs before range i+1's), matching the
+// serial collectRIDs.
+func parallelRangeRIDs(ix *table.Index, ranges []probeRange, workers int) ([]heap.RID, error) {
 	ridLists := make([][]heap.RID, len(ranges))
 	err := runTasks(workers, len(ranges), func(i int) error {
 		var rids []heap.RID
@@ -297,11 +303,58 @@ func ParallelSortedIndexScan(t *table.Table, ix *table.Index, q Query, workers i
 		return err
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var rids []heap.RID
 	for _, l := range ridLists {
 		rids = append(rids, l...)
+	}
+	return rids, nil
+}
+
+// parallelCMRIDs probes the CM for the query's clustered bucket runs and
+// collects the clustered-index RIDs those runs cover, fanning the runs
+// out across the worker pool.
+func parallelCMRIDs(t *table.Table, cm *core.CM, q Query, workers int) ([]heap.RID, error) {
+	buckets, err := cmBuckets(cm, q)
+	if err != nil {
+		return nil, err
+	}
+	runs := bucketRuns(buckets)
+	dir := t.Buckets()
+	ridLists := make([][]heap.RID, len(runs))
+	err = runTasks(workers, len(runs), func(i int) error {
+		lo := dir.LowerBound(runs[i][0])
+		hiExcl, _ := dir.UpperBound(runs[i][1]) // nil means scan to the end
+		var rids []heap.RID
+		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		ridLists[i] = rids
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rids []heap.RID
+	for _, l := range ridLists {
+		rids = append(rids, l...)
+	}
+	return rids, nil
+}
+
+// ParallelSortedIndexScan is SortedIndexScan with both phases fanned out:
+// the sorted probe ranges are collected by concurrent workers, and the
+// deduplicated heap pages are swept by concurrent workers. With
+// workers <= 1 it is exactly SortedIndexScan.
+func ParallelSortedIndexScan(t *table.Table, ix *table.Index, q Query, workers int, fn RowFunc) error {
+	if workers <= 1 {
+		return SortedIndexScan(t, ix, q, fn)
+	}
+	rids, err := parallelRangeRIDs(ix, sortRanges(indexProbeRanges(ix.Cols, q)), workers)
+	if err != nil {
+		return err
 	}
 	return parallelSweepPages(t, pagesOf(rids), q, workers, fn)
 }
@@ -326,30 +379,9 @@ func ParallelCMScan(t *table.Table, cm *core.CM, q Query, workers int, fn RowFun
 	if !covered {
 		return fmt.Errorf("exec: query predicates none of the CM's columns")
 	}
-	buckets, err := cmBuckets(cm, q)
+	rids, err := parallelCMRIDs(t, cm, q, workers)
 	if err != nil {
 		return err
-	}
-	runs := bucketRuns(buckets)
-	dir := t.Buckets()
-	ridLists := make([][]heap.RID, len(runs))
-	err = runTasks(workers, len(runs), func(i int) error {
-		lo := dir.LowerBound(runs[i][0])
-		hiExcl, _ := dir.UpperBound(runs[i][1]) // nil means scan to the end
-		var rids []heap.RID
-		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
-			rids = append(rids, rid)
-			return true
-		})
-		ridLists[i] = rids
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	var rids []heap.RID
-	for _, l := range ridLists {
-		rids = append(rids, l...)
 	}
 	return parallelSweepPages(t, pagesOf(rids), q, workers, fn)
 }

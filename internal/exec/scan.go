@@ -21,12 +21,19 @@ import (
 // values.
 type RowFunc func(rid heap.RID, row value.Row) bool
 
+// tupleMatcher evaluates a predicate structure directly on an encoded
+// heap tuple: a compiled conjunction (TupleFilter) or disjunction
+// (OrFilter). The error contract matches DecodeRow's structural check.
+type tupleMatcher interface {
+	Matches(tuple []byte) (bool, error)
+}
+
 // lazyScan bundles what every lazy access path needs: the compiled
 // filter, the columns to materialize for survivors, and a reusable
 // scratch row for serial emission.
 type lazyScan struct {
 	sch     table.Schema
-	filter  *TupleFilter
+	filter  tupleMatcher
 	need    []int
 	scratch value.Row
 }
@@ -37,6 +44,19 @@ func newLazyScan(t *table.Table, q Query) *lazyScan {
 		sch:     sch,
 		filter:  CompileFilter(sch, q),
 		need:    q.MaterializeCols(len(sch.Cols)),
+		scratch: make(value.Row, len(sch.Cols)),
+	}
+}
+
+// newOrLazyScan is newLazyScan's disjunctive twin: the filter passes
+// tuples matching any disjunct, and the materialized column set is the
+// union over every disjunct's predicated columns plus the projection.
+func newOrLazyScan(t *table.Table, oq OrQuery) *lazyScan {
+	sch := t.Schema()
+	return &lazyScan{
+		sch:     sch,
+		filter:  CompileOrFilter(sch, oq),
+		need:    oq.MaterializeCols(len(sch.Cols)),
 		scratch: make(value.Row, len(sch.Cols)),
 	}
 }
@@ -78,7 +98,12 @@ func (ls *lazyScan) collect(tuple []byte) (value.Row, error) {
 // TableScan evaluates the query with a full sequential heap scan,
 // filtering on encoded bytes and materializing only surviving rows.
 func TableScan(t *table.Table, q Query, fn RowFunc) error {
-	ls := newLazyScan(t, q)
+	return tableScanLS(t, newLazyScan(t, q), fn)
+}
+
+// tableScanLS is TableScan over a pre-built lazyScan, shared with the
+// OR executor (whose filter is a disjunction).
+func tableScanLS(t *table.Table, ls *lazyScan, fn RowFunc) error {
 	var innerErr error
 	err := t.Heap().Scan(func(rid heap.RID, tuple []byte) bool {
 		cont, err := ls.emit(rid, tuple, fn)
@@ -304,7 +329,12 @@ func forEachPageRun(pages []int64, maxGap int64, visit func(lo, hi int64) (cont 
 // pages read through by a run are filtered out by the query like any
 // other non-match.
 func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
-	ls := newLazyScan(t, q)
+	return sweepPagesLS(t, pages, newLazyScan(t, q), fn)
+}
+
+// sweepPagesLS is sweepPages over a pre-built lazyScan, shared with the
+// OR union executor.
+func sweepPagesLS(t *table.Table, pages []int64, ls *lazyScan, fn RowFunc) error {
 	return forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
 		var innerErr error
 		stop := false

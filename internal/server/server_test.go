@@ -298,3 +298,142 @@ func TestServerSessionIsolation(t *testing.T) {
 		t.Errorf("post-garbage select: %+v", resp.Results[1])
 	}
 }
+
+// paperFixture loads a correlated employees table (city soft-determines
+// state, the paper's running example) into db through the SQL surface
+// and returns the load script's row count.
+func paperFixture(t *testing.T, db *repro.DB) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE employees (state STRING, city STRING, salary INT) CLUSTERED BY (state) BUCKET TUPLES 8;\n")
+	sb.WriteString("LOAD INTO employees VALUES ")
+	states := []string{"AL", "CA", "MA", "NH", "OH", "TX"}
+	cities := []string{"auburn", "fresno", "boston", "nashua", "toledo", "austin"}
+	for i := 0; i < 480; i++ {
+		si := (i / 80) % len(states)
+		ci := si
+		if i%17 == 0 { // soft FD: a few cross-state outliers
+			ci = (si + 1) % len(cities)
+		}
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "('%s', '%s', %d)", states[si], cities[ci], 20000+(i*37)%90000)
+	}
+	sb.WriteString(";\nCREATE CORRELATION MAP cm_city ON employees (city);")
+	results, err := db.ExecScript(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("fixture statement %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestServerPaperAggregateWorkload runs the paper's own query shape —
+// SELECT AVG(salary) FROM employees WHERE city = ... — through the wire
+// protocol and pins it to the native SelectAggregate result, with the
+// EXPLAIN plan showing the agg/sort nodes and a workers=8 server
+// byte-identical to a serial engine.
+func TestServerPaperAggregateWorkload(t *testing.T) {
+	db := repro.Open(repro.Config{Workers: 8})
+	paperFixture(t, db)
+	srv := New(db, Config{Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	c := dial(t, ln.Addr().String())
+	defer c.close()
+
+	// The paper's example, verbatim shape, over the wire.
+	resp := mustOK(t, c.roundTrip(t, "SELECT AVG(salary) FROM employees WHERE city = 'boston'"))
+	if len(resp.Results) != 1 || len(resp.Results[0].Rows) != 1 {
+		t.Fatalf("avg response: %+v", resp)
+	}
+	wireAvg := resp.Results[0].Rows[0][0].(float64)
+	hdr, rows, err := db.SelectAggregate(repro.QuerySpec{
+		Table: "employees",
+		Preds: []repro.Pred{repro.Eq("city", repro.StringVal("boston"))},
+		Aggs:  []repro.Agg{{Func: repro.Avg, Col: "salary"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr[0] != "avg(salary)" || resp.Results[0].Columns[0] != "avg(salary)" {
+		t.Errorf("headers: native %v, wire %v", hdr, resp.Results[0].Columns)
+	}
+	if native := rows[0][0].Float(); wireAvg != native {
+		t.Errorf("wire avg %v != native %v", wireAvg, native)
+	}
+
+	// Grouped + ordered + limited, still one wire line.
+	stmt := "SELECT city, avg(salary), count(*) FROM employees GROUP BY city ORDER BY avg(salary) DESC, city LIMIT 4"
+	resp = mustOK(t, c.roundTrip(t, stmt))
+	_, nativeRows, err := db.SelectAggregate(repro.QuerySpec{
+		Table:   "employees",
+		Aggs:    []repro.Agg{{Func: repro.Avg, Col: "salary"}, {Func: repro.Count}},
+		GroupBy: []string{"city"},
+		OrderBy: []repro.Order{{Col: "avg(salary)", Desc: true}, {Col: "city"}},
+		Limit:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Results[0].Rows
+	if len(got) != len(nativeRows) {
+		t.Fatalf("wire %d rows, native %d", len(got), len(nativeRows))
+	}
+	for i := range got {
+		// Wire order is the SELECT list (city, avg, count); native
+		// canonical order is (city, avg, count) too.
+		if got[i][0].(string) != nativeRows[i][0].Str() ||
+			got[i][1].(float64) != nativeRows[i][1].Float() ||
+			int64(got[i][2].(float64)) != nativeRows[i][2].Int() {
+			t.Errorf("row %d: wire %v vs native %v", i, got[i], nativeRows[i])
+		}
+	}
+
+	// Workers=8 must be byte-identical to a fully serial engine.
+	serial := repro.Open(repro.Config{Workers: 1})
+	paperFixture(t, serial)
+	_, serialRows, err := serial.SelectAggregate(repro.QuerySpec{
+		Table:   "employees",
+		Aggs:    []repro.Agg{{Func: repro.Avg, Col: "salary"}, {Func: repro.Count}},
+		GroupBy: []string{"city"},
+		OrderBy: []repro.Order{{Col: "avg(salary)", Desc: true}, {Col: "city"}},
+		Limit:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nativeRows {
+		for j := range nativeRows[i] {
+			if nativeRows[i][j].String() != serialRows[i][j].String() {
+				t.Errorf("parallel row %d col %d = %v, serial %v", i, j, nativeRows[i][j], serialRows[i][j])
+			}
+		}
+	}
+
+	// EXPLAIN over the wire surfaces the agg and sort plan nodes.
+	resp = mustOK(t, c.roundTrip(t, "EXPLAIN "+stmt))
+	kinds := make([]string, 0, len(resp.Results[0].Rows))
+	for _, row := range resp.Results[0].Rows {
+		kinds = append(kinds, row[0].(string))
+	}
+	if len(kinds) != 3 || kinds[1] != "agg" || kinds[2] != "sort" {
+		t.Errorf("EXPLAIN node rows = %v", kinds)
+	}
+}

@@ -86,12 +86,75 @@ type Cond struct {
 	Args []Lit
 }
 
-// SelectStmt is SELECT cols FROM table [WHERE conj] [LIMIT n].
+// AggFn identifies an aggregate function in a SELECT list (AggNone
+// marks a plain column reference).
+type AggFn int
+
+// The aggregate functions of the dialect.
+const (
+	AggNone AggFn = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the function name in lowercase SQL form.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "none"
+	}
+}
+
+// SelExpr is one SELECT-list (or ORDER BY) expression: a plain column
+// (Fn == AggNone) or an aggregate over a column; Star marks COUNT(*).
+type SelExpr struct {
+	Fn   AggFn
+	Col  string
+	Star bool
+}
+
+// Name renders the expression as its result-column header: the column
+// name for plain references, "fn(col)" / "count(*)" for aggregates.
+func (e SelExpr) Name() string {
+	if e.Fn == AggNone {
+		return e.Col
+	}
+	if e.Star {
+		return e.Fn.String() + "(*)"
+	}
+	return e.Fn.String() + "(" + e.Col + ")"
+}
+
+// OrderItem is one ORDER BY key: a select expression and a direction.
+type OrderItem struct {
+	Expr SelExpr
+	Desc bool
+}
+
+// SelectStmt is SELECT exprs FROM table [WHERE expr] [GROUP BY cols]
+// [ORDER BY items] [LIMIT n]. Where is held in disjunctive normal form:
+// an OR of conjunctions, already distributed by the parser (nil means
+// no WHERE clause; a plain conjunction is one disjunct).
 type SelectStmt struct {
-	Cols  []string // nil means *
-	Table string
-	Where []Cond
-	Limit int // -1 means no LIMIT clause
+	Exprs   []SelExpr // nil means *
+	Table   string
+	Where   [][]Cond
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 means no LIMIT clause
 }
 
 func (*SelectStmt) stmt() {}

@@ -51,14 +51,56 @@ type BoundCond struct {
 	Vals   []value.Value
 }
 
+// BoundAgg is one aggregate of a bound SELECT: the function and the
+// resolved column (ColIdx -1 for COUNT(*)).
+type BoundAgg struct {
+	Fn     AggFn
+	Col    string
+	ColIdx int
+}
+
+// Name renders the aggregate's canonical result-column name, e.g.
+// "avg(salary)" or "count(*)" — the same form the facade derives for
+// its QuerySpec.Aggs headers, so ORDER BY targets resolve by name.
+func (a BoundAgg) Name() string {
+	if a.ColIdx < 0 {
+		return a.Fn.String() + "(*)"
+	}
+	return a.Fn.String() + "(" + a.Col + ")"
+}
+
+// BoundOrder is one resolved ORDER BY key. For plain selects Name is a
+// table column; for aggregate selects it is an output column — a
+// GROUP BY column name or a canonical aggregate name (BoundAgg.Name).
+type BoundOrder struct {
+	Name string
+	Desc bool
+}
+
 // BoundSelect is a SELECT resolved against the catalog.
+//
+// Aggregate selects (Aggs or GroupBy non-empty) evaluate in canonical
+// output shape — the GROUP BY columns in GroupBy order followed by Aggs
+// in order — and OutPerm maps each SELECT-list position onto that
+// canonical row, restoring the written order (Aggs may carry hidden
+// trailing entries that ORDER BY needs but the SELECT list omits).
 type BoundSelect struct {
 	Table string
-	Proj  []int    // projected column indices, in SELECT-list order
-	Cols  []string // projected column names (the result header)
-	Where []BoundCond
+	Proj  []int    // plain selects: projected column indices, SELECT-list order
+	Cols  []string // result header, SELECT-list order
+	Where [][]BoundCond
 	Limit int // -1 means no limit
+
+	Aggs       []BoundAgg
+	GroupBy    []string // resolved GROUP BY column names
+	GroupByIdx []int
+	OrderBy    []BoundOrder
+	OutPerm    []int // aggregate selects: SELECT position -> canonical position
 }
+
+// IsAggregate reports whether the SELECT computes aggregates or groups
+// (GROUP BY without aggregates is a distinct-values query).
+func (b *BoundSelect) IsAggregate() bool { return len(b.Aggs) > 0 || len(b.GroupBy) > 0 }
 
 // BoundInsert is an INSERT with rows coerced to the table schema.
 type BoundInsert struct {
@@ -104,6 +146,22 @@ func bindLit(l Lit, kind value.Kind, col string) (value.Value, error) {
 	return value.Value{}, fmt.Errorf("sql: literal %s does not fit %s column %q", l, kind, col)
 }
 
+// bindDNF resolves a WHERE clause in disjunctive normal form.
+func bindDNF(tm TableMeta, dnf [][]Cond) ([][]BoundCond, error) {
+	if len(dnf) == 0 {
+		return nil, nil
+	}
+	out := make([][]BoundCond, 0, len(dnf))
+	for _, conj := range dnf {
+		b, err := bindConds(tm, conj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
 // bindConds resolves a WHERE conjunction against a table.
 func bindConds(tm TableMeta, conds []Cond) ([]BoundCond, error) {
 	out := make([]BoundCond, 0, len(conds))
@@ -130,31 +188,142 @@ func bindConds(tm TableMeta, conds []Cond) ([]BoundCond, error) {
 	return out, nil
 }
 
-// BindSelect resolves a SELECT statement.
+// BindSelect resolves a SELECT statement: columns to indices, the WHERE
+// DNF to typed conditions, aggregates/GROUP BY/ORDER BY validated
+// against the schema (SUM/AVG need numeric columns, plain SELECT-list
+// columns of a grouped query must be grouped, ORDER BY keys must be
+// resolvable — table columns for plain selects, output columns for
+// aggregate ones).
 func BindSelect(cat Catalog, sel *SelectStmt) (*BoundSelect, error) {
 	tm, err := lookupTable(cat, sel.Table)
 	if err != nil {
 		return nil, err
 	}
 	b := &BoundSelect{Table: sel.Table, Limit: sel.Limit}
-	if sel.Cols == nil {
+	b.Where, err = bindDNF(tm, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	hasAgg := false
+	for _, e := range sel.Exprs {
+		if e.Fn != AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(sel.GroupBy) > 0 {
+		return bindAggSelect(tm, sel, b)
+	}
+
+	if sel.Exprs == nil {
 		for i, c := range tm.Cols {
 			b.Proj = append(b.Proj, i)
 			b.Cols = append(b.Cols, c.Name)
 		}
 	} else {
-		for _, name := range sel.Cols {
-			ci := tm.colIndex(name)
+		for _, e := range sel.Exprs {
+			ci := tm.colIndex(e.Col)
 			if ci < 0 {
-				return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, name)
+				return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, e.Col)
 			}
 			b.Proj = append(b.Proj, ci)
-			b.Cols = append(b.Cols, name)
+			b.Cols = append(b.Cols, e.Col)
 		}
 	}
-	b.Where, err = bindConds(tm, sel.Where)
-	if err != nil {
-		return nil, err
+	for _, o := range sel.OrderBy {
+		if o.Expr.Fn != AggNone {
+			return nil, fmt.Errorf("sql: ORDER BY %s needs an aggregate or grouped query", o.Expr.Name())
+		}
+		if tm.colIndex(o.Expr.Col) < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, o.Expr.Col)
+		}
+		b.OrderBy = append(b.OrderBy, BoundOrder{Name: o.Expr.Col, Desc: o.Desc})
+	}
+	return b, nil
+}
+
+// bindAggSelect resolves the aggregate/grouped form of a SELECT.
+func bindAggSelect(tm TableMeta, sel *SelectStmt, b *BoundSelect) (*BoundSelect, error) {
+	if sel.Exprs == nil {
+		return nil, fmt.Errorf("sql: SELECT * cannot be grouped or aggregated")
+	}
+	grouped := map[string]int{} // group column name -> canonical position
+	for _, name := range sel.GroupBy {
+		ci := tm.colIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: GROUP BY: table %q has no column %q", tm.Name, name)
+		}
+		if _, dup := grouped[name]; dup {
+			return nil, fmt.Errorf("sql: column %q named twice in GROUP BY", name)
+		}
+		grouped[name] = len(b.GroupBy)
+		b.GroupBy = append(b.GroupBy, name)
+		b.GroupByIdx = append(b.GroupByIdx, ci)
+	}
+
+	// bindAgg validates one aggregate expression and appends it to Aggs
+	// (deduplicating identical expressions), returning its canonical
+	// output position.
+	bindAgg := func(e SelExpr) (int, error) {
+		a := BoundAgg{Fn: e.Fn, Col: e.Col, ColIdx: -1}
+		if !e.Star {
+			ci := tm.colIndex(e.Col)
+			if ci < 0 {
+				return 0, fmt.Errorf("sql: table %q has no column %q", tm.Name, e.Col)
+			}
+			kind := tm.Cols[ci].Kind
+			if (e.Fn == AggSum || e.Fn == AggAvg) && kind == value.String {
+				return 0, fmt.Errorf("sql: %s does not apply to string column %q", e.Name(), e.Col)
+			}
+			a.ColIdx = ci
+		} else if e.Fn != AggCount {
+			return 0, fmt.Errorf("sql: %s(*) is not valid (only COUNT takes *)", e.Fn)
+		}
+		for i, have := range b.Aggs {
+			if have == a {
+				return len(b.GroupBy) + i, nil
+			}
+		}
+		b.Aggs = append(b.Aggs, a)
+		return len(b.GroupBy) + len(b.Aggs) - 1, nil
+	}
+
+	for _, e := range sel.Exprs {
+		if e.Fn == AggNone {
+			pos, ok := grouped[e.Col]
+			if !ok {
+				if tm.colIndex(e.Col) < 0 {
+					return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, e.Col)
+				}
+				return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or an aggregate", e.Col)
+			}
+			b.OutPerm = append(b.OutPerm, pos)
+			b.Cols = append(b.Cols, e.Col)
+			continue
+		}
+		pos, err := bindAgg(e)
+		if err != nil {
+			return nil, err
+		}
+		b.OutPerm = append(b.OutPerm, pos)
+		b.Cols = append(b.Cols, e.Name())
+	}
+
+	for _, o := range sel.OrderBy {
+		if o.Expr.Fn == AggNone {
+			if _, ok := grouped[o.Expr.Col]; !ok {
+				return nil, fmt.Errorf("sql: ORDER BY %q: not a GROUP BY column of this aggregate query", o.Expr.Col)
+			}
+			b.OrderBy = append(b.OrderBy, BoundOrder{Name: o.Expr.Col, Desc: o.Desc})
+			continue
+		}
+		// An aggregate ORDER BY key the SELECT list omits is computed as
+		// a hidden trailing aggregate; OutPerm never points at it, so it
+		// stays out of the result.
+		if _, err := bindAgg(o.Expr); err != nil {
+			return nil, err
+		}
+		b.OrderBy = append(b.OrderBy, BoundOrder{Name: o.Expr.Name(), Desc: o.Desc})
 	}
 	return b, nil
 }

@@ -58,7 +58,7 @@ func TestBindSelectCoercion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := b.Where[0].Vals[0]; got.K != value.Float || got.F != 10 {
+	if got := b.Where[0][0].Vals[0]; got.K != value.Float || got.F != 10 {
 		t.Errorf("int->float coercion: %+v", got)
 	}
 	// Float literal does not narrow to an int column.
@@ -88,6 +88,98 @@ func TestBindSelectErrors(t *testing.T) {
 	_, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE cat BETWEEN 5 AND 2"))
 	if err == nil || !strings.Contains(err.Error(), "inverted") {
 		t.Errorf("inverted BETWEEN: %v", err)
+	}
+}
+
+func TestBindAggSelect(t *testing.T) {
+	cat := testCatalog()
+	b, err := BindSelect(cat, sel(t, "SELECT count(*), title, avg(price) FROM items GROUP BY title ORDER BY avg(price) DESC, title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsAggregate() {
+		t.Fatal("aggregate select not flagged")
+	}
+	if !reflect.DeepEqual(b.Cols, []string{"count(*)", "title", "avg(price)"}) {
+		t.Errorf("header = %v", b.Cols)
+	}
+	// Canonical shape is (GroupBy..., Aggs...): title, count(*), avg(price).
+	if !reflect.DeepEqual(b.OutPerm, []int{1, 0, 2}) {
+		t.Errorf("OutPerm = %v", b.OutPerm)
+	}
+	if len(b.Aggs) != 2 || b.Aggs[0].Name() != "count(*)" || b.Aggs[1].Name() != "avg(price)" {
+		t.Errorf("aggs = %+v", b.Aggs)
+	}
+	if !reflect.DeepEqual(b.GroupBy, []string{"title"}) || !reflect.DeepEqual(b.GroupByIdx, []int{2}) {
+		t.Errorf("group by = %v / %v", b.GroupBy, b.GroupByIdx)
+	}
+	want := []BoundOrder{{Name: "avg(price)", Desc: true}, {Name: "title"}}
+	if !reflect.DeepEqual(b.OrderBy, want) {
+		t.Errorf("order by = %+v", b.OrderBy)
+	}
+
+	// An ORDER BY aggregate the list omits binds as a hidden trailing agg.
+	b, err = BindSelect(cat, sel(t, "SELECT title FROM items GROUP BY title ORDER BY sum(price)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Aggs) != 1 || b.Aggs[0].Name() != "sum(price)" || !reflect.DeepEqual(b.OutPerm, []int{0}) {
+		t.Errorf("hidden agg: aggs=%+v perm=%v", b.Aggs, b.OutPerm)
+	}
+	if b.OrderBy[0].Name != "sum(price)" {
+		t.Errorf("hidden agg order name = %q", b.OrderBy[0].Name)
+	}
+
+	// Duplicate aggregate expressions share one canonical slot.
+	b, err = BindSelect(cat, sel(t, "SELECT avg(price), avg(price) FROM items"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Aggs) != 1 || !reflect.DeepEqual(b.OutPerm, []int{0, 0}) {
+		t.Errorf("dedup: aggs=%+v perm=%v", b.Aggs, b.OutPerm)
+	}
+
+	for _, bad := range []string{
+		"SELECT sum(title) FROM items",
+		"SELECT avg(title) FROM items",
+		"SELECT price, count(*) FROM items",              // ungrouped plain column
+		"SELECT price FROM items GROUP BY title",         // not in group by
+		"SELECT * FROM items GROUP BY title",             // star grouped
+		"SELECT count(zz) FROM items",                    // unknown agg column
+		"SELECT count(*) FROM items GROUP BY zz",         // unknown group column
+		"SELECT count(*) FROM items GROUP BY cat, cat",   // duplicate group column
+		"SELECT count(*) FROM items ORDER BY price",      // order key not grouped
+		"SELECT cat FROM items ORDER BY avg(price)",      // agg order on plain select
+		"SELECT count(*) FROM items ORDER BY sum(title)", // bad hidden agg
+	} {
+		if _, err := BindSelect(cat, sel(t, bad)); err == nil {
+			t.Errorf("BindSelect(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestBindSelectDNFAndOrder(t *testing.T) {
+	cat := testCatalog()
+	b, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE cat = 1 OR price > 2.5 ORDER BY price DESC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Where) != 2 || b.Where[0][0].ColIdx != 0 || b.Where[1][0].ColIdx != 1 {
+		t.Errorf("bound dnf = %+v", b.Where)
+	}
+	if !reflect.DeepEqual(b.OrderBy, []BoundOrder{{Name: "price", Desc: true}}) {
+		t.Errorf("order by = %+v", b.OrderBy)
+	}
+	// Every disjunct binds (and fails) independently.
+	if _, err := BindSelect(cat, sel(t, "SELECT * FROM items WHERE cat = 1 OR zz = 2")); err == nil {
+		t.Error("unknown column in second disjunct accepted")
+	}
+	// Plain-select ORDER BY may name an unprojected column, not an unknown one.
+	if _, err := BindSelect(cat, sel(t, "SELECT cat FROM items ORDER BY price")); err != nil {
+		t.Errorf("order by unprojected column rejected: %v", err)
+	}
+	if _, err := BindSelect(cat, sel(t, "SELECT cat FROM items ORDER BY zz")); err == nil {
+		t.Error("order by unknown column accepted")
 	}
 }
 

@@ -28,6 +28,16 @@ func FuzzParse(f *testing.F) {
 		"SHOW SOFT FDS FOR t MIN STRENGTH 0.9 WITH PAIRS",
 		"SHOW TABLES; SHOW STATS; SHOW INDEXES FOR t; SHOW CMS FOR t",
 		"COMMIT; COMMIT t",
+		"SELECT count(*), avg(salary) FROM emp WHERE city = 'x' GROUP BY dept ORDER BY avg(salary) DESC LIMIT 3",
+		"SELECT city, sum(qty), min(p), max(p) FROM t GROUP BY city, state ORDER BY city ASC, sum(qty) DESC",
+		"SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3 OR d BETWEEN 4 AND 5",
+		"SELECT * FROM t WHERE (a = 1 OR b = 2) AND (c IN (3, 4) OR d != 5)",
+		"SELECT count FROM t WHERE count = 3 ORDER BY count",
+		"SELECT count( FROM t",
+		"SELECT sum(*) FROM t",
+		"SELECT * FROM t WHERE ((a = 1 OR (b = 2)) AND ((c = 3)))",
+		"SELECT * FROM t GROUP BY ORDER BY LIMIT",
+		"SELECT min(a), max(a) FROM t ORDER BY min(a)",
 		"-- comment only",
 		"SELECT * FROM t WHERE a = 'unterminated",
 		"SELECT * FROM t WHERE a ! b",

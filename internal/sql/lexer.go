@@ -40,6 +40,7 @@ const (
 	TokGe // >=
 )
 
+// String names the token kind for error messages.
 func (k TokenKind) String() string {
 	switch k {
 	case TokEOF:

@@ -12,8 +12,16 @@ import (
 //	script      := statement (';' statement)* [';']
 //	statement   := select | insert | delete | create | explain
 //	             | advise | show | commit
-//	select      := SELECT cols FROM ident [WHERE conj] [LIMIT int]
-//	cols        := '*' | ident (',' ident)*
+//	select      := SELECT exprs FROM ident [WHERE orexpr]
+//	               [GROUP BY ident (',' ident)*]
+//	               [ORDER BY selexpr [ASC|DESC] (',' selexpr [ASC|DESC])*]
+//	               [LIMIT int]
+//	exprs       := '*' | selexpr (',' selexpr)*
+//	selexpr     := ident | aggfn '(' (ident | '*') ')'
+//	aggfn       := COUNT | SUM | AVG | MIN | MAX
+//	orexpr      := andexpr (OR andexpr)*
+//	andexpr     := factor (AND factor)*
+//	factor      := '(' orexpr ')' | cond
 //	conj        := cond (AND cond)*
 //	cond        := ident op literal
 //	             | ident BETWEEN literal AND literal
@@ -41,7 +49,12 @@ import (
 //
 // Keywords are case-insensitive and reserved only positionally: a column
 // may be named "level" because the parser only treats LEVEL as a keyword
-// where a cmopt can start.
+// where a cmopt can start, and a column named "count" is only an
+// aggregate call when followed by '('.
+//
+// WHERE clauses normalize to disjunctive normal form at parse time: OR
+// binds loosest, AND tighter, parentheses group; AND distributes over
+// OR, capped at maxDisjuncts to bound the blow-up.
 
 // parser walks the token stream.
 type parser struct {
@@ -257,11 +270,11 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		p.next()
 	} else {
 		for {
-			name, err := p.ident()
+			e, err := p.selExpr()
 			if err != nil {
 				return nil, err
 			}
-			sel.Cols = append(sel.Cols, name)
+			sel.Exprs = append(sel.Exprs, e)
 			if p.peek().Kind != TokComma {
 				break
 			}
@@ -277,9 +290,47 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 	}
 	sel.Table = table
 	if p.acceptKw("where") {
-		sel.Where, err = p.conjunction()
+		sel.Where, err = p.orExpr()
 		if err != nil {
 			return nil, err
+		}
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, name)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.selExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
 		}
 	}
 	if p.acceptKw("limit") {
@@ -289,6 +340,137 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		}
 	}
 	return sel, nil
+}
+
+// aggFnFor maps a function-name keyword to its AggFn.
+func aggFnFor(name string) (AggFn, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	default:
+		return AggNone, false
+	}
+}
+
+// selExpr parses one SELECT-list / ORDER BY expression: a plain column,
+// or an aggregate call. An identifier named like an aggregate function
+// is only a call when the next token is '(' — a column may be named
+// "count".
+func (p *parser) selExpr() (SelExpr, error) {
+	t := p.peek()
+	if t.Kind == TokIdent && p.toks[p.pos+1].Kind == TokLParen {
+		if fn, ok := aggFnFor(t.Text); ok {
+			p.next() // function name
+			p.next() // '('
+			e := SelExpr{Fn: fn}
+			if p.peek().Kind == TokStar {
+				if fn != AggCount {
+					return SelExpr{}, p.errf("%s(*) is not valid (only COUNT takes *)", strings.ToUpper(t.Text))
+				}
+				p.next()
+				e.Star = true
+			} else {
+				col, err := p.ident()
+				if err != nil {
+					return SelExpr{}, err
+				}
+				e.Col = col
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return SelExpr{}, err
+			}
+			return e, nil
+		}
+	}
+	col, err := p.ident()
+	if err != nil {
+		return SelExpr{}, err
+	}
+	return SelExpr{Col: col}, nil
+}
+
+// maxDisjuncts caps the disjunctive-normal-form blow-up of a WHERE
+// clause: AND distributing over OR multiplies disjunct counts, and a
+// hostile input like (a=1 OR a=2) AND (b=1 OR b=2) AND ... doubles per
+// factor. Past the cap the statement is rejected, not silently
+// truncated.
+const maxDisjuncts = 64
+
+// orExpr parses an OR of AND-expressions and returns the clause in
+// disjunctive normal form.
+func (p *parser) orExpr() ([][]Cond, error) {
+	out, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		next, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next...)
+		if len(out) > maxDisjuncts {
+			return nil, p.errf("WHERE clause expands past %d disjuncts", maxDisjuncts)
+		}
+	}
+	return out, nil
+}
+
+// andExpr parses an AND of factors, distributing AND over each factor's
+// disjuncts to keep the running result in DNF.
+func (p *parser) andExpr() ([][]Cond, error) {
+	out, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		next, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		cross := make([][]Cond, 0, len(out)*len(next))
+		for _, a := range out {
+			for _, b := range next {
+				conj := make([]Cond, 0, len(a)+len(b))
+				conj = append(conj, a...)
+				conj = append(conj, b...)
+				cross = append(cross, conj)
+			}
+		}
+		if len(cross) > maxDisjuncts {
+			return nil, p.errf("WHERE clause expands past %d disjuncts", maxDisjuncts)
+		}
+		out = cross
+	}
+	return out, nil
+}
+
+// factor parses a parenthesized sub-expression or a single condition.
+func (p *parser) factor() ([][]Cond, error) {
+	if p.peek().Kind == TokLParen {
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	c, err := p.cond()
+	if err != nil {
+		return nil, err
+	}
+	return [][]Cond{{c}}, nil
 }
 
 func (p *parser) conjunction() ([]Cond, error) {

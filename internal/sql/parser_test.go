@@ -19,7 +19,7 @@ func mustParse(t *testing.T, src string) Stmt {
 
 func TestParseSelectForms(t *testing.T) {
 	s := mustParse(t, "SELECT * FROM lineitem").(*SelectStmt)
-	if s.Cols != nil || s.Table != "lineitem" || s.Where != nil || s.Limit != -1 {
+	if s.Exprs != nil || s.Table != "lineitem" || s.Where != nil || s.Limit != -1 {
 		t.Errorf("bare select parsed wrong: %+v", s)
 	}
 
@@ -27,8 +27,8 @@ func TestParseSelectForms(t *testing.T) {
 		where shipdate between '1994-01-01' and '1994-01-07'
 		and partkey in (1, 2, 3) and qty >= 5 and price < 10.5
 		and flag != 'N' limit 40;`).(*SelectStmt)
-	if !reflect.DeepEqual(s.Cols, []string{"shipdate", "partkey"}) {
-		t.Errorf("cols = %v", s.Cols)
+	if !reflect.DeepEqual(s.Exprs, []SelExpr{{Col: "shipdate"}, {Col: "partkey"}}) {
+		t.Errorf("cols = %v", s.Exprs)
 	}
 	if s.Limit != 40 {
 		t.Errorf("limit = %d", s.Limit)
@@ -42,14 +42,14 @@ func TestParseSelectForms(t *testing.T) {
 		{Col: "price", Op: CondLt, Args: []Lit{{Kind: LitFloat, Flt: 10.5}}},
 		{Col: "flag", Op: CondNe, Args: []Lit{{Kind: LitString, Str: "N"}}},
 	}
-	if !reflect.DeepEqual(s.Where, want) {
-		t.Errorf("where = %+v, want %+v", s.Where, want)
+	if !reflect.DeepEqual(s.Where, [][]Cond{want}) {
+		t.Errorf("where = %+v, want %+v", s.Where, [][]Cond{want})
 	}
 
 	// <> is an alias for !=.
 	s = mustParse(t, "SELECT * FROM t WHERE a <> 3").(*SelectStmt)
-	if s.Where[0].Op != CondNe {
-		t.Errorf("<> parsed as %v", s.Where[0].Op)
+	if s.Where[0][0].Op != CondNe {
+		t.Errorf("<> parsed as %v", s.Where[0][0].Op)
 	}
 }
 
@@ -59,9 +59,88 @@ func TestParseOperators(t *testing.T) {
 	}
 	for opText, want := range ops {
 		s := mustParse(t, "SELECT * FROM t WHERE a "+opText+" 1").(*SelectStmt)
-		if s.Where[0].Op != want {
-			t.Errorf("op %q parsed as %v, want %v", opText, s.Where[0].Op, want)
+		if s.Where[0][0].Op != want {
+			t.Errorf("op %q parsed as %v, want %v", opText, s.Where[0][0].Op, want)
 		}
+	}
+}
+
+func TestParseAggregatesGroupOrder(t *testing.T) {
+	s := mustParse(t, "SELECT city, COUNT(*), avg(salary), min(qty) FROM t GROUP BY city, state ORDER BY avg(salary) DESC, city ASC, qty LIMIT 5").(*SelectStmt)
+	wantExprs := []SelExpr{
+		{Col: "city"},
+		{Fn: AggCount, Star: true},
+		{Fn: AggAvg, Col: "salary"},
+		{Fn: AggMin, Col: "qty"},
+	}
+	if !reflect.DeepEqual(s.Exprs, wantExprs) {
+		t.Errorf("exprs = %+v", s.Exprs)
+	}
+	if !reflect.DeepEqual(s.GroupBy, []string{"city", "state"}) {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+	wantOrder := []OrderItem{
+		{Expr: SelExpr{Fn: AggAvg, Col: "salary"}, Desc: true},
+		{Expr: SelExpr{Col: "city"}},
+		{Expr: SelExpr{Col: "qty"}},
+	}
+	if !reflect.DeepEqual(s.OrderBy, wantOrder) {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+	if s.Limit != 5 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+
+	// An identifier named like an aggregate is only a call before '('.
+	s = mustParse(t, "SELECT count FROM t WHERE count = 3 ORDER BY count").(*SelectStmt)
+	if !reflect.DeepEqual(s.Exprs, []SelExpr{{Col: "count"}}) || s.Where[0][0].Col != "count" {
+		t.Errorf("count-as-column parsed wrong: %+v", s)
+	}
+	// Expression names render canonically.
+	if (SelExpr{Fn: AggCount, Star: true}).Name() != "count(*)" ||
+		(SelExpr{Fn: AggAvg, Col: "salary"}).Name() != "avg(salary)" ||
+		(SelExpr{Col: "x"}).Name() != "x" {
+		t.Error("SelExpr.Name canonical forms wrong")
+	}
+}
+
+func TestParseOrDNF(t *testing.T) {
+	// Plain OR: one disjunct per conjunction.
+	s := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3 OR d = 4").(*SelectStmt)
+	if len(s.Where) != 3 || len(s.Where[0]) != 1 || len(s.Where[1]) != 2 || len(s.Where[2]) != 1 {
+		t.Fatalf("dnf shape = %+v", s.Where)
+	}
+	if s.Where[1][0].Col != "b" || s.Where[1][1].Col != "c" {
+		t.Errorf("AND binds tighter than OR: %+v", s.Where[1])
+	}
+
+	// Parenthesized OR under AND distributes.
+	s = mustParse(t, "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)").(*SelectStmt)
+	if len(s.Where) != 2 || len(s.Where[0]) != 2 || len(s.Where[1]) != 2 {
+		t.Fatalf("distributed dnf = %+v", s.Where)
+	}
+	if s.Where[0][0].Col != "a" || s.Where[0][1].Col != "b" ||
+		s.Where[1][0].Col != "a" || s.Where[1][1].Col != "c" {
+		t.Errorf("distribution wrong: %+v", s.Where)
+	}
+
+	// Nested parens and BETWEEN's own AND still parse.
+	s = mustParse(t, "SELECT * FROM t WHERE ((a BETWEEN 1 AND 5) OR (b = 2 AND (c = 3 OR d = 4)))").(*SelectStmt)
+	if len(s.Where) != 3 {
+		t.Fatalf("nested dnf = %+v", s.Where)
+	}
+
+	// The DNF cap rejects exponential blow-ups instead of truncating.
+	var sb strings.Builder
+	sb.WriteString("SELECT * FROM t WHERE ")
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString("(a = 1 OR a = 2 OR a = 3)") // 3^8 disjuncts
+	}
+	if _, err := Parse(sb.String()); err == nil || !strings.Contains(err.Error(), "disjuncts") {
+		t.Errorf("DNF blow-up not rejected: %v", err)
 	}
 }
 
@@ -240,6 +319,17 @@ func TestParseErrors(t *testing.T) {
 		"SELECT * FROM t WHERE a = 1e",
 		"SELECT * FROM t \x00",
 		"SELECT * FROM t; SELECT * FROM", // script error position
+		"SELECT sum(*) FROM t",           // star outside COUNT
+		"SELECT avg( FROM t",
+		"SELECT count(*  FROM t",
+		"SELECT * FROM t WHERE (a = 1",
+		"SELECT * FROM t WHERE a = 1 OR",
+		"SELECT * FROM t WHERE () ",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t GROUP BY",
+		"SELECT * FROM t ORDER",
+		"SELECT * FROM t ORDER BY",
+		"SELECT * FROM t ORDER BY a,",
 	}
 	for _, src := range cases {
 		if _, err := ParseScript(src); err == nil && src != "" {

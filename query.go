@@ -197,33 +197,44 @@ func (t *Table) selectVia(method AccessMethod, workers int, proj []int, fn func(
 	q.Proj = proj
 	t.inner.RLock()
 	defer t.inner.RUnlock()
+	plan, err := t.planFor(method, q)
+	if err != nil {
+		return err
+	}
 	emit := func(_ heap.RID, row value.Row) bool { return fn(externalProjRow(row, proj)) }
+	return plan.RunParallel(t.inner, q, workers, emit)
+}
+
+// planFor resolves a conjunctive query's access-path plan: the cost
+// model's choice for Auto, or the first applicable structure for a
+// forced method. Callers must hold the table latch (shared suffices).
+func (t *Table) planFor(method AccessMethod, q exec.Query) (exec.Plan, error) {
 	switch method {
 	case Auto:
-		plan := exec.ChoosePlan(t.inner, q, t.exactStats())
-		return plan.RunParallel(t.inner, q, workers, emit)
+		return exec.ChoosePlan(t.inner, q, t.exactStats()), nil
 	case TableScan:
-		return exec.ParallelTableScan(t.inner, q, workers, emit)
+		return exec.Plan{Method: exec.MethodTableScan}, nil
 	case SortedIndexScan, PipelinedIndexScan:
 		ix := t.applicableIndex(q)
 		if ix == nil {
-			return fmt.Errorf("repro: no secondary index applies to %s", q.String())
+			return exec.Plan{}, fmt.Errorf("repro: no secondary index applies to %s", q.String())
 		}
-		if method == SortedIndexScan {
-			return exec.ParallelSortedIndexScan(t.inner, ix, q, workers, emit)
+		m := exec.MethodSorted
+		if method == PipelinedIndexScan {
+			m = exec.MethodPipelined
 		}
-		return exec.BatchedIndexScan(t.inner, ix, q, workers, emit)
+		return exec.Plan{Method: m, Index: ix}, nil
 	case CMScan:
 		for _, cm := range t.inner.CMs() {
 			for _, c := range cm.Spec().UCols {
 				if q.IndexablePredOn(c) != nil {
-					return exec.ParallelCMScan(t.inner, cm, q, workers, emit)
+					return exec.Plan{Method: exec.MethodCM, CM: cm}, nil
 				}
 			}
 		}
-		return fmt.Errorf("repro: no CM applies to %s", q.String())
+		return exec.Plan{}, fmt.Errorf("repro: no CM applies to %s", q.String())
 	default:
-		return fmt.Errorf("repro: unknown access method %v", method)
+		return exec.Plan{}, fmt.Errorf("repro: unknown access method %v", method)
 	}
 }
 
@@ -250,17 +261,43 @@ func (t *Table) SelectViaCM(cmName string, fn func(Row) bool, preds ...Pred) err
 // method (Auto lets the cost model choose) and the predicates. A positive
 // Limit caps the result rows and stops the scan early through the
 // executor's cancellation path, so a LIMIT-style batch query does not pay
-// for a full sweep.
+// for a full sweep (with OrderBy the limit instead bounds the top-K
+// heap: every matching row is still scanned, but only K are retained).
+//
+// A spec's WHERE clause is Preds AND (AnyOf[0] OR AnyOf[1] OR ...):
+// Preds is a conjunction applied to every row, and each AnyOf entry is
+// one further conjunctive alternative. OR queries plan each disjunct's
+// access path independently and union the probed RIDs, falling back to
+// one filtered scan when a disjunct cannot probe; they require Via ==
+// Auto.
+//
+// Aggs (optionally with GroupBy) turns the spec into an aggregate
+// query evaluated by DB.SelectAggregate or SelectMany: result rows are
+// the GroupBy columns in order followed by the aggregates in order
+// (groups sorted by group key), Cols is ignored, and OrderBy names
+// resolve against that output — a GroupBy column or a canonical
+// aggregate name like "avg(salary)" / "count(*)".
 type QuerySpec struct {
 	Table string
 	Via   AccessMethod
 	Preds []Pred
+	// AnyOf holds the OR disjuncts, each a conjunction ANDed with Preds.
+	AnyOf [][]Pred
 	Limit int // 0 = unlimited
 	// Cols, when non-empty, pushes the projection into the scan: result
 	// rows contain exactly these columns in this order, and the executor
 	// decodes only them (plus predicated columns) from surviving tuples.
 	Cols []string
+	// Aggs lists aggregate expressions; see AggFunc and Agg.
+	Aggs []Agg
+	// GroupBy names the grouping columns for aggregate specs.
+	GroupBy []string
+	// OrderBy sorts the result rows; see Order.
+	OrderBy []Order
 }
+
+// isAggregate reports whether the spec computes aggregates or groups.
+func (spec QuerySpec) isAggregate() bool { return len(spec.Aggs) > 0 || len(spec.GroupBy) > 0 }
 
 // QueryResult is the outcome of one query of a batch: the matching rows,
 // or the error that stopped it.
@@ -274,7 +311,10 @@ type QueryResult struct {
 // takes its table's latch shared, so the batch runs in parallel with
 // other readers and serializes only against writers. Results are
 // returned positionally. Individual queries run with serial scans —
-// the fan-out here is across queries, not within them.
+// the fan-out here is across queries, not within them. Every QuerySpec
+// form is accepted, including OR (AnyOf), aggregates (Aggs/GroupBy) and
+// ORDER BY; each evaluates exactly as its single-query equivalent
+// (runSpec is shared), so batched and unbatched execution cannot drift.
 func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 	out := make([]QueryResult, len(specs))
 	workers := db.workers
@@ -296,26 +336,7 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 				if i >= len(specs) {
 					return
 				}
-				spec := specs[i]
-				tbl := db.Table(spec.Table)
-				if tbl == nil {
-					out[i].Err = fmt.Errorf("repro: no table %q", spec.Table)
-					continue
-				}
-				var proj []int
-				if len(spec.Cols) > 0 {
-					var err error
-					proj, err = tbl.projIndices(spec.Cols)
-					if err != nil {
-						out[i].Err = err
-						continue
-					}
-				}
-				var rows []Row
-				err := tbl.selectVia(spec.Via, 1, proj, func(r Row) bool {
-					rows = append(rows, r)
-					return spec.Limit <= 0 || len(rows) < spec.Limit
-				}, spec.Preds)
+				rows, err := db.runSpec(specs[i], 1)
 				out[i] = QueryResult{Rows: rows, Err: err}
 			}
 		}()
@@ -333,7 +354,19 @@ func (t *Table) applicableIndex(q exec.Query) *table.Index {
 	return nil
 }
 
-// PlanInfo describes the access path the cost model would choose.
+// PlanNode is one operator of an explained plan, bottom-up: an access
+// node first ("scan" or "union"), then "agg" and "sort" when the query
+// aggregates or orders. Detail is a human-readable summary (the method
+// and structure for access nodes, the expressions for agg/sort).
+type PlanNode struct {
+	Kind   string
+	Detail string
+}
+
+// PlanInfo describes the plan the engine would execute. Method, Uses
+// and EstimatedCost summarize the access path (for an OR union plan,
+// Method is Auto and Nodes[0] is authoritative); Nodes lists the full
+// operator tree.
 type PlanInfo struct {
 	Method        AccessMethod
 	EstimatedCost time.Duration
@@ -344,6 +377,9 @@ type PlanInfo struct {
 	// means projection pushdown engaged.
 	DecodedCols int
 	TotalCols   int
+	// Nodes is the operator tree bottom-up: scan|union, then agg, then
+	// sort, as applicable.
+	Nodes []PlanNode
 }
 
 // Explain returns the plan the cost model picks for the predicates,
@@ -356,40 +392,7 @@ func (t *Table) Explain(preds ...Pred) (PlanInfo, error) {
 // what a SelectProject with the same columns would actually decode per
 // surviving row.
 func (t *Table) ExplainProject(cols []string, preds ...Pred) (PlanInfo, error) {
-	q, err := buildQuery(t, preds)
-	if err != nil {
-		return PlanInfo{}, err
-	}
-	if cols != nil {
-		proj, err := t.projIndices(cols)
-		if err != nil {
-			return PlanInfo{}, err
-		}
-		q.Proj = proj
-	}
-	t.inner.RLock()
-	defer t.inner.RUnlock()
-	plan := exec.ChoosePlan(t.inner, q, t.exactStats())
-	ncols := len(t.inner.Schema().Cols)
-	info := PlanInfo{
-		EstimatedCost: plan.Cost,
-		DecodedCols:   len(q.MaterializeCols(ncols)),
-		TotalCols:     ncols,
-	}
-	switch plan.Method {
-	case exec.MethodTableScan:
-		info.Method = TableScan
-	case exec.MethodSorted:
-		info.Method = SortedIndexScan
-		info.Uses = plan.Index.Name
-	case exec.MethodPipelined:
-		info.Method = PipelinedIndexScan
-		info.Uses = plan.Index.Name
-	case exec.MethodCM:
-		info.Method = CMScan
-		info.Uses = plan.CM.Spec().Name
-	}
-	return info, nil
+	return t.explainSpec(QuerySpec{Table: t.Name(), Preds: preds, Cols: cols})
 }
 
 // exactStats returns the table's shared planner statistics cache,

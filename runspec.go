@@ -1,0 +1,574 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/value"
+)
+
+// This file evaluates QuerySpecs — the one lowering every query surface
+// shares. DB.Exec (single SQL statement), DB.ExecScript (the SelectMany
+// batch path) and the native SelectMany / SelectAggregate / SelectAny
+// APIs all end in runSpec, so a statement cannot behave differently
+// batched vs alone: projection, LIMIT, OR, aggregation and ORDER BY are
+// lowered exactly once.
+
+// AggFunc identifies an aggregate function of a QuerySpec.
+type AggFunc int
+
+// The aggregate functions.
+const (
+	// Count counts rows; with an empty (or "*") column it is COUNT(*).
+	// The engine has no NULLs, so COUNT(col) always equals COUNT(*).
+	Count AggFunc = iota
+	// Sum sums a numeric column (int columns sum exactly in int64).
+	Sum
+	// Avg averages a numeric column. Partial aggregates carry AVG as
+	// sum + count and divide only at the end, so parallel workers merge
+	// exactly (see the README's partial-aggregate merge contract).
+	Avg
+	// Min tracks the smallest value of a column (any kind).
+	Min
+	// Max tracks the largest value of a column (any kind).
+	Max
+)
+
+// String names the function in lowercase SQL form.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	default:
+		return "max"
+	}
+}
+
+// Agg is one aggregate expression of a QuerySpec: Func over column Col.
+// Count with an empty (or "*") Col is COUNT(*).
+type Agg struct {
+	Func AggFunc
+	Col  string
+}
+
+// Name renders the canonical result-column name of the aggregate —
+// "avg(salary)", "count(*)" — the header SelectAggregate returns and
+// the name QuerySpec.OrderBy uses to sort by an aggregate.
+func (a Agg) Name() string {
+	if a.Func == Count && (a.Col == "" || a.Col == "*") {
+		return "count(*)"
+	}
+	return a.Func.String() + "(" + a.Col + ")"
+}
+
+// Order is one ORDER BY key of a QuerySpec: ascending by default, Desc
+// flips it. For plain selects Col names a table column (it need not be
+// projected); for aggregate specs it names an output column — a GroupBy
+// column or a canonical aggregate name (Agg.Name).
+type Order struct {
+	Col  string
+	Desc bool
+}
+
+// SelectAggregate evaluates an aggregate QuerySpec (Aggs, optionally
+// GroupBy, OrderBy, Limit, AnyOf) and returns the result header and
+// rows: the GroupBy columns in order, then the aggregates in order,
+// with groups sorted by group key unless OrderBy says otherwise.
+//
+// Aggregation streams: tuples are filtered on encoded heap bytes,
+// survivors fold into per-chunk partial aggregates (no result-row
+// materialization), and partials merge in fixed chunk order — so
+// results are byte-identical for any Config.Workers, float sums
+// included.
+func (db *DB) SelectAggregate(spec QuerySpec) ([]string, []Row, error) {
+	if !spec.isAggregate() {
+		return nil, nil, fmt.Errorf("repro: SelectAggregate needs Aggs or GroupBy")
+	}
+	rows, err := db.runSpec(spec, db.workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aggHeader(spec), rows, nil
+}
+
+// aggHeader returns an aggregate spec's canonical result header.
+func aggHeader(spec QuerySpec) []string {
+	out := append([]string(nil), spec.GroupBy...)
+	for _, a := range spec.Aggs {
+		out = append(out, a.Name())
+	}
+	return out
+}
+
+// SelectAny streams the rows matching at least one of the disjunct
+// conjunctions to fn — the native form of a WHERE ... OR ... query.
+// Each disjunct's access path is planned independently; when every
+// disjunct can probe an index or CM, their RID sets union (deduplicated
+// at page granularity) into one physical-order heap sweep, otherwise
+// the whole disjunction evaluates as one filtered table scan. Rows
+// arrive in physical order; return false from fn to stop early.
+func (t *Table) SelectAny(fn func(Row) bool, disjuncts ...[]Pred) error {
+	_, err := t.runSelectSpec(QuerySpec{Table: t.Name(), AnyOf: disjuncts}, t.db.workers, fn)
+	return err
+}
+
+// runSpec evaluates one QuerySpec with the given scan fan-out,
+// returning the buffered result rows (projected for plain selects,
+// canonical GroupBy-then-Aggs shape for aggregate specs).
+func (db *DB) runSpec(spec QuerySpec, workers int) ([]Row, error) {
+	tbl := db.Table(spec.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("repro: no table %q", spec.Table)
+	}
+	if spec.isAggregate() {
+		return tbl.runAggSpec(spec, workers)
+	}
+	return tbl.runSelectSpec(spec, workers, nil)
+}
+
+// disjunctQueries lowers the spec's WHERE — Preds AND (AnyOf[0] OR ...)
+// — into disjunctive normal form: one conjunctive exec.Query per
+// disjunct (just Preds when AnyOf is empty).
+func (t *Table) disjunctQueries(spec QuerySpec) ([]exec.Query, error) {
+	if len(spec.AnyOf) == 0 {
+		q, err := buildQuery(t, spec.Preds)
+		if err != nil {
+			return nil, err
+		}
+		return []exec.Query{q}, nil
+	}
+	out := make([]exec.Query, 0, len(spec.AnyOf))
+	for _, alt := range spec.AnyOf {
+		conj := make([]Pred, 0, len(spec.Preds)+len(alt))
+		conj = append(conj, spec.Preds...)
+		conj = append(conj, alt...)
+		q, err := buildQuery(t, conj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// orderKeys resolves ORDER BY columns against the table schema.
+func (t *Table) orderKeys(orderBy []Order) ([]exec.OrderKey, error) {
+	keys := make([]exec.OrderKey, len(orderBy))
+	for i, o := range orderBy {
+		ci, err := t.colIndex(o.Col)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = exec.OrderKey{Col: ci, Desc: o.Desc}
+	}
+	return keys, nil
+}
+
+// runSelectSpec evaluates a non-aggregate spec. When stream is non-nil
+// rows go to it as they emit (early stop on false) and the returned
+// slice is nil; otherwise rows are buffered and returned.
+func (t *Table) runSelectSpec(spec QuerySpec, workers int, stream func(Row) bool) ([]Row, error) {
+	var proj []int
+	if len(spec.Cols) > 0 {
+		var err error
+		proj, err = t.projIndices(spec.Cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	orderKeys, err := t.orderKeys(spec.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	disjuncts, err := t.disjunctQueries(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(disjuncts) > 1 && spec.Via != Auto {
+		return nil, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
+	}
+
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+
+	if len(orderKeys) == 0 {
+		var rows []Row
+		emit := func(_ heap.RID, row value.Row) bool {
+			r := externalProjRow(row, proj)
+			if stream != nil {
+				return stream(r)
+			}
+			rows = append(rows, r)
+			return spec.Limit <= 0 || len(rows) < spec.Limit
+		}
+		if err := t.runDisjuncts(spec.Via, disjuncts, proj, workers, emit); err != nil {
+			return nil, err
+		}
+		return rows, nil
+	}
+
+	// Ordered: materialize the projection plus the order columns and
+	// sort (bounded top-K when a limit is set), then project. Under a
+	// projection the sorter buffers compact rows — the projected columns
+	// followed by any order-only columns — not full-schema-width clones,
+	// so sorted queries keep the memory economics of pushdown.
+	scanProj := proj
+	sortKeys := orderKeys
+	compact := proj // compact row layout: proj columns, then order-only columns
+	if proj != nil {
+		compact = append([]int(nil), proj...)
+		sortKeys = make([]exec.OrderKey, len(orderKeys))
+		for i, k := range orderKeys {
+			pos := -1
+			for j, c := range compact {
+				if c == k.Col {
+					pos = j
+					break
+				}
+			}
+			if pos < 0 {
+				pos = len(compact)
+				compact = append(compact, k.Col)
+			}
+			sortKeys[i] = exec.OrderKey{Col: pos, Desc: k.Desc}
+		}
+		scanProj = compact
+	}
+	sorter := exec.NewSorter(sortKeys, spec.Limit)
+	var compactScratch value.Row
+	if proj != nil {
+		compactScratch = make(value.Row, len(compact))
+	}
+	emit := func(_ heap.RID, row value.Row) bool {
+		if proj == nil {
+			sorter.Add(row)
+			return true
+		}
+		for i, c := range compact {
+			compactScratch[i] = row[c]
+		}
+		sorter.Add(compactScratch) // Sorter clones what it retains
+		return true
+	}
+	if err := t.runDisjuncts(spec.Via, disjuncts, scanProj, workers, emit); err != nil {
+		return nil, err
+	}
+	sorted := sorter.Rows()
+	out := make([]Row, 0, len(sorted))
+	for _, row := range sorted {
+		var r Row
+		if proj == nil {
+			r = externalRow(row)
+		} else {
+			r = make(Row, len(proj))
+			for i := range proj {
+				r[i] = Value{row[i]} // compact layout: projection is the prefix
+			}
+		}
+		if stream != nil {
+			if !stream(r) {
+				break
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runDisjuncts dispatches a (possibly disjunctive) filter scan under an
+// already-held shared latch: the single-conjunction fast path through
+// planFor, or the OR plan (RID-dedup union / filtered-scan fallback).
+func (t *Table) runDisjuncts(via AccessMethod, disjuncts []exec.Query, scanProj []int, workers int, emit exec.RowFunc) error {
+	if len(disjuncts) == 1 {
+		q := disjuncts[0]
+		q.Proj = scanProj
+		plan, err := t.planFor(via, q)
+		if err != nil {
+			return err
+		}
+		return plan.RunParallel(t.inner, q, workers, emit)
+	}
+	oq := exec.OrQuery{Disjuncts: disjuncts, Proj: scanProj}
+	op := exec.ChooseOrPlan(t.inner, oq, t.exactStats())
+	return op.RunParallel(t.inner, oq, workers, emit)
+}
+
+// aggSpecs resolves and validates facade aggregates against the schema.
+func (t *Table) aggSpecs(aggs []Agg) ([]exec.AggSpec, error) {
+	sch := t.inner.Schema()
+	out := make([]exec.AggSpec, len(aggs))
+	for i, a := range aggs {
+		spec := exec.AggSpec{Col: -1}
+		switch a.Func {
+		case Count:
+			spec.Kind = exec.AggCount
+		case Sum:
+			spec.Kind = exec.AggSum
+		case Avg:
+			spec.Kind = exec.AggAvg
+		case Min:
+			spec.Kind = exec.AggMin
+		case Max:
+			spec.Kind = exec.AggMax
+		default:
+			return nil, fmt.Errorf("repro: unknown aggregate function %v", a.Func)
+		}
+		if a.Col == "" || a.Col == "*" {
+			if a.Func != Count {
+				return nil, fmt.Errorf("repro: %s needs a column (only COUNT takes *)", a.Func)
+			}
+		} else {
+			ci, err := t.colIndex(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			if (a.Func == Sum || a.Func == Avg) && sch.Cols[ci].Kind == value.String {
+				return nil, fmt.Errorf("repro: %s does not apply to string column %q", a.Name(), a.Col)
+			}
+			spec.Col = ci
+		}
+		out[i] = spec
+	}
+	return out, nil
+}
+
+// runAggSpec evaluates an aggregate spec: resolve and validate the
+// aggregates and grouping, aggregate through the OR plan's access
+// paths, then order and limit the (small) group rows.
+func (t *Table) runAggSpec(spec QuerySpec, workers int) ([]Row, error) {
+	specs, err := t.aggSpecs(spec.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	groupIdx := make([]int, len(spec.GroupBy))
+	for i, name := range spec.GroupBy {
+		if groupIdx[i], err = t.colIndex(name); err != nil {
+			return nil, err
+		}
+	}
+	disjuncts, err := t.disjunctQueries(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(disjuncts) > 1 && spec.Via != Auto {
+		return nil, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
+	}
+	// ORDER BY resolves against the canonical output header.
+	header := aggHeader(spec)
+	var keys []exec.OrderKey
+	for _, o := range spec.OrderBy {
+		pos := -1
+		for i, name := range header {
+			if name == o.Col {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("repro: ORDER BY %q is neither a GroupBy column nor an aggregate of the spec", o.Col)
+		}
+		keys = append(keys, exec.OrderKey{Col: pos, Desc: o.Desc})
+	}
+
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	oq := exec.OrQuery{Disjuncts: disjuncts}
+	op, err := t.orPlanFor(spec.Via, oq)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.AggregateOr(t.inner, oq, op, workers, specs, groupIdx)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) > 0 {
+		sorter := exec.NewSorter(keys, spec.Limit)
+		for _, r := range rows {
+			sorter.Add(r)
+		}
+		rows = sorter.Rows()
+	} else if spec.Limit > 0 && len(rows) > spec.Limit {
+		rows = rows[:spec.Limit]
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		out[i] = externalRow(r)
+	}
+	return out, nil
+}
+
+// orPlanFor wraps planFor for the aggregation path: the cost model's
+// OR plan under Auto, or a forced single-disjunct plan (a probe method
+// unions its own RIDs, a forced table scan falls back).
+func (t *Table) orPlanFor(via AccessMethod, oq exec.OrQuery) (exec.OrPlan, error) {
+	if via == Auto {
+		return exec.ChooseOrPlan(t.inner, oq, t.exactStats()), nil
+	}
+	p, err := t.planFor(via, oq.Disjuncts[0])
+	if err != nil {
+		return exec.OrPlan{}, err
+	}
+	if p.Method == exec.MethodTableScan {
+		return exec.OrPlan{Union: false, Cost: p.Cost}, nil
+	}
+	return exec.OrPlan{Union: true, Plans: []exec.Plan{p}, Cost: p.Cost}, nil
+}
+
+// ExplainSpec reports the plan a QuerySpec would execute, including the
+// agg / sort / union operator nodes EXPLAIN surfaces, without running
+// it.
+func (db *DB) ExplainSpec(spec QuerySpec) (PlanInfo, error) {
+	tbl := db.Table(spec.Table)
+	if tbl == nil {
+		return PlanInfo{}, fmt.Errorf("repro: no table %q", spec.Table)
+	}
+	return tbl.explainSpec(spec)
+}
+
+// methodOf maps an executor method onto the facade enum.
+func methodOf(p exec.Plan) (AccessMethod, string) {
+	switch p.Method {
+	case exec.MethodSorted:
+		return SortedIndexScan, p.Index.Name
+	case exec.MethodPipelined:
+		return PipelinedIndexScan, p.Index.Name
+	case exec.MethodCM:
+		return CMScan, p.CM.Spec().Name
+	default:
+		return TableScan, ""
+	}
+}
+
+// describePlan renders one disjunct's access path for plan nodes.
+func describePlan(p exec.Plan) string {
+	m, uses := methodOf(p)
+	if uses == "" {
+		return m.String()
+	}
+	return fmt.Sprintf("%s(%s)", m, uses)
+}
+
+// explainSpec computes the PlanInfo for a spec under a shared latch.
+func (t *Table) explainSpec(spec QuerySpec) (PlanInfo, error) {
+	disjuncts, err := t.disjunctQueries(spec)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	if len(disjuncts) > 1 && spec.Via != Auto {
+		return PlanInfo{}, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
+	}
+	sch := t.inner.Schema()
+	ncols := len(sch.Cols)
+
+	// The materialization set mirrors what execution would decode.
+	var scanProj []int
+	if spec.isAggregate() {
+		specs, err := t.aggSpecs(spec.Aggs)
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		scanProj = []int{}
+		for _, sp := range specs {
+			if sp.Col >= 0 {
+				scanProj = append(scanProj, sp.Col)
+			}
+		}
+		for _, name := range spec.GroupBy {
+			ci, err := t.colIndex(name)
+			if err != nil {
+				return PlanInfo{}, err
+			}
+			scanProj = append(scanProj, ci)
+		}
+	} else {
+		if len(spec.Cols) > 0 {
+			if scanProj, err = t.projIndices(spec.Cols); err != nil {
+				return PlanInfo{}, err
+			}
+			keys, err := t.orderKeys(spec.OrderBy)
+			if err != nil {
+				return PlanInfo{}, err
+			}
+			for _, k := range keys {
+				scanProj = append(scanProj, k.Col)
+			}
+		}
+	}
+
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	info := PlanInfo{TotalCols: ncols}
+	if len(disjuncts) == 1 {
+		q := disjuncts[0]
+		q.Proj = scanProj
+		plan, err := t.planFor(spec.Via, q)
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		if spec.Via == Auto {
+			info.EstimatedCost = plan.Cost
+		}
+		info.Method, info.Uses = methodOf(plan)
+		info.DecodedCols = len(q.MaterializeCols(ncols))
+		info.Nodes = []PlanNode{{Kind: "scan", Detail: describePlan(plan)}}
+	} else {
+		oq := exec.OrQuery{Disjuncts: disjuncts, Proj: scanProj}
+		op := exec.ChooseOrPlan(t.inner, oq, t.exactStats())
+		info.EstimatedCost = op.Cost
+		info.DecodedCols = len(oq.MaterializeCols(ncols))
+		if op.Union {
+			parts := make([]string, len(op.Plans))
+			for i, p := range op.Plans {
+				parts[i] = describePlan(p)
+			}
+			info.Method = Auto // no single access path; Nodes[0] is authoritative
+			info.Nodes = []PlanNode{{Kind: "union", Detail: fmt.Sprintf(
+				"%d disjuncts, rid-dedup union: %s", len(op.Plans), strings.Join(parts, " + "))}}
+		} else {
+			info.Method = TableScan
+			info.Nodes = []PlanNode{{Kind: "scan", Detail: fmt.Sprintf(
+				"table-scan (filtered-scan fallback over %d disjuncts)", len(disjuncts))}}
+		}
+	}
+	if spec.isAggregate() {
+		detail := strings.Join(aggNames(spec.Aggs), ", ")
+		if len(spec.GroupBy) > 0 {
+			detail += " group by " + strings.Join(spec.GroupBy, ", ")
+		}
+		info.Nodes = append(info.Nodes, PlanNode{Kind: "agg", Detail: detail})
+	}
+	if len(spec.OrderBy) > 0 {
+		parts := make([]string, len(spec.OrderBy))
+		for i, o := range spec.OrderBy {
+			dir := "asc"
+			if o.Desc {
+				dir = "desc"
+			}
+			parts[i] = o.Col + " " + dir
+		}
+		mode := "full sort"
+		if spec.Limit > 0 {
+			mode = fmt.Sprintf("top-%d heap", spec.Limit)
+		}
+		info.Nodes = append(info.Nodes, PlanNode{Kind: "sort", Detail: strings.Join(parts, ", ") + " (" + mode + ")"})
+	}
+	return info, nil
+}
+
+// aggNames renders canonical aggregate names for plan nodes.
+func aggNames(aggs []Agg) []string {
+	out := make([]string, len(aggs))
+	for i, a := range aggs {
+		out[i] = a.Name()
+	}
+	return out
+}

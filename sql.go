@@ -48,6 +48,7 @@ func (v Value) Kind() Kind {
 // catalogDB adapts DB to the binder's Catalog interface.
 type catalogDB struct{ db *DB }
 
+// TableMeta implements sqlfe.Catalog over the live table map.
 func (c catalogDB) TableMeta(name string) (sqlfe.TableMeta, bool) {
 	t := c.db.Table(name)
 	if t == nil {
@@ -114,7 +115,11 @@ func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
 
 // execSelectBatch binds a run of SELECTs and evaluates them through
 // SelectMany, so they fan out across the worker pool like concurrent
-// clients; LIMIT flows into QuerySpec.Limit and stops scans early.
+// clients. Each statement lowers through specFromBound — the same
+// lowering single-statement execSelect uses — so a batched SELECT
+// (projected or not, aggregate, ordered, OR) behaves exactly like its
+// unbatched twin; LIMIT flows into QuerySpec.Limit and stops plain
+// scans early.
 func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
 	cat := catalogDB{db}
 	bounds := make([]*sqlfe.BoundSelect, len(stmts))
@@ -133,15 +138,8 @@ func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
 			specAt[i] = -1
 			continue
 		}
-		// The SELECT list pushes down into the scan: SelectMany returns
-		// rows already projected, and the executor decodes only the
-		// referenced columns of each surviving tuple.
-		spec := QuerySpec{Table: b.Table, Preds: predsFromBound(b.Where), Cols: b.Cols}
-		if b.Limit > 0 {
-			spec.Limit = b.Limit
-		}
 		specAt[i] = len(specs)
-		specs = append(specs, spec)
+		specs = append(specs, specFromBound(b))
 	}
 	results := db.SelectMany(specs)
 	for i, b := range bounds {
@@ -153,11 +151,92 @@ func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
 			out[i] = ScriptResult{Err: r.Err}
 			continue
 		}
-		out[i] = ScriptResult{Res: &Result{Columns: b.Cols, Rows: r.Rows}}
+		out[i] = ScriptResult{Res: &Result{Columns: b.Cols, Rows: selectShapeRows(b, r.Rows)}}
 	}
 }
 
-// predsFromBound lowers bound conditions to facade predicates.
+// specFromBound lowers a bound SELECT onto the facade QuerySpec — the
+// single lowering shared by Exec, ExecScript batching and EXPLAIN, so
+// the three paths cannot drift. Aggregate results come back in
+// canonical (GroupBy..., Aggs...) shape; selectShapeRows restores the
+// SELECT-list order.
+func specFromBound(b *sqlfe.BoundSelect) QuerySpec {
+	spec := QuerySpec{Table: b.Table}
+	switch len(b.Where) {
+	case 0:
+	case 1:
+		spec.Preds = predsFromBound(b.Where[0])
+	default:
+		spec.AnyOf = make([][]Pred, len(b.Where))
+		for i, conj := range b.Where {
+			spec.AnyOf[i] = predsFromBound(conj)
+		}
+	}
+	if b.IsAggregate() {
+		for _, a := range b.Aggs {
+			spec.Aggs = append(spec.Aggs, Agg{Func: aggFuncFrom(a.Fn), Col: starToEmpty(a)})
+		}
+		spec.GroupBy = b.GroupBy
+	} else {
+		// The SELECT list pushes down into the scan: rows come back
+		// already projected, and the executor decodes only the
+		// referenced columns of each surviving tuple.
+		spec.Cols = b.Cols
+	}
+	for _, o := range b.OrderBy {
+		spec.OrderBy = append(spec.OrderBy, Order{Col: o.Name, Desc: o.Desc})
+	}
+	if b.Limit > 0 {
+		spec.Limit = b.Limit
+	}
+	return spec
+}
+
+// starToEmpty maps a COUNT(*) aggregate to the facade's empty-column
+// form.
+func starToEmpty(a sqlfe.BoundAgg) string {
+	if a.ColIdx < 0 {
+		return ""
+	}
+	return a.Col
+}
+
+// aggFuncFrom maps the front-end aggregate enum onto the facade's.
+func aggFuncFrom(fn sqlfe.AggFn) AggFunc {
+	switch fn {
+	case sqlfe.AggSum:
+		return Sum
+	case sqlfe.AggAvg:
+		return Avg
+	case sqlfe.AggMin:
+		return Min
+	case sqlfe.AggMax:
+		return Max
+	default:
+		return Count
+	}
+}
+
+// selectShapeRows permutes canonical aggregate rows into SELECT-list
+// order via the binder's OutPerm (plain selects pass through: their
+// rows are already projected in list order). Hidden ORDER BY aggregates
+// sit past every OutPerm index and drop out here.
+func selectShapeRows(b *sqlfe.BoundSelect, rows []Row) []Row {
+	if !b.IsAggregate() {
+		return rows
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		pr := make(Row, len(b.OutPerm))
+		for j, p := range b.OutPerm {
+			pr[j] = r[p]
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+// predsFromBound lowers one bound conjunction to facade predicates.
 func predsFromBound(conds []sqlfe.BoundCond) []Pred {
 	out := make([]Pred, len(conds))
 	for i, c := range conds {
@@ -187,24 +266,45 @@ func predsFromBound(conds []sqlfe.BoundCond) []Pred {
 	return out
 }
 
+// conjFromBound extracts the single conjunction of a bound WHERE, for
+// the statement forms (ADVISE, PredsForWhere) that cannot consume a
+// disjunction.
+func conjFromBound(b *sqlfe.BoundSelect) ([]Pred, error) {
+	switch len(b.Where) {
+	case 0:
+		return nil, nil
+	case 1:
+		return predsFromBound(b.Where[0]), nil
+	default:
+		return nil, fmt.Errorf("sql: a conjunctive WHERE is required here (no OR)")
+	}
+}
+
 // PredsForWhere parses a WHERE conjunction (the text after the WHERE
 // keyword) against a table and returns the equivalent native
 // predicates. It bridges the two query surfaces: a SQL-described filter
 // can drive Select, Delete, Explain, Advise or a QuerySpec batch.
+// Disjunctions are rejected — a []Pred is a pure conjunction; OR
+// queries go through QuerySpec.AnyOf or full SQL instead.
 func (db *DB) PredsForWhere(table, where string) ([]Pred, error) {
 	stmt, err := sqlfe.Parse("SELECT * FROM " + table + " WHERE " + where)
 	if err != nil {
 		return nil, err
 	}
 	sel, ok := stmt.(*sqlfe.SelectStmt)
-	if !ok || sel.Table != table || sel.Limit != -1 {
+	if !ok || sel.Table != table || sel.Limit != -1 ||
+		len(sel.GroupBy) > 0 || len(sel.OrderBy) > 0 {
 		return nil, fmt.Errorf("sql: %q is not a WHERE conjunction", where)
 	}
 	b, err := sqlfe.BindSelect(catalogDB{db}, sel)
 	if err != nil {
 		return nil, err
 	}
-	return predsFromBound(b.Where), nil
+	preds, err := conjFromBound(b)
+	if err != nil {
+		return nil, fmt.Errorf("sql: %q is not a WHERE conjunction", where)
+	}
+	return preds, nil
 }
 
 // sqlTable resolves a statement's target table.
@@ -253,19 +353,13 @@ func (db *DB) execSelect(cat sqlfe.Catalog, s *sqlfe.SelectStmt) (*Result, error
 	if b.Limit == 0 {
 		return res, nil
 	}
-	tbl, err := db.sqlTable(b.Table)
+	// One lowering for every SELECT form (projection pushdown,
+	// aggregates, ORDER BY, OR), shared with the ExecScript batch path.
+	rows, err := db.runSpec(specFromBound(b), db.workers)
 	if err != nil {
 		return nil, err
 	}
-	// Projection pushdown: rows arrive already projected onto the SELECT
-	// list and the executor decodes only the referenced columns.
-	err = tbl.selectVia(Auto, tbl.db.workers, b.Proj, func(r Row) bool {
-		res.Rows = append(res.Rows, r)
-		return b.Limit < 0 || len(res.Rows) < b.Limit
-	}, predsFromBound(b.Where))
-	if err != nil {
-		return nil, err
-	}
+	res.Rows = selectShapeRows(b, rows)
 	return res, nil
 }
 
@@ -386,24 +480,40 @@ func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	tbl, err := db.sqlTable(b.Table)
+	info, err := db.ExplainSpec(specFromBound(b))
 	if err != nil {
 		return nil, err
 	}
-	info, err := tbl.ExplainProject(b.Cols, predsFromBound(b.Where)...)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
+	// One row per plan node, bottom-up. The first (access) row keeps the
+	// legacy method/uses/est_cost/decoded_cols shape — a union node puts
+	// "union" in the method column and the per-disjunct plans in uses;
+	// agg/sort rows carry the node kind and its expressions.
+	res := &Result{
 		Columns: []string{"method", "uses", "est_cost", "decoded_cols"},
-		Rows: []Row{{
-			StringVal(info.Method.String()),
-			StringVal(info.Uses),
-			StringVal(info.EstimatedCost.String()),
-			IntVal(int64(info.DecodedCols)),
-		}},
-		Plan: &info,
-	}, nil
+		Plan:    &info,
+	}
+	for i, n := range info.Nodes {
+		if i == 0 {
+			method, uses := info.Method.String(), info.Uses
+			if n.Kind == "union" {
+				method, uses = "union", n.Detail
+			}
+			res.Rows = append(res.Rows, Row{
+				StringVal(method),
+				StringVal(uses),
+				StringVal(info.EstimatedCost.String()),
+				IntVal(int64(info.DecodedCols)),
+			})
+			continue
+		}
+		res.Rows = append(res.Rows, Row{
+			StringVal(n.Kind),
+			StringVal(n.Detail),
+			StringVal(""),
+			IntVal(0),
+		})
+	}
+	return res, nil
 }
 
 func (db *DB) execAdvise(cat sqlfe.Catalog, s *sqlfe.AdviseStmt) (*Result, error) {
@@ -415,7 +525,11 @@ func (db *DB) execAdvise(cat sqlfe.Catalog, s *sqlfe.AdviseStmt) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	recs, err := tbl.Advise(s.MaxSlowdownPct, predsFromBound(b.Where)...)
+	preds, err := conjFromBound(b)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := tbl.Advise(s.MaxSlowdownPct, preds...)
 	if err != nil {
 		return nil, err
 	}
