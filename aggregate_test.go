@@ -403,7 +403,8 @@ func TestExplainOrUnionNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Plan == nil || len(res.Plan.Nodes) != 1 || res.Plan.Nodes[0].Kind != "union" {
+	if res.Plan == nil || len(res.Plan.Nodes) != 2 ||
+		res.Plan.Nodes[0].Kind != "union" || res.Plan.Nodes[1].Kind != "filter" {
 		t.Fatalf("plan nodes = %+v", res.Plan)
 	}
 	detail := res.Plan.Nodes[0].Detail
@@ -469,9 +470,9 @@ func TestExplainOrUnionNodes(t *testing.T) {
 	}
 }
 
-// TestExplainAggSortNodes pins the new EXPLAIN nodes: agg and sort
-// operators appear above the access node, with the heap mode reflecting
-// LIMIT.
+// TestExplainAggSortNodes pins the plan-tree EXPLAIN nodes: the filter,
+// agg, sort and limit operators appear above the access node, with the
+// heap mode reflecting LIMIT.
 func TestExplainAggSortNodes(t *testing.T) {
 	rows := fixtureRows(200)
 	db := sqlFixture(t, rows)
@@ -480,17 +481,21 @@ func TestExplainAggSortNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	nodes := res.Plan.Nodes
-	if len(nodes) != 3 || nodes[0].Kind != "scan" || nodes[1].Kind != "agg" || nodes[2].Kind != "sort" {
+	if len(nodes) != 5 || nodes[0].Kind != "scan" || nodes[1].Kind != "filter" ||
+		nodes[2].Kind != "agg" || nodes[3].Kind != "sort" || nodes[4].Kind != "limit" {
 		t.Fatalf("nodes = %+v", nodes)
 	}
-	if !strings.Contains(nodes[1].Detail, "avg(price)") || !strings.Contains(nodes[1].Detail, "group by city") {
-		t.Errorf("agg node = %q", nodes[1].Detail)
+	if !strings.Contains(nodes[1].Detail, "qty = 7") {
+		t.Errorf("filter node = %q", nodes[1].Detail)
 	}
-	if !strings.Contains(nodes[2].Detail, "avg(price) desc") || !strings.Contains(nodes[2].Detail, "top-3 heap") {
-		t.Errorf("sort node = %q", nodes[2].Detail)
+	if !strings.Contains(nodes[2].Detail, "avg(price)") || !strings.Contains(nodes[2].Detail, "group by city") {
+		t.Errorf("agg node = %q", nodes[2].Detail)
+	}
+	if !strings.Contains(nodes[3].Detail, "avg(price) desc") || !strings.Contains(nodes[3].Detail, "top-3 heap") {
+		t.Errorf("sort node = %q", nodes[3].Detail)
 	}
 	// The SQL rows mirror the nodes: one row per operator.
-	if len(res.Rows) != 3 || res.Rows[1][0].Str() != "agg" || res.Rows[2][0].Str() != "sort" {
+	if len(res.Rows) != 5 || res.Rows[2][0].Str() != "agg" || res.Rows[3][0].Str() != "sort" {
 		t.Errorf("EXPLAIN rows = %+v", res.Rows)
 	}
 	// Aggregation decodes only predicated + aggregated + grouped columns.

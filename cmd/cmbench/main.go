@@ -31,9 +31,10 @@ import (
 )
 
 var lazyJSON = flag.String("json", "BENCH_3.json", "output path for the -exp lazy JSON report")
+var cmaggJSON = flag.String("cmagg-json", "BENCH_5.json", "output path for the -exp cmagg JSON report")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|cmagg|all")
 	scale := flag.Int("scale", 1, "row-count multiplier over the bench defaults")
 	flag.Parse()
 
@@ -199,10 +200,17 @@ func run(exp string, scale int) error {
 		}
 		ran = true
 	}
+	if all || exp == "cmagg" {
+		section("CM aggregation pushdown")
+		if err := runCMAgg(scale, out); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (try %s)", exp,
 			strings.Join([]string{"figure1", "figure2", "figure3", "table3", "tables45",
-				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "all"}, "|"))
+				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "cmagg", "all"}, "|"))
 	}
 	return nil
 }
@@ -450,6 +458,156 @@ func runLazy(scale int, out *os.File) error {
 	}
 	fmt.Fprintf(out, "wrote %s\n", *lazyJSON)
 	return nil
+}
+
+// cmaggVariant is one engine configuration measured by the cmagg
+// experiment.
+type cmaggVariant struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers"`
+	Millis    float64 `json:"ms"`
+	PagesRead uint64  `json:"pages_read"`
+	Result    string  `json:"result"`
+}
+
+// cmaggReport is the BENCH_5.json document: index-only vs heap-sweep
+// aggregation on the paper's AVG workload.
+type cmaggReport struct {
+	Experiment string         `json:"experiment"`
+	Rows       int            `json:"rows"`
+	Query      string         `json:"query"`
+	Variants   []cmaggVariant `json:"variants"`
+}
+
+// runCMAgg measures aggregation pushdown into the CM on the paper's own
+// query shape — AVG over a correlated equality predicate — against the
+// heap-visiting aggregation, from a cold cache so the disk counters
+// show exactly what each plan reads. The index-only plan must read zero
+// pages and return the byte-identical result; both are asserted, so the
+// CI smoke job fails if the pushdown regresses.
+func runCMAgg(scale int, out *os.File) error {
+	rows := 100000 * scale
+
+	build := func(workers int) (*repro.DB, error) {
+		db := repro.Open(repro.Config{Workers: workers, BufferPoolPages: 256})
+		tbl, err := db.CreateTable(repro.TableSpec{
+			Name: "items",
+			Columns: []repro.Column{
+				{Name: "cat", Kind: repro.Int},
+				{Name: "subcat", Kind: repro.Int},
+				{Name: "price", Kind: repro.Int},
+				{Name: "desc", Kind: repro.String},
+			},
+			ClusteredBy: []string{"cat"},
+			BucketPages: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		items := datagen.CorrelatedItems(rows)
+		data := make([]repro.Row, len(items))
+		for i, it := range items {
+			data[i] = repro.Row{
+				repro.IntVal(it.Cat),
+				repro.IntVal(it.Subcat),
+				repro.IntVal(it.Price),
+				repro.StringVal(it.Desc),
+			}
+		}
+		if err := tbl.Load(data); err != nil {
+			return nil, err
+		}
+		if err := tbl.CreateCM("subcat_cm", repro.CMColumn{Name: "subcat"}); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+
+	subcats := datagen.CorrelatedLookup(0, 16)
+	vals := make([]repro.Value, len(subcats))
+	for i, s := range subcats {
+		vals[i] = repro.IntVal(s)
+	}
+	spec := repro.QuerySpec{
+		Table: "items",
+		Preds: []repro.Pred{repro.In("subcat", vals...)},
+		Aggs:  []repro.Agg{{Func: repro.Count}, {Func: repro.Avg, Col: "price"}},
+	}
+
+	report := cmaggReport{Experiment: "cmagg", Rows: rows,
+		Query: "SELECT count(*), avg(price) WHERE subcat IN (16 values)"}
+	fmt.Fprintf(out, "%d rows, index-only cm-agg vs heap-sweep aggregation, cold cache\n", rows)
+	fmt.Fprintf(out, "%-24s %8s %12s %12s\n", "variant", "workers", "ms", "pages read")
+
+	var indexOnlyResult, heapResult string
+	for _, w := range []int{1, 8} {
+		db, err := build(w)
+		if err != nil {
+			return err
+		}
+		measure := func(name string, s repro.QuerySpec) (cmaggVariant, error) {
+			if err := db.ColdCache(); err != nil {
+				return cmaggVariant{}, err
+			}
+			db.ResetStats()
+			start := time.Now()
+			_, rows, err := db.SelectAggregate(s)
+			if err != nil {
+				return cmaggVariant{}, err
+			}
+			wall := time.Since(start)
+			v := cmaggVariant{
+				Name:      name,
+				Workers:   w,
+				Millis:    float64(wall.Microseconds()) / 1000,
+				PagesRead: db.Stats().Reads,
+				Result:    fmt.Sprintf("%v", rows[0]),
+			}
+			fmt.Fprintf(out, "%-24s %8d %12.2f %12d\n", v.Name, v.Workers, v.Millis, v.PagesRead)
+			report.Variants = append(report.Variants, v)
+			return v, nil
+		}
+		cm, err := measure("cm-agg (index-only)", spec)
+		if err != nil {
+			return err
+		}
+		heap, err := measure("table-scan (heap sweep)", withVia(spec, repro.TableScan))
+		if err != nil {
+			return err
+		}
+		// The acceptance assertions: zero pages for the pushdown, pages
+		// for the sweep, identical results.
+		if cm.PagesRead != 0 {
+			return fmt.Errorf("cmagg: index-only plan read %d pages, want 0", cm.PagesRead)
+		}
+		if heap.PagesRead == 0 {
+			return fmt.Errorf("cmagg: heap sweep read 0 pages — counters not engaged")
+		}
+		if cm.Result != heap.Result {
+			return fmt.Errorf("cmagg: results diverge: %s vs %s", cm.Result, heap.Result)
+		}
+		if w == 1 {
+			indexOnlyResult, heapResult = cm.Result, heap.Result
+		} else if cm.Result != indexOnlyResult || heap.Result != heapResult {
+			return fmt.Errorf("cmagg: results vary with workers")
+		}
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*cmaggJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *cmaggJSON)
+	return nil
+}
+
+// withVia copies a spec with a forced access method.
+func withVia(spec repro.QuerySpec, via repro.AccessMethod) repro.QuerySpec {
+	spec.Via = via
+	return spec
 }
 
 // runAgg measures the streaming-aggregation engine on the paper's own

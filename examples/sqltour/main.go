@@ -105,6 +105,9 @@ func aggregationTour(db *repro.DB) {
 		"SELECT city, COUNT(*), AVG(salary) FROM employees GROUP BY city ORDER BY AVG(salary) DESC",
 		"SELECT state, salary FROM employees WHERE city = 'boston' OR salary > 62000 ORDER BY salary DESC LIMIT 3",
 		"SELECT MIN(salary), MAX(salary), SUM(salary) FROM employees WHERE city IN ('boston', 'toledo')",
+		// PR 5: DISTINCT (GROUP BY sugar) and HAVING (post-aggregate filter).
+		"SELECT DISTINCT city FROM employees WHERE salary > 60000",
+		"SELECT city, COUNT(*) FROM employees GROUP BY city HAVING AVG(salary) >= 43500 ORDER BY city",
 	} {
 		fmt.Printf("cm> %s\n", stmt)
 		res, err := db.Exec(stmt)

@@ -34,6 +34,13 @@ type Spec struct {
 	Name      string
 	UCols     []int      // column indexes of the CM attribute(s)
 	Bucketers []Bucketer // one per column; nil entries mean Identity
+	// StatCols lists the table columns whose per-entry aggregate
+	// statistics (sum, min, max) the CM maintains alongside the pair
+	// counts, enabling the cm-agg index-only aggregation path. nil means
+	// no per-column statistics (counts are always kept); the table layer
+	// defaults it to every column when a CM is created through the
+	// engine.
+	StatCols []int
 }
 
 // normalize fills nil bucketers with Identity.
@@ -48,15 +55,43 @@ func (s *Spec) normalize() {
 	}
 }
 
+// EntryStats is the per-(key, clustered-bucket) statistic block of one
+// CM entry: the co-occurrence count (Algorithm 1's reference count) plus
+// optional per-column aggregate carriers over the tuples the entry
+// covers. Count and the sums retract exactly on delete; Min/Max cannot
+// shrink, so a delete that removes a boundary value marks the entry
+// MMDirty and index-only MIN/MAX answers fall back to sweeping it.
+type EntryStats struct {
+	// Count is how many live tuples share this (bucketed key, clustered
+	// bucket) pair — the uint32 reference count of the original layout,
+	// widened.
+	Count int64
+	// SumI / SumF accumulate each stat column's values (int columns in
+	// SumI exactly, float columns in SumF), indexed like Spec.StatCols.
+	SumI []int64
+	SumF []float64
+	// Min / Max track each stat column's extreme values, valid while
+	// Count > 0 and !MMDirty.
+	Min, Max []value.Value
+	// MMDirty reports that a retraction removed a value equal to a
+	// recorded Min or Max, so the extremes may be stale (count and sums
+	// stay exact).
+	MMDirty bool
+}
+
 // CM is a correlation map. Lookups may run concurrently with each other;
 // AddRow/RemoveRow require exclusive access. The engine enforces this
 // with the table latch (readers under RLock, maintenance under Lock), so
 // the CM itself carries no lock.
 type CM struct {
 	spec  Spec
-	m     map[string]map[int32]uint32
+	m     map[string]map[int32]*EntryStats
 	pairs int64
 	size  int64 // serialized-size accounting
+	// statsInvalid marks per-entry statistics as incomplete: a CM
+	// restored from a checkpoint (whose format predates the statistics)
+	// cannot answer aggregates index-only until rebuilt.
+	statsInvalid bool
 }
 
 // entry size accounting: per distinct key 2 (len) + len + 4 (pair count);
@@ -75,7 +110,7 @@ func New(spec Spec) *CM {
 	if len(spec.Bucketers) != len(spec.UCols) {
 		panic("core: spec bucketer count mismatch")
 	}
-	return &CM{spec: spec, m: make(map[string]map[int32]uint32)}
+	return &CM{spec: spec, m: make(map[string]map[int32]*EntryStats)}
 }
 
 // Spec returns the CM's design.
@@ -109,35 +144,70 @@ func (cm *CM) keyForValues(vals []value.Value) []byte {
 }
 
 // AddRow records the co-occurrence of the row's CM attribute with the
-// clustered bucket, incrementing the pair's count (Algorithm 1).
+// clustered bucket, incrementing the pair's count and folding the row's
+// stat-column values into the entry statistics (Algorithm 1, extended).
 func (cm *CM) AddRow(row value.Row, cbucket int32) {
-	cm.add(cm.KeyForRow(row), cbucket)
+	st := cm.entry(cm.KeyForRow(row), cbucket)
+	st.Count++
+	for i, c := range cm.spec.StatCols {
+		v := row[c]
+		switch v.K {
+		case value.Int:
+			st.SumI[i] += v.I
+		case value.Float:
+			st.SumF[i] += v.F
+		}
+		if st.Count == 1 {
+			st.Min[i], st.Max[i] = v, v
+			continue
+		}
+		if v.Compare(st.Min[i]) < 0 {
+			st.Min[i] = v
+		}
+		if v.Compare(st.Max[i]) > 0 {
+			st.Max[i] = v
+		}
+	}
 }
 
-func (cm *CM) add(key []byte, cbucket int32) {
+// entry resolves (creating on first sight) the stats block for a pair.
+func (cm *CM) entry(key []byte, cbucket int32) *EntryStats {
 	set, ok := cm.m[string(key)]
 	if !ok {
-		set = make(map[int32]uint32, 2)
+		set = make(map[int32]*EntryStats, 2)
 		cm.m[string(key)] = set
 		cm.size += keyOverhead + int64(len(key))
 	}
-	if set[cbucket] == 0 {
+	st, ok := set[cbucket]
+	if !ok {
+		nstat := len(cm.spec.StatCols)
+		st = &EntryStats{
+			SumI: make([]int64, nstat),
+			SumF: make([]float64, nstat),
+			Min:  make([]value.Value, nstat),
+			Max:  make([]value.Value, nstat),
+		}
+		set[cbucket] = st
 		cm.pairs++
 		cm.size += pairOverhead
 	}
-	set[cbucket]++
+	return st
 }
 
 // RemoveRow retracts one co-occurrence, deleting the pair when its count
-// reaches zero and the key when its last pair disappears.
+// reaches zero and the key when its last pair disappears. Count and sums
+// retract exactly; removing a value equal to the entry's recorded min or
+// max marks the entry MMDirty (the new extreme cannot be known without a
+// rescan), which index-only MIN/MAX answers treat as impure.
 func (cm *CM) RemoveRow(row value.Row, cbucket int32) error {
 	key := cm.KeyForRow(row)
 	set, ok := cm.m[string(key)]
-	if !ok || set[cbucket] == 0 {
+	if !ok || set[cbucket] == nil || set[cbucket].Count == 0 {
 		return fmt.Errorf("core: remove of unrecorded pair (%x, %d)", key, cbucket)
 	}
-	set[cbucket]--
-	if set[cbucket] == 0 {
+	st := set[cbucket]
+	st.Count--
+	if st.Count == 0 {
 		delete(set, cbucket)
 		cm.pairs--
 		cm.size -= pairOverhead
@@ -145,8 +215,50 @@ func (cm *CM) RemoveRow(row value.Row, cbucket int32) error {
 			delete(cm.m, string(key))
 			cm.size -= keyOverhead + int64(len(key))
 		}
+		return nil
+	}
+	for i, c := range cm.spec.StatCols {
+		v := row[c]
+		switch v.K {
+		case value.Int:
+			st.SumI[i] -= v.I
+		case value.Float:
+			st.SumF[i] -= v.F
+		}
+		if v.Compare(st.Min[i]) == 0 || v.Compare(st.Max[i]) == 0 {
+			st.MMDirty = true
+		}
 	}
 	return nil
+}
+
+// StatsValid reports whether the per-entry aggregate statistics cover
+// every live row — true for CMs built and maintained in this process,
+// false after Deserialize (checkpoints carry only the pair counts).
+func (cm *CM) StatsValid() bool { return !cm.statsInvalid }
+
+// StatsSizeBytes estimates the in-memory footprint of the per-entry
+// aggregate statistics (not counted in SizeBytes, which remains the
+// paper's serialized-CM metric): per pair, the widened count plus sum
+// carriers and min/max value headers for each stat column, plus the
+// string payloads the min/max values of string columns retain. The walk
+// is O(pairs) — CMs are small and memory-resident by design.
+func (cm *CM) StatsSizeBytes() int64 {
+	perPair := int64(8) // widened count
+	for range cm.spec.StatCols {
+		perPair += 8 + 8 + 2*16 // SumI + SumF + two value headers
+	}
+	total := cm.pairs * perPair
+	for _, set := range cm.m {
+		for _, st := range set {
+			for i := range cm.spec.StatCols {
+				if st.Min[i].K == value.String {
+					total += int64(len(st.Min[i].S) + len(st.Max[i].S))
+				}
+			}
+		}
+	}
+	return total
 }
 
 // Lookup returns the clustered buckets co-occurring with the given CM
@@ -214,7 +326,28 @@ func (cm *CM) Walk(fn func(vals []value.Value, buckets map[int32]uint32) bool) e
 		if err != nil {
 			return err
 		}
-		if !fn(vals, set) {
+		counts := make(map[int32]uint32, len(set))
+		for b, st := range set {
+			counts[b] = uint32(st.Count)
+		}
+		if !fn(vals, counts) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// WalkStats visits every key with its encoded form, decoded bucketed
+// values and the per-clustered-bucket statistics blocks. The stats are
+// the CM's live state: callers must not mutate them. Iteration order is
+// unspecified; returning false stops the walk.
+func (cm *CM) WalkStats(fn func(key []byte, vals []value.Value, buckets map[int32]*EntryStats) bool) error {
+	for key, set := range cm.m {
+		vals, err := keyenc.DecodeAll([]byte(key))
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(key), vals, set) {
 			return nil
 		}
 	}
@@ -276,7 +409,7 @@ func (cm *CM) Serialize(w io.Writer) error {
 		sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
 		for _, b := range buckets {
 			binary.LittleEndian.PutUint32(buf[:4], uint32(b))
-			binary.LittleEndian.PutUint32(buf[4:8], set[b])
+			binary.LittleEndian.PutUint32(buf[4:8], uint32(set[b].Count))
 			if _, err := w.Write(buf[:8]); err != nil {
 				return err
 			}
@@ -287,13 +420,17 @@ func (cm *CM) Serialize(w io.Writer) error {
 
 // Deserialize replaces the CM's contents from Serialize's format. The
 // spec is unchanged: callers pair a checkpoint with the CM it came from.
+// Checkpoints carry only the pair counts, so per-entry aggregate
+// statistics are marked invalid afterwards: a recovered CM answers
+// lookups (and index-only COUNTs, which need only the counts) but not
+// SUM/AVG/MIN/MAX pushdown until rebuilt from the heap.
 func (cm *CM) Deserialize(r io.Reader) error {
 	var buf [8]byte
 	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		return err
 	}
 	nk := binary.LittleEndian.Uint32(buf[:4])
-	m := make(map[string]map[int32]uint32, nk)
+	m := make(map[string]map[int32]*EntryStats, nk)
 	var pairs, size int64
 	for i := uint32(0); i < nk; i++ {
 		if _, err := io.ReadFull(r, buf[:2]); err != nil {
@@ -308,12 +445,19 @@ func (cm *CM) Deserialize(r io.Reader) error {
 			return err
 		}
 		np := binary.LittleEndian.Uint32(buf[:4])
-		set := make(map[int32]uint32, np)
+		set := make(map[int32]*EntryStats, np)
+		nstat := len(cm.spec.StatCols)
 		for j := uint32(0); j < np; j++ {
 			if _, err := io.ReadFull(r, buf[:8]); err != nil {
 				return err
 			}
-			set[int32(binary.LittleEndian.Uint32(buf[:4]))] = binary.LittleEndian.Uint32(buf[4:8])
+			set[int32(binary.LittleEndian.Uint32(buf[:4]))] = &EntryStats{
+				Count: int64(binary.LittleEndian.Uint32(buf[4:8])),
+				SumI:  make([]int64, nstat),
+				SumF:  make([]float64, nstat),
+				Min:   make([]value.Value, nstat),
+				Max:   make([]value.Value, nstat),
+			}
 		}
 		m[string(kb)] = set
 		pairs += int64(np)
@@ -322,5 +466,6 @@ func (cm *CM) Deserialize(r io.Reader) error {
 	cm.m = m
 	cm.pairs = pairs
 	cm.size = size
+	cm.statsInvalid = true
 	return nil
 }

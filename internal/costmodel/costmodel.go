@@ -116,3 +116,20 @@ func CMLookup(h Hardware, t TableStats, c CMStats, nLookups int) time.Duration {
 	}
 	return dur(cost)
 }
+
+// CMAggregate predicts the index-only aggregation path (cm-agg): the
+// pure part of the answer folds from memory-resident per-entry
+// statistics — free at this model's granularity, the same treatment
+// CMLookup gives the probe — and each impure clustered bucket costs one
+// clustered-index descent plus a sequential sweep of its pages. A fully
+// pure plan therefore costs zero I/O, the term that makes covered
+// aggregates always beat heap-visiting paths; like every other formula
+// it is capped by the sequential scan cost.
+func CMAggregate(h Hardware, t TableStats, c CMStats, nImpureBuckets int) time.Duration {
+	cost := float64(nImpureBuckets) *
+		(ms(h.SeekCost)*t.BTreeHeight + ms(h.SeqPageCost)*c.PagesPerCBucket)
+	if scan := ms(h.SeqPageCost) * t.Pages(); cost > scan {
+		cost = scan
+	}
+	return dur(cost)
+}

@@ -22,6 +22,7 @@ import (
 var lintedDirs = []string{
 	"../..",     // package repro: the public facade
 	"../exec",   // the execution engine (PR 4's godoc pass)
+	"../plan",   // the physical plan layer (PR 5)
 	"../sql",    // the SQL front-end
 	"../server", // the wire protocol
 	"../value",  // the scalar kernel every layer shares

@@ -209,6 +209,60 @@ func (g *GroupAgg) Add(row value.Row) {
 	}
 }
 
+// Partial is a pre-aggregated input for one aggregate spec of a
+// GroupAgg: Count matching tuples whose spec-column values sum to
+// SumI/SumF with extremes Min/Max (consulted only for AggMin/AggMax
+// specs, where they must be set whenever Count > 0). The cm-agg path
+// folds CM per-entry statistics through these instead of visiting heap
+// tuples.
+type Partial struct {
+	Count int64
+	SumI  int64
+	SumF  float64
+	Min   value.Value
+	Max   value.Value
+}
+
+// FoldPartial merges one pre-aggregated partial per spec into the group
+// identified by groupVals (nil or empty for the global group; values in
+// groupBy order, cloned on first sight like Add). parts must align with
+// the aggregator's specs. Because counts, integer sums and extreme
+// values are exact, folding order does not affect the result, so
+// statistics-fed groups merge byte-identically with tuple-fed ones.
+func (g *GroupAgg) FoldPartial(groupVals value.Row, parts []Partial) {
+	g.keyBuf = g.keyBuf[:0]
+	for _, v := range groupVals {
+		g.keyBuf = keyenc.AppendValue(g.keyBuf, v)
+	}
+	gi := g.group(g.keyBuf)
+	if g.keys[gi] == nil && len(g.groupBy) > 0 {
+		g.keys[gi] = append(value.Row(nil), groupVals...)
+	}
+	cells := g.cells[gi]
+	for i := range g.specs {
+		p := parts[i]
+		if p.Count == 0 {
+			continue
+		}
+		cell := &cells[i]
+		cell.count += p.Count
+		cell.sumI += p.SumI
+		cell.sumF += p.SumF
+		switch g.specs[i].Kind {
+		case AggMin:
+			if !cell.seen || p.Min.Compare(cell.minV) < 0 {
+				cell.minV = p.Min
+			}
+			cell.seen = true
+		case AggMax:
+			if !cell.seen || p.Max.Compare(cell.maxV) > 0 {
+				cell.maxV = p.Max
+			}
+			cell.seen = true
+		}
+	}
+}
+
 // Merge folds another aggregator's partial state into g. Both must have
 // been built with the same specs and grouping columns. o's groups are
 // visited in o's first-seen order, so merging chunk partials in chunk

@@ -1,0 +1,401 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// This file implements aggregation pushdown into the correlation map —
+// the cm-agg access path. The CM's bucket directory already stores one
+// statistics block per (bucketed key, clustered bucket) pair: the
+// Algorithm-1 reference count, extended with per-column sums and
+// min/max (core.EntryStats). A COUNT/SUM/AVG/MIN/MAX query whose
+// predicates and aggregated columns are all covered by one CM therefore
+// folds its answer from the memory-resident directory without touching
+// a single heap page, the way Hermit answers queries from its
+// correlation structure alone.
+//
+// Exactness is decided per entry. An entry is pure — its statistics
+// describe exactly the tuples the query's predicates select — when
+// every predicated CM column is either unbucketed (Identity: the key is
+// the value, so the original predicate evaluates exactly) or the key's
+// bucket lies strictly inside a range predicate (every value the bucket
+// covers satisfies the range). Entries on bucket boundaries, entries of
+// truncation-bucketed point lookups, and entries whose min/max went
+// stale after a delete (EntryStats.MMDirty) are impure: the hybrid plan
+// answers them by sweeping only their clustered buckets, re-filtering
+// tuples with the original predicates and an entry-membership check so
+// statistics-fed and swept tuples never double count.
+//
+// SUM and AVG lower only for integer columns: their statistics sums are
+// exact int64s, so the folded result is byte-identical to the
+// heap-visiting aggregation at any worker count. Float sums would
+// depend on addition order and are left on the heap path.
+
+// CMAggPlan is a planned aggregation pushdown: the statistics-fed
+// partial answer plus the impure remainder to sweep. Build one with
+// PlanCMAgg under the table latch and Run it under the same hold.
+type CMAggPlan struct {
+	// CM is the correlation map answering the aggregate.
+	CM *core.CM
+	// MatchedKeys counts CM keys selected by the predicates.
+	MatchedKeys int
+	// PureEntries and ImpureEntries count the (key, clustered-bucket)
+	// pairs answered from statistics vs marked for the hybrid sweep.
+	PureEntries, ImpureEntries int
+	// ImpureBuckets lists the sorted distinct clustered buckets the
+	// hybrid part must sweep; empty means the answer is fully
+	// index-only.
+	ImpureBuckets []int32
+	// MatchedBuckets counts the distinct clustered buckets across every
+	// matched key — what a plain CM scan of the same predicates would
+	// sweep. ImpureBuckets < MatchedBuckets means the statistics saved
+	// real sweeping.
+	MatchedBuckets int
+	// NeedCols are the columns the hybrid sweep decodes per tuple.
+	NeedCols []int
+
+	specs       []AggSpec
+	groupBy     []int
+	groupKeyPos []int // position within the CM key per groupBy column
+	q           Query
+	stats       *GroupAgg
+	impurePairs map[string]map[int32]bool
+}
+
+// cmKeyPred is one query predicate mapped onto a CM key position, with
+// its bucket-transformed form for truncation-bucketed columns.
+type cmKeyPred struct {
+	orig     Pred // rebased to the key position
+	identity bool
+	trans    Pred // bucket-transformed, inclusive bounds (superset match)
+	lo, hi   *value.Value
+}
+
+// matches reports whether a key's bucketed values can contain tuples
+// satisfying the predicate.
+func (kp *cmKeyPred) matches(vals []value.Value) bool {
+	if kp.identity {
+		return kp.orig.Matches(vals)
+	}
+	return kp.trans.Matches(vals)
+}
+
+// pure reports whether every tuple under a matching key satisfies the
+// predicate exactly: always for identity bucketing, and for range
+// predicates whose transformed bounds the key lies strictly inside
+// (bucket representatives are interval lower bounds, so a key strictly
+// between the boundary buckets covers only in-range values).
+func (kp *cmKeyPred) pure(vals []value.Value) bool {
+	if kp.identity {
+		return true
+	}
+	if kp.orig.Op != OpRange {
+		return false
+	}
+	v := vals[kp.orig.Col]
+	if kp.lo != nil && v.Compare(*kp.lo) <= 0 {
+		return false
+	}
+	if kp.hi != nil && v.Compare(*kp.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// PlanCMAgg decides whether the aggregate query (one conjunction,
+// aggregates over specs grouped by groupBy) lowers onto the CM's
+// per-entry statistics, and if so classifies every entry as pure
+// (folded from statistics) or impure (left for the hybrid sweep). It
+// reports ok=false when any predicate or aggregate escapes the CM's
+// coverage: a predicated or grouped column outside the CM attribute, a
+// non-indexable predicate, SUM/AVG over a non-integer column, a
+// MIN/MAX or SUM column without statistics, or statistics invalidated
+// by checkpoint recovery. Callers must hold the table latch (shared
+// suffices) across PlanCMAgg and Run.
+func PlanCMAgg(t *table.Table, cm *core.CM, q Query, specs []AggSpec, groupBy []int) (*CMAggPlan, bool) {
+	spec := cm.Spec()
+	sch := t.Schema()
+	pos := make(map[int]int, len(spec.UCols)) // table column -> key position
+	for i, c := range spec.UCols {
+		pos[c] = i
+	}
+	statIdx := make(map[int]int, len(spec.StatCols))
+	for i, c := range spec.StatCols {
+		statIdx[c] = i
+	}
+
+	// Aggregates: COUNT needs only the reference counts; everything else
+	// needs valid per-column statistics, and SUM/AVG additionally an
+	// integer column for exact folding.
+	needMM := false
+	aggStat := make([]int, len(specs)) // index into StatCols, -1 for COUNT
+	for i, sp := range specs {
+		aggStat[i] = -1
+		if sp.Kind == AggCount {
+			continue
+		}
+		si, ok := statIdx[sp.Col]
+		if !ok || !cm.StatsValid() {
+			return nil, false
+		}
+		if (sp.Kind == AggSum || sp.Kind == AggAvg) && sch.Cols[sp.Col].Kind != value.Int {
+			return nil, false
+		}
+		if sp.Kind == AggMin || sp.Kind == AggMax {
+			needMM = true
+		}
+		aggStat[i] = si
+	}
+
+	// Grouping columns must be unbucketed CM columns: the key then
+	// carries the exact group values.
+	groupKeyPos := make([]int, len(groupBy))
+	for i, c := range groupBy {
+		kp, ok := pos[c]
+		if !ok {
+			return nil, false
+		}
+		if _, id := spec.Bucketers[kp].(core.Identity); !id {
+			return nil, false
+		}
+		groupKeyPos[i] = kp
+	}
+
+	// Every predicate must be an indexable predicate over a CM column.
+	var kpreds []cmKeyPred
+	for _, p := range q.Preds {
+		kp, ok := pos[p.Col]
+		if !ok || !p.Indexable() {
+			return nil, false
+		}
+		b := spec.Bucketers[kp]
+		_, identity := b.(core.Identity)
+		rebased := p
+		rebased.Col = kp
+		ckp := cmKeyPred{orig: rebased, identity: identity}
+		if !identity {
+			trans := Pred{Col: kp, Op: p.Op}
+			switch p.Op {
+			case OpEq, OpIn:
+				trans.Vals = make([]value.Value, len(p.Vals))
+				for j, v := range p.Vals {
+					trans.Vals[j] = b.Bucket(v)
+				}
+			case OpRange:
+				if p.Lo != nil {
+					lo := b.Bucket(*p.Lo)
+					trans.Lo, ckp.lo = &lo, &lo
+				}
+				if p.Hi != nil {
+					hi := b.Bucket(*p.Hi)
+					trans.Hi, ckp.hi = &hi, &hi
+				}
+			}
+			ckp.trans = trans
+		}
+		kpreds = append(kpreds, ckp)
+	}
+
+	plan := &CMAggPlan{
+		CM:          cm,
+		specs:       specs,
+		groupBy:     groupBy,
+		groupKeyPos: groupKeyPos,
+		q:           q,
+		stats:       NewGroupAgg(sch, specs, groupBy),
+		impurePairs: make(map[string]map[int32]bool),
+	}
+
+	// One walk over the (small, memory-resident) CM: fold pure entries
+	// into the statistics aggregator, set impure ones aside for the
+	// sweep.
+	impureBuckets := make(map[int32]bool)
+	matchedBuckets := make(map[int32]bool)
+	parts := make([]Partial, len(specs))
+	_ = cm.WalkStats(func(key []byte, vals []value.Value, buckets map[int32]*core.EntryStats) bool {
+		pure := true
+		for i := range kpreds {
+			if !kpreds[i].matches(vals) {
+				return true
+			}
+			if !kpreds[i].pure(vals) {
+				pure = false
+			}
+		}
+		plan.MatchedKeys++
+		var groupVals value.Row
+		if pure && len(groupBy) > 0 {
+			groupVals = make(value.Row, len(groupBy))
+			for i, kp := range groupKeyPos {
+				groupVals[i] = vals[kp]
+			}
+		}
+		for cb, st := range buckets {
+			matchedBuckets[cb] = true
+			if !pure || (needMM && st.MMDirty) {
+				plan.ImpureEntries++
+				set, ok := plan.impurePairs[string(key)]
+				if !ok {
+					set = make(map[int32]bool, 2)
+					plan.impurePairs[string(key)] = set
+				}
+				set[cb] = true
+				impureBuckets[cb] = true
+				continue
+			}
+			plan.PureEntries++
+			for i := range specs {
+				p := Partial{Count: st.Count}
+				if si := aggStat[i]; si >= 0 {
+					p.SumI = st.SumI[si]
+					p.SumF = st.SumF[si]
+					p.Min = st.Min[si]
+					p.Max = st.Max[si]
+				}
+				parts[i] = p
+			}
+			plan.stats.FoldPartial(groupVals, parts)
+		}
+		return true
+	})
+	for cb := range impureBuckets {
+		plan.ImpureBuckets = append(plan.ImpureBuckets, cb)
+	}
+	sort.Slice(plan.ImpureBuckets, func(i, j int) bool {
+		return plan.ImpureBuckets[i] < plan.ImpureBuckets[j]
+	})
+	plan.MatchedBuckets = len(matchedBuckets)
+
+	// The hybrid sweep decodes predicated + CM + clustered + aggregated
+	// + grouped columns to re-filter and re-fold impure tuples.
+	need := Query{Proj: []int{}}
+	need.Preds = q.Preds
+	cols := append([]int(nil), spec.UCols...)
+	cols = append(cols, t.ClusteredCols()...)
+	cols = append(cols, groupBy...)
+	for _, sp := range specs {
+		if sp.Col >= 0 {
+			cols = append(cols, sp.Col)
+		}
+	}
+	need.Proj = cols
+	plan.NeedCols = need.MaterializeCols(len(sch.Cols))
+	return plan, true
+}
+
+// Run executes the cm-agg plan: the statistics-fed partial merges first,
+// then per-chunk partials from the impure-bucket sweep merge in fixed
+// chunk order — exact counts, integer sums and extreme values make the
+// result byte-identical to the heap-visiting aggregation for any worker
+// count. The returned rows are in canonical GroupAgg.Rows shape.
+func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
+	sch := t.Schema()
+	final := NewGroupAgg(sch, p.specs, p.groupBy)
+	final.Merge(p.stats)
+	if len(p.ImpureBuckets) == 0 {
+		return final.Rows(), nil
+	}
+
+	// Collect the RIDs of the impure clustered buckets and sweep their
+	// pages, folding tuples that (a) satisfy the original predicates and
+	// (b) belong to an impure entry — pure entries' tuples are already
+	// in the statistics partial.
+	rids, err := cmBucketRIDs(t, p.ImpureBuckets, workers)
+	if err != nil {
+		return nil, err
+	}
+	pages := pagesOf(rids)
+	// Like every other access path, the sweep filters on encoded bytes
+	// first (the PR 3 contract: zero work per rejected tuple); only
+	// survivors decode, for the entry-membership check and the fold.
+	filter := CompileFilter(sch, p.q)
+	nchunks := (len(pages) + aggChunkPages - 1) / aggChunkPages
+	chunks := chunkSlices(len(pages), nchunks)
+	partials := make([]*GroupAgg, len(chunks))
+	err = runTasks(workers, len(chunks), func(i int) error {
+		ga := NewGroupAgg(sch, p.specs, p.groupBy)
+		scratch := make(value.Row, len(sch.Cols))
+		sub := pages[chunks[i][0]:chunks[i][1]]
+		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
+			var innerErr error
+			err := t.Heap().ScanPages(lo, hi, func(_ heap.RID, tuple []byte) bool {
+				ok, err := filter.Matches(tuple)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+				if err := sch.DecodeCols(scratch, tuple, p.NeedCols); err != nil {
+					innerErr = err
+					return false
+				}
+				set := p.impurePairs[string(p.CM.KeyForRow(scratch))]
+				if set == nil || !set[t.ClusterBucketFor(scratch)] {
+					return true
+				}
+				ga.Add(scratch)
+				return true
+			})
+			if innerErr != nil {
+				return false, innerErr
+			}
+			return err == nil, err
+		})
+		partials[i] = ga
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range partials {
+		final.Merge(part)
+	}
+	return final.Rows(), nil
+}
+
+// cmBucketRIDs collects the clustered-index RIDs of the given sorted
+// clustered buckets, fanning contiguous bucket runs across the worker
+// pool like parallelCMRIDs.
+func cmBucketRIDs(t *table.Table, buckets []int32, workers int) ([]heap.RID, error) {
+	runs := bucketRuns(buckets)
+	dir := t.Buckets()
+	ridLists := make([][]heap.RID, len(runs))
+	err := runTasks(workers, len(runs), func(i int) error {
+		lo := dir.LowerBound(runs[i][0])
+		hiExcl, _ := dir.UpperBound(runs[i][1]) // nil means scan to the end
+		var rids []heap.RID
+		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		ridLists[i] = rids
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rids []heap.RID
+	for _, l := range ridLists {
+		rids = append(rids, l...)
+	}
+	return rids, nil
+}
+
+// Describe renders the plan for EXPLAIN: the CM, how much of the answer
+// comes from statistics, and what the hybrid part sweeps.
+func (p *CMAggPlan) Describe() string {
+	if len(p.ImpureBuckets) == 0 {
+		return fmt.Sprintf("cm-agg(%s): %d keys, %d entries from bucket statistics, index-only",
+			p.CM.Spec().Name, p.MatchedKeys, p.PureEntries)
+	}
+	return fmt.Sprintf("cm-agg(%s): %d entries from bucket statistics + hybrid sweep of %d impure buckets (%d entries)",
+		p.CM.Spec().Name, p.PureEntries, len(p.ImpureBuckets), p.ImpureEntries)
+}

@@ -1,0 +1,188 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// fixture builds a small correlated table with an identity CM on col 1
+// (u) and no secondary index, directly on the internal layers.
+func fixture(t *testing.T) *table.Table {
+	t.Helper()
+	disk := sim.NewDisk(sim.Config{})
+	pool := buffer.NewPool(disk, 1024)
+	sch := table.NewSchema(
+		table.Column{Name: "c", Kind: value.Int},
+		table.Column{Name: "u", Kind: value.Int},
+		table.Column{Name: "v", Kind: value.Int},
+	)
+	tbl, err := table.New(pool, nil, table.Config{Name: "t", Schema: sch, ClusteredCols: []int{0}, BucketTuples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]value.Row, 400)
+	for i := range rows {
+		c := int64(i / 4)
+		rows[i] = value.Row{value.NewInt(c), value.NewInt(c / 2), value.NewInt(int64(i % 7))}
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateCM(core.Spec{Name: "cm_u", UCols: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// kinds flattens a compiled tree's node kinds bottom-up.
+func kinds(tr *Tree) []string {
+	info := tr.Explain()
+	out := make([]string, len(info.Nodes))
+	for i, n := range info.Nodes {
+		out[i] = n.Kind
+	}
+	return out
+}
+
+// TestBuildOptimizeShapes pins the operator chains the pipeline builds
+// for representative specs.
+func TestBuildOptimizeShapes(t *testing.T) {
+	tbl := fixture(t)
+	sp := exec.NewExactStats()
+	eqU := exec.NewQuery(exec.Eq(1, value.NewInt(10)))
+
+	cases := []struct {
+		name string
+		spec Spec
+		want []string
+	}{
+		{"bare scan", Spec{}, []string{"scan"}},
+		{"filtered", Spec{Disjuncts: []exec.Query{eqU}}, []string{"scan", "filter"}},
+		{"projected", Spec{Disjuncts: []exec.Query{eqU}, Proj: []int{2}},
+			[]string{"scan", "filter", "project"}},
+		{"sorted limited", Spec{Disjuncts: []exec.Query{eqU}, Proj: []int{2},
+			OrderBy: []Order{{Col: 2}}, Limit: 3},
+			[]string{"scan", "filter", "project", "sort", "limit"}},
+		// At this scale summed probe costs exceed the (tiny) scan cost,
+		// so the OR plans as the filtered-scan fallback; the union shape
+		// is pinned at the facade level (TestExplainOrUnionNodes).
+		{"or fallback", Spec{Disjuncts: []exec.Query{eqU, exec.NewQuery(exec.Eq(1, value.NewInt(20)))}},
+			[]string{"scan", "filter"}},
+		{"heap agg", Spec{Disjuncts: []exec.Query{eqU},
+			Aggs: []exec.AggSpec{{Kind: exec.AggSum, Col: 2}}, GroupBy: []int{2}},
+			[]string{"scan", "filter", "agg"}},
+		{"cm agg", Spec{Disjuncts: []exec.Query{eqU},
+			Aggs: []exec.AggSpec{{Kind: exec.AggCount, Col: -1}, {Kind: exec.AggAvg, Col: 1}}},
+			[]string{"cm-agg"}},
+		{"cm agg having sort", Spec{
+			Aggs: []exec.AggSpec{{Kind: exec.AggCount, Col: -1}}, GroupBy: []int{1},
+			Having:  []exec.Pred{exec.Gt(1, value.NewInt(2))},
+			OrderBy: []Order{{Col: 1, Desc: true}}},
+			[]string{"cm-agg", "having", "sort"}},
+	}
+	for _, c := range cases {
+		tr, err := Compile(tbl, c.spec, sp)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := kinds(tr)
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("%s: kinds = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPipelineContract pins the Build → Optimize → Run discipline and
+// the error surface: running before optimizing fails, forced methods
+// without structures fail, OR with a forced method fails at Build.
+func TestPipelineContract(t *testing.T) {
+	tbl := fixture(t)
+	sp := exec.NewExactStats()
+	eqU := exec.NewQuery(exec.Eq(1, value.NewInt(10)))
+
+	tr, err := Build(tbl, Spec{Disjuncts: []exec.Query{eqU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(1, func(value.Row) bool { return true }); err == nil {
+		t.Error("Run before Optimize succeeded")
+	}
+	if err := tr.Optimize(sp); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tr.Rows(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // u = 10 covers c in {20, 21}, 4 tuples each
+		t.Errorf("Rows = %d, want 8", len(rows))
+	}
+
+	if _, err := Build(tbl, Spec{Force: ForceCM,
+		Disjuncts: []exec.Query{eqU, eqU}}); err == nil {
+		t.Error("OR with forced method accepted")
+	}
+	if _, err := Compile(tbl, Spec{Force: ForceSorted, Disjuncts: []exec.Query{eqU}}, sp); err == nil {
+		t.Error("forced index scan without an index accepted")
+	}
+	if _, err := Build(tbl, Spec{Disjuncts: []exec.Query{eqU},
+		Having: []exec.Pred{exec.Gt(0, value.NewInt(1))}}); err == nil {
+		t.Error("HAVING on a plain select accepted")
+	}
+}
+
+// TestCMAggMatchesHeap cross-checks the two aggregate executors inside
+// the plan layer: the cm-agg tree and a forced table-scan tree must
+// produce identical rows, and the cm-agg tree must report index-only
+// decode (0 columns).
+func TestCMAggMatchesHeap(t *testing.T) {
+	tbl := fixture(t)
+	sp := exec.NewExactStats()
+	spec := Spec{
+		Disjuncts: []exec.Query{exec.NewQuery(exec.Between(1, value.NewInt(5), value.NewInt(20)))},
+		Aggs: []exec.AggSpec{{Kind: exec.AggCount, Col: -1}, {Kind: exec.AggSum, Col: 2},
+			{Kind: exec.AggMin, Col: 2}, {Kind: exec.AggMax, Col: 2}},
+		GroupBy: []int{1},
+	}
+	cmTree, err := Compile(tbl, spec, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds(cmTree)[0] != "cm-agg" {
+		t.Fatalf("expected cm-agg, got %v", kinds(cmTree))
+	}
+	if cmTree.Explain().DecodedCols != 0 {
+		t.Errorf("cm-agg decoded cols = %d, want 0", cmTree.Explain().DecodedCols)
+	}
+	forced := spec
+	forced.Force = ForceTableScan
+	heapTree, err := Compile(tbl, forced, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cmTree.Rows(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := heapTree.Rows(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cm-agg %d rows, heap %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j].String() != want[i][j].String() {
+				t.Errorf("row %d col %d: %v vs %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

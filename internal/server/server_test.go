@@ -427,13 +427,15 @@ func TestServerPaperAggregateWorkload(t *testing.T) {
 		}
 	}
 
-	// EXPLAIN over the wire surfaces the agg and sort plan nodes.
+	// EXPLAIN over the wire surfaces the plan tree: the paper's grouped
+	// AVG is fully covered by the city CM, so the access row is the
+	// index-only cm-agg node with sort and limit above it.
 	resp = mustOK(t, c.roundTrip(t, "EXPLAIN "+stmt))
 	kinds := make([]string, 0, len(resp.Results[0].Rows))
 	for _, row := range resp.Results[0].Rows {
 		kinds = append(kinds, row[0].(string))
 	}
-	if len(kinds) != 3 || kinds[1] != "agg" || kinds[2] != "sort" {
+	if len(kinds) != 3 || kinds[0] != "cm-agg" || kinds[1] != "sort" || kinds[2] != "limit" {
 		t.Errorf("EXPLAIN node rows = %v", kinds)
 	}
 }

@@ -144,17 +144,32 @@ type OrderItem struct {
 	Desc bool
 }
 
-// SelectStmt is SELECT exprs FROM table [WHERE expr] [GROUP BY cols]
-// [ORDER BY items] [LIMIT n]. Where is held in disjunctive normal form:
-// an OR of conjunctions, already distributed by the parser (nil means
-// no WHERE clause; a plain conjunction is one disjunct).
+// HavingCond is one conjunct of a HAVING clause: a select expression
+// (a grouped column or an aggregate call, which need not appear in the
+// SELECT list) compared against literals. Argument arity follows Cond:
+// two for BETWEEN, one or more for IN, one otherwise.
+type HavingCond struct {
+	Expr SelExpr
+	Op   CondOp
+	Args []Lit
+}
+
+// SelectStmt is SELECT [DISTINCT] exprs FROM table [WHERE expr]
+// [GROUP BY cols] [HAVING conds] [ORDER BY items] [LIMIT n]. Where is
+// held in disjunctive normal form: an OR of conjunctions, already
+// distributed by the parser (nil means no WHERE clause; a plain
+// conjunction is one disjunct). DISTINCT is sugar the binder rewrites
+// into GROUP BY over the projected columns; HAVING is a conjunction
+// filtering aggregate output rows.
 type SelectStmt struct {
-	Exprs   []SelExpr // nil means *
-	Table   string
-	Where   [][]Cond
-	GroupBy []string
-	OrderBy []OrderItem
-	Limit   int // -1 means no LIMIT clause
+	Exprs    []SelExpr // nil means *
+	Distinct bool
+	Table    string
+	Where    [][]Cond
+	GroupBy  []string
+	Having   []HavingCond
+	OrderBy  []OrderItem
+	Limit    int // -1 means no LIMIT clause
 }
 
 func (*SelectStmt) stmt() {}

@@ -77,6 +77,18 @@ type BoundOrder struct {
 	Desc bool
 }
 
+// BoundHaving is one resolved HAVING conjunct: the output column it
+// filters on (a GROUP BY column name or canonical aggregate name —
+// aggregates the SELECT list omits are computed as hidden trailing
+// entries, like ORDER BY keys) with literals coerced to that output's
+// kind (COUNT and integer SUM are Int, AVG is Float, MIN/MAX and
+// grouped columns follow the column).
+type BoundHaving struct {
+	Name string
+	Op   CondOp
+	Vals []value.Value
+}
+
 // BoundSelect is a SELECT resolved against the catalog.
 //
 // Aggregate selects (Aggs or GroupBy non-empty) evaluate in canonical
@@ -94,6 +106,7 @@ type BoundSelect struct {
 	Aggs       []BoundAgg
 	GroupBy    []string // resolved GROUP BY column names
 	GroupByIdx []int
+	Having     []BoundHaving
 	OrderBy    []BoundOrder
 	OutPerm    []int // aggregate selects: SELECT position -> canonical position
 }
@@ -211,8 +224,36 @@ func BindSelect(cat Catalog, sel *SelectStmt) (*BoundSelect, error) {
 			hasAgg = true
 		}
 	}
+	if sel.Distinct {
+		// DISTINCT is sugar for GROUP BY over the projected columns: the
+		// binder rewrites it here and the grouped executor (which already
+		// returns one row per distinct key, sorted) does the rest.
+		if hasAgg {
+			return nil, fmt.Errorf("sql: DISTINCT does not combine with aggregates (they already collapse rows)")
+		}
+		if len(sel.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: DISTINCT with GROUP BY is redundant; use one or the other")
+		}
+		ds := *sel
+		if ds.Exprs == nil {
+			for _, c := range tm.Cols {
+				ds.Exprs = append(ds.Exprs, SelExpr{Col: c.Name})
+			}
+		}
+		seen := map[string]bool{}
+		for _, e := range ds.Exprs {
+			if !seen[e.Col] {
+				seen[e.Col] = true
+				ds.GroupBy = append(ds.GroupBy, e.Col)
+			}
+		}
+		return bindAggSelect(tm, &ds, b)
+	}
 	if hasAgg || len(sel.GroupBy) > 0 {
 		return bindAggSelect(tm, sel, b)
+	}
+	if len(sel.Having) > 0 {
+		return nil, fmt.Errorf("sql: HAVING needs aggregates or GROUP BY")
 	}
 
 	if sel.Exprs == nil {
@@ -309,6 +350,39 @@ func bindAggSelect(tm TableMeta, sel *SelectStmt, b *BoundSelect) (*BoundSelect,
 		b.Cols = append(b.Cols, e.Name())
 	}
 
+	// HAVING conjuncts resolve like ORDER BY keys: grouped columns by
+	// name, aggregates by canonical name (computed as hidden trailing
+	// aggregates when the SELECT list omits them), with literals coerced
+	// to the referenced output's kind.
+	for _, hc := range sel.Having {
+		var kind value.Kind
+		if hc.Expr.Fn == AggNone {
+			if _, ok := grouped[hc.Expr.Col]; !ok {
+				return nil, fmt.Errorf("sql: HAVING %q: not a GROUP BY column of this aggregate query", hc.Expr.Col)
+			}
+			kind = tm.Cols[tm.colIndex(hc.Expr.Col)].Kind
+		} else {
+			if _, err := bindAgg(hc.Expr); err != nil {
+				return nil, err
+			}
+			kind = aggOutputKind(tm, hc.Expr)
+		}
+		name := hc.Expr.Name()
+		bh := BoundHaving{Name: name, Op: hc.Op}
+		for _, a := range hc.Args {
+			v, err := bindLit(a, kind, name)
+			if err != nil {
+				return nil, err
+			}
+			bh.Vals = append(bh.Vals, v)
+		}
+		if hc.Op == CondBetween && bh.Vals[0].Compare(bh.Vals[1]) > 0 {
+			return nil, fmt.Errorf("sql: HAVING BETWEEN bounds on %q are inverted (%s > %s)",
+				name, hc.Args[0], hc.Args[1])
+		}
+		b.Having = append(b.Having, bh)
+	}
+
 	for _, o := range sel.OrderBy {
 		if o.Expr.Fn == AggNone {
 			if _, ok := grouped[o.Expr.Col]; !ok {
@@ -326,6 +400,22 @@ func bindAggSelect(tm TableMeta, sel *SelectStmt, b *BoundSelect) (*BoundSelect,
 		b.OrderBy = append(b.OrderBy, BoundOrder{Name: o.Expr.Name(), Desc: o.Desc})
 	}
 	return b, nil
+}
+
+// aggOutputKind is the result kind of an aggregate expression: COUNT is
+// Int, AVG is Float, SUM/MIN/MAX follow their column.
+func aggOutputKind(tm TableMeta, e SelExpr) value.Kind {
+	switch e.Fn {
+	case AggCount:
+		return value.Int
+	case AggAvg:
+		return value.Float
+	default:
+		if e.Star {
+			return value.Int
+		}
+		return tm.Cols[tm.colIndex(e.Col)].Kind
+	}
 }
 
 // BindInsert resolves an INSERT statement, reordering named-column rows

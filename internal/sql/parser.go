@@ -12,13 +12,17 @@ import (
 //	script      := statement (';' statement)* [';']
 //	statement   := select | insert | delete | create | explain
 //	             | advise | show | commit
-//	select      := SELECT exprs FROM ident [WHERE orexpr]
+//	select      := SELECT [DISTINCT] exprs FROM ident [WHERE orexpr]
 //	               [GROUP BY ident (',' ident)*]
+//	               [HAVING havingcond (AND havingcond)*]
 //	               [ORDER BY selexpr [ASC|DESC] (',' selexpr [ASC|DESC])*]
 //	               [LIMIT int]
 //	exprs       := '*' | selexpr (',' selexpr)*
 //	selexpr     := ident | aggfn '(' (ident | '*') ')'
 //	aggfn       := COUNT | SUM | AVG | MIN | MAX
+//	havingcond  := selexpr op literal
+//	             | selexpr BETWEEN literal AND literal
+//	             | selexpr IN '(' literal (',' literal)* ')'
 //	orexpr      := andexpr (OR andexpr)*
 //	andexpr     := factor (AND factor)*
 //	factor      := '(' orexpr ')' | cond
@@ -266,6 +270,17 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		return nil, err
 	}
 	sel := &SelectStmt{Limit: -1}
+	// DISTINCT is a keyword only where the select list can follow it —
+	// a column named "distinct" still works as `SELECT distinct FROM t`
+	// or `SELECT distinct, qty FROM t`.
+	if p.kw("distinct") {
+		nxt := p.toks[p.pos+1]
+		if nxt.Kind == TokStar ||
+			(nxt.Kind == TokIdent && !strings.EqualFold(nxt.Text, "from")) {
+			p.next()
+			sel.Distinct = true
+		}
+	}
 	if p.peek().Kind == TokStar {
 		p.next()
 	} else {
@@ -309,6 +324,18 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 				break
 			}
 			p.next()
+		}
+	}
+	if p.acceptKw("having") {
+		for {
+			hc, err := p.havingCond()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = append(sel.Having, hc)
+			if !p.acceptKw("and") {
+				break
+			}
 		}
 	}
 	if p.acceptKw("order") {
@@ -487,47 +514,72 @@ func (p *parser) conjunction() ([]Cond, error) {
 	}
 }
 
+// havingCond parses one HAVING conjunct: a select expression (plain
+// column or aggregate call) followed by the same operator tail a WHERE
+// condition takes.
+func (p *parser) havingCond() (HavingCond, error) {
+	e, err := p.selExpr()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	op, args, err := p.condTail(e.Name())
+	if err != nil {
+		return HavingCond{}, err
+	}
+	return HavingCond{Expr: e, Op: op, Args: args}, nil
+}
+
 func (p *parser) cond() (Cond, error) {
 	col, err := p.ident()
 	if err != nil {
 		return Cond{}, err
 	}
+	op, args, err := p.condTail(col)
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Col: col, Op: op, Args: args}, nil
+}
+
+// condTail parses the operator-and-arguments tail of a condition whose
+// left side (named subject, for error messages) was already consumed.
+func (p *parser) condTail(subject string) (CondOp, []Lit, error) {
 	switch t := p.peek(); {
 	case t.Kind == TokEq, t.Kind == TokNe, t.Kind == TokLt, t.Kind == TokLe, t.Kind == TokGt, t.Kind == TokGe:
 		p.next()
 		lit, err := p.literal()
 		if err != nil {
-			return Cond{}, err
+			return 0, nil, err
 		}
 		op := map[TokenKind]CondOp{
 			TokEq: CondEq, TokNe: CondNe, TokLt: CondLt,
 			TokLe: CondLe, TokGt: CondGt, TokGe: CondGe,
 		}[t.Kind]
-		return Cond{Col: col, Op: op, Args: []Lit{lit}}, nil
+		return op, []Lit{lit}, nil
 	case p.kw("between"):
 		p.next()
 		lo, err := p.literal()
 		if err != nil {
-			return Cond{}, err
+			return 0, nil, err
 		}
 		if err := p.expectKw("and"); err != nil {
-			return Cond{}, err
+			return 0, nil, err
 		}
 		hi, err := p.literal()
 		if err != nil {
-			return Cond{}, err
+			return 0, nil, err
 		}
-		return Cond{Col: col, Op: CondBetween, Args: []Lit{lo, hi}}, nil
+		return CondBetween, []Lit{lo, hi}, nil
 	case p.kw("in"):
 		p.next()
 		if _, err := p.expect(TokLParen); err != nil {
-			return Cond{}, err
+			return 0, nil, err
 		}
 		var args []Lit
 		for {
 			lit, err := p.literal()
 			if err != nil {
-				return Cond{}, err
+				return 0, nil, err
 			}
 			args = append(args, lit)
 			if p.peek().Kind != TokComma {
@@ -536,11 +588,11 @@ func (p *parser) cond() (Cond, error) {
 			p.next()
 		}
 		if _, err := p.expect(TokRParen); err != nil {
-			return Cond{}, err
+			return 0, nil, err
 		}
-		return Cond{Col: col, Op: CondIn, Args: args}, nil
+		return CondIn, args, nil
 	default:
-		return Cond{}, p.errf("expected comparison operator, BETWEEN or IN after column %q", col)
+		return 0, nil, p.errf("expected comparison operator, BETWEEN or IN after %q", subject)
 	}
 }
 

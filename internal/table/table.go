@@ -244,11 +244,17 @@ func (t *Table) CreateIndex(name string, cols []int) (*Index, error) {
 
 // CreateCM builds a correlation map per Algorithm 1: one scan recording
 // the co-occurrence of each (bucketed) CM key with its clustered bucket.
+// When the spec does not name stat columns, every table column's
+// per-entry aggregate statistics are maintained, so covered aggregates
+// can later answer index-only (the cm-agg path).
 func (t *Table) CreateCM(spec core.Spec) (*core.CM, error) {
 	for _, c := range spec.UCols {
 		if c < 0 || c >= len(t.cfg.Schema.Cols) {
 			return nil, fmt.Errorf("table %s: CM column %d out of range", t.cfg.Name, c)
 		}
+	}
+	if spec.StatCols == nil {
+		spec.StatCols = t.allCols()
 	}
 	cm := core.New(spec)
 	var err error
@@ -264,6 +270,16 @@ func (t *Table) CreateCM(spec core.Spec) (*core.CM, error) {
 	}
 	t.cms = append(t.cms, cm)
 	return cm, nil
+}
+
+// allCols lists every column position, the default stat-column set for
+// CMs created through the engine.
+func (t *Table) allCols() []int {
+	out := make([]int, len(t.cfg.Schema.Cols))
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // Indexes returns the secondary indexes.
@@ -409,6 +425,9 @@ func (t *Table) Commit() error {
 func (t *Table) RecoverCM(spec core.Spec, checkpoint io.Reader, fromLSN int64) (*core.CM, error) {
 	if t.log == nil {
 		return nil, fmt.Errorf("table %s: no WAL to recover from", t.cfg.Name)
+	}
+	if spec.StatCols == nil {
+		spec.StatCols = t.allCols()
 	}
 	cm := core.New(spec)
 	if checkpoint != nil {

@@ -10,7 +10,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/heap"
-	"repro/internal/table"
 	"repro/internal/value"
 )
 
@@ -136,7 +135,8 @@ func (t *Table) Select(fn func(Row) bool, preds ...Pred) error {
 // PipelinedIndexScan and CMScan use the first applicable index or CM
 // (one whose leading column — any column, for CMs — is predicated).
 func (t *Table) SelectVia(method AccessMethod, fn func(Row) bool, preds ...Pred) error {
-	return t.selectVia(method, t.db.workers, nil, fn, preds)
+	return t.runTree(QuerySpec{Table: t.Name(), Via: method, Preds: preds}, t.db.workers,
+		func(r value.Row) bool { return fn(externalRow(r)) })
 }
 
 // SelectProject is Select with projection pushdown: only the named
@@ -150,11 +150,8 @@ func (t *Table) SelectProject(cols []string, fn func(Row) bool, preds ...Pred) e
 
 // SelectProjectVia is SelectProject with an explicit access method.
 func (t *Table) SelectProjectVia(method AccessMethod, cols []string, fn func(Row) bool, preds ...Pred) error {
-	proj, err := t.projIndices(cols)
-	if err != nil {
-		return err
-	}
-	return t.selectVia(method, t.db.workers, proj, fn, preds)
+	return t.runTree(QuerySpec{Table: t.Name(), Via: method, Preds: preds, Cols: cols}, t.db.workers,
+		func(r value.Row) bool { return fn(externalRow(r)) })
 }
 
 // projIndices resolves projection column names to schema positions.
@@ -171,71 +168,6 @@ func (t *Table) projIndices(cols []string) ([]int, error) {
 		proj[i] = ci
 	}
 	return proj, nil
-}
-
-// externalProjRow converts an internal row for emission: the full row
-// when proj is nil, otherwise the projected columns in proj order.
-func externalProjRow(r value.Row, proj []int) Row {
-	if proj == nil {
-		return externalRow(r)
-	}
-	out := make(Row, len(proj))
-	for i, ci := range proj {
-		out[i] = Value{r[ci]}
-	}
-	return out
-}
-
-// selectVia runs one query with an explicit scan fan-out and optional
-// projection pushdown (proj nil = all columns) under a shared latch
-// hold.
-func (t *Table) selectVia(method AccessMethod, workers int, proj []int, fn func(Row) bool, preds []Pred) error {
-	q, err := buildQuery(t, preds)
-	if err != nil {
-		return err
-	}
-	q.Proj = proj
-	t.inner.RLock()
-	defer t.inner.RUnlock()
-	plan, err := t.planFor(method, q)
-	if err != nil {
-		return err
-	}
-	emit := func(_ heap.RID, row value.Row) bool { return fn(externalProjRow(row, proj)) }
-	return plan.RunParallel(t.inner, q, workers, emit)
-}
-
-// planFor resolves a conjunctive query's access-path plan: the cost
-// model's choice for Auto, or the first applicable structure for a
-// forced method. Callers must hold the table latch (shared suffices).
-func (t *Table) planFor(method AccessMethod, q exec.Query) (exec.Plan, error) {
-	switch method {
-	case Auto:
-		return exec.ChoosePlan(t.inner, q, t.exactStats()), nil
-	case TableScan:
-		return exec.Plan{Method: exec.MethodTableScan}, nil
-	case SortedIndexScan, PipelinedIndexScan:
-		ix := t.applicableIndex(q)
-		if ix == nil {
-			return exec.Plan{}, fmt.Errorf("repro: no secondary index applies to %s", q.String())
-		}
-		m := exec.MethodSorted
-		if method == PipelinedIndexScan {
-			m = exec.MethodPipelined
-		}
-		return exec.Plan{Method: m, Index: ix}, nil
-	case CMScan:
-		for _, cm := range t.inner.CMs() {
-			for _, c := range cm.Spec().UCols {
-				if q.IndexablePredOn(c) != nil {
-					return exec.Plan{Method: exec.MethodCM, CM: cm}, nil
-				}
-			}
-		}
-		return exec.Plan{}, fmt.Errorf("repro: no CM applies to %s", q.String())
-	default:
-		return exec.Plan{}, fmt.Errorf("repro: unknown access method %v", method)
-	}
 }
 
 // SelectViaCM evaluates the predicates through the named correlation
@@ -292,6 +224,12 @@ type QuerySpec struct {
 	Aggs []Agg
 	// GroupBy names the grouping columns for aggregate specs.
 	GroupBy []string
+	// Having filters aggregate output rows before OrderBy and Limit.
+	// Each predicate's column names an output column — a GroupBy column
+	// or a canonical aggregate name like "count(*)" — and its value must
+	// match that output's kind (COUNT and integer SUM are Int, AVG is
+	// Float, MIN/MAX follow the column). Only aggregate specs accept it.
+	Having []Pred
 	// OrderBy sorts the result rows; see Order.
 	OrderBy []Order
 }
@@ -345,28 +283,22 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 	return out
 }
 
-func (t *Table) applicableIndex(q exec.Query) *table.Index {
-	for _, ix := range t.inner.Indexes() {
-		if q.IndexablePredOn(ix.Cols[0]) != nil {
-			return ix
-		}
-	}
-	return nil
-}
-
 // PlanNode is one operator of an explained plan, bottom-up: an access
-// node first ("scan" or "union"), then "agg" and "sort" when the query
-// aggregates or orders. Detail is a human-readable summary (the method
-// and structure for access nodes, the expressions for agg/sort).
+// node first ("scan", "union" or "cm-agg"), then "filter", "project",
+// "agg", "having", "sort" and "limit" as the query uses them. Detail is
+// a human-readable summary (the method and structure for access nodes,
+// the expressions elsewhere). The chain is exactly what execution runs:
+// filter and project are fused into the access path's compiled tuple
+// filter and projection pushdown at run time.
 type PlanNode struct {
 	Kind   string
 	Detail string
 }
 
 // PlanInfo describes the plan the engine would execute. Method, Uses
-// and EstimatedCost summarize the access path (for an OR union plan,
-// Method is Auto and Nodes[0] is authoritative); Nodes lists the full
-// operator tree.
+// and EstimatedCost summarize the access path (for an OR union plan or
+// a cm-agg plan, Method is Auto and Nodes[0] is authoritative; a cm-agg
+// plan puts the CM name in Uses); Nodes lists the full operator tree.
 type PlanInfo struct {
 	Method        AccessMethod
 	EstimatedCost time.Duration
@@ -374,11 +306,11 @@ type PlanInfo struct {
 	// DecodedCols counts the columns the executor materializes per
 	// surviving row under the requested projection (predicated columns
 	// included); TotalCols is the schema arity. DecodedCols < TotalCols
-	// means projection pushdown engaged.
+	// means projection pushdown engaged, and 0 means the plan is
+	// index-only (a pure cm-agg answer never touches the heap).
 	DecodedCols int
 	TotalCols   int
-	// Nodes is the operator tree bottom-up: scan|union, then agg, then
-	// sort, as applicable.
+	// Nodes is the operator tree bottom-up; see PlanNode.
 	Nodes []PlanNode
 }
 
@@ -394,10 +326,6 @@ func (t *Table) Explain(preds ...Pred) (PlanInfo, error) {
 func (t *Table) ExplainProject(cols []string, preds ...Pred) (PlanInfo, error) {
 	return t.explainSpec(QuerySpec{Table: t.Name(), Preds: preds, Cols: cols})
 }
-
-// exactStats returns the table's shared planner statistics cache,
-// created eagerly in CreateTable; ExactStats is itself thread-safe.
-func (t *Table) exactStats() *exec.ExactStats { return t.stats }
 
 // Recommendation is one CM design proposed by the advisor.
 type Recommendation struct {

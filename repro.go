@@ -477,6 +477,11 @@ type CMInfo struct {
 	Keys      int
 	Pairs     int64
 	CPerU     float64
+	// StatsBytes estimates the in-memory footprint of the per-entry
+	// aggregate statistics powering index-only aggregation (cm-agg). It
+	// is reported separately from SizeBytes, which remains the paper's
+	// serialized-CM metric.
+	StatsBytes int64
 }
 
 // CMs lists the table's correlation maps.
@@ -487,11 +492,12 @@ func (t *Table) CMs() []CMInfo {
 	sch := t.inner.Schema()
 	for _, cm := range t.inner.CMs() {
 		info := CMInfo{
-			Name:      cm.Spec().Name,
-			SizeBytes: cm.SizeBytes(),
-			Keys:      cm.Keys(),
-			Pairs:     cm.Pairs(),
-			CPerU:     cm.CPerU(),
+			Name:       cm.Spec().Name,
+			SizeBytes:  cm.SizeBytes(),
+			Keys:       cm.Keys(),
+			Pairs:      cm.Pairs(),
+			CPerU:      cm.CPerU(),
+			StatsBytes: cm.StatsSizeBytes(),
 		}
 		for _, c := range cm.Spec().UCols {
 			info.Columns = append(info.Columns, sch.Cols[c].Name)

@@ -2,19 +2,21 @@ package repro
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/exec"
-	"repro/internal/heap"
+	"repro/internal/plan"
 	"repro/internal/value"
 )
 
-// This file evaluates QuerySpecs — the one lowering every query surface
-// shares. DB.Exec (single SQL statement), DB.ExecScript (the SelectMany
-// batch path) and the native SelectMany / SelectAggregate / SelectAny
-// APIs all end in runSpec, so a statement cannot behave differently
-// batched vs alone: projection, LIMIT, OR, aggregation and ORDER BY are
-// lowered exactly once.
+// This file lowers QuerySpecs onto the physical plan layer — the one
+// lowering every query surface shares. DB.Exec (single SQL statement),
+// DB.ExecScript (the SelectMany batch path), the native SelectMany /
+// SelectAggregate / SelectAny / Select APIs and EXPLAIN all resolve
+// names here and compile through internal/plan's Build → Optimize → Run
+// pipeline, so a statement cannot behave differently batched vs alone
+// (or explained vs executed): projection, LIMIT, OR, aggregation,
+// HAVING and ORDER BY are lowered exactly once, and EXPLAIN prints the
+// operator tree Run executes.
 
 // AggFunc identifies an aggregate function of a QuerySpec.
 type AggFunc int
@@ -61,7 +63,7 @@ type Agg struct {
 
 // Name renders the canonical result-column name of the aggregate —
 // "avg(salary)", "count(*)" — the header SelectAggregate returns and
-// the name QuerySpec.OrderBy uses to sort by an aggregate.
+// the name QuerySpec.OrderBy (or Having) uses to address an aggregate.
 func (a Agg) Name() string {
 	if a.Func == Count && (a.Col == "" || a.Col == "*") {
 		return "count(*)"
@@ -79,14 +81,19 @@ type Order struct {
 }
 
 // SelectAggregate evaluates an aggregate QuerySpec (Aggs, optionally
-// GroupBy, OrderBy, Limit, AnyOf) and returns the result header and
-// rows: the GroupBy columns in order, then the aggregates in order,
+// GroupBy, Having, OrderBy, Limit, AnyOf) and returns the result header
+// and rows: the GroupBy columns in order, then the aggregates in order,
 // with groups sorted by group key unless OrderBy says otherwise.
 //
-// Aggregation streams: tuples are filtered on encoded heap bytes,
-// survivors fold into per-chunk partial aggregates (no result-row
-// materialization), and partials merge in fixed chunk order — so
-// results are byte-identical for any Config.Workers, float sums
+// When a correlation map covers the whole query — every predicate and
+// grouping column on the CM attribute, every aggregate answerable from
+// the CM's per-entry statistics — the planner lowers it to the cm-agg
+// node and answers from the bucket directory without reading heap
+// pages (EXPLAIN shows the node; see the README's "Index-only
+// aggregates" section). Otherwise aggregation streams: tuples are
+// filtered on encoded heap bytes, survivors fold into per-chunk partial
+// aggregates, and partials merge in fixed chunk order — so results are
+// byte-identical for any Config.Workers and any access path, float sums
 // included.
 func (db *DB) SelectAggregate(spec QuerySpec) ([]string, []Row, error) {
 	if !spec.isAggregate() {
@@ -116,8 +123,8 @@ func aggHeader(spec QuerySpec) []string {
 // the whole disjunction evaluates as one filtered table scan. Rows
 // arrive in physical order; return false from fn to stop early.
 func (t *Table) SelectAny(fn func(Row) bool, disjuncts ...[]Pred) error {
-	_, err := t.runSelectSpec(QuerySpec{Table: t.Name(), AnyOf: disjuncts}, t.db.workers, fn)
-	return err
+	return t.runTree(QuerySpec{Table: t.Name(), AnyOf: disjuncts}, t.db.workers,
+		func(r value.Row) bool { return fn(externalRow(r)) })
 }
 
 // runSpec evaluates one QuerySpec with the given scan fan-out,
@@ -128,178 +135,137 @@ func (db *DB) runSpec(spec QuerySpec, workers int) ([]Row, error) {
 	if tbl == nil {
 		return nil, fmt.Errorf("repro: no table %q", spec.Table)
 	}
-	if spec.isAggregate() {
-		return tbl.runAggSpec(spec, workers)
+	var rows []Row
+	err := tbl.runTree(spec, workers, func(r value.Row) bool {
+		rows = append(rows, externalRow(r))
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
-	return tbl.runSelectSpec(spec, workers, nil)
+	return rows, nil
 }
 
-// disjunctQueries lowers the spec's WHERE — Preds AND (AnyOf[0] OR ...)
-// — into disjunctive normal form: one conjunctive exec.Query per
-// disjunct (just Preds when AnyOf is empty).
-func (t *Table) disjunctQueries(spec QuerySpec) ([]exec.Query, error) {
+// runTree compiles the spec through the plan layer and runs it under a
+// shared latch hold, streaming output rows to sink.
+func (t *Table) runTree(spec QuerySpec, workers int, sink plan.RowSink) error {
+	ps, err := t.planSpec(spec)
+	if err != nil {
+		return err
+	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	tree, err := plan.Compile(t.inner, ps, t.stats)
+	if err != nil {
+		return err
+	}
+	return tree.Run(workers, sink)
+}
+
+// planSpec resolves a QuerySpec's names against the table schema and
+// lowers it to the plan layer's index-based Spec — the single
+// translation between the public facade vocabulary and the physical
+// plan tree.
+func (t *Table) planSpec(spec QuerySpec) (plan.Spec, error) {
+	ps := plan.Spec{Limit: spec.Limit}
+	switch spec.Via {
+	case Auto:
+		ps.Force = plan.Auto
+	case TableScan:
+		ps.Force = plan.ForceTableScan
+	case SortedIndexScan:
+		ps.Force = plan.ForceSorted
+	case PipelinedIndexScan:
+		ps.Force = plan.ForcePipelined
+	case CMScan:
+		ps.Force = plan.ForceCM
+	default:
+		return plan.Spec{}, fmt.Errorf("repro: unknown access method %v", spec.Via)
+	}
+
+	// The WHERE clause — Preds AND (AnyOf[0] OR ...) — lowers to
+	// disjunctive normal form: one conjunctive exec.Query per disjunct.
 	if len(spec.AnyOf) == 0 {
 		q, err := buildQuery(t, spec.Preds)
 		if err != nil {
-			return nil, err
+			return plan.Spec{}, err
 		}
-		return []exec.Query{q}, nil
-	}
-	out := make([]exec.Query, 0, len(spec.AnyOf))
-	for _, alt := range spec.AnyOf {
-		conj := make([]Pred, 0, len(spec.Preds)+len(alt))
-		conj = append(conj, spec.Preds...)
-		conj = append(conj, alt...)
-		q, err := buildQuery(t, conj)
-		if err != nil {
-			return nil, err
+		ps.Disjuncts = []exec.Query{q}
+	} else {
+		if spec.Via != Auto {
+			return plan.Spec{}, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
 		}
-		out = append(out, q)
+		for _, alt := range spec.AnyOf {
+			conj := make([]Pred, 0, len(spec.Preds)+len(alt))
+			conj = append(conj, spec.Preds...)
+			conj = append(conj, alt...)
+			q, err := buildQuery(t, conj)
+			if err != nil {
+				return plan.Spec{}, err
+			}
+			ps.Disjuncts = append(ps.Disjuncts, q)
+		}
 	}
-	return out, nil
-}
 
-// orderKeys resolves ORDER BY columns against the table schema.
-func (t *Table) orderKeys(orderBy []Order) ([]exec.OrderKey, error) {
-	keys := make([]exec.OrderKey, len(orderBy))
-	for i, o := range orderBy {
-		ci, err := t.colIndex(o.Col)
-		if err != nil {
-			return nil, err
+	if !spec.isAggregate() {
+		if len(spec.Having) > 0 {
+			return plan.Spec{}, fmt.Errorf("repro: HAVING needs aggregates or GROUP BY")
 		}
-		keys[i] = exec.OrderKey{Col: ci, Desc: o.Desc}
+		if len(spec.Cols) > 0 {
+			proj, err := t.projIndices(spec.Cols)
+			if err != nil {
+				return plan.Spec{}, err
+			}
+			ps.Proj = proj
+		}
+		for _, o := range spec.OrderBy {
+			ci, err := t.colIndex(o.Col)
+			if err != nil {
+				return plan.Spec{}, err
+			}
+			ps.OrderBy = append(ps.OrderBy, plan.Order{Col: ci, Desc: o.Desc})
+		}
+		return ps, nil
 	}
-	return keys, nil
-}
 
-// runSelectSpec evaluates a non-aggregate spec. When stream is non-nil
-// rows go to it as they emit (early stop on false) and the returned
-// slice is nil; otherwise rows are buffered and returned.
-func (t *Table) runSelectSpec(spec QuerySpec, workers int, stream func(Row) bool) ([]Row, error) {
-	var proj []int
-	if len(spec.Cols) > 0 {
-		var err error
-		proj, err = t.projIndices(spec.Cols)
-		if err != nil {
-			return nil, err
-		}
-	}
-	orderKeys, err := t.orderKeys(spec.OrderBy)
+	// Aggregate spec: resolve aggregates and grouping against the
+	// schema, ORDER BY and HAVING against the canonical output header.
+	specs, err := t.aggSpecs(spec.Aggs)
 	if err != nil {
-		return nil, err
+		return plan.Spec{}, err
 	}
-	disjuncts, err := t.disjunctQueries(spec)
-	if err != nil {
-		return nil, err
-	}
-	if len(disjuncts) > 1 && spec.Via != Auto {
-		return nil, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
-	}
-
-	t.inner.RLock()
-	defer t.inner.RUnlock()
-
-	if len(orderKeys) == 0 {
-		var rows []Row
-		emit := func(_ heap.RID, row value.Row) bool {
-			r := externalProjRow(row, proj)
-			if stream != nil {
-				return stream(r)
-			}
-			rows = append(rows, r)
-			return spec.Limit <= 0 || len(rows) < spec.Limit
-		}
-		if err := t.runDisjuncts(spec.Via, disjuncts, proj, workers, emit); err != nil {
-			return nil, err
-		}
-		return rows, nil
-	}
-
-	// Ordered: materialize the projection plus the order columns and
-	// sort (bounded top-K when a limit is set), then project. Under a
-	// projection the sorter buffers compact rows — the projected columns
-	// followed by any order-only columns — not full-schema-width clones,
-	// so sorted queries keep the memory economics of pushdown.
-	scanProj := proj
-	sortKeys := orderKeys
-	compact := proj // compact row layout: proj columns, then order-only columns
-	if proj != nil {
-		compact = append([]int(nil), proj...)
-		sortKeys = make([]exec.OrderKey, len(orderKeys))
-		for i, k := range orderKeys {
-			pos := -1
-			for j, c := range compact {
-				if c == k.Col {
-					pos = j
-					break
-				}
-			}
-			if pos < 0 {
-				pos = len(compact)
-				compact = append(compact, k.Col)
-			}
-			sortKeys[i] = exec.OrderKey{Col: pos, Desc: k.Desc}
-		}
-		scanProj = compact
-	}
-	sorter := exec.NewSorter(sortKeys, spec.Limit)
-	var compactScratch value.Row
-	if proj != nil {
-		compactScratch = make(value.Row, len(compact))
-	}
-	emit := func(_ heap.RID, row value.Row) bool {
-		if proj == nil {
-			sorter.Add(row)
-			return true
-		}
-		for i, c := range compact {
-			compactScratch[i] = row[c]
-		}
-		sorter.Add(compactScratch) // Sorter clones what it retains
-		return true
-	}
-	if err := t.runDisjuncts(spec.Via, disjuncts, scanProj, workers, emit); err != nil {
-		return nil, err
-	}
-	sorted := sorter.Rows()
-	out := make([]Row, 0, len(sorted))
-	for _, row := range sorted {
-		var r Row
-		if proj == nil {
-			r = externalRow(row)
-		} else {
-			r = make(Row, len(proj))
-			for i := range proj {
-				r[i] = Value{row[i]} // compact layout: projection is the prefix
-			}
-		}
-		if stream != nil {
-			if !stream(r) {
-				break
-			}
-			continue
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
-// runDisjuncts dispatches a (possibly disjunctive) filter scan under an
-// already-held shared latch: the single-conjunction fast path through
-// planFor, or the OR plan (RID-dedup union / filtered-scan fallback).
-func (t *Table) runDisjuncts(via AccessMethod, disjuncts []exec.Query, scanProj []int, workers int, emit exec.RowFunc) error {
-	if len(disjuncts) == 1 {
-		q := disjuncts[0]
-		q.Proj = scanProj
-		plan, err := t.planFor(via, q)
+	ps.Aggs = specs
+	for _, name := range spec.GroupBy {
+		ci, err := t.colIndex(name)
 		if err != nil {
-			return err
+			return plan.Spec{}, err
 		}
-		return plan.RunParallel(t.inner, q, workers, emit)
+		ps.GroupBy = append(ps.GroupBy, ci)
 	}
-	oq := exec.OrQuery{Disjuncts: disjuncts, Proj: scanProj}
-	op := exec.ChooseOrPlan(t.inner, oq, t.exactStats())
-	return op.RunParallel(t.inner, oq, workers, emit)
+	header := aggHeader(spec)
+	outPos := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, o := range spec.OrderBy {
+		pos := outPos(o.Col)
+		if pos < 0 {
+			return plan.Spec{}, fmt.Errorf("repro: ORDER BY %q is neither a GroupBy column nor an aggregate of the spec", o.Col)
+		}
+		ps.OrderBy = append(ps.OrderBy, plan.Order{Col: pos, Desc: o.Desc})
+	}
+	for _, h := range spec.Having {
+		pos := outPos(h.col)
+		if pos < 0 {
+			return plan.Spec{}, fmt.Errorf("repro: HAVING %q is neither a GroupBy column nor an aggregate of the spec", h.col)
+		}
+		ps.Having = append(ps.Having, h.build(pos))
+	}
+	return ps, nil
 }
 
 // aggSpecs resolves and validates facade aggregates against the schema.
@@ -341,91 +307,9 @@ func (t *Table) aggSpecs(aggs []Agg) ([]exec.AggSpec, error) {
 	return out, nil
 }
 
-// runAggSpec evaluates an aggregate spec: resolve and validate the
-// aggregates and grouping, aggregate through the OR plan's access
-// paths, then order and limit the (small) group rows.
-func (t *Table) runAggSpec(spec QuerySpec, workers int) ([]Row, error) {
-	specs, err := t.aggSpecs(spec.Aggs)
-	if err != nil {
-		return nil, err
-	}
-	groupIdx := make([]int, len(spec.GroupBy))
-	for i, name := range spec.GroupBy {
-		if groupIdx[i], err = t.colIndex(name); err != nil {
-			return nil, err
-		}
-	}
-	disjuncts, err := t.disjunctQueries(spec)
-	if err != nil {
-		return nil, err
-	}
-	if len(disjuncts) > 1 && spec.Via != Auto {
-		return nil, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
-	}
-	// ORDER BY resolves against the canonical output header.
-	header := aggHeader(spec)
-	var keys []exec.OrderKey
-	for _, o := range spec.OrderBy {
-		pos := -1
-		for i, name := range header {
-			if name == o.Col {
-				pos = i
-				break
-			}
-		}
-		if pos < 0 {
-			return nil, fmt.Errorf("repro: ORDER BY %q is neither a GroupBy column nor an aggregate of the spec", o.Col)
-		}
-		keys = append(keys, exec.OrderKey{Col: pos, Desc: o.Desc})
-	}
-
-	t.inner.RLock()
-	defer t.inner.RUnlock()
-	oq := exec.OrQuery{Disjuncts: disjuncts}
-	op, err := t.orPlanFor(spec.Via, oq)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := exec.AggregateOr(t.inner, oq, op, workers, specs, groupIdx)
-	if err != nil {
-		return nil, err
-	}
-	if len(keys) > 0 {
-		sorter := exec.NewSorter(keys, spec.Limit)
-		for _, r := range rows {
-			sorter.Add(r)
-		}
-		rows = sorter.Rows()
-	} else if spec.Limit > 0 && len(rows) > spec.Limit {
-		rows = rows[:spec.Limit]
-	}
-	out := make([]Row, len(rows))
-	for i, r := range rows {
-		out[i] = externalRow(r)
-	}
-	return out, nil
-}
-
-// orPlanFor wraps planFor for the aggregation path: the cost model's
-// OR plan under Auto, or a forced single-disjunct plan (a probe method
-// unions its own RIDs, a forced table scan falls back).
-func (t *Table) orPlanFor(via AccessMethod, oq exec.OrQuery) (exec.OrPlan, error) {
-	if via == Auto {
-		return exec.ChooseOrPlan(t.inner, oq, t.exactStats()), nil
-	}
-	p, err := t.planFor(via, oq.Disjuncts[0])
-	if err != nil {
-		return exec.OrPlan{}, err
-	}
-	if p.Method == exec.MethodTableScan {
-		return exec.OrPlan{Union: false, Cost: p.Cost}, nil
-	}
-	return exec.OrPlan{Union: true, Plans: []exec.Plan{p}, Cost: p.Cost}, nil
-}
-
-// ExplainSpec reports the plan a QuerySpec would execute, including the
-// agg / sort / union operator nodes EXPLAIN surfaces, without running
-// it.
+// ExplainSpec reports the operator tree a QuerySpec would execute —
+// the access node (scan, union or cm-agg), then filter, project, agg,
+// having, sort and limit as applicable — without running it.
 func (db *DB) ExplainSpec(spec QuerySpec) (PlanInfo, error) {
 	tbl := db.Table(spec.Table)
 	if tbl == nil {
@@ -434,141 +318,51 @@ func (db *DB) ExplainSpec(spec QuerySpec) (PlanInfo, error) {
 	return tbl.explainSpec(spec)
 }
 
-// methodOf maps an executor method onto the facade enum.
-func methodOf(p exec.Plan) (AccessMethod, string) {
-	switch p.Method {
+// facadeMethod maps an executor method onto the facade enum.
+func facadeMethod(m exec.Method) AccessMethod {
+	switch m {
 	case exec.MethodSorted:
-		return SortedIndexScan, p.Index.Name
+		return SortedIndexScan
 	case exec.MethodPipelined:
-		return PipelinedIndexScan, p.Index.Name
+		return PipelinedIndexScan
 	case exec.MethodCM:
-		return CMScan, p.CM.Spec().Name
+		return CMScan
 	default:
-		return TableScan, ""
+		return TableScan
 	}
 }
 
-// describePlan renders one disjunct's access path for plan nodes.
-func describePlan(p exec.Plan) string {
-	m, uses := methodOf(p)
-	if uses == "" {
-		return m.String()
-	}
-	return fmt.Sprintf("%s(%s)", m, uses)
-}
-
-// explainSpec computes the PlanInfo for a spec under a shared latch.
+// explainSpec compiles the spec under a shared latch and converts the
+// plan layer's Info into the facade PlanInfo.
 func (t *Table) explainSpec(spec QuerySpec) (PlanInfo, error) {
-	disjuncts, err := t.disjunctQueries(spec)
+	ps, err := t.planSpec(spec)
 	if err != nil {
 		return PlanInfo{}, err
 	}
-	if len(disjuncts) > 1 && spec.Via != Auto {
-		return PlanInfo{}, fmt.Errorf("repro: OR queries plan access paths per disjunct; Via must be Auto")
-	}
-	sch := t.inner.Schema()
-	ncols := len(sch.Cols)
-
-	// The materialization set mirrors what execution would decode.
-	var scanProj []int
-	if spec.isAggregate() {
-		specs, err := t.aggSpecs(spec.Aggs)
-		if err != nil {
-			return PlanInfo{}, err
-		}
-		scanProj = []int{}
-		for _, sp := range specs {
-			if sp.Col >= 0 {
-				scanProj = append(scanProj, sp.Col)
-			}
-		}
-		for _, name := range spec.GroupBy {
-			ci, err := t.colIndex(name)
-			if err != nil {
-				return PlanInfo{}, err
-			}
-			scanProj = append(scanProj, ci)
-		}
-	} else {
-		if len(spec.Cols) > 0 {
-			if scanProj, err = t.projIndices(spec.Cols); err != nil {
-				return PlanInfo{}, err
-			}
-			keys, err := t.orderKeys(spec.OrderBy)
-			if err != nil {
-				return PlanInfo{}, err
-			}
-			for _, k := range keys {
-				scanProj = append(scanProj, k.Col)
-			}
-		}
-	}
-
 	t.inner.RLock()
 	defer t.inner.RUnlock()
-	info := PlanInfo{TotalCols: ncols}
-	if len(disjuncts) == 1 {
-		q := disjuncts[0]
-		q.Proj = scanProj
-		plan, err := t.planFor(spec.Via, q)
-		if err != nil {
-			return PlanInfo{}, err
-		}
-		if spec.Via == Auto {
-			info.EstimatedCost = plan.Cost
-		}
-		info.Method, info.Uses = methodOf(plan)
-		info.DecodedCols = len(q.MaterializeCols(ncols))
-		info.Nodes = []PlanNode{{Kind: "scan", Detail: describePlan(plan)}}
-	} else {
-		oq := exec.OrQuery{Disjuncts: disjuncts, Proj: scanProj}
-		op := exec.ChooseOrPlan(t.inner, oq, t.exactStats())
-		info.EstimatedCost = op.Cost
-		info.DecodedCols = len(oq.MaterializeCols(ncols))
-		if op.Union {
-			parts := make([]string, len(op.Plans))
-			for i, p := range op.Plans {
-				parts[i] = describePlan(p)
-			}
-			info.Method = Auto // no single access path; Nodes[0] is authoritative
-			info.Nodes = []PlanNode{{Kind: "union", Detail: fmt.Sprintf(
-				"%d disjuncts, rid-dedup union: %s", len(op.Plans), strings.Join(parts, " + "))}}
-		} else {
-			info.Method = TableScan
-			info.Nodes = []PlanNode{{Kind: "scan", Detail: fmt.Sprintf(
-				"table-scan (filtered-scan fallback over %d disjuncts)", len(disjuncts))}}
+	tree, err := plan.Compile(t.inner, ps, t.stats)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	info := tree.Explain()
+	pi := PlanInfo{TotalCols: info.TotalCols, DecodedCols: info.DecodedCols}
+	switch {
+	case info.CMAgg:
+		// No single heap access path; Nodes[0] is the cm-agg node.
+		pi.Method, pi.Uses, pi.EstimatedCost = Auto, info.Uses, info.Cost
+	case info.Union:
+		pi.Method, pi.EstimatedCost = Auto, info.Cost // Nodes[0] is authoritative
+	case info.Fallback:
+		pi.Method, pi.EstimatedCost = TableScan, info.Cost
+	default:
+		pi.Method, pi.Uses = facadeMethod(info.Method), info.Uses
+		if info.CostEstimated {
+			pi.EstimatedCost = info.Cost
 		}
 	}
-	if spec.isAggregate() {
-		detail := strings.Join(aggNames(spec.Aggs), ", ")
-		if len(spec.GroupBy) > 0 {
-			detail += " group by " + strings.Join(spec.GroupBy, ", ")
-		}
-		info.Nodes = append(info.Nodes, PlanNode{Kind: "agg", Detail: detail})
+	for _, n := range info.Nodes {
+		pi.Nodes = append(pi.Nodes, PlanNode{Kind: n.Kind, Detail: n.Detail})
 	}
-	if len(spec.OrderBy) > 0 {
-		parts := make([]string, len(spec.OrderBy))
-		for i, o := range spec.OrderBy {
-			dir := "asc"
-			if o.Desc {
-				dir = "desc"
-			}
-			parts[i] = o.Col + " " + dir
-		}
-		mode := "full sort"
-		if spec.Limit > 0 {
-			mode = fmt.Sprintf("top-%d heap", spec.Limit)
-		}
-		info.Nodes = append(info.Nodes, PlanNode{Kind: "sort", Detail: strings.Join(parts, ", ") + " (" + mode + ")"})
-	}
-	return info, nil
-}
-
-// aggNames renders canonical aggregate names for plan nodes.
-func aggNames(aggs []Agg) []string {
-	out := make([]string, len(aggs))
-	for i, a := range aggs {
-		out[i] = a.Name()
-	}
-	return out
+	return pi, nil
 }

@@ -177,6 +177,7 @@ func specFromBound(b *sqlfe.BoundSelect) QuerySpec {
 			spec.Aggs = append(spec.Aggs, Agg{Func: aggFuncFrom(a.Fn), Col: starToEmpty(a)})
 		}
 		spec.GroupBy = b.GroupBy
+		spec.Having = havingFromBound(b.Having)
 	} else {
 		// The SELECT list pushes down into the scan: rows come back
 		// already projected, and the executor decodes only the
@@ -266,6 +267,39 @@ func predsFromBound(conds []sqlfe.BoundCond) []Pred {
 	return out
 }
 
+// havingFromBound lowers bound HAVING conjuncts onto facade predicates
+// whose column names address the aggregate output (a GROUP BY column or
+// a canonical aggregate name); planSpec resolves them to output
+// positions.
+func havingFromBound(conds []sqlfe.BoundHaving) []Pred {
+	out := make([]Pred, len(conds))
+	for i, c := range conds {
+		vals := make([]Value, len(c.Vals))
+		for k, v := range c.Vals {
+			vals[k] = Value{v}
+		}
+		switch c.Op {
+		case sqlfe.CondEq:
+			out[i] = Eq(c.Name, vals[0])
+		case sqlfe.CondNe:
+			out[i] = Ne(c.Name, vals[0])
+		case sqlfe.CondLt:
+			out[i] = Lt(c.Name, vals[0])
+		case sqlfe.CondLe:
+			out[i] = Le(c.Name, vals[0])
+		case sqlfe.CondGt:
+			out[i] = Gt(c.Name, vals[0])
+		case sqlfe.CondGe:
+			out[i] = Ge(c.Name, vals[0])
+		case sqlfe.CondBetween:
+			out[i] = Between(c.Name, vals[0], vals[1])
+		default:
+			out[i] = In(c.Name, vals...)
+		}
+	}
+	return out
+}
+
 // conjFromBound extracts the single conjunction of a bound WHERE, for
 // the statement forms (ADVISE, PredsForWhere) that cannot consume a
 // disjunction.
@@ -292,8 +326,8 @@ func (db *DB) PredsForWhere(table, where string) ([]Pred, error) {
 		return nil, err
 	}
 	sel, ok := stmt.(*sqlfe.SelectStmt)
-	if !ok || sel.Table != table || sel.Limit != -1 ||
-		len(sel.GroupBy) > 0 || len(sel.OrderBy) > 0 {
+	if !ok || sel.Table != table || sel.Limit != -1 || sel.Distinct ||
+		len(sel.GroupBy) > 0 || len(sel.Having) > 0 || len(sel.OrderBy) > 0 {
 		return nil, fmt.Errorf("sql: %q is not a WHERE conjunction", where)
 	}
 	b, err := sqlfe.BindSelect(catalogDB{db}, sel)
@@ -486,8 +520,9 @@ func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, err
 	}
 	// One row per plan node, bottom-up. The first (access) row keeps the
 	// legacy method/uses/est_cost/decoded_cols shape — a union node puts
-	// "union" in the method column and the per-disjunct plans in uses;
-	// agg/sort rows carry the node kind and its expressions.
+	// "union" in the method column and the per-disjunct plans in uses, a
+	// cm-agg node puts "cm-agg" there with its statistics/sweep summary;
+	// the remaining rows carry each operator's kind and expressions.
 	res := &Result{
 		Columns: []string{"method", "uses", "est_cost", "decoded_cols"},
 		Plan:    &info,
@@ -495,8 +530,8 @@ func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, err
 	for i, n := range info.Nodes {
 		if i == 0 {
 			method, uses := info.Method.String(), info.Uses
-			if n.Kind == "union" {
-				method, uses = "union", n.Detail
+			if n.Kind == "union" || n.Kind == "cm-agg" {
+				method, uses = n.Kind, n.Detail
 			}
 			res.Rows = append(res.Rows, Row{
 				StringVal(method),
@@ -584,7 +619,7 @@ func (db *DB) execShow(s *sqlfe.ShowStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Columns: []string{"cm", "columns", "size_bytes", "keys", "pairs", "c_per_u"}}
+		res := &Result{Columns: []string{"cm", "columns", "size_bytes", "keys", "pairs", "c_per_u", "stats_bytes"}}
 		for _, cm := range tbl.CMs() {
 			res.Rows = append(res.Rows, Row{
 				StringVal(cm.Name),
@@ -593,6 +628,7 @@ func (db *DB) execShow(s *sqlfe.ShowStmt) (*Result, error) {
 				IntVal(int64(cm.Keys)),
 				IntVal(cm.Pairs),
 				FloatVal(cm.CPerU),
+				IntVal(cm.StatsBytes),
 			})
 		}
 		return res, nil
