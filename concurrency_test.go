@@ -1,8 +1,9 @@
 // Concurrency stress tests: readers on every access method race
-// inserts, deletes and commits on one table, asserting no lost rows
-// (stable rows always all visible) and no phantoms (volatile rows are
-// seen zero or one time, never partially applied, never duplicated).
-// Run with -race; the suite is sized to finish quickly under it.
+// inserts, updates, deletes and commits on one table, asserting no lost
+// rows (stable rows always all visible) and no phantoms (volatile rows
+// are seen zero or one time, never partially applied, never
+// duplicated). Run with -race; the suite is sized to finish quickly
+// under it.
 package repro
 
 import (
@@ -158,6 +159,127 @@ func TestConcurrentReadersVsWriters(t *testing.T) {
 	// Quiesced: the table must be exactly the stable rows again.
 	if got := tbl.RowCount(); got != int64(stableUs*rowsPerU) {
 		t.Fatalf("final row count %d, want %d", got, stableUs*rowsPerU)
+	}
+}
+
+// TestConcurrentUpdatesVsReaders is the mixed update/delete/scan
+// stress: one writer churns — inserting volatile rows, rewriting their
+// tags with UPDATE, retagging whole stable slices, deleting the
+// volatile rows — while snapshot readers on all four access methods
+// assert stable slices stay exactly complete (no lost rows, no
+// phantoms, no half-applied update) and volatile rows are never
+// duplicated. Run with -race.
+func TestConcurrentUpdatesVsReaders(t *testing.T) {
+	_, tbl := buildStressDB(t, 4)
+
+	const (
+		readers        = 4
+		readsPerReader = 50
+		writerOps      = 60
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	writerErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		fail := func(err error) bool {
+			if err != nil {
+				writerErr <- err
+				return true
+			}
+			return false
+		}
+		for k := 0; k < writerOps; k++ {
+			vu := int64(volatileUBase + k%5)
+			c := int64(stableUs*rowsPerU + k%11)
+			if fail(tbl.Insert(Row{IntVal(c), IntVal(vu), StringVal("v0")})) {
+				return
+			}
+			// Rewrite the volatile row in place (same u, new tag).
+			if _, err := tbl.Update([]Set{{Col: "tag", Val: StringVal("v1")}},
+				Eq("u", IntVal(vu)), Eq("c", IntVal(c))); fail(err) {
+				return
+			}
+			// Retag an entire stable slice: readers must see the whole
+			// slice before or after, never a torn mix losing rows.
+			su := int64(k % stableUs)
+			if _, err := tbl.Update([]Set{{Col: "tag", Val: StringVal(fmt.Sprintf("gen-%d", k))}},
+				Eq("u", IntVal(su))); fail(err) {
+				return
+			}
+			if _, err := tbl.Delete(Eq("u", IntVal(vu)), Eq("c", IntVal(c))); fail(err) {
+				return
+			}
+			if k%8 == 0 && fail(tbl.Commit()) {
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < readsPerReader && !stop.Load(); i++ {
+				method := stressMethods[(r+i)%len(stressMethods)]
+				u := int64((r*5 + i) % stableUs)
+				n := 0
+				err := tbl.SelectVia(method, func(row Row) bool {
+					if row[1].Int() != u {
+						t.Errorf("%v: row with u=%d in result for u=%d", method, row[1].Int(), u)
+					}
+					n++
+					return true
+				}, Eq("u", IntVal(u)))
+				if err != nil {
+					t.Errorf("%v: %v", method, err)
+					return
+				}
+				if n != rowsPerU {
+					t.Errorf("%v: stable u=%d returned %d rows during update churn, want %d", method, u, n, rowsPerU)
+					return
+				}
+
+				vu := int64(volatileUBase + i%5)
+				seen := map[string]int{}
+				if err := tbl.SelectVia(method, func(row Row) bool {
+					seen[row[0].String()]++
+					return true
+				}, Eq("u", IntVal(vu))); err != nil {
+					t.Errorf("%v volatile: %v", method, err)
+					return
+				}
+				for c, cnt := range seen {
+					if cnt > 1 {
+						t.Errorf("%v: volatile row c=%s seen %d times (duplicate version)", method, c, cnt)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-writerErr:
+		t.Fatalf("writer: %v", err)
+	default:
+	}
+
+	// Quiesced: exactly the stable rows remain, and a full-slice read on
+	// each method agrees.
+	if got := tbl.RowCount(); got != int64(stableUs*rowsPerU) {
+		t.Fatalf("final row count %d, want %d", got, stableUs*rowsPerU)
+	}
+	for _, m := range stressMethods {
+		n := 0
+		if err := tbl.SelectVia(m, func(Row) bool { n++; return true }, Eq("u", IntVal(1))); err != nil {
+			t.Fatal(err)
+		}
+		if n != rowsPerU {
+			t.Fatalf("%v: quiesced u=1 has %d rows, want %d", m, n, rowsPerU)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/keyenc"
@@ -233,8 +234,9 @@ func (cm *CM) RemoveRow(row value.Row, cbucket int32) error {
 }
 
 // StatsValid reports whether the per-entry aggregate statistics cover
-// every live row — true for CMs built and maintained in this process,
-// false after Deserialize (checkpoints carry only the pair counts).
+// every live row — true for CMs built and maintained in this process and
+// for CMs restored from a current-format checkpoint; false after reading
+// a legacy (stats-less) checkpoint, until rebuilt.
 func (cm *CM) StatsValid() bool { return !cm.statsInvalid }
 
 // StatsSizeBytes estimates the in-memory footprint of the per-entry
@@ -361,9 +363,11 @@ func (cm *CM) Keys() int { return len(cm.m) }
 // that determines CM size ("the CM needs to store every unique pair").
 func (cm *CM) Pairs() int64 { return cm.pairs }
 
-// SizeBytes returns the serialized size of the CM, maintained
-// incrementally. This is the number experiments report against B+Tree
-// footprints.
+// SizeBytes returns the serialized size of the CM's count structure
+// (the legacy v1 checkpoint layout), maintained incrementally. This is
+// the number experiments report against B+Tree footprints; the
+// per-entry aggregate statistics are accounted separately by
+// StatsSizeBytes, and the v2 checkpoint carries both.
 func (cm *CM) SizeBytes() int64 { return cm.size }
 
 // CPerU returns the average number of clustered buckets per CM key — the
@@ -375,10 +379,112 @@ func (cm *CM) CPerU() float64 {
 	return float64(cm.pairs) / float64(len(cm.m))
 }
 
-// Serialize writes the CM in a stable binary format:
-// [numKeys u32] then per key [klen u16][key][npairs u32][(bucket i32,
-// count u32)*] with keys and buckets in sorted order.
+// Checkpoint format versioning. The original (v1) layout opens with the
+// key count; the stats-carrying v2 layout opens with a magic word no
+// plausible v1 key count can collide with (it decodes as ~3.2 billion
+// keys), so Deserialize distinguishes the two from the first four bytes.
+const (
+	cmCheckpointMagic   uint32 = 0xC0AB10C5
+	cmCheckpointVersion uint32 = 2
+)
+
+// Serialize writes the CM checkpoint in the current (v2) binary format,
+// which carries the full per-entry statistics so a recovered CM keeps its
+// index-only aggregation pushdown:
+//
+//	[magic u32][version u32][nStatCols u32][statCol i32]*
+//	[numKeys u32] then per key
+//	  [klen u16][key][npairs u32] per pair (buckets sorted)
+//	    [bucket i32][count i64][mmdirty u8]
+//	    per stat col [sumI i64][sumF f64][min value][max value]
+//
+// Values serialize as a kind byte (0 int, 1 float, 2 string) and their
+// payload (i64, f64, or u32-length-prefixed bytes). Keys and buckets are
+// written in sorted order, making the output stable.
 func (cm *CM) Serialize(w io.Writer) error {
+	var buf [9]byte // writeValue needs kind byte + 8-byte payload
+	u32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		_, err := w.Write(buf[:4])
+		return err
+	}
+	for _, v := range []uint32{cmCheckpointMagic, cmCheckpointVersion, uint32(len(cm.spec.StatCols))} {
+		if err := u32(v); err != nil {
+			return err
+		}
+	}
+	for _, c := range cm.spec.StatCols {
+		if err := u32(uint32(int32(c))); err != nil {
+			return err
+		}
+	}
+	keys := make([]string, 0, len(cm.m))
+	for k := range cm.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := u32(uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		set := cm.m[k]
+		binary.LittleEndian.PutUint16(buf[:2], uint16(len(k)))
+		if _, err := w.Write(buf[:2]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, k); err != nil {
+			return err
+		}
+		if err := u32(uint32(len(set))); err != nil {
+			return err
+		}
+		buckets := make([]int32, 0, len(set))
+		for b := range set {
+			buckets = append(buckets, b)
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+		for _, b := range buckets {
+			st := set[b]
+			if err := u32(uint32(b)); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf[:8], uint64(st.Count))
+			if _, err := w.Write(buf[:8]); err != nil {
+				return err
+			}
+			dirty := byte(0)
+			if st.MMDirty {
+				dirty = 1
+			}
+			if _, err := w.Write([]byte{dirty}); err != nil {
+				return err
+			}
+			for i := range cm.spec.StatCols {
+				binary.LittleEndian.PutUint64(buf[:8], uint64(st.SumI[i]))
+				if _, err := w.Write(buf[:8]); err != nil {
+					return err
+				}
+				binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(st.SumF[i]))
+				if _, err := w.Write(buf[:8]); err != nil {
+					return err
+				}
+				if err := writeValue(w, buf[:], st.Min[i]); err != nil {
+					return err
+				}
+				if err := writeValue(w, buf[:], st.Max[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SerializeV1 writes the CM in the legacy stats-less checkpoint format:
+// [numKeys u32] then per key [klen u16][key][npairs u32][(bucket i32,
+// count u32)*] with keys and buckets in sorted order. It exists so the
+// v1 read path stays testable; new checkpoints use Serialize.
+func (cm *CM) SerializeV1(w io.Writer) error {
 	keys := make([]string, 0, len(cm.m))
 	for k := range cm.m {
 		keys = append(keys, k)
@@ -418,18 +524,177 @@ func (cm *CM) Serialize(w io.Writer) error {
 	return nil
 }
 
-// Deserialize replaces the CM's contents from Serialize's format. The
-// spec is unchanged: callers pair a checkpoint with the CM it came from.
-// Checkpoints carry only the pair counts, so per-entry aggregate
-// statistics are marked invalid afterwards: a recovered CM answers
-// lookups (and index-only COUNTs, which need only the counts) but not
-// SUM/AVG/MIN/MAX pushdown until rebuilt from the heap.
+// writeValue serializes one value as kind byte + payload.
+func writeValue(w io.Writer, buf []byte, v value.Value) error {
+	switch v.K {
+	case value.Int:
+		buf[0] = 0
+		binary.LittleEndian.PutUint64(buf[1:9], uint64(v.I))
+		_, err := w.Write(buf[:9])
+		return err
+	case value.Float:
+		buf[0] = 1
+		binary.LittleEndian.PutUint64(buf[1:9], math.Float64bits(v.F))
+		_, err := w.Write(buf[:9])
+		return err
+	default:
+		buf[0] = 2
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(len(v.S)))
+		if _, err := w.Write(buf[:5]); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, v.S)
+		return err
+	}
+}
+
+// readValue reads one value written by writeValue.
+func readValue(r io.Reader, buf []byte) (value.Value, error) {
+	if _, err := io.ReadFull(r, buf[:1]); err != nil {
+		return value.Value{}, err
+	}
+	switch buf[0] {
+	case 0:
+		if _, err := io.ReadFull(r, buf[:8]); err != nil {
+			return value.Value{}, err
+		}
+		return value.NewInt(int64(binary.LittleEndian.Uint64(buf[:8]))), nil
+	case 1:
+		if _, err := io.ReadFull(r, buf[:8]); err != nil {
+			return value.Value{}, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))), nil
+	case 2:
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return value.Value{}, err
+		}
+		sb := make([]byte, binary.LittleEndian.Uint32(buf[:4]))
+		if _, err := io.ReadFull(r, sb); err != nil {
+			return value.Value{}, err
+		}
+		return value.NewString(string(sb)), nil
+	default:
+		return value.Value{}, fmt.Errorf("core: bad value kind byte %d in checkpoint", buf[0])
+	}
+}
+
+// Deserialize replaces the CM's contents from a checkpoint, accepting
+// both formats. A v2 checkpoint whose stat-column layout matches the spec
+// restores the per-entry statistics in full, so index-only aggregation
+// (cm-agg) works immediately. A legacy v1 checkpoint — or a v2 one
+// written under a different stat-column layout — carries no usable
+// statistics; the pair counts load and the statistics are marked invalid,
+// which the table layer repairs with a heap-scan rebuild at recovery.
+// The spec is unchanged: callers pair a checkpoint with the CM it came
+// from.
 func (cm *CM) Deserialize(r io.Reader) error {
-	var buf [8]byte
+	var buf [9]byte
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return err
+	}
+	head := binary.LittleEndian.Uint32(buf[:4])
+	if head != cmCheckpointMagic {
+		return cm.deserializeV1(r, head)
+	}
+	if _, err := io.ReadFull(r, buf[:8]); err != nil {
+		return err
+	}
+	if ver := binary.LittleEndian.Uint32(buf[:4]); ver != cmCheckpointVersion {
+		return fmt.Errorf("core: unsupported CM checkpoint version %d", ver)
+	}
+	nstat := int(binary.LittleEndian.Uint32(buf[4:8]))
+	statCols := make([]int, nstat)
+	for i := range statCols {
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return err
+		}
+		statCols[i] = int(int32(binary.LittleEndian.Uint32(buf[:4])))
+	}
+	// Statistics are only meaningful under the layout they were written
+	// with; a mismatched layout degrades to counts-only (like v1).
+	layoutOK := len(statCols) == len(cm.spec.StatCols)
+	for i := range statCols {
+		if !layoutOK || statCols[i] != cm.spec.StatCols[i] {
+			layoutOK = false
+			break
+		}
+	}
 	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		return err
 	}
 	nk := binary.LittleEndian.Uint32(buf[:4])
+	m := make(map[string]map[int32]*EntryStats, nk)
+	var pairs, size int64
+	specStats := len(cm.spec.StatCols)
+	for i := uint32(0); i < nk; i++ {
+		if _, err := io.ReadFull(r, buf[:2]); err != nil {
+			return err
+		}
+		klen := binary.LittleEndian.Uint16(buf[:2])
+		kb := make([]byte, klen)
+		if _, err := io.ReadFull(r, kb); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return err
+		}
+		np := binary.LittleEndian.Uint32(buf[:4])
+		set := make(map[int32]*EntryStats, np)
+		for j := uint32(0); j < np; j++ {
+			if _, err := io.ReadFull(r, buf[:4]); err != nil {
+				return err
+			}
+			bucket := int32(binary.LittleEndian.Uint32(buf[:4]))
+			if _, err := io.ReadFull(r, buf[:9]); err != nil {
+				return err
+			}
+			st := &EntryStats{
+				Count:   int64(binary.LittleEndian.Uint64(buf[:8])),
+				MMDirty: buf[8] != 0,
+				SumI:    make([]int64, specStats),
+				SumF:    make([]float64, specStats),
+				Min:     make([]value.Value, specStats),
+				Max:     make([]value.Value, specStats),
+			}
+			for s := 0; s < nstat; s++ {
+				if _, err := io.ReadFull(r, buf[:8]); err != nil {
+					return err
+				}
+				sumI := int64(binary.LittleEndian.Uint64(buf[:8]))
+				if _, err := io.ReadFull(r, buf[:8]); err != nil {
+					return err
+				}
+				sumF := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+				minV, err := readValue(r, buf[:])
+				if err != nil {
+					return err
+				}
+				maxV, err := readValue(r, buf[:])
+				if err != nil {
+					return err
+				}
+				if layoutOK {
+					st.SumI[s], st.SumF[s] = sumI, sumF
+					st.Min[s], st.Max[s] = minV, maxV
+				}
+			}
+			set[bucket] = st
+		}
+		m[string(kb)] = set
+		pairs += int64(np)
+		size += keyOverhead + int64(klen) + pairOverhead*int64(np)
+	}
+	cm.m = m
+	cm.pairs = pairs
+	cm.size = size
+	cm.statsInvalid = !layoutOK
+	return nil
+}
+
+// deserializeV1 finishes reading a legacy checkpoint whose leading u32
+// (the key count) was already consumed. Statistics are marked invalid.
+func (cm *CM) deserializeV1(r io.Reader, nk uint32) error {
+	var buf [8]byte
 	m := make(map[string]map[int32]*EntryStats, nk)
 	var pairs, size int64
 	for i := uint32(0); i < nk; i++ {
@@ -468,4 +733,14 @@ func (cm *CM) Deserialize(r io.Reader) error {
 	cm.size = size
 	cm.statsInvalid = true
 	return nil
+}
+
+// Reset empties the CM (keys, pairs, size accounting) and marks its
+// statistics valid again: the entry point for a full rebuild, after which
+// the caller re-adds every live row with AddRow.
+func (cm *CM) Reset() {
+	cm.m = make(map[string]map[int32]*EntryStats)
+	cm.pairs = 0
+	cm.size = 0
+	cm.statsInvalid = false
 }

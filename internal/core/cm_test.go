@@ -206,14 +206,154 @@ func TestCompositeCM(t *testing.T) {
 
 func TestSizeAccountingMatchesSerializedSize(t *testing.T) {
 	cm := cityStateCM()
+	// SizeBytes incrementally tracks the counts-only (v1) layout; the
+	// real v1 serialization adds only the 4-byte key count header.
+	var v1 bytes.Buffer
+	if err := cm.SerializeV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cm.SizeBytes()+4, int64(v1.Len()); got != want {
+		t.Errorf("SizeBytes+4 = %d, v1 serialized = %d", got, want)
+	}
+	// The v2 checkpoint carries the stats blocks on top, so it is
+	// strictly larger than the count structure alone.
+	var v2 bytes.Buffer
+	if err := cm.Serialize(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if int64(v2.Len()) <= int64(v1.Len()) {
+		t.Errorf("v2 checkpoint (%d bytes) not larger than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+}
+
+// statsCM builds a CM carrying per-entry statistics over a two-column
+// row shape (col 0 an int key, col 1 a float measure), exercising both
+// sum carriers plus min/max.
+func statsCM() *CM {
+	cm := New(Spec{Name: "k", UCols: []int{0}, StatCols: []int{0, 1}})
+	for i := 0; i < 40; i++ {
+		row := value.Row{value.NewInt(int64(i % 5)), value.NewFloat(float64(i) + 0.25)}
+		cm.AddRow(row, int32(i/10))
+	}
+	return cm
+}
+
+// flatStats flattens a CM's per-entry statistic blocks into a
+// comparable map keyed by (key bytes, clustered bucket).
+func flatStats(t *testing.T, cm *CM) map[string]EntryStats {
+	t.Helper()
+	out := map[string]EntryStats{}
+	err := cm.WalkStats(func(key []byte, _ []value.Value, buckets map[int32]*EntryStats) bool {
+		for cb, es := range buckets {
+			flat := *es
+			out[string(key)+"/"+string(rune(cb))] = flat
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func statsEqual(a, b EntryStats) bool {
+	if a.Count != b.Count || a.MMDirty != b.MMDirty {
+		return false
+	}
+	if len(a.SumI) != len(b.SumI) || len(a.SumF) != len(b.SumF) ||
+		len(a.Min) != len(b.Min) || len(a.Max) != len(b.Max) {
+		return false
+	}
+	for i := range a.SumI {
+		if a.SumI[i] != b.SumI[i] {
+			return false
+		}
+	}
+	for i := range a.SumF {
+		if a.SumF[i] != b.SumF[i] {
+			return false
+		}
+	}
+	for i := range a.Min {
+		if a.Min[i] != b.Min[i] || a.Max[i] != b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSerializeV2PreservesStats pins the versioned checkpoint: a
+// Serialize -> Deserialize round trip keeps every per-entry statistic
+// block bit-exact and the CM still reports StatsValid, so index-only
+// aggregation survives recovery.
+func TestSerializeV2PreservesStats(t *testing.T) {
+	cm := statsCM()
 	var buf bytes.Buffer
 	if err := cm.Serialize(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// SizeBytes is the incremental estimate; the real serialization adds
-	// only the 4-byte key count header.
-	if got, want := cm.SizeBytes()+4, int64(buf.Len()); got != want {
-		t.Errorf("SizeBytes+4 = %d, serialized = %d", got, want)
+	cm2 := New(cm.Spec())
+	if err := cm2.Deserialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !cm2.StatsValid() {
+		t.Fatal("v2 round trip lost statistics validity")
+	}
+	want, got := flatStats(t, cm), flatStats(t, cm2)
+	if len(got) != len(want) {
+		t.Fatalf("round trip has %d entries, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("entry %q missing after round trip", k)
+		}
+		if !statsEqual(g, w) {
+			t.Errorf("entry %q stats drifted: got %+v want %+v", k, g, w)
+		}
+	}
+}
+
+// TestSerializeV1DropsStats pins the legacy path: a counts-only v1
+// checkpoint deserializes with the pair structure intact but the CM
+// marked statistics-invalid, so the planner will not answer aggregates
+// from it until the table layer rebuilds the stats.
+func TestSerializeV1DropsStats(t *testing.T) {
+	cm := statsCM()
+	var buf bytes.Buffer
+	if err := cm.SerializeV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cm2 := New(cm.Spec())
+	if err := cm2.Deserialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if cm2.StatsValid() {
+		t.Fatal("v1 checkpoint must leave statistics invalid")
+	}
+	if cm2.Keys() != cm.Keys() || cm2.Pairs() != cm.Pairs() {
+		t.Fatalf("v1 counts drifted: keys %d/%d pairs %d/%d",
+			cm2.Keys(), cm.Keys(), cm2.Pairs(), cm.Pairs())
+	}
+	got := cm2.Lookup(value.NewInt(2))
+	if len(got) != 4 {
+		t.Fatalf("v1 lookup = %v, want the 4 buckets", got)
+	}
+	// A stats-layout mismatch in a v2 header degrades the same way:
+	// counts load, stats are marked invalid rather than misattributed.
+	other := New(Spec{Name: "k", UCols: []int{0}, StatCols: []int{1}})
+	var v2 bytes.Buffer
+	if err := cm.Serialize(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Deserialize(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if other.StatsValid() {
+		t.Fatal("stat-column layout mismatch must invalidate statistics")
+	}
+	if other.Pairs() != cm.Pairs() {
+		t.Fatalf("layout mismatch lost counts: %d vs %d", other.Pairs(), cm.Pairs())
 	}
 }
 

@@ -405,13 +405,13 @@ func AggregateOr(t *table.Table, oq OrQuery, op OrPlan, workers int, specs []Agg
 		}
 	}
 	need := aggNeedCols(len(t.Schema().Cols), oq, specs, groupBy)
-	return aggregatePages(t, pages, filter, need, workers, specs, groupBy)
+	return aggregatePages(t, pages, filter, need, oq.Snap, workers, specs, groupBy)
 }
 
-// aggregatePages folds the tuples of the given pages into partial
-// aggregates, one per fixed-size chunk, and merges the partials in
-// chunk order.
-func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, workers int, specs []AggSpec, groupBy []int) ([]value.Row, error) {
+// aggregatePages folds the tuples of the given pages (visible to snap)
+// into partial aggregates, one per fixed-size chunk, and merges the
+// partials in chunk order.
+func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, snap uint64, workers int, specs []AggSpec, groupBy []int) ([]value.Row, error) {
 	sch := t.Schema()
 	nchunks := (len(pages) + aggChunkPages - 1) / aggChunkPages
 	chunks := chunkSlices(len(pages), nchunks)
@@ -422,7 +422,7 @@ func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, w
 		sub := pages[chunks[i][0]:chunks[i][1]]
 		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
 			var innerErr error
-			err := t.Heap().ScanPages(lo, hi, func(_ heap.RID, tuple []byte) bool {
+			err := t.Heap().ScanPagesAt(lo, hi, snap, func(_ heap.RID, tuple []byte) bool {
 				ok, err := m.Matches(tuple)
 				if err != nil {
 					innerErr = err

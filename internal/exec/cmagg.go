@@ -324,7 +324,7 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 		sub := pages[chunks[i][0]:chunks[i][1]]
 		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
 			var innerErr error
-			err := t.Heap().ScanPages(lo, hi, func(_ heap.RID, tuple []byte) bool {
+			err := t.Heap().ScanPagesAt(lo, hi, p.q.Snap, func(_ heap.RID, tuple []byte) bool {
 				ok, err := filter.Matches(tuple)
 				if err != nil {
 					innerErr = err

@@ -37,6 +37,9 @@ import (
 type OrQuery struct {
 	Disjuncts []Query
 	Proj      []int
+	// Snap is the MVCC snapshot the disjunction reads as of (see
+	// Query.Snap). 0 reads the latest state.
+	Snap uint64
 }
 
 // NewOrQuery builds a disjunctive query from conjunctions.

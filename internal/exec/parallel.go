@@ -208,7 +208,7 @@ func scanChunks(workers, pages int) int {
 func collectPageRange(t *table.Table, lo, hi int64, ls *lazyScan, cancel *atomic.Bool, out []matchRow) ([]matchRow, error) {
 	var innerErr error
 	curPage := int64(-1)
-	err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
+	err := t.Heap().ScanPagesAt(lo, hi, ls.snap, func(rid heap.RID, tuple []byte) bool {
 		if rid.Page != curPage {
 			curPage = rid.Page
 			if cancel != nil && cancel.Load() {
@@ -467,7 +467,7 @@ func fetchRIDBatch(t *table.Table, batch []heap.RID, ls *lazyScan, cancel *atomi
 		}
 		var innerErr error
 		curPage := int64(-1)
-		err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
+		err := t.Heap().ScanPagesAt(lo, hi, ls.snap, func(rid heap.RID, tuple []byte) bool {
 			if rid.Page != curPage {
 				curPage = rid.Page
 				if cancel != nil && cancel.Load() {

@@ -181,6 +181,11 @@ type Query struct {
 	// remaining entries stay zero values. An empty non-nil slice is
 	// valid for callers that only need RIDs or match counts.
 	Proj []int
+	// Snap is the MVCC snapshot the scan reads as of: every access path
+	// filters heap tuples through their begin/end timestamps against it,
+	// so a query never observes a concurrent writer statement's
+	// half-applied changes. 0 (the default) reads the latest state.
+	Snap uint64
 }
 
 // NewQuery builds a query from predicates.

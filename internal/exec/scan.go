@@ -29,12 +29,13 @@ type tupleMatcher interface {
 }
 
 // lazyScan bundles what every lazy access path needs: the compiled
-// filter, the columns to materialize for survivors, and a reusable
-// scratch row for serial emission.
+// filter, the columns to materialize for survivors, the MVCC snapshot the
+// scan reads as of, and a reusable scratch row for serial emission.
 type lazyScan struct {
 	sch     table.Schema
 	filter  tupleMatcher
 	need    []int
+	snap    uint64
 	scratch value.Row
 }
 
@@ -44,6 +45,7 @@ func newLazyScan(t *table.Table, q Query) *lazyScan {
 		sch:     sch,
 		filter:  CompileFilter(sch, q),
 		need:    q.MaterializeCols(len(sch.Cols)),
+		snap:    q.Snap,
 		scratch: make(value.Row, len(sch.Cols)),
 	}
 }
@@ -57,6 +59,7 @@ func newOrLazyScan(t *table.Table, oq OrQuery) *lazyScan {
 		sch:     sch,
 		filter:  CompileOrFilter(sch, oq),
 		need:    oq.MaterializeCols(len(sch.Cols)),
+		snap:    oq.Snap,
 		scratch: make(value.Row, len(sch.Cols)),
 	}
 }
@@ -104,8 +107,9 @@ func TableScan(t *table.Table, q Query, fn RowFunc) error {
 // tableScanLS is TableScan over a pre-built lazyScan, shared with the
 // OR executor (whose filter is a disjunction).
 func tableScanLS(t *table.Table, ls *lazyScan, fn RowFunc) error {
+	h := t.Heap()
 	var innerErr error
-	err := t.Heap().Scan(func(rid heap.RID, tuple []byte) bool {
+	err := h.ScanPagesAt(0, h.NumPages()-1, ls.snap, func(rid heap.RID, tuple []byte) bool {
 		cont, err := ls.emit(rid, tuple, fn)
 		if err != nil {
 			innerErr = err
@@ -234,7 +238,7 @@ func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) er
 		var cbErr error
 		err := ix.ScanRange(r.Lo, r.Hi, func(rid heap.RID) bool {
 			curRID = rid
-			if err := h.View(rid, view); err != nil {
+			if err := h.ViewAt(rid, ls.snap, view); err != nil {
 				cbErr = err
 				return false
 			}
@@ -338,7 +342,7 @@ func sweepPagesLS(t *table.Table, pages []int64, ls *lazyScan, fn RowFunc) error
 	return forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
 		var innerErr error
 		stop := false
-		err := t.Heap().ScanPages(lo, hi, func(rid heap.RID, tuple []byte) bool {
+		err := t.Heap().ScanPagesAt(lo, hi, ls.snap, func(rid heap.RID, tuple []byte) bool {
 			cont, err := ls.emit(rid, tuple, fn)
 			if err != nil {
 				innerErr = err

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// This file is the UPDATE executor. An UPDATE runs in two phases under
+// the table's writer gate: a read phase that collects the RIDs and new
+// images of every matching row through the planned access path, and a
+// write phase that applies them as one MVCC writer statement
+// (WriteTxn.UpdateBatch — Algorithm 1's retraction + reinsert per row).
+// Collecting fully before writing sidesteps the Halloween problem: the
+// scan can never see the rows it is about to produce. Because every
+// access path emits rows in physical heap order at any worker count, the
+// collected RID sequence — and therefore the written table state — is
+// byte-identical for serial and parallel execution.
+
+// SetClause is one assignment of an UPDATE statement: the target column
+// and the literal value it takes. (The SQL surface only admits literal
+// right-hand sides.)
+type SetClause struct {
+	Col int
+	Val value.Value
+}
+
+// String renders the assignment for plan details.
+func (s SetClause) String() string {
+	return fmt.Sprintf("col%d = %v", s.Col, s.Val)
+}
+
+// CheckSets validates the assignments against a schema: known columns,
+// no duplicate targets, and value kinds matching the column kinds.
+func CheckSets(sch table.Schema, sets []SetClause) error {
+	if len(sets) == 0 {
+		return fmt.Errorf("exec: UPDATE with no assignments")
+	}
+	seen := make(map[int]bool, len(sets))
+	for _, s := range sets {
+		if s.Col < 0 || s.Col >= len(sch.Cols) {
+			return fmt.Errorf("exec: UPDATE of unknown column %d", s.Col)
+		}
+		if seen[s.Col] {
+			return fmt.Errorf("exec: duplicate assignment to column %s", sch.Cols[s.Col].Name)
+		}
+		seen[s.Col] = true
+		if s.Val.K != sch.Cols[s.Col].Kind {
+			return fmt.Errorf("exec: cannot assign %v value to %v column %s",
+				s.Val.K, sch.Cols[s.Col].Kind, sch.Cols[s.Col].Name)
+		}
+	}
+	return nil
+}
+
+// ApplySets returns a fresh row: src with every assignment applied.
+func ApplySets(src value.Row, sets []SetClause) value.Row {
+	out := src.Clone()
+	for _, s := range sets {
+		out[s.Col] = s.Val
+	}
+	return out
+}
+
+// UpdateByScan executes an UPDATE: run streams the matching rows (full
+// rows, physical order) out of the chosen access path, and the write
+// phase replaces each under one writer statement. It returns the number
+// of rows updated. The caller must NOT hold the table latch — the writer
+// statement takes the writer gate itself and latches per batch.
+func UpdateByScan(t *table.Table, run func(fn RowFunc) error, sets []SetClause) (int64, error) {
+	if err := CheckSets(t.Schema(), sets); err != nil {
+		return 0, err
+	}
+	tx := t.BeginWrite()
+	var olds []heap.RID
+	var news []value.Row
+	err := run(func(rid heap.RID, row value.Row) bool {
+		olds = append(olds, rid)
+		news = append(news, ApplySets(row, sets))
+		return true
+	})
+	if err == nil {
+		err = tx.UpdateBatch(olds, news)
+	}
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	return int64(len(olds)), tx.Publish()
+}

@@ -4,6 +4,14 @@
 // A heap page holds a small header, a slot directory that grows forward and
 // tuple bytes that grow backward from the end of the page. Tuples are
 // opaque byte strings; the table layer encodes and decodes rows.
+//
+// Every tuple additionally carries a pair of MVCC timestamps (begin, end)
+// in an in-memory side array. A tuple is visible to a snapshot when it was
+// created at or before the snapshot and not ended by it; snapshot 0 is the
+// "latest" sentinel that sees exactly the tuples whose end timestamp is
+// unset. Bulk-loaded and legacy appends begin at 0 ("since forever"), so
+// single-threaded callers that never use snapshots observe the historical
+// behavior: a tuple is live until ended or physically deleted.
 package heap
 
 import (
@@ -40,13 +48,37 @@ func (r RID) Less(o RID) bool {
 // String renders the RID as page:slot.
 func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 
+// tupleVersion holds the MVCC begin/end timestamps of one slot. A zero
+// begin means "visible since forever" (bulk loads, legacy appends); a zero
+// end means "not ended".
+type tupleVersion struct {
+	begin, end uint64
+}
+
+// visibleAt reports whether a version is visible to a snapshot. Snapshot 0
+// is the latest-state sentinel: it sees exactly the un-ended tuples.
+func visibleAt(v tupleVersion, snap uint64) bool {
+	if snap == 0 {
+		return v.end == 0
+	}
+	return v.begin <= snap && (v.end == 0 || v.end > snap)
+}
+
 // File is a heap file of slotted pages.
+//
+// Concurrency matches the owning table's latch discipline: the version side
+// arrays are plain slices, so mutators (Append, SetEnd, Delete) must hold
+// the table latch exclusively while readers hold it shared.
 type File struct {
 	pool *buffer.Pool
 	file sim.FileID
 
 	numPages int64
 	tuples   int64
+
+	// vers[page][slot] carries the tuple's MVCC timestamps. Grown in
+	// lockstep with the slot directories.
+	vers [][]tupleVersion
 }
 
 // NewFile creates an empty heap file on the pool's disk.
@@ -101,8 +133,17 @@ func pageFree(d []byte) int {
 	return pageCellStart(d) - headerSize - pageNumSlots(d)*slotSize
 }
 
-// Append stores tuple at the end of the file and returns its RID.
+// Append stores tuple at the end of the file and returns its RID. The
+// tuple begins at timestamp 0, visible to every snapshot.
 func (h *File) Append(tuple []byte) (RID, error) {
+	return h.AppendAt(tuple, 0)
+}
+
+// AppendAt stores tuple at the end of the file with the given MVCC begin
+// timestamp: the tuple is invisible to snapshots older than begin, which
+// is how a writer statement keeps its new row versions hidden until it
+// publishes.
+func (h *File) AppendAt(tuple []byte, begin uint64) (RID, error) {
 	need := len(tuple) + slotSize
 	ps := h.pool.Disk().PageSize()
 	if need > ps-headerSize {
@@ -117,6 +158,7 @@ func (h *File) Append(tuple []byte) (RID, error) {
 		if pageFree(fr.Data) >= need {
 			rid := placeTuple(fr.Data, last, tuple)
 			h.pool.Unpin(fr, true)
+			h.vers[last] = append(h.vers[last], tupleVersion{begin: begin})
 			h.tuples++
 			return rid, nil
 		}
@@ -129,9 +171,64 @@ func (h *File) Append(tuple []byte) (RID, error) {
 	initPage(fr.Data)
 	rid := placeTuple(fr.Data, page, tuple)
 	h.pool.Unpin(fr, true)
+	h.vers = append(h.vers, []tupleVersion{{begin: begin}})
 	h.numPages++
 	h.tuples++
 	return rid, nil
+}
+
+// SetEnd marks the tuple at rid logically deleted as of timestamp end: it
+// stays readable by snapshots older than end (the tuple bytes are
+// untouched) and disappears from newer ones. The live-tuple count drops by
+// one. Space is not reclaimed.
+func (h *File) SetEnd(rid RID, end uint64) error {
+	v, err := h.version(rid)
+	if err != nil {
+		return err
+	}
+	if v.end != 0 {
+		return fmt.Errorf("heap: RID %v already ended at %d", rid, v.end)
+	}
+	v.end = end
+	h.tuples--
+	return nil
+}
+
+// ClearEnd undoes a SetEnd (writer-statement abort), restoring the tuple
+// to live.
+func (h *File) ClearEnd(rid RID) error {
+	v, err := h.version(rid)
+	if err != nil {
+		return err
+	}
+	if v.end == 0 {
+		return fmt.Errorf("heap: RID %v is not ended", rid)
+	}
+	v.end = 0
+	h.tuples++
+	return nil
+}
+
+// version resolves the MVCC timestamps of a slot, checking bounds.
+func (h *File) version(rid RID) (*tupleVersion, error) {
+	if rid.Page < 0 || rid.Page >= h.numPages {
+		return nil, fmt.Errorf("heap: RID %v out of range (pages=%d)", rid, h.numPages)
+	}
+	pv := h.vers[rid.Page]
+	if int(rid.Slot) >= len(pv) {
+		return nil, fmt.Errorf("heap: RID %v slot out of range", rid)
+	}
+	return &pv[rid.Slot], nil
+}
+
+// Visible reports whether the tuple at rid is visible to the snapshot
+// (false for out-of-range RIDs).
+func (h *File) Visible(rid RID, snap uint64) bool {
+	v, err := h.version(rid)
+	if err != nil {
+		return false
+	}
+	return visibleAt(*v, snap)
 }
 
 // placeTuple writes the tuple into the page, assuming space was checked.
@@ -145,7 +242,8 @@ func placeTuple(d []byte, page int64, tuple []byte) RID {
 	return RID{Page: page, Slot: uint16(n)}
 }
 
-// Get returns a copy of the tuple at rid. Deleted tuples return nil data.
+// Get returns a copy of the tuple at rid as the latest state sees it.
+// Deleted (physically or logically) tuples return nil data.
 func (h *File) Get(rid RID) ([]byte, error) {
 	if rid.Page < 0 || rid.Page >= h.numPages {
 		return nil, fmt.Errorf("heap: RID %v out of range (pages=%d)", rid, h.numPages)
@@ -159,7 +257,7 @@ func (h *File) Get(rid RID) ([]byte, error) {
 		return nil, fmt.Errorf("heap: RID %v slot out of range", rid)
 	}
 	off, length := slotAt(fr.Data, int(rid.Slot))
-	if length == 0 {
+	if length == 0 || !visibleAt(h.vers[rid.Page][rid.Slot], 0) {
 		return nil, nil // deleted
 	}
 	out := make([]byte, length)
@@ -167,11 +265,18 @@ func (h *File) Get(rid RID) ([]byte, error) {
 	return out, nil
 }
 
-// View calls fn with the live tuple bytes at rid; the slice aliases the
-// pinned frame and is only valid during the call. Deleted tuples skip
-// fn. Unlike Get, View copies nothing — the executor's probe path uses
-// it so tuples rejected by the compiled filter cost no allocation.
+// View calls fn with the latest-visible tuple bytes at rid; the slice
+// aliases the pinned frame and is only valid during the call. Deleted
+// tuples skip fn. Unlike Get, View copies nothing — the executor's probe
+// path uses it so tuples rejected by the compiled filter cost no
+// allocation.
 func (h *File) View(rid RID, fn func(tuple []byte) error) error {
+	return h.ViewAt(rid, 0, fn)
+}
+
+// ViewAt is View as of a snapshot: fn runs only when the tuple at rid is
+// visible to snap.
+func (h *File) ViewAt(rid RID, snap uint64, fn func(tuple []byte) error) error {
 	if rid.Page < 0 || rid.Page >= h.numPages {
 		return fmt.Errorf("heap: RID %v out of range (pages=%d)", rid, h.numPages)
 	}
@@ -184,14 +289,18 @@ func (h *File) View(rid RID, fn func(tuple []byte) error) error {
 		return fmt.Errorf("heap: RID %v slot out of range", rid)
 	}
 	off, length := slotAt(fr.Data, int(rid.Slot))
-	if length == 0 {
-		return nil // deleted
+	if length == 0 || !visibleAt(h.vers[rid.Page][rid.Slot], snap) {
+		return nil // deleted or invisible to this snapshot
 	}
 	return fn(fr.Data[off : off+length])
 }
 
-// Delete marks the tuple at rid deleted. Space is not reclaimed; the
-// engine's workloads (like the paper's) are append-and-delete light.
+// Delete physically erases the tuple at rid: the slot bytes are zeroed,
+// so no snapshot can read it afterward. Writer statements use it only to
+// discard their own never-published appends (abort); published history
+// instead ends logically with SetEnd so older snapshots keep reading the
+// bytes. Space is not reclaimed; the engine's workloads (like the
+// paper's) are append-and-delete light.
 func (h *File) Delete(rid RID) error {
 	if rid.Page < 0 || rid.Page >= h.numPages {
 		return fmt.Errorf("heap: RID %v out of range", rid)
@@ -209,18 +318,29 @@ func (h *File) Delete(rid RID) error {
 		return nil // already deleted
 	}
 	setSlotAt(fr.Data, int(rid.Slot), off, 0)
-	h.tuples--
+	if h.vers[rid.Page][rid.Slot].end == 0 {
+		h.tuples-- // erasing a live tuple; ended ones were already counted out
+	}
+	h.vers[rid.Page][rid.Slot].end = ^uint64(0)
 	return nil
 }
 
-// Scan visits every live tuple in physical order. The callback's tuple
-// slice is only valid during the call. Returning false stops the scan.
+// Scan visits every latest-visible tuple in physical order. The
+// callback's tuple slice is only valid during the call. Returning false
+// stops the scan.
 func (h *File) Scan(fn func(rid RID, tuple []byte) bool) error {
-	return h.ScanPages(0, h.numPages-1, fn)
+	return h.ScanPagesAt(0, h.numPages-1, 0, fn)
 }
 
-// ScanPages visits live tuples on pages [from, to] in physical order.
+// ScanPages visits latest-visible tuples on pages [from, to] in physical
+// order.
 func (h *File) ScanPages(from, to int64, fn func(rid RID, tuple []byte) bool) error {
+	return h.ScanPagesAt(from, to, 0, fn)
+}
+
+// ScanPagesAt visits the tuples on pages [from, to] visible to the given
+// snapshot, in physical order. Snapshot 0 means latest.
+func (h *File) ScanPagesAt(from, to int64, snap uint64, fn func(rid RID, tuple []byte) bool) error {
 	if from < 0 {
 		from = 0
 	}
@@ -233,9 +353,10 @@ func (h *File) ScanPages(from, to int64, fn func(rid RID, tuple []byte) bool) er
 			return err
 		}
 		n := pageNumSlots(fr.Data)
+		pv := h.vers[p]
 		for s := 0; s < n; s++ {
 			off, length := slotAt(fr.Data, s)
-			if length == 0 {
+			if length == 0 || !visibleAt(pv[s], snap) {
 				continue
 			}
 			if !fn(RID{Page: p, Slot: uint16(s)}, fr.Data[off:off+length]) {
@@ -257,9 +378,10 @@ func (h *File) TuplesOnPage(page int64) (int, error) {
 	}
 	defer h.pool.Unpin(fr, false)
 	n := pageNumSlots(fr.Data)
+	pv := h.vers[page]
 	live := 0
 	for s := 0; s < n; s++ {
-		if _, length := slotAt(fr.Data, s); length > 0 {
+		if _, length := slotAt(fr.Data, s); length > 0 && pv[s].end == 0 {
 			live++
 		}
 	}

@@ -50,8 +50,12 @@ func (tr *Tree) Optimize(sp exec.StatsProvider) error {
 	// by one CM answers from the bucket statistics when the §4 model says
 	// the hybrid remainder (impure buckets only) beats the best
 	// heap-visiting path. A fully pure plan costs zero I/O and always
-	// wins.
-	if spec.IsAggregate() && spec.Force == Auto && !tr.useOr {
+	// wins. While a writer statement is mid-flight the CM directory
+	// already carries the statement's additions (its retractions are
+	// deferred to publish), so the statistics describe a state no snapshot
+	// can see — the lowering stands down and the heap-visiting paths,
+	// which re-filter through tuple visibility, answer instead.
+	if spec.IsAggregate() && spec.Force == Auto && !tr.useOr && !tr.t.WriterActive() {
 		h := costmodel.DefaultHardware()
 		ts := sp.TableStats(tr.t)
 		for _, cm := range tr.t.CMs() {

@@ -83,6 +83,11 @@ type Spec struct {
 	// Limit caps the result rows when positive (plain unsorted queries
 	// stop their scan early; sorted ones bound the top-K heap).
 	Limit int
+	// Snap is the MVCC snapshot every access path reads as of (see
+	// exec.Query.Snap). Build stamps it onto each disjunct, so the whole
+	// tree sees one consistent table version even while a concurrent
+	// writer statement is mid-flight. 0 reads the latest state.
+	Snap uint64
 }
 
 // IsAggregate reports whether the spec computes aggregates or groups.
@@ -117,6 +122,11 @@ const (
 	KindSort
 	// KindLimit caps the result row count.
 	KindLimit
+	// KindUpdate is the write operator of an UPDATE statement: it
+	// consumes the matching rows from the access chain below it and
+	// replaces each under one MVCC writer statement (Algorithm-1
+	// retraction + reinsert per row).
+	KindUpdate
 )
 
 // String names the kind as EXPLAIN prints it.
@@ -140,6 +150,8 @@ func (k Kind) String() string {
 		return "sort"
 	case KindLimit:
 		return "limit"
+	case KindUpdate:
+		return "update"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -185,6 +197,9 @@ type Tree struct {
 func Build(t *table.Table, spec Spec) (*Tree, error) {
 	if len(spec.Disjuncts) == 0 {
 		spec.Disjuncts = []exec.Query{{}}
+	}
+	for i := range spec.Disjuncts {
+		spec.Disjuncts[i].Snap = spec.Snap
 	}
 	if len(spec.Disjuncts) > 1 && spec.Force != Auto {
 		return nil, fmt.Errorf("plan: OR queries plan access paths per disjunct; the method must be Auto")

@@ -46,7 +46,7 @@ func (tr *Tree) Rows(workers int) ([]value.Row, error) {
 // fallback), with the scan-level projection pushed down.
 func (tr *Tree) runAccess(scanProj []int, workers int, emit exec.RowFunc) error {
 	if tr.useOr {
-		oq := exec.OrQuery{Disjuncts: tr.spec.Disjuncts, Proj: scanProj}
+		oq := exec.OrQuery{Disjuncts: tr.spec.Disjuncts, Proj: scanProj, Snap: tr.spec.Snap}
 		return tr.orPlan.RunParallel(tr.t, oq, workers, emit)
 	}
 	q := tr.spec.Disjuncts[0]
@@ -158,7 +158,7 @@ func (tr *Tree) runAggregate(workers int, sink RowSink) error {
 	if tr.cmagg != nil {
 		rows, err = tr.cmagg.Run(tr.t, workers)
 	} else {
-		oq := exec.OrQuery{Disjuncts: spec.Disjuncts}
+		oq := exec.OrQuery{Disjuncts: spec.Disjuncts, Snap: spec.Snap}
 		rows, err = exec.AggregateOr(tr.t, oq, tr.orPlan, workers, spec.Aggs, spec.GroupBy)
 	}
 	if err != nil {

@@ -1,0 +1,80 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/table"
+)
+
+// UpdateTree is a compiled UPDATE statement: an update node on top of
+// the read plan that finds the matching rows. The read side goes through
+// the same Build → Optimize pipeline as a select, so UPDATE ... WHERE
+// picks its access path with the Section 4 cost model and EXPLAIN shows
+// exactly the chain Run executes.
+type UpdateTree struct {
+	// Root is the operator chain: the update node above the read plan.
+	Root *Node
+
+	inner *Tree
+	sets  []exec.SetClause
+}
+
+// CompileUpdate builds and optimizes an UPDATE: the spec is the read
+// side (WHERE clause in Disjuncts; aggregates, ordering, limits and
+// projections are rejected — an UPDATE touches whole rows), sets are the
+// assignments. Callers Run the result without holding the table latch.
+func CompileUpdate(t *table.Table, spec Spec, sets []exec.SetClause, sp exec.StatsProvider) (*UpdateTree, error) {
+	if spec.IsAggregate() || len(spec.Having) > 0 {
+		return nil, fmt.Errorf("plan: UPDATE cannot aggregate")
+	}
+	if len(spec.OrderBy) > 0 || spec.Limit > 0 {
+		return nil, fmt.Errorf("plan: UPDATE takes no ORDER BY or LIMIT")
+	}
+	if spec.Proj != nil {
+		return nil, fmt.Errorf("plan: UPDATE takes no projection")
+	}
+	if err := exec.CheckSets(t.Schema(), sets); err != nil {
+		return nil, err
+	}
+	inner, err := Compile(t, spec, sp)
+	if err != nil {
+		return nil, err
+	}
+	sch := t.Schema()
+	parts := make([]string, len(sets))
+	for i, s := range sets {
+		parts[i] = fmt.Sprintf("%s = %v", sch.Cols[s.Col].Name, s.Val)
+	}
+	return &UpdateTree{
+		Root: &Node{
+			Kind:   KindUpdate,
+			Detail: "set " + strings.Join(parts, ", "),
+			Child:  inner.Root,
+		},
+		inner: inner,
+		sets:  sets,
+	}, nil
+}
+
+// Run executes the UPDATE with the given scan fan-out and returns the
+// number of rows updated. The read phase streams matching rows in
+// physical heap order (identical at any worker count), so the resulting
+// table state is byte-identical for serial and parallel execution. The
+// caller must not hold the table latch: the writer statement takes the
+// writer gate for the whole read + write span and latches per batch, so
+// concurrent readers are never blocked for more than one batch.
+func (ut *UpdateTree) Run(workers int) (int64, error) {
+	return exec.UpdateByScan(ut.inner.t, func(fn exec.RowFunc) error {
+		return ut.inner.runAccess(nil, workers, fn)
+	}, ut.sets)
+}
+
+// Explain flattens the update tree for EXPLAIN: the read plan's info
+// with the update node appended at the top of the chain.
+func (ut *UpdateTree) Explain() Info {
+	info := ut.inner.Explain()
+	info.Nodes = append(info.Nodes, NodeInfo{Kind: ut.Root.Kind.String(), Detail: ut.Root.Detail})
+	return info
+}

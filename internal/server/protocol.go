@@ -24,7 +24,10 @@ import (
 //	  {"columns": [...], "rows": [[...]], "message": "...",
 //	   "affected": N, "error": "..."}
 //	with "error" set when that statement failed. Ints arrive as JSON
-//	numbers, floats as numbers, strings as strings.
+//	numbers, floats as numbers, strings as strings. A statement whose
+//	encoded result would exceed the 4 MiB line cap answers with a
+//	per-statement "error" naming the statement and its row count; the
+//	session stays alive and later statements still run.
 
 // Request is the JSON form of one client request line.
 type Request struct {

@@ -14,7 +14,10 @@ import (
 )
 
 // maxLineBytes bounds one request line (a giant INSERT script still
-// fits; a runaway client cannot balloon server memory).
+// fits; a runaway client cannot balloon server memory). The same cap
+// bounds one statement's encoded result on the way out: clients mirror
+// it on their read side, so a response past it would cut their session
+// instead of reporting anything useful.
 const maxLineBytes = 4 << 20
 
 // Config tunes a Server.
@@ -185,7 +188,23 @@ func (s *Server) handle(line string) (Response, int) {
 	}
 	resp := Response{Results: make([]StmtResult, len(results))}
 	for i, r := range results {
-		resp.Results[i] = stmtResult(r)
+		resp.Results[i] = capStmtResult(i, stmtResult(r))
 	}
 	return resp, len(results)
+}
+
+// capStmtResult enforces the response-size cap per statement: a result
+// whose JSON encoding exceeds maxLineBytes is replaced by a clean
+// per-statement error naming the statement and its row count, so the
+// session survives and every other statement on the line still answers.
+// Without this, an oversized response line kills the connection on the
+// client side, which reads with the same maxLineBytes bound.
+func capStmtResult(i int, sr StmtResult) StmtResult {
+	b, err := json.Marshal(sr)
+	if err != nil || len(b) <= maxLineBytes {
+		return sr
+	}
+	return StmtResult{Error: fmt.Sprintf(
+		"server: statement %d result is %d bytes, past the %d-byte response cap (%d rows); add a LIMIT or a tighter WHERE",
+		i+1, len(b), maxLineBytes, len(sr.Rows))}
 }

@@ -299,6 +299,61 @@ func TestServerSessionIsolation(t *testing.T) {
 	}
 }
 
+// TestServerOversizedResultCap asserts a statement whose encoded result
+// exceeds the 4 MiB line cap answers with a clean per-statement error
+// (naming the statement and its row count) instead of killing the
+// connection: the other statements on the line still run and the
+// session stays alive for later requests.
+func TestServerOversizedResultCap(t *testing.T) {
+	db, addr, stop := startServer(t)
+	defer stop()
+
+	// Build > 4 MiB of result payload natively — the request-line cap
+	// would reject loading this over the wire in one statement.
+	if _, err := db.CreateTable(repro.TableSpec{
+		Name:        "big",
+		Columns:     []repro.Column{{Name: "k", Kind: repro.Int}, {Name: "body", Kind: repro.String}},
+		ClusteredBy: []string{"k"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wide := strings.Repeat("x", 2<<10)
+	rows := make([]repro.Row, 2560) // 2560 * 2 KiB of string payload > 4 MiB encoded
+	for i := range rows {
+		rows[i] = repro.Row{repro.IntVal(int64(i)), repro.StringVal(wide)}
+	}
+	if err := db.Table("big").Load(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr)
+	defer c.close()
+
+	resp := c.roundTrip(t, "SELECT * FROM big; SELECT count(*) FROM big")
+	if resp.Error != "" {
+		t.Fatalf("line error: %s", resp.Error)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(resp.Results))
+	}
+	errMsg := resp.Results[0].Error
+	if !strings.Contains(errMsg, "statement 1") || !strings.Contains(errMsg, "2560 rows") {
+		t.Fatalf("cap error = %q; want the statement id and row count", errMsg)
+	}
+	if len(resp.Results[0].Rows) != 0 {
+		t.Errorf("oversized result still carried %d rows", len(resp.Results[0].Rows))
+	}
+	if resp.Results[1].Error != "" || len(resp.Results[1].Rows) != 1 {
+		t.Fatalf("follow-up statement on the same line: %+v", resp.Results[1])
+	}
+
+	// The session survives for later round trips.
+	resp = mustOK(t, c.roundTrip(t, "SELECT k FROM big LIMIT 3"))
+	if len(resp.Results[0].Rows) != 3 {
+		t.Errorf("post-cap select: %+v", resp.Results[0])
+	}
+}
+
 // paperFixture loads a correlated employees table (city soft-determines
 // state, the paper's running example) into db through the SQL surface
 // and returns the load script's row count.

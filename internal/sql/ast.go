@@ -197,6 +197,24 @@ type DeleteStmt struct {
 
 func (*DeleteStmt) stmt() {}
 
+// SetItem is one assignment of an UPDATE statement: Col takes the
+// literal Val for every matching row.
+type SetItem struct {
+	Col string
+	Val Lit
+}
+
+// UpdateStmt is UPDATE table SET col = lit (, col = lit)* [WHERE expr].
+// Where is held in disjunctive normal form like SelectStmt.Where (nil
+// means update every row).
+type UpdateStmt struct {
+	Table string
+	Sets  []SetItem
+	Where [][]Cond
+}
+
+func (*UpdateStmt) stmt() {}
+
 // ColDef declares one column of CREATE TABLE.
 type ColDef struct {
 	Name string

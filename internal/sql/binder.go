@@ -482,6 +482,54 @@ func BindDelete(cat Catalog, del *DeleteStmt) (*BoundDelete, error) {
 	return &BoundDelete{Table: del.Table, Where: where}, nil
 }
 
+// BoundSet is one resolved assignment of an UPDATE: the target column
+// and the value (coerced to the column's kind) every matching row takes.
+type BoundSet struct {
+	Col    string
+	ColIdx int
+	Val    value.Value
+}
+
+// BoundUpdate is an UPDATE resolved against the catalog. Where follows
+// BoundSelect.Where: disjunctive normal form, nil for update-all.
+type BoundUpdate struct {
+	Table string
+	Sets  []BoundSet
+	Where [][]BoundCond
+}
+
+// BindUpdate resolves an UPDATE statement: assignment targets to column
+// indices with their values coerced to the column kinds (duplicate
+// targets rejected), and the WHERE clause bound like a SELECT's.
+func BindUpdate(cat Catalog, up *UpdateStmt) (*BoundUpdate, error) {
+	tm, err := lookupTable(cat, up.Table)
+	if err != nil {
+		return nil, err
+	}
+	b := &BoundUpdate{Table: up.Table}
+	seen := map[string]bool{}
+	for _, s := range up.Sets {
+		ci := tm.colIndex(s.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", tm.Name, s.Col)
+		}
+		if seen[s.Col] {
+			return nil, fmt.Errorf("sql: column %q assigned twice in UPDATE", s.Col)
+		}
+		seen[s.Col] = true
+		v, err := bindLit(s.Val, tm.Cols[ci].Kind, s.Col)
+		if err != nil {
+			return nil, err
+		}
+		b.Sets = append(b.Sets, BoundSet{Col: s.Col, ColIdx: ci, Val: v})
+	}
+	b.Where, err = bindDNF(tm, up.Where)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // BindCreateTable checks a CREATE TABLE statement: fresh name, distinct
 // columns, clustering columns present.
 func BindCreateTable(cat Catalog, ct *CreateTableStmt) error {

@@ -10,7 +10,7 @@ import (
 // The grammar, one production per parse function:
 //
 //	script      := statement (';' statement)* [';']
-//	statement   := select | insert | delete | create | explain
+//	statement   := select | insert | delete | update | create | explain
 //	             | advise | show | commit
 //	select      := SELECT [DISTINCT] exprs FROM ident [WHERE orexpr]
 //	               [GROUP BY ident (',' ident)*]
@@ -35,6 +35,8 @@ import (
 //	               VALUES tuple (',' tuple)*
 //	tuple       := '(' literal (',' literal)* ')'
 //	delete      := DELETE FROM ident [WHERE conj]
+//	update      := UPDATE ident SET ident '=' literal
+//	               (',' ident '=' literal)* [WHERE orexpr]
 //	create      := CREATE TABLE ident '(' coldef (',' coldef)* ')'
 //	               CLUSTERED BY '(' ident (',' ident)* ')'
 //	               [BUCKET (PAGES|TUPLES) int]
@@ -58,7 +60,10 @@ import (
 //
 // WHERE clauses normalize to disjunctive normal form at parse time: OR
 // binds loosest, AND tighter, parentheses group; AND distributes over
-// OR, capped at maxDisjuncts to bound the blow-up.
+// OR, capped at maxDisjuncts to bound the blow-up. Single-column OR
+// chains of = and IN over one column collapse into a single IN
+// predicate as they accumulate, so wide value lists never count
+// against the cap.
 
 // parser walks the token stream.
 type parser struct {
@@ -240,6 +245,8 @@ func (p *parser) statement() (Stmt, error) {
 		return p.insertStmt()
 	case p.kw("delete"):
 		return p.deleteStmt()
+	case p.kw("update"):
+		return p.updateStmt()
 	case p.kw("create"):
 		return p.createStmt()
 	case p.kw("explain"):
@@ -432,7 +439,12 @@ func (p *parser) selExpr() (SelExpr, error) {
 const maxDisjuncts = 64
 
 // orExpr parses an OR of AND-expressions and returns the clause in
-// disjunctive normal form.
+// disjunctive normal form. Single-condition disjuncts that test the
+// same column with = or IN merge into one IN disjunct as they
+// accumulate — u = 1 OR u = 2 OR u IN (3, 4) becomes u IN (1, 2, 3, 4)
+// — so an arbitrarily wide value list on one column occupies a single
+// disjunct slot (and plans as one index-probe fan-out) instead of
+// walking into the maxDisjuncts cap.
 func (p *parser) orExpr() ([][]Cond, error) {
 	out, err := p.andExpr()
 	if err != nil {
@@ -443,12 +455,48 @@ func (p *parser) orExpr() ([][]Cond, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, next...)
+		out = mergeInChains(append(out, next...))
 		if len(out) > maxDisjuncts {
-			return nil, p.errf("WHERE clause expands past %d disjuncts", maxDisjuncts)
+			return nil, p.errf("WHERE clause expands past the %d-disjunct cap (maxDisjuncts); single-column = / IN chains like u = 1 OR u = 2 already collapse into one IN, so restructure the OR branches that mix columns or AND multiple conditions", maxDisjuncts)
 		}
 	}
 	return out, nil
+}
+
+// mergeInChains collapses wide single-column OR chains: every
+// single-condition disjunct testing one column with = or IN merges,
+// at the position of the first such disjunct, into a single CondIn
+// whose argument list is the deduplicated union of their values. The
+// rewrite is the identity u = 1 OR u IN (2, 3) ≡ u IN (1, 2, 3);
+// disjuncts with several conditions, other operators, or mixed
+// columns pass through untouched.
+func mergeInChains(dnf [][]Cond) [][]Cond {
+	first := make(map[string]int)
+	out := dnf[:0]
+	for _, conj := range dnf {
+		if len(conj) == 1 && (conj[0].Op == CondEq || conj[0].Op == CondIn) {
+			if i, ok := first[conj[0].Col]; ok {
+				c := &out[i][0]
+				c.Op = CondIn
+				for _, a := range conj[0].Args {
+					dup := false
+					for _, have := range c.Args {
+						if have == a {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						c.Args = append(c.Args, a)
+					}
+				}
+				continue
+			}
+			first[conj[0].Col] = len(out)
+		}
+		out = append(out, conj)
+	}
+	return out
 }
 
 // andExpr parses an AND of factors, distributing AND over each factor's
@@ -473,7 +521,7 @@ func (p *parser) andExpr() ([][]Cond, error) {
 			}
 		}
 		if len(cross) > maxDisjuncts {
-			return nil, p.errf("WHERE clause expands past %d disjuncts", maxDisjuncts)
+			return nil, p.errf("WHERE clause expands past the %d-disjunct cap (maxDisjuncts) when AND distributes over OR; single-column = / IN chains like u = 1 OR u = 2 already collapse into one IN, so restructure the OR branches that mix columns or AND multiple conditions", maxDisjuncts)
 		}
 		out = cross
 	}
@@ -654,6 +702,43 @@ func (p *parser) deleteStmt() (Stmt, error) {
 	stmt := &DeleteStmt{Table: table}
 	if p.acceptKw("where") {
 		stmt.Where, err = p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) updateStmt() (Stmt, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEq); err != nil {
+			return nil, err
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetItem{Col: col, Val: lit})
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if p.acceptKw("where") {
+		stmt.Where, err = p.orExpr()
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -131,16 +132,62 @@ func TestParseOrDNF(t *testing.T) {
 	}
 
 	// The DNF cap rejects exponential blow-ups instead of truncating.
+	// Each factor mixes columns so the single-column IN rewrite cannot
+	// collapse it: the cross product really is 3^8 disjuncts.
 	var sb strings.Builder
 	sb.WriteString("SELECT * FROM t WHERE ")
 	for i := 0; i < 8; i++ {
 		if i > 0 {
 			sb.WriteString(" AND ")
 		}
-		sb.WriteString("(a = 1 OR a = 2 OR a = 3)") // 3^8 disjuncts
+		fmt.Fprintf(&sb, "(a%d = 1 OR b%d = 2 OR c%d = 3)", i, i, i)
 	}
-	if _, err := Parse(sb.String()); err == nil || !strings.Contains(err.Error(), "disjuncts") {
+	err := func() error { _, err := Parse(sb.String()); return err }()
+	if err == nil || !strings.Contains(err.Error(), "disjunct cap") {
 		t.Errorf("DNF blow-up not rejected: %v", err)
+	}
+	// The cap error tells the user about the cap constant and the rewrite.
+	if err != nil && (!strings.Contains(err.Error(), "maxDisjuncts") || !strings.Contains(err.Error(), "IN")) {
+		t.Errorf("cap error does not name the cap and the IN rewrite: %v", err)
+	}
+}
+
+func TestParseOrChainCollapsesToIn(t *testing.T) {
+	// A wide single-column = / IN chain collapses to one IN disjunct at
+	// parse time — far past maxDisjuncts without tripping the cap.
+	var sb strings.Builder
+	sb.WriteString("SELECT * FROM t WHERE u = 0")
+	for i := 1; i < 200; i++ {
+		fmt.Fprintf(&sb, " OR u = %d", i)
+	}
+	s := mustParse(t, sb.String()).(*SelectStmt)
+	if len(s.Where) != 1 || len(s.Where[0]) != 1 {
+		t.Fatalf("chain did not collapse: %d disjuncts", len(s.Where))
+	}
+	c := s.Where[0][0]
+	if c.Col != "u" || c.Op != CondIn || len(c.Args) != 200 {
+		t.Fatalf("collapsed cond = %+v (%d args)", c, len(c.Args))
+	}
+
+	// IN members union in, duplicates drop, and the merged disjunct sits
+	// at the first chain position; unrelated disjuncts pass through.
+	s = mustParse(t, "SELECT * FROM t WHERE u = 1 OR v > 5 OR u IN (2, 1, 3) OR u = 2").(*SelectStmt)
+	if len(s.Where) != 2 {
+		t.Fatalf("mixed dnf shape = %+v", s.Where)
+	}
+	got := s.Where[0][0]
+	if got.Col != "u" || got.Op != CondIn || len(got.Args) != 3 {
+		t.Errorf("merged IN = %+v", got)
+	}
+	if s.Where[1][0].Col != "v" {
+		t.Errorf("non-mergeable disjunct displaced: %+v", s.Where[1])
+	}
+
+	// Multi-condition disjuncts on the same column do not merge — the
+	// rewrite only fires for pure single-condition = / IN chains.
+	s = mustParse(t, "SELECT * FROM t WHERE u = 1 OR u = 2 AND v = 3").(*SelectStmt)
+	if len(s.Where) != 2 {
+		t.Fatalf("AND disjunct merged wrongly: %+v", s.Where)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -59,6 +60,22 @@ type Table struct {
 
 	mu sync.RWMutex
 
+	// wmu is the writer gate: it serializes writer statements (Insert,
+	// Delete, Update, Load) and DDL against each other while leaving
+	// readers on the mu side free. Lock ordering is always wmu before mu.
+	wmu sync.Mutex
+
+	// clock is the published commit timestamp. Readers snapshot it under
+	// RLock; a writer statement stamps its versions with clock+1 and
+	// publishes by storing that value after its last exclusive hold.
+	clock atomic.Uint64
+
+	// writerActive is true while a writer statement is between BeginWrite
+	// and Publish/Abort. The optimizer consults it to skip cm-agg
+	// lowering: mid-statement CM statistics include the writer's
+	// additions but not its deferred retractions.
+	writerActive atomic.Bool
+
 	heapf     *heap.File
 	clustered *Index
 	cbuckets  *core.ClusteredBuckets
@@ -94,6 +111,9 @@ func New(pool *buffer.Pool, log *wal.Log, cfg Config) (*Table, error) {
 	}
 	t.clustered = &Index{Name: cfg.Name + ".clustered", Cols: cfg.ClusteredCols, Tree: tree}
 	t.cbuckets = core.NewClusteredBuckets(nil)
+	// The clock starts published at 1 so snapshot 0 stays free as the
+	// "latest" sentinel: every facade reader gets a real timestamp.
+	t.clock.Store(1)
 	return t, nil
 }
 
@@ -110,6 +130,25 @@ func (t *Table) Lock() { t.mu.Lock() }
 
 // Unlock releases an exclusive hold of the table latch.
 func (t *Table) Unlock() { t.mu.Unlock() }
+
+// LockWrite acquires the writer gate and then the table latch
+// exclusively — the bracket for DDL (CreateIndex, CreateCM, RecoverCM,
+// Commit, cache drops), which must not interleave with a writer
+// statement's batched latch holds.
+func (t *Table) LockWrite() { t.wmu.Lock(); t.mu.Lock() }
+
+// UnlockWrite releases what LockWrite acquired.
+func (t *Table) UnlockWrite() { t.mu.Unlock(); t.wmu.Unlock() }
+
+// Snapshot returns the published commit timestamp. Capture it under a
+// shared latch hold and pass it to the executor: the statement then sees
+// exactly the versions published at that point, regardless of concurrent
+// writer batches.
+func (t *Table) Snapshot() uint64 { return t.clock.Load() }
+
+// WriterActive reports whether a writer statement is currently in flight
+// (begun, not yet published or aborted).
+func (t *Table) WriterActive() bool { return t.writerActive.Load() }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.cfg.Name }
@@ -147,13 +186,25 @@ func (t *Table) ClusterBucketFor(row value.Row) int32 {
 // clustering key, appended to the heap, indexed, and assigned to
 // clustered buckets with the Section 6.1.1 boundary rule. Load must run
 // before any secondary index or CM is created and only on an empty table.
+//
+// Load is itself an MVCC writer statement: it takes the writer gate (not
+// the table latch) and appends in short batched exclusive holds, so
+// concurrent readers keep running — they see an empty table until the
+// load publishes, then all of it.
 func (t *Table) Load(rows []value.Row) error {
+	tx := t.BeginWrite()
+	tx.logged = false // bulk loads predate every CM; replay starts after them
 	if t.loaded || t.heapf.TupleCount() > 0 {
+		tx.Abort()
 		return fmt.Errorf("table %s: already loaded", t.cfg.Name)
+	}
+	abort := func(err error) error {
+		tx.Abort()
+		return err
 	}
 	for _, r := range rows {
 		if err := t.cfg.Schema.Validate(r); err != nil {
-			return err
+			return abort(err)
 		}
 	}
 	type keyed struct {
@@ -172,7 +223,7 @@ func (t *Table) Load(rows []value.Row) error {
 	for i := 0; i < len(ks) && i < 100; i++ {
 		enc, err := t.cfg.Schema.EncodeRow(ks[i].row)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		rowBytes += int64(len(enc) + 4)
 	}
@@ -196,23 +247,34 @@ func (t *Table) Load(rows []value.Row) error {
 		target = int(tpp) * t.cfg.BucketPages
 	}
 	builder := core.NewBuilder(target)
-	for _, k := range ks {
-		enc, err := t.cfg.Schema.EncodeRow(k.row)
-		if err != nil {
+	batch := make([]value.Row, 0, writeBatchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := tx.InsertBatch(batch); err != nil {
 			return err
 		}
-		rid, err := t.heapf.Append(enc)
-		if err != nil {
-			return err
-		}
-		if err := t.clustered.Insert(k.row, rid); err != nil {
-			return err
-		}
-		builder.Add(k.key)
+		batch = batch[:0]
+		return nil
 	}
+	for _, k := range ks {
+		builder.Add(k.key)
+		batch = append(batch, k.row)
+		if len(batch) >= writeBatchRows {
+			if err := flush(); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return abort(err)
+	}
+	t.mu.Lock()
 	t.cbuckets = builder.Finish()
 	t.loaded = true
-	return nil
+	t.mu.Unlock()
+	return tx.Publish()
 }
 
 // CreateIndex builds a dense secondary B+Tree index over cols by scanning
@@ -463,8 +525,29 @@ func (t *Table) RecoverCM(spec core.Spec, checkpoint io.Reader, fromLSN int64) (
 	if replayErr != nil {
 		return nil, replayErr
 	}
+	// A legacy (stats-less) checkpoint leaves the per-entry statistics
+	// invalid, which would silently disable index-only aggregation on the
+	// recovered CM. Rebuild them from one heap scan before registering:
+	// recovery is already an offline, exclusive operation, so the extra
+	// scan rides on the same bracket.
+	if !cm.StatsValid() {
+		if err := t.rebuildCMStats(cm); err != nil {
+			return nil, err
+		}
+	}
 	t.cms = append(t.cms, cm)
 	return cm, nil
+}
+
+// rebuildCMStats reconstructs a CM — pair counts and per-entry aggregate
+// statistics — from one scan of the live heap, restoring cm-agg pushdown
+// for CMs recovered from statistics-less checkpoints.
+func (t *Table) rebuildCMStats(cm *core.CM) error {
+	cm.Reset()
+	return t.Scan(func(rid heap.RID, row value.Row) bool {
+		cm.AddRow(row, t.ClusterBucketFor(row))
+		return true
+	})
 }
 
 // CheckpointCM serializes a CM to the writer, appends a checkpoint

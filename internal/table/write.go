@@ -1,0 +1,312 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// This file implements the MVCC writer statement. A writer never holds the
+// table latch for its whole run: it takes the per-table writer gate (which
+// only excludes other writers and DDL), stamps its new row versions with
+// clock+1, and applies mutations in small batches under short exclusive
+// latch holds, so a concurrent reader waits at most one batch. Readers
+// capture the published clock at statement start and filter every heap
+// access through the per-tuple begin/end timestamps, so a half-applied
+// statement is invisible to them.
+//
+// Correlation-map maintenance follows the paper's Algorithm 1, split
+// across the statement so snapshot readers stay correct mid-flight:
+// additions (AddRow for new versions) apply immediately — harmless,
+// because the new heap versions are invisible until publish and CM scans
+// re-filter on heap bytes — while retractions (RemoveRow for replaced or
+// deleted versions) are deferred to Publish. Removing a CM pair early
+// could hide rows a pre-publish snapshot must still find through the CM
+// access path. The same deferral covers the clustered and secondary index
+// entries of old versions. WAL records are also queued until Publish, so
+// an aborted statement leaves no trace for CM recovery replay.
+
+// writeBatchRows bounds how many rows one exclusive latch hold applies:
+// small enough that a waiting reader stalls for microseconds, large
+// enough to amortize the latch handoff across a bulk statement.
+const writeBatchRows = 128
+
+// retraction is one old row version whose index entries and CM pairs are
+// removed when the statement publishes.
+type retraction struct {
+	row value.Row
+	rid heap.RID
+	cb  int32
+}
+
+// undoInsert is one new row version to unwind if the statement aborts.
+type undoInsert struct {
+	row value.Row
+	rid heap.RID
+	cb  int32
+}
+
+// WriteTxn is one MVCC writer statement on a table: a sequence of
+// InsertBatch / DeleteBatch / UpdateBatch calls between BeginWrite and
+// Publish (or Abort). It is single-goroutine; the writer gate it holds
+// excludes concurrent writer statements and DDL, but not readers.
+type WriteTxn struct {
+	t  *Table
+	ts uint64
+
+	inserted []undoInsert
+	ended    []heap.RID
+	retract  []retraction
+	recs     []wal.Record
+	logged   bool
+	done     bool
+}
+
+// BeginWrite starts a writer statement: it acquires the writer gate and
+// assigns the statement's version timestamp (published clock + 1). Every
+// BeginWrite must be paired with exactly one Publish or Abort.
+func (t *Table) BeginWrite() *WriteTxn {
+	t.wmu.Lock()
+	t.writerActive.Store(true)
+	return &WriteTxn{t: t, ts: t.clock.Load() + 1, logged: true}
+}
+
+// Timestamp returns the version timestamp new rows are stamped with.
+func (tx *WriteTxn) Timestamp() uint64 { return tx.ts }
+
+// InsertBatch appends the rows as new versions: heap append at the
+// statement timestamp, clustered and secondary index entries, and CM
+// additions (Algorithm 1's insert half). Validation and encoding happen
+// outside the latch; the mutations apply in writeBatchRows chunks, each
+// under its own short exclusive hold. The rows stay invisible to readers
+// until Publish.
+func (tx *WriteTxn) InsertBatch(rows []value.Row) error {
+	t := tx.t
+	encs := make([][]byte, len(rows))
+	for i, r := range rows {
+		if err := t.cfg.Schema.Validate(r); err != nil {
+			return err
+		}
+		enc, err := t.cfg.Schema.EncodeRow(r)
+		if err != nil {
+			return err
+		}
+		encs[i] = enc
+	}
+	for start := 0; start < len(rows); start += writeBatchRows {
+		end := start + writeBatchRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		t.mu.Lock()
+		for i := start; i < end; i++ {
+			if err := tx.applyInsert(rows[i], encs[i]); err != nil {
+				t.mu.Unlock()
+				return err
+			}
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// applyInsert installs one new row version. Caller holds the latch.
+func (tx *WriteTxn) applyInsert(row value.Row, enc []byte) error {
+	t := tx.t
+	rid, err := t.heapf.AppendAt(enc, tx.ts)
+	if err != nil {
+		return err
+	}
+	cb := t.ClusterBucketFor(row)
+	tx.inserted = append(tx.inserted, undoInsert{row: row, rid: rid, cb: cb})
+	if err := t.clustered.Insert(row, rid); err != nil {
+		return err
+	}
+	for _, ix := range t.secondary {
+		if err := ix.Insert(row, rid); err != nil {
+			return err
+		}
+	}
+	for _, cm := range t.cms {
+		cm.AddRow(row, cb)
+	}
+	if tx.logged {
+		tx.recs = append(tx.recs, wal.Record{Type: wal.RecInsert, Target: t.cfg.Name, Payload: enc})
+	}
+	return nil
+}
+
+// DeleteBatch logically ends the rows at the given RIDs, applying in
+// writeBatchRows chunks under short exclusive latch holds. The tuple
+// bytes stay readable by older snapshots; index entries and CM pairs are
+// retracted at Publish.
+func (tx *WriteTxn) DeleteBatch(rids []heap.RID) error {
+	t := tx.t
+	for start := 0; start < len(rids); start += writeBatchRows {
+		end := start + writeBatchRows
+		if end > len(rids) {
+			end = len(rids)
+		}
+		t.mu.Lock()
+		for i := start; i < end; i++ {
+			if err := tx.applyDelete(rids[i]); err != nil {
+				t.mu.Unlock()
+				return err
+			}
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// applyDelete ends one row version. Caller holds the latch.
+func (tx *WriteTxn) applyDelete(rid heap.RID) error {
+	t := tx.t
+	data, err := t.heapf.Get(rid)
+	if err != nil {
+		return err
+	}
+	if data == nil {
+		return fmt.Errorf("table %s: delete of missing row %v", t.cfg.Name, rid)
+	}
+	row, err := t.cfg.Schema.DecodeRow(data)
+	if err != nil {
+		return err
+	}
+	if err := t.heapf.SetEnd(rid, tx.ts); err != nil {
+		return err
+	}
+	tx.ended = append(tx.ended, rid)
+	tx.retract = append(tx.retract, retraction{row: row, rid: rid, cb: t.ClusterBucketFor(row)})
+	if tx.logged {
+		tx.recs = append(tx.recs, wal.Record{Type: wal.RecDelete, Target: t.cfg.Name, Payload: data})
+	}
+	return nil
+}
+
+// UpdateBatch replaces the rows at olds with news (position-matched) —
+// Algorithm 1's retraction + reinsert: the old version is logically ended
+// and queued for index/CM retraction at Publish, the new version is
+// appended, indexed and added to every CM, so per-entry statistics come
+// out exact once the statement publishes. Mutations apply in
+// writeBatchRows chunks under short exclusive latch holds.
+func (tx *WriteTxn) UpdateBatch(olds []heap.RID, news []value.Row) error {
+	t := tx.t
+	if len(olds) != len(news) {
+		return fmt.Errorf("table %s: update batch mismatch: %d rids, %d rows", t.cfg.Name, len(olds), len(news))
+	}
+	encs := make([][]byte, len(news))
+	for i, r := range news {
+		if err := t.cfg.Schema.Validate(r); err != nil {
+			return err
+		}
+		enc, err := t.cfg.Schema.EncodeRow(r)
+		if err != nil {
+			return err
+		}
+		encs[i] = enc
+	}
+	for start := 0; start < len(olds); start += writeBatchRows {
+		end := start + writeBatchRows
+		if end > len(olds) {
+			end = len(olds)
+		}
+		t.mu.Lock()
+		for i := start; i < end; i++ {
+			if err := tx.applyDelete(olds[i]); err != nil {
+				t.mu.Unlock()
+				return err
+			}
+			if err := tx.applyInsert(news[i], encs[i]); err != nil {
+				t.mu.Unlock()
+				return err
+			}
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// Publish commits the statement: under one final exclusive latch hold it
+// applies the deferred retractions (index entries and CM pairs of replaced
+// and deleted versions — Algorithm 1's retraction half), appends the
+// statement's WAL records, and advances the published clock so new reader
+// snapshots see the statement's versions. Then it releases the writer
+// gate.
+func (tx *WriteTxn) Publish() error {
+	t := tx.t
+	t.mu.Lock()
+	err := tx.applyRetractions()
+	if err == nil && t.log != nil {
+		for _, rec := range tx.recs {
+			if err = t.log.Append(rec); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		t.clock.Store(tx.ts)
+	}
+	t.mu.Unlock()
+	tx.release()
+	return err
+}
+
+// applyRetractions removes the index entries and CM pairs of every
+// retracted old version. Caller holds the latch.
+func (tx *WriteTxn) applyRetractions() error {
+	t := tx.t
+	for _, r := range tx.retract {
+		if _, err := t.clustered.Delete(r.row, r.rid); err != nil {
+			return err
+		}
+		for _, ix := range t.secondary {
+			if _, err := ix.Delete(r.row, r.rid); err != nil {
+				return err
+			}
+		}
+		for _, cm := range t.cms {
+			if err := cm.RemoveRow(r.row, r.cb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Abort rolls the statement back: appended versions are physically
+// removed (heap, indexes, CMs) and logically-ended old versions are
+// restored to live. No WAL records were written, so recovery replay never
+// sees the statement. The writer gate is released.
+func (tx *WriteTxn) Abort() {
+	t := tx.t
+	t.mu.Lock()
+	for i := len(tx.inserted) - 1; i >= 0; i-- {
+		u := tx.inserted[i]
+		_, _ = t.clustered.Delete(u.row, u.rid)
+		for _, ix := range t.secondary {
+			_, _ = ix.Delete(u.row, u.rid)
+		}
+		for _, cm := range t.cms {
+			_ = cm.RemoveRow(u.row, u.cb)
+		}
+		_ = t.heapf.Delete(u.rid)
+	}
+	for i := len(tx.ended) - 1; i >= 0; i-- {
+		_ = t.heapf.ClearEnd(tx.ended[i])
+	}
+	t.mu.Unlock()
+	tx.release()
+}
+
+// release drops the writer gate once, whether publishing or aborting.
+func (tx *WriteTxn) release() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.t.writerActive.Store(false)
+	tx.t.wmu.Unlock()
+}

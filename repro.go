@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/heap"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/table"
 	"repro/internal/value"
@@ -140,12 +141,15 @@ type Config struct {
 // DB is a database instance: one simulated disk, buffer pool and WAL
 // shared by its tables.
 //
-// DB is safe for concurrent use. Each table carries a reader/writer
-// latch: Select and the other read APIs run concurrently under shared
-// holds, while Insert, Delete, Commit, Load and index/CM creation are
-// exclusive. The buffer pool (sharded locks), simulated disk and WAL are
-// thread-safe underneath, so queries on different tables never block
-// each other.
+// DB is safe for concurrent use, with MVCC snapshot reads: every query
+// captures the table's published version at statement start and filters
+// heap tuples through per-tuple begin/end timestamps, so Select and the
+// other read APIs never wait on a concurrent Insert, Delete, Update or
+// Load and never observe a half-applied statement. Writer statements
+// serialize against each other (and DDL) on a per-table writer gate and
+// apply their mutations in small latched batches. The buffer pool
+// (sharded locks), simulated disk and WAL are thread-safe underneath, so
+// queries on different tables never block each other.
 type DB struct {
 	disk    *sim.Disk
 	pool    *buffer.Pool
@@ -288,16 +292,17 @@ func (db *DB) ResetStats() {
 }
 
 // ColdCache flushes and drops every cached page, modeling the paper's
-// between-runs cache drop. It latches every table exclusively (in name
-// order) so no query holds pinned frames while the pool empties.
+// between-runs cache drop. It takes every table's writer gate and latch
+// (in name order) so no statement is mid-flight and no query holds
+// pinned frames while the pool empties.
 func (db *DB) ColdCache() error {
 	tables := db.allTables()
 	for _, t := range tables {
-		t.inner.Lock()
+		t.inner.LockWrite()
 	}
 	defer func() {
 		for i := len(tables) - 1; i >= 0; i-- {
-			tables[i].inner.Unlock()
+			tables[i].inner.UnlockWrite()
 		}
 	}()
 	if err := db.pool.FlushAll(); err != nil {
@@ -308,9 +313,10 @@ func (db *DB) ColdCache() error {
 }
 
 // Table is a clustered table with its access methods. Safe for
-// concurrent use: reads take the table latch shared, mutations take it
-// exclusive, each for the full duration of the operation, so a query
-// never observes a half-applied insert or delete.
+// concurrent use: reads run against the MVCC snapshot captured at
+// statement start, mutations run as writer statements behind the
+// per-table writer gate, so a query never observes — and never waits
+// out — a half-applied insert, update, delete or load.
 type Table struct {
 	db    *DB
 	inner *table.Table
@@ -330,29 +336,34 @@ func (t *Table) colIndex(name string) (int, error) {
 }
 
 // Load bulk-loads rows in clustered order. It must run before indexes or
-// CMs are created, and only once.
+// CMs are created, and only once. The load runs as one MVCC writer
+// statement: concurrent readers proceed against the empty table until it
+// publishes.
 func (t *Table) Load(rows []Row) error {
 	internal := make([]value.Row, len(rows))
 	for i, r := range rows {
 		internal[i] = r.internal()
 	}
-	t.inner.Lock()
-	defer t.inner.Unlock()
 	return t.inner.Load(internal)
 }
 
 // Insert appends one row, maintaining the clustered index, all secondary
-// indexes and all CMs, under WAL logging.
+// indexes and all CMs, under WAL logging. It runs as a writer statement:
+// the row becomes visible to new snapshots atomically at publish.
 func (t *Table) Insert(row Row) error {
-	t.inner.Lock()
-	defer t.inner.Unlock()
-	_, err := t.inner.Insert(row.internal())
-	return err
+	tx := t.inner.BeginWrite()
+	if err := tx.InsertBatch([]value.Row{row.internal()}); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Publish()
 }
 
 // Delete removes every row matching the predicates and returns how many
-// were deleted. The scan and the removals run under one exclusive latch
-// hold, so concurrent readers see either all matching rows or none.
+// were deleted. It runs as one writer statement: snapshots taken before
+// publish keep seeing every matching row, snapshots taken after see
+// none — concurrent readers never block and never observe a partial
+// delete.
 func (t *Table) Delete(preds ...Pred) (int, error) {
 	q, err := buildQuery(t, preds)
 	if err != nil {
@@ -361,29 +372,86 @@ func (t *Table) Delete(preds ...Pred) (int, error) {
 	// The scan only collects RIDs: materialize nothing beyond the
 	// predicated columns.
 	q.Proj = []int{}
-	t.inner.Lock()
-	defer t.inner.Unlock()
+	tx := t.inner.BeginWrite()
+	// Under the writer gate nothing mutates the table, so the collection
+	// scan reads the latest state without holding the latch.
 	var rids []heap.RID
 	err = exec.TableScan(t.inner, q, func(rid heap.RID, _ value.Row) bool {
 		rids = append(rids, rid)
 		return true
 	})
+	if err == nil {
+		err = tx.DeleteBatch(rids)
+	}
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	return len(rids), tx.Publish()
+}
+
+// Set is one assignment of an Update statement: the named column takes
+// the given value for every matching row.
+type Set struct {
+	Col string
+	Val Value
+}
+
+// Update replaces the named columns of every row matching the predicates
+// and returns how many rows changed. It compiles through the plan layer
+// (EXPLAIN-able, cost-based access path for the WHERE clause) and runs
+// as one writer statement: each row is retracted and reinserted per the
+// paper's Algorithm 1, so CM per-entry statistics stay exact, and
+// concurrent snapshot readers see the whole update or none of it. The
+// resulting table state is byte-identical for any Config.Workers.
+func (t *Table) Update(sets []Set, preds ...Pred) (int64, error) {
+	ut, err := t.compileUpdate(sets, [][]Pred{preds})
 	if err != nil {
 		return 0, err
 	}
-	for _, rid := range rids {
-		if err := t.inner.Delete(rid); err != nil {
-			return 0, err
-		}
+	return ut.Run(t.db.workers)
+}
+
+// Update is the DB-level form of Table.Update, resolving the table by
+// name — the native twin of SQL's UPDATE statement through DB.Exec.
+func (db *DB) Update(table string, sets []Set, preds ...Pred) (int64, error) {
+	t := db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("repro: no table %q", table)
 	}
-	return len(rids), nil
+	return t.Update(sets, preds...)
+}
+
+// compileUpdate lowers facade sets + a WHERE clause in disjunctive
+// normal form (one []Pred conjunction per disjunct) to a compiled
+// update tree under a shared latch hold.
+func (t *Table) compileUpdate(sets []Set, anyOf [][]Pred) (*plan.UpdateTree, error) {
+	disjuncts := make([]exec.Query, 0, len(anyOf))
+	for _, preds := range anyOf {
+		q, err := buildQuery(t, preds)
+		if err != nil {
+			return nil, err
+		}
+		disjuncts = append(disjuncts, q)
+	}
+	esets := make([]exec.SetClause, len(sets))
+	for i, s := range sets {
+		ci, err := t.colIndex(s.Col)
+		if err != nil {
+			return nil, err
+		}
+		esets[i] = exec.SetClause{Col: ci, Val: s.Val.v}
+	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	return plan.CompileUpdate(t.inner, plan.Spec{Disjuncts: disjuncts}, esets, t.stats)
 }
 
 // Commit flushes the WAL with the prototype's two-phase-commit
 // discipline.
 func (t *Table) Commit() error {
-	t.inner.Lock()
-	defer t.inner.Unlock()
+	t.inner.LockWrite()
+	defer t.inner.UnlockWrite()
 	return t.inner.Commit()
 }
 
@@ -412,8 +480,8 @@ func (t *Table) CreateIndex(name string, cols ...string) error {
 		}
 		idxCols[i] = ci
 	}
-	t.inner.Lock()
-	defer t.inner.Unlock()
+	t.inner.LockWrite()
+	defer t.inner.UnlockWrite()
 	_, err := t.inner.CreateIndex(name, idxCols)
 	return err
 }
@@ -463,8 +531,8 @@ func (t *Table) CreateCM(name string, cols ...CMColumn) error {
 		}
 		spec.Bucketers = append(spec.Bucketers, b)
 	}
-	t.inner.Lock()
-	defer t.inner.Unlock()
+	t.inner.LockWrite()
+	defer t.inner.UnlockWrite()
 	_, err := t.inner.CreateCM(spec)
 	return err
 }

@@ -155,6 +155,10 @@ func (t *Table) runTree(spec QuerySpec, workers int, sink plan.RowSink) error {
 	}
 	t.inner.RLock()
 	defer t.inner.RUnlock()
+	// Capture the MVCC snapshot under the shared hold: the whole
+	// statement reads the table as of this published version, so a writer
+	// statement publishing mid-scan changes nothing the query sees.
+	ps.Snap = t.inner.Snapshot()
 	tree, err := plan.Compile(t.inner, ps, t.stats)
 	if err != nil {
 		return err
@@ -341,6 +345,7 @@ func (t *Table) explainSpec(spec QuerySpec) (PlanInfo, error) {
 	}
 	t.inner.RLock()
 	defer t.inner.RUnlock()
+	ps.Snap = t.inner.Snapshot()
 	tree, err := plan.Compile(t.inner, ps, t.stats)
 	if err != nil {
 		return PlanInfo{}, err

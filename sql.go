@@ -11,8 +11,8 @@ import (
 // This file is the top of the SQL front-end: Exec and ExecScript parse
 // statements with internal/sql, bind them against the live catalog and
 // lower them onto the native facade API (Select, Insert, Delete,
-// CreateTable, CreateIndex, CreateCM, Explain, Advise, DiscoverFDs,
-// Commit). Every SQL statement therefore has exactly the semantics of
+// Update, CreateTable, CreateIndex, CreateCM, Explain, Advise,
+// DiscoverFDs, Commit). Every SQL statement therefore has exactly the semantics of
 // the equivalent native call — the equivalence tests in sql_test.go
 // assert this statement form by statement form.
 
@@ -359,6 +359,8 @@ func (db *DB) execStmt(stmt sqlfe.Stmt) (*Result, error) {
 		return db.execInsert(cat, s)
 	case *sqlfe.DeleteStmt:
 		return db.execDelete(cat, s)
+	case *sqlfe.UpdateStmt:
+		return db.execUpdate(cat, s)
 	case *sqlfe.CreateTableStmt:
 		return db.execCreateTable(cat, s)
 	case *sqlfe.CreateIndexStmt:
@@ -444,6 +446,40 @@ func (db *DB) execDelete(cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error
 		return nil, err
 	}
 	return &Result{Affected: n, Message: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// execUpdate lowers a bound UPDATE onto the same compiled update path
+// Table.Update uses, carrying the full WHERE disjunction through so
+// UPDATE ... WHERE a OR b plans its access per disjunct like a SELECT.
+func (db *DB) execUpdate(cat sqlfe.Catalog, s *sqlfe.UpdateStmt) (*Result, error) {
+	b, err := sqlfe.BindUpdate(cat, s)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]Set, len(b.Sets))
+	for i, bs := range b.Sets {
+		sets[i] = Set{Col: bs.Col, Val: Value{bs.Val}}
+	}
+	anyOf := make([][]Pred, 0, len(b.Where))
+	for _, conj := range b.Where {
+		anyOf = append(anyOf, predsFromBound(conj))
+	}
+	if len(anyOf) == 0 {
+		anyOf = [][]Pred{nil} // no WHERE: update every row
+	}
+	ut, err := tbl.compileUpdate(sets, anyOf)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ut.Run(db.workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: int(n), Message: fmt.Sprintf("UPDATE %d", n)}, nil
 }
 
 func (db *DB) execCreateTable(cat sqlfe.Catalog, s *sqlfe.CreateTableStmt) (*Result, error) {
