@@ -28,6 +28,8 @@ func main() {
 	iowait := flag.Int("iowait", 0, "IOWaitScale: make simulated I/O block for cost/scale (0 = off)")
 	demo := flag.Bool("demo", false, "preload the paper's Figure 4 people table")
 	quiet := flag.Bool("quiet", false, "suppress session logging")
+	slowMs := flag.Int("slow-query-ms", 0, "log statements at or past this wall time in ms (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "optional HTTP listen address for /debug/metrics, /debug/vars and /debug/pprof (empty = no listener)")
 	flag.Parse()
 
 	db := repro.Open(repro.Config{
@@ -46,7 +48,14 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	srv := server.New(db, server.Config{Logf: logf})
+	srv := server.New(db, server.Config{Logf: logf, SlowQueryMs: *slowMs})
+
+	if dln, err := server.StartDebug(*debugAddr, db); err != nil {
+		log.Fatalf("cmserver: debug listener: %v", err)
+	} else if dln != nil {
+		log.Printf("cmserver: debug endpoint on http://%s/debug/metrics", dln.Addr())
+		defer dln.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

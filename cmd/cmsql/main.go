@@ -1,6 +1,8 @@
 // Command cmsql is a tiny interactive client for cmserver: it reads SQL
 // lines from stdin (or -e for one shot), sends each as one request line,
-// and renders the JSON responses as aligned tables.
+// and renders the JSON responses as aligned tables. The \timing toggle
+// (psql-style) prints each statement's server-side wall time, row count
+// and disk pages read, plus the request's round-trip time.
 //
 // Run with: go run ./cmd/cmsql -addr localhost:7433
 package main
@@ -13,6 +15,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 )
 
 // stmtResult mirrors the server's wire type.
@@ -22,6 +25,10 @@ type stmtResult struct {
 	Message  string              `json:"message"`
 	Affected int                 `json:"affected"`
 	Error    string              `json:"error"`
+	// Execution measurements; older servers omit them (all zero).
+	ElapsedNS int64  `json:"elapsed_ns"`
+	RowCount  int    `json:"row_count"`
+	PagesRead uint64 `json:"pages_read"`
 }
 
 type response struct {
@@ -43,14 +50,15 @@ func main() {
 	serverReader := bufio.NewReaderSize(conn, 4<<20)
 
 	if *oneShot != "" {
-		if err := roundTrip(conn, serverReader, *oneShot); err != nil {
+		if err := roundTrip(conn, serverReader, *oneShot, false); err != nil {
 			fmt.Fprintln(os.Stderr, "cmsql:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Printf("connected to %s; end with \\q or Ctrl-D\n", *addr)
+	fmt.Printf("connected to %s; end with \\q or Ctrl-D, toggle \\timing\n", *addr)
+	timing := false
 	stdin := bufio.NewScanner(os.Stdin)
 	stdin.Buffer(make([]byte, 64<<10), 4<<20)
 	for {
@@ -66,19 +74,31 @@ func main() {
 		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			return
 		}
-		if err := roundTrip(conn, serverReader, line); err != nil {
+		if line == `\timing` {
+			timing = !timing
+			if timing {
+				fmt.Println("timing on")
+			} else {
+				fmt.Println("timing off")
+			}
+			continue
+		}
+		if err := roundTrip(conn, serverReader, line, timing); err != nil {
 			fmt.Fprintln(os.Stderr, "cmsql:", err)
 			return
 		}
 	}
 }
 
-// roundTrip sends one request line and renders the response.
-func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string) error {
+// roundTrip sends one request line and renders the response; with
+// timing it also prints each statement's server-side measurements and
+// the request's round-trip time.
+func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string, timing bool) error {
 	req, err := json.Marshal(map[string]string{"sql": sqlText})
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	if _, err := conn.Write(append(req, '\n')); err != nil {
 		return err
 	}
@@ -86,6 +106,7 @@ func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string) error {
 	if err != nil {
 		return fmt.Errorf("server closed the connection: %w", err)
 	}
+	rtt := time.Since(start)
 	var resp response
 	dec := json.NewDecoder(strings.NewReader(string(line)))
 	dec.UseNumber()
@@ -98,6 +119,13 @@ func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string) error {
 	}
 	for _, res := range resp.Results {
 		render(res)
+		if timing && res.ElapsedNS > 0 {
+			fmt.Printf("time: %v  rows: %d  pages: %d\n",
+				time.Duration(res.ElapsedNS).Round(time.Microsecond), res.RowCount, res.PagesRead)
+		}
+	}
+	if timing {
+		fmt.Printf("round trip: %v\n", rtt.Round(time.Microsecond))
 	}
 	return nil
 }

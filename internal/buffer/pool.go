@@ -148,6 +148,20 @@ func (p *Pool) Stats() Stats {
 	return out
 }
 
+// ShardStats returns one counter snapshot per shard, in shard order.
+// The metrics registry publishes these so per-shard skew (one hot
+// shard thrashing while the others idle) is visible in SHOW METRICS.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.stats
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // ResetStats zeroes the counters (page contents are unaffected).
 func (p *Pool) ResetStats() {
 	for i := range p.shards {

@@ -24,8 +24,13 @@ var lintedDirs = []string{
 	"../exec",   // the execution engine (PR 4's godoc pass)
 	"../plan",   // the physical plan layer (PR 5)
 	"../sql",    // the SQL front-end
-	"../server", // the wire protocol
-	"../value",  // the scalar kernel every layer shares
+	"../server",  // the wire protocol
+	"../value",   // the scalar kernel every layer shares
+	"../metrics", // the observability core (PR 7)
+	"../sim",     // the simulated disk
+	"../buffer",  // the buffer pool
+	"../wal",     // the write-ahead log
+	"../table",   // table latches + MVCC write path
 	"../costmodel",
 }
 

@@ -405,13 +405,14 @@ func AggregateOr(t *table.Table, oq OrQuery, op OrPlan, workers int, specs []Agg
 		}
 	}
 	need := aggNeedCols(len(t.Schema().Cols), oq, specs, groupBy)
-	return aggregatePages(t, pages, filter, need, oq.Snap, workers, specs, groupBy)
+	return aggregatePages(t, pages, filter, need, oq.Snap, workers, specs, groupBy, oq.Obs)
 }
 
 // aggregatePages folds the tuples of the given pages (visible to snap)
 // into partial aggregates, one per fixed-size chunk, and merges the
-// partials in chunk order.
-func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, snap uint64, workers int, specs []AggSpec, groupBy []int) ([]value.Row, error) {
+// partials in chunk order. obs, when non-nil, receives per-chunk
+// physical-work tallies (tuples examined, rows folded, page visits).
+func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, snap uint64, workers int, specs []AggSpec, groupBy []int, obs *ScanObs) ([]value.Row, error) {
 	sch := t.Schema()
 	nchunks := (len(pages) + aggChunkPages - 1) / aggChunkPages
 	chunks := chunkSlices(len(pages), nchunks)
@@ -420,9 +421,13 @@ func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, s
 		ga := NewGroupAgg(sch, specs, groupBy)
 		scratch := make(value.Row, len(sch.Cols))
 		sub := pages[chunks[i][0]:chunks[i][1]]
+		ta := newTally()
+		defer func() { ta.flush(obs) }()
 		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
 			var innerErr error
-			err := t.Heap().ScanPagesAt(lo, hi, snap, func(_ heap.RID, tuple []byte) bool {
+			err := t.Heap().ScanPagesAt(lo, hi, snap, func(rid heap.RID, tuple []byte) bool {
+				ta.page(rid.Page)
+				ta.tuples++
 				ok, err := m.Matches(tuple)
 				if err != nil {
 					innerErr = err
@@ -435,6 +440,7 @@ func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, s
 					innerErr = err
 					return false
 				}
+				ta.rows++
 				ga.Add(scratch)
 				return true
 			})

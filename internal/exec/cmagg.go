@@ -289,6 +289,10 @@ func PlanCMAgg(t *table.Table, cm *core.CM, q Query, specs []AggSpec, groupBy []
 	return plan, true
 }
 
+// SetObs points the plan's impure-bucket sweep at an observer (see
+// Query.Obs); the index-only leg does no physical work to count.
+func (p *CMAggPlan) SetObs(o *ScanObs) { p.q.Obs = o }
+
 // Run executes the cm-agg plan: the statistics-fed partial merges first,
 // then per-chunk partials from the impure-bucket sweep merge in fixed
 // chunk order — exact counts, integer sums and extreme values make the
@@ -322,9 +326,13 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 		ga := NewGroupAgg(sch, p.specs, p.groupBy)
 		scratch := make(value.Row, len(sch.Cols))
 		sub := pages[chunks[i][0]:chunks[i][1]]
+		ta := newTally()
+		defer func() { ta.flush(p.q.Obs) }()
 		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
 			var innerErr error
-			err := t.Heap().ScanPagesAt(lo, hi, p.q.Snap, func(_ heap.RID, tuple []byte) bool {
+			err := t.Heap().ScanPagesAt(lo, hi, p.q.Snap, func(rid heap.RID, tuple []byte) bool {
+				ta.page(rid.Page)
+				ta.tuples++
 				ok, err := filter.Matches(tuple)
 				if err != nil {
 					innerErr = err
@@ -341,6 +349,7 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 				if set == nil || !set[t.ClusterBucketFor(scratch)] {
 					return true
 				}
+				ta.rows++
 				ga.Add(scratch)
 				return true
 			})

@@ -1,0 +1,68 @@
+package exec
+
+import "sync/atomic"
+
+// ScanObs accumulates an access path's physical work: tuples examined
+// (filter evaluations on encoded heap bytes), surviving rows handed to
+// the caller, and heap page visits. The executor keeps per-chunk local
+// tallies and flushes them here in one shot, so the hot per-tuple loop
+// never touches an atomic — attaching a ScanObs to a query costs a few
+// atomic adds per chunk, which is what keeps the instrumentation
+// overhead gate (BENCH_7) honest. A nil *ScanObs disables counting.
+//
+// The same ScanObs may be shared by every disjunct of an OR query and
+// by concurrent scan workers; all fields are atomics.
+type ScanObs struct {
+	// Tuples counts encoded tuples the filter examined.
+	Tuples atomic.Int64
+	// Rows counts survivors emitted to the caller.
+	Rows atomic.Int64
+	// Pages counts heap page visits (a page revisited by a later probe
+	// batch or chunk counts again; buffer-pool hit/miss deltas say
+	// whether a visit touched the disk).
+	Pages atomic.Int64
+}
+
+// Add folds another observation set into o (used to roll analyzed-run
+// observations into the engine-wide counters).
+func (o *ScanObs) Add(tuples, rows, pages int64) {
+	if o == nil {
+		return
+	}
+	if tuples != 0 {
+		o.Tuples.Add(tuples)
+	}
+	if rows != 0 {
+		o.Rows.Add(rows)
+	}
+	if pages != 0 {
+		o.Pages.Add(pages)
+	}
+}
+
+// tally is a scan worker's local observation buffer: plain ints bumped
+// in the per-tuple loop, flushed to the shared ScanObs once per chunk
+// (or once per serial scan).
+type tally struct {
+	tuples, rows int64
+	pages        int64
+	lastPage     int64 // last heap page seen, -1 before the first
+}
+
+// newTally returns a tally ready to count from the first page.
+func newTally() tally { return tally{lastPage: -1} }
+
+// page notes a visit to heap page p, counting page transitions so a
+// run of tuples on one page costs one increment.
+func (ta *tally) page(p int64) {
+	if p != ta.lastPage {
+		ta.pages++
+		ta.lastPage = p
+	}
+}
+
+// flush folds the tally into obs (nil obs: drop) and zeroes it.
+func (ta *tally) flush(obs *ScanObs) {
+	obs.Add(ta.tuples, ta.rows, ta.pages)
+	*ta = newTally()
+}

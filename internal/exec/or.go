@@ -40,6 +40,10 @@ type OrQuery struct {
 	// Snap is the MVCC snapshot the disjunction reads as of (see
 	// Query.Snap). 0 reads the latest state.
 	Snap uint64
+	// Obs, when non-nil, receives the union's physical-work counts
+	// (see Query.Obs and ScanObs); the per-disjunct RID collection and
+	// the shared page sweep all tally into it.
+	Obs *ScanObs
 }
 
 // NewOrQuery builds a disjunctive query from conjunctions.

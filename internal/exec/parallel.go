@@ -208,14 +208,17 @@ func scanChunks(workers, pages int) int {
 func collectPageRange(t *table.Table, lo, hi int64, ls *lazyScan, cancel *atomic.Bool, out []matchRow) ([]matchRow, error) {
 	var innerErr error
 	curPage := int64(-1)
+	ta := newTally()
+	defer func() { ta.flush(ls.obs) }()
 	err := t.Heap().ScanPagesAt(lo, hi, ls.snap, func(rid heap.RID, tuple []byte) bool {
 		if rid.Page != curPage {
 			curPage = rid.Page
+			ta.page(rid.Page)
 			if cancel != nil && cancel.Load() {
 				return false
 			}
 		}
-		row, err := ls.collect(tuple)
+		row, err := ls.collect(tuple, &ta)
 		if err != nil {
 			innerErr = err
 			return false
@@ -461,6 +464,8 @@ func fetchRIDBatch(t *table.Table, batch []heap.RID, ls *lazyScan, cancel *atomi
 	}
 	pages := pagesOf(append([]heap.RID(nil), batch...)) // keep batch order intact
 	rows := make(map[heap.RID]value.Row, len(batch))
+	ta := newTally()
+	defer func() { ta.flush(ls.obs) }()
 	err := forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
 		if cancel != nil && cancel.Load() {
 			return false, nil
@@ -470,6 +475,7 @@ func fetchRIDBatch(t *table.Table, batch []heap.RID, ls *lazyScan, cancel *atomi
 		err := t.Heap().ScanPagesAt(lo, hi, ls.snap, func(rid heap.RID, tuple []byte) bool {
 			if rid.Page != curPage {
 				curPage = rid.Page
+				ta.page(rid.Page)
 				if cancel != nil && cancel.Load() {
 					return false
 				}
@@ -477,7 +483,7 @@ func fetchRIDBatch(t *table.Table, batch []heap.RID, ls *lazyScan, cancel *atomi
 			if _, ok := want[rid]; !ok {
 				return true
 			}
-			row, err := ls.collect(tuple)
+			row, err := ls.collect(tuple, &ta)
 			if err != nil {
 				innerErr = err
 				return false

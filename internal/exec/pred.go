@@ -186,6 +186,11 @@ type Query struct {
 	// so a query never observes a concurrent writer statement's
 	// half-applied changes. 0 (the default) reads the latest state.
 	Snap uint64
+	// Obs, when non-nil, receives the scan's physical-work counts
+	// (tuples examined, rows emitted, heap page visits). Workers tally
+	// locally and flush per chunk; nil keeps the hot path free of even
+	// that. See ScanObs.
+	Obs *ScanObs
 }
 
 // NewQuery builds a query from predicates.

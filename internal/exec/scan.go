@@ -37,6 +37,9 @@ type lazyScan struct {
 	need    []int
 	snap    uint64
 	scratch value.Row
+	// obs receives per-chunk tally flushes when the query asked for
+	// observation (Query.Obs / OrQuery.Obs); nil drops them.
+	obs *ScanObs
 }
 
 func newLazyScan(t *table.Table, q Query) *lazyScan {
@@ -47,6 +50,7 @@ func newLazyScan(t *table.Table, q Query) *lazyScan {
 		need:    q.MaterializeCols(len(sch.Cols)),
 		snap:    q.Snap,
 		scratch: make(value.Row, len(sch.Cols)),
+		obs:     q.Obs,
 	}
 }
 
@@ -61,13 +65,18 @@ func newOrLazyScan(t *table.Table, oq OrQuery) *lazyScan {
 		need:    oq.MaterializeCols(len(sch.Cols)),
 		snap:    oq.Snap,
 		scratch: make(value.Row, len(sch.Cols)),
+		obs:     oq.Obs,
 	}
 }
 
 // emit filters one encoded tuple and, for survivors, decodes the needed
 // columns into the scratch row and calls fn. The returned cont is false
-// when the scan should stop (error or early stop from fn).
-func (ls *lazyScan) emit(rid heap.RID, tuple []byte, fn RowFunc) (cont bool, err error) {
+// when the scan should stop (error or early stop from fn). The tally
+// counts the page visit, the filter evaluation and any survivor; the
+// caller flushes it to ls.obs when its chunk ends.
+func (ls *lazyScan) emit(rid heap.RID, tuple []byte, fn RowFunc, ta *tally) (cont bool, err error) {
+	ta.page(rid.Page)
+	ta.tuples++
 	ok, err := ls.filter.Matches(tuple)
 	if err != nil {
 		return false, err
@@ -78,6 +87,7 @@ func (ls *lazyScan) emit(rid heap.RID, tuple []byte, fn RowFunc) (cont bool, err
 	if err := ls.sch.DecodeCols(ls.scratch, tuple, ls.need); err != nil {
 		return false, err
 	}
+	ta.rows++
 	return fn(rid, ls.scratch), nil
 }
 
@@ -85,8 +95,11 @@ func (ls *lazyScan) emit(rid heap.RID, tuple []byte, fn RowFunc) (cont bool, err
 // surviving tuple decodes into a fresh row (collected rows outlive the
 // pinned frame and the scan), a rejected one returns nil. Safe to share
 // one lazyScan across workers — collect never touches the scratch row
-// and the filter is read-only after compilation.
-func (ls *lazyScan) collect(tuple []byte) (value.Row, error) {
+// and the filter is read-only after compilation; each worker counts
+// into its own tally (page visits are the caller's, since only it sees
+// RIDs).
+func (ls *lazyScan) collect(tuple []byte, ta *tally) (value.Row, error) {
+	ta.tuples++
 	ok, err := ls.filter.Matches(tuple)
 	if err != nil || !ok {
 		return nil, err
@@ -95,6 +108,7 @@ func (ls *lazyScan) collect(tuple []byte) (value.Row, error) {
 	if err := ls.sch.DecodeCols(row, tuple, ls.need); err != nil {
 		return nil, err
 	}
+	ta.rows++
 	return row, nil
 }
 
@@ -109,8 +123,10 @@ func TableScan(t *table.Table, q Query, fn RowFunc) error {
 func tableScanLS(t *table.Table, ls *lazyScan, fn RowFunc) error {
 	h := t.Heap()
 	var innerErr error
+	ta := newTally()
+	defer func() { ta.flush(ls.obs) }()
 	err := h.ScanPagesAt(0, h.NumPages()-1, ls.snap, func(rid heap.RID, tuple []byte) bool {
-		cont, err := ls.emit(rid, tuple, fn)
+		cont, err := ls.emit(rid, tuple, fn, &ta)
 		if err != nil {
 			innerErr = err
 			return false
@@ -220,6 +236,8 @@ func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) er
 	ls := newLazyScan(t, q)
 	h := t.Heap()
 	ranges := indexProbeRanges(ix.Cols, q)
+	ta := newTally()
+	defer func() { ta.flush(ls.obs) }()
 	// One view closure for the whole scan (a fresh closure per probed
 	// RID would allocate per tuple): it reads the current RID from
 	// curRID, set by the probe loop below.
@@ -228,7 +246,7 @@ func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) er
 	view := func(tuple []byte) error {
 		// View hands out the pinned frame's bytes: a tuple the filter
 		// rejects is never copied or decoded.
-		cont, err := ls.emit(curRID, tuple, fn)
+		cont, err := ls.emit(curRID, tuple, fn, &ta)
 		if !cont && err == nil {
 			stop = true
 		}
@@ -339,11 +357,13 @@ func sweepPages(t *table.Table, pages []int64, q Query, fn RowFunc) error {
 // sweepPagesLS is sweepPages over a pre-built lazyScan, shared with the
 // OR union executor.
 func sweepPagesLS(t *table.Table, pages []int64, ls *lazyScan, fn RowFunc) error {
+	ta := newTally()
+	defer func() { ta.flush(ls.obs) }()
 	return forEachPageRun(pages, maxGapFor(t), func(lo, hi int64) (bool, error) {
 		var innerErr error
 		stop := false
 		err := t.Heap().ScanPagesAt(lo, hi, ls.snap, func(rid heap.RID, tuple []byte) bool {
-			cont, err := ls.emit(rid, tuple, fn)
+			cont, err := ls.emit(rid, tuple, fn, &ta)
 			if err != nil {
 				innerErr = err
 				return false

@@ -88,6 +88,11 @@ type Spec struct {
 	// tree sees one consistent table version even while a concurrent
 	// writer statement is mid-flight. 0 reads the latest state.
 	Snap uint64
+	// Obs, when non-nil, receives the engine-wide physical-work counts
+	// of this query's scans (the facade wires the DB's global counters
+	// here when metrics are enabled). An analyzed run measures into its
+	// own private ScanObs and folds the totals into Obs afterwards.
+	Obs *exec.ScanObs
 }
 
 // IsAggregate reports whether the spec computes aggregates or groups.
@@ -190,6 +195,10 @@ type Tree struct {
 	cost          time.Duration
 	costEstimated bool
 	decodedCols   int
+
+	// an is the live analysis state of a RunAnalyzed call; nil for
+	// plain runs, so the hooks in the run functions cost one branch.
+	an *analysisState
 }
 
 // Build validates a spec against a table and returns the unoptimized
@@ -227,6 +236,9 @@ func Compile(t *table.Table, spec Spec, sp exec.StatsProvider) (*Tree, error) {
 type NodeInfo struct {
 	Kind   string
 	Detail string
+	// Cost is the node's predicted cost (access and cm-agg nodes; zero
+	// elsewhere). EXPLAIN ANALYZE prints it beside the measured work.
+	Cost time.Duration
 }
 
 // Info summarizes a compiled tree for EXPLAIN: the flattened operator
@@ -268,7 +280,7 @@ func (tr *Tree) Explain() Info {
 	}
 	for n := tr.Root; n != nil; n = n.Child {
 		// The chain is rooted at the top operator; collect bottom-up.
-		info.Nodes = append([]NodeInfo{{Kind: n.Kind.String(), Detail: n.Detail}}, info.Nodes...)
+		info.Nodes = append([]NodeInfo{{Kind: n.Kind.String(), Detail: n.Detail, Cost: n.Cost}}, info.Nodes...)
 	}
 	if len(info.Nodes) > 0 {
 		switch info.Nodes[0].Kind {

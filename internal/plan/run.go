@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/heap"
@@ -45,13 +46,26 @@ func (tr *Tree) Rows(workers int) ([]value.Row, error) {
 // conjunction's plan, or the OR plan (RID-dedup union / filtered-scan
 // fallback), with the scan-level projection pushed down.
 func (tr *Tree) runAccess(scanProj []int, workers int, emit exec.RowFunc) error {
+	obs := tr.scanObs()
 	if tr.useOr {
-		oq := exec.OrQuery{Disjuncts: tr.spec.Disjuncts, Proj: scanProj, Snap: tr.spec.Snap}
+		oq := exec.OrQuery{Disjuncts: tr.spec.Disjuncts, Proj: scanProj, Snap: tr.spec.Snap, Obs: obs}
 		return tr.orPlan.RunParallel(tr.t, oq, workers, emit)
 	}
 	q := tr.spec.Disjuncts[0]
 	q.Proj = scanProj
+	q.Obs = obs
 	return tr.single.RunParallel(tr.t, q, workers, emit)
+}
+
+// scanObs picks where the access path's physical-work tallies go: the
+// analyzed run's private observer when one is active (its totals fold
+// into the spec's engine-wide observer afterwards), otherwise the
+// spec's observer directly (nil when metrics are off).
+func (tr *Tree) scanObs() *exec.ScanObs {
+	if tr.an != nil {
+		return &tr.an.obs
+	}
+	return tr.spec.Obs
 }
 
 // runPlain evaluates an unordered plain select: rows stream out of the
@@ -66,6 +80,9 @@ func (tr *Tree) runPlain(workers int, sink RowSink) error {
 	}
 	count := 0
 	emit := func(_ heap.RID, row value.Row) bool {
+		if tr.an != nil {
+			tr.an.accessRows++
+		}
 		out := row
 		if proj != nil {
 			for i, c := range proj {
@@ -79,7 +96,10 @@ func (tr *Tree) runPlain(workers int, sink RowSink) error {
 		count++
 		return tr.spec.Limit <= 0 || count < tr.spec.Limit
 	}
-	return tr.runAccess(proj, workers, emit)
+	start := tr.an.now()
+	err := tr.runAccess(proj, workers, emit)
+	tr.an.addAccessTime(start)
+	return err
 }
 
 // runSorted evaluates an ordered plain select: the scan materializes
@@ -122,6 +142,9 @@ func (tr *Tree) runSorted(workers int, sink RowSink) error {
 		compactScratch = make(value.Row, len(compact))
 	}
 	emit := func(_ heap.RID, row value.Row) bool {
+		if tr.an != nil {
+			tr.an.accessRows++
+		}
 		if proj == nil {
 			sorter.Add(row)
 			return true
@@ -132,10 +155,19 @@ func (tr *Tree) runSorted(workers int, sink RowSink) error {
 		sorter.Add(compactScratch) // Sorter clones what it retains
 		return true
 	}
+	start := tr.an.now()
 	if err := tr.runAccess(scanProj, workers, emit); err != nil {
 		return err
 	}
-	for _, row := range sorter.Rows() {
+	tr.an.addAccessTime(start)
+	sortStart := tr.an.now()
+	sorted := sorter.Rows()
+	if tr.an != nil {
+		tr.an.sortIn = tr.an.accessRows
+		tr.an.sortOut = int64(len(sorted))
+		tr.an.sortTime = time.Since(sortStart)
+	}
+	for _, row := range sorted {
 		out := row
 		if proj != nil {
 			out = row[:len(proj)] // compact layout: projection is the prefix
@@ -155,14 +187,20 @@ func (tr *Tree) runAggregate(workers int, sink RowSink) error {
 	spec := tr.spec
 	var rows []value.Row
 	var err error
+	start := tr.an.now()
 	if tr.cmagg != nil {
+		tr.cmagg.SetObs(tr.scanObs())
 		rows, err = tr.cmagg.Run(tr.t, workers)
 	} else {
-		oq := exec.OrQuery{Disjuncts: spec.Disjuncts, Snap: spec.Snap}
+		oq := exec.OrQuery{Disjuncts: spec.Disjuncts, Snap: spec.Snap, Obs: tr.scanObs()}
 		rows, err = exec.AggregateOr(tr.t, oq, tr.orPlan, workers, spec.Aggs, spec.GroupBy)
 	}
+	tr.an.addAccessTime(start)
 	if err != nil {
 		return err
+	}
+	if tr.an != nil {
+		tr.an.groups = int64(len(rows))
 	}
 	if len(spec.Having) > 0 {
 		kept := rows[:0]
@@ -180,16 +218,27 @@ func (tr *Tree) runAggregate(workers int, sink RowSink) error {
 		}
 		rows = kept
 	}
+	if tr.an != nil {
+		tr.an.havingOut = int64(len(rows))
+	}
 	if len(spec.OrderBy) > 0 {
 		keys := make([]exec.OrderKey, len(spec.OrderBy))
 		for i, o := range spec.OrderBy {
 			keys[i] = exec.OrderKey{Col: o.Col, Desc: o.Desc}
 		}
+		sortStart := tr.an.now()
 		sorter := exec.NewSorter(keys, spec.Limit)
+		if tr.an != nil {
+			tr.an.sortIn = int64(len(rows))
+		}
 		for _, r := range rows {
 			sorter.Add(r)
 		}
 		rows = sorter.Rows()
+		if tr.an != nil {
+			tr.an.sortOut = int64(len(rows))
+			tr.an.sortTime = time.Since(sortStart)
+		}
 	} else if spec.Limit > 0 && len(rows) > spec.Limit {
 		rows = rows[:spec.Limit]
 	}

@@ -3,9 +3,12 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/heap"
 	"repro/internal/table"
+	"repro/internal/value"
 )
 
 // UpdateTree is a compiled UPDATE statement: an update node on top of
@@ -69,6 +72,53 @@ func (ut *UpdateTree) Run(workers int) (int64, error) {
 	return exec.UpdateByScan(ut.inner.t, func(fn exec.RowFunc) error {
 		return ut.inner.runAccess(nil, workers, fn)
 	}, ut.sets)
+}
+
+// RunAnalyzed executes the UPDATE like Run while measuring per-node
+// actuals — it really writes. The read chain's actuals mirror a
+// select's; the update node reports rows written and the whole
+// statement's wall time (read, write batches and publish together,
+// since the MVCC writer interleaves them).
+func (ut *UpdateTree) RunAnalyzed(workers int) (int64, *Analysis, error) {
+	tr := ut.inner
+	st := &analysisState{}
+	tr.an = st
+	defer func() { tr.an = nil }()
+
+	pool := tr.t.Pool()
+	disk := pool.Disk()
+	d0, p0 := disk.Stats(), pool.Stats()
+	start := time.Now()
+	affected, err := exec.UpdateByScan(tr.t, func(fn exec.RowFunc) error {
+		accessStart := time.Now()
+		defer func() { st.accessTime += time.Since(accessStart) }()
+		return tr.runAccess(nil, workers, func(rid heap.RID, row value.Row) bool {
+			st.accessRows++
+			return fn(rid, row)
+		})
+	}, ut.sets)
+	elapsed := time.Since(start)
+	d1, p1 := disk.Stats(), pool.Stats()
+	if err != nil {
+		return affected, nil, err
+	}
+	tr.spec.Obs.Add(st.obs.Tuples.Load(), st.obs.Rows.Load(), st.obs.Pages.Load())
+	st.outRows = affected
+
+	an := &Analysis{
+		TotalRows:      affected,
+		Elapsed:        elapsed,
+		DiskReads:      d1.Reads - d0.Reads,
+		BufferHits:     p1.Hits - p0.Hits,
+		BufferMisses:   p1.Misses - p0.Misses,
+		TuplesExamined: st.obs.Tuples.Load(),
+		HeapPages:      st.obs.Pages.Load(),
+	}
+	an.Nodes = tr.nodeActuals(st, an)
+	// The update node sits above the read chain; its phase time is the
+	// whole statement (the writer interleaves reading and writing).
+	an.Nodes = append(an.Nodes, NodeActuals{Rows: affected, TuplesIn: st.accessRows, Elapsed: elapsed})
+	return affected, an, nil
 }
 
 // Explain flattens the update tree for EXPLAIN: the read plan's info

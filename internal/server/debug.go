@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro"
+)
+
+// StartDebug starts the optional debug HTTP listener on addr and
+// returns it. addr == "" returns (nil, nil) and starts nothing — the
+// SQL port never exposes profiling, so a deployment that omits
+// -debug-addr has no pprof surface at all. The mux is private (not
+// http.DefaultServeMux, which other packages can pollute) and serves:
+//
+//	/debug/metrics  — the DB's metrics snapshot as one JSON object
+//	                  (name -> value); ?like=pattern filters names
+//	                  with SQL-LIKE matching, as SHOW METRICS LIKE
+//	/debug/vars     — expvar JSON (Go runtime counters)
+//	/debug/pprof/*  — net/http/pprof profiles (heap, CPU, trace, ...)
+//
+// Close the returned listener to stop serving.
+func StartDebug(addr string, db *repro.DB) (net.Listener, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		obj := make(map[string]int64)
+		for _, m := range db.Metrics(r.URL.Query().Get("like")) {
+			obj[m.Name] = m.Value
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(obj)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

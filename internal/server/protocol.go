@@ -22,12 +22,17 @@ import (
 //	where "error" is set only when the whole line failed to parse (then
 //	"results" is absent), and each stmtResult is
 //	  {"columns": [...], "rows": [[...]], "message": "...",
-//	   "affected": N, "error": "..."}
-//	with "error" set when that statement failed. Ints arrive as JSON
-//	numbers, floats as numbers, strings as strings. A statement whose
-//	encoded result would exceed the 4 MiB line cap answers with a
-//	per-statement "error" naming the statement and its row count; the
-//	session stays alive and later statements still run.
+//	   "affected": N, "error": "...",
+//	   "elapsed_ns": N, "row_count": N, "pages_read": N}
+//	with "error" set when that statement failed. The three measurement
+//	fields report the statement's server-side wall time, result row
+//	count and disk page-read delta (cmsql's \timing prints them; each
+//	statement of a batched SELECT group reports the group's time and
+//	pages). Ints arrive as JSON numbers, floats as numbers, strings as
+//	strings. A statement whose encoded result would exceed the 4 MiB
+//	line cap answers with a per-statement "error" naming the statement
+//	and its row count; the session stays alive and later statements
+//	still run.
 
 // Request is the JSON form of one client request line.
 type Request struct {
@@ -41,6 +46,11 @@ type StmtResult struct {
 	Message  string   `json:"message,omitempty"`
 	Affected int      `json:"affected,omitempty"`
 	Error    string   `json:"error,omitempty"`
+	// ElapsedNS, RowCount and PagesRead carry the statement's execution
+	// measurements (see the protocol comment above).
+	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
+	RowCount  int    `json:"row_count,omitempty"`
+	PagesRead uint64 `json:"pages_read,omitempty"`
 }
 
 // Response is one JSON response line.
@@ -67,15 +77,19 @@ func encodeRow(r repro.Row) []any {
 
 // stmtResult converts one facade result to its wire form.
 func stmtResult(sr repro.ScriptResult) StmtResult {
+	out := StmtResult{
+		ElapsedNS: sr.Elapsed.Nanoseconds(),
+		RowCount:  sr.Rows,
+		PagesRead: sr.PagesRead,
+	}
 	if sr.Err != nil {
-		return StmtResult{Error: sr.Err.Error()}
+		out.Error = sr.Err.Error()
+		return out
 	}
 	res := sr.Res
-	out := StmtResult{
-		Columns:  res.Columns,
-		Message:  res.Message,
-		Affected: res.Affected,
-	}
+	out.Columns = res.Columns
+	out.Message = res.Message
+	out.Affected = res.Affected
 	for _, row := range res.Rows {
 		out.Rows = append(out.Rows, encodeRow(row))
 	}

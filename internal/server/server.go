@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 )
@@ -24,6 +25,12 @@ const maxLineBytes = 4 << 20
 type Config struct {
 	// Logf receives connection lifecycle lines; nil disables logging.
 	Logf func(format string, args ...any)
+	// SlowQueryMs, when positive, logs every statement whose wall time
+	// reaches this many milliseconds as one structured key=value line:
+	// session, statement index, elapsed, rows, pages, a plan summary
+	// (derived lazily by explaining the statement — only slow
+	// statements pay for it) and the SQL text.
+	SlowQueryMs int
 }
 
 // Server serves the line/JSON protocol over a shared database. Every
@@ -32,8 +39,9 @@ type Config struct {
 // under the engine's table latches exactly like native concurrent
 // callers.
 type Server struct {
-	db   *repro.DB
-	logf func(format string, args ...any)
+	db        *repro.DB
+	logf      func(format string, args ...any)
+	slowQuery time.Duration // 0 disables the slow-query log
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -51,7 +59,12 @@ func New(db *repro.DB, cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{db: db, logf: logf, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		db:        db,
+		logf:      logf,
+		slowQuery: time.Duration(cfg.SlowQueryMs) * time.Millisecond,
+		conns:     make(map[net.Conn]struct{}),
+	}
 }
 
 // ActiveSessions reports the number of connected sessions.
@@ -129,15 +142,15 @@ func (s *Server) session(conn net.Conn) {
 	id := s.nextSess.Add(1)
 	s.active.Add(1)
 	s.logf("cmserver: session %d open from %s (%d active)", id, conn.RemoteAddr(), s.active.Load())
-	statements := 0
+	var st sessionStats
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 		s.active.Add(-1)
-		s.logf("cmserver: session %d closed after %d statements (%d active)",
-			id, statements, s.active.Load())
+		s.logf("cmserver: session %d closed after %d statements (%d rows, %d pages, %v busy) (%d active)",
+			id, st.statements, st.rows, st.pages, st.elapsed.Round(time.Microsecond), s.active.Load())
 	}()
 
 	scanner := bufio.NewScanner(conn)
@@ -148,8 +161,7 @@ func (s *Server) session(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		resp, n := s.handle(line)
-		statements += n
+		resp := s.handle(line, id, &st)
 		b := marshalResponse(resp)
 		if _, err := w.Write(append(b, '\n')); err != nil {
 			return
@@ -171,26 +183,70 @@ func (s *Server) session(conn net.Conn) {
 	}
 }
 
-// handle executes one request line and returns the response plus the
-// number of statements it carried.
-func (s *Server) handle(line string) (Response, int) {
+// sessionStats accumulates one session's execution totals for the
+// close log line. Only the session goroutine touches it.
+type sessionStats struct {
+	statements int
+	rows       int64
+	pages      uint64
+	elapsed    time.Duration
+}
+
+// handle executes one request line, folds its measurements into the
+// session stats, logs slow statements and returns the response.
+func (s *Server) handle(line string, sess int64, st *sessionStats) Response {
 	sqlText := line
 	if strings.HasPrefix(line, "{") {
 		var req Request
 		if err := json.Unmarshal([]byte(line), &req); err != nil {
-			return Response{Error: fmt.Sprintf("server: bad JSON request: %v", err)}, 0
+			return Response{Error: fmt.Sprintf("server: bad JSON request: %v", err)}
 		}
 		sqlText = req.SQL
 	}
 	results, err := s.db.ExecScript(sqlText)
 	if err != nil {
-		return Response{Error: err.Error()}, 0
+		return Response{Error: err.Error()}
 	}
 	resp := Response{Results: make([]StmtResult, len(results))}
 	for i, r := range results {
+		st.statements++
+		st.rows += int64(r.Rows)
+		st.pages += r.PagesRead
+		st.elapsed += r.Elapsed
+		if s.slowQuery > 0 && r.Elapsed >= s.slowQuery && r.Err == nil {
+			s.logSlowQuery(sess, i, r)
+		}
 		resp.Results[i] = capStmtResult(i, stmtResult(r))
 	}
-	return resp, len(results)
+	return resp
+}
+
+// logSlowQuery emits one structured line for a statement at or past
+// the slow-query threshold.
+func (s *Server) logSlowQuery(sess int64, idx int, r repro.ScriptResult) {
+	s.logf("cmserver: slow query session=%d stmt=%d elapsed_ms=%d rows=%d pages=%d plan=%q sql=%q",
+		sess, idx+1, r.Elapsed.Milliseconds(), r.Rows, r.PagesRead, s.planSummary(r.SQL), r.SQL)
+}
+
+// planSummary derives a one-line operator summary for the slow-query
+// log by explaining the statement — EXPLAIN accepts both SELECT and
+// UPDATE, so every plannable slow statement gets one; anything EXPLAIN
+// rejects (DDL, INSERT, nested EXPLAIN) reports "". Only statements
+// already past the threshold pay this cost.
+func (s *Server) planSummary(sql string) string {
+	res, err := s.db.Exec("EXPLAIN " + sql)
+	if err != nil || res.Plan == nil || len(res.Plan.Nodes) == 0 {
+		return ""
+	}
+	kinds := make([]string, len(res.Plan.Nodes))
+	for i, n := range res.Plan.Nodes {
+		kinds[i] = n.Kind
+	}
+	sum := strings.Join(kinds, "->")
+	if res.Plan.Uses != "" {
+		sum += " uses " + res.Plan.Uses
+	}
+	return sum
 }
 
 // capStmtResult enforces the response-size cap per statement: a result

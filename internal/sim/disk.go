@@ -60,7 +60,10 @@ func DefaultConfig() Config {
 // FileID names a file (segment) on the simulated disk.
 type FileID uint32
 
-// Stats aggregates I/O counters and the virtual clock.
+// Stats aggregates I/O counters and the virtual clock. Every field is
+// maintained and snapshotted under the one disk mutex, so a Stats read
+// mid-query is internally consistent — the read-ahead stream counters
+// can never be torn against the page counters.
 type Stats struct {
 	Reads      uint64 // total page reads
 	Writes     uint64 // total page writes
@@ -70,6 +73,19 @@ type Stats struct {
 	RandWrites uint64
 	Syncs      uint64        // fsync-style barriers (each costs one seek)
 	Elapsed    time.Duration // accumulated virtual time
+
+	// Read-ahead stream accounting: StreamStarts counts streams opened
+	// by a seek, StreamEvictions counts live streams dropped to make
+	// room at the maxStreams cap, and ActiveStreams is the number of
+	// live read-ahead contexts at snapshot time. Stream continuations
+	// are exactly SeqReads + SeqWrites.
+	StreamStarts    uint64
+	StreamEvictions uint64
+	ActiveStreams   int
+
+	// IOWait is the cumulative real sleep time paid in RealWaitScale
+	// mode (zero when real waits are disabled).
+	IOWait time.Duration
 }
 
 // Seeks returns the total number of random accesses including syncs.
@@ -109,6 +125,11 @@ type Disk struct {
 	// read, so waits accumulate here and are paid in chunks: totals are
 	// preserved, and concurrent accessors still overlap their sleeps.
 	owed atomic.Int64
+
+	// slept accumulates real wait time actually paid, surfaced as
+	// Stats.IOWait. Updated outside the mutex (sleeps must overlap),
+	// read atomically by Stats.
+	slept atomic.Int64
 }
 
 // stream is one sequential access context: the page an access must
@@ -204,9 +225,12 @@ func (d *Disk) charge(f FileID, p int64, write bool) time.Duration {
 		// A seek starts (or restarts) a stream at the new position.
 		if len(d.streams) < maxStreams {
 			d.streams = append(d.streams, stream{})
+		} else {
+			d.stats.StreamEvictions++
 		}
 		copy(d.streams[1:], d.streams)
 		d.streams[0] = stream{file: f, next: p + 1}
+		d.stats.StreamStarts++
 	}
 	var cost time.Duration
 	if seq {
@@ -250,6 +274,7 @@ func (d *Disk) wait(cost time.Duration) {
 	// an even larger pool and claims it instead.
 	if d.owed.CompareAndSwap(owed, 0) {
 		time.Sleep(time.Duration(owed))
+		d.slept.Add(owed)
 	}
 }
 
@@ -321,11 +346,16 @@ func (d *Disk) SyncDeferWait() time.Duration {
 	return d.cfg.SeekCost
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The page and stream
+// counters are captured under one mutex hold, so they are mutually
+// consistent even while a query is mid-flight.
 func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.stats
+	s := d.stats
+	s.ActiveStreams = len(d.streams)
+	s.IOWait = time.Duration(d.slept.Load())
+	return s
 }
 
 // Elapsed returns the accumulated virtual time.
@@ -337,10 +367,15 @@ func (d *Disk) Elapsed() time.Duration {
 
 // ResetStats zeroes the counters and the virtual clock. The head position
 // is also forgotten so the first access after a reset is a seek, matching
-// the paper's cold-cache methodology.
+// the paper's cold-cache methodology. The stream counters, the pooled
+// real-wait debt and the paid-wait total reset in the same critical
+// section as the page counters, so a concurrent Stats snapshot sees
+// either the old epoch or the new one — never a mix.
 func (d *Disk) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats = Stats{}
 	d.streams = d.streams[:0]
+	d.owed.Store(0)
+	d.slept.Store(0)
 }

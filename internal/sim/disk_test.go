@@ -178,3 +178,55 @@ func TestWriteClassification(t *testing.T) {
 		t.Errorf("write classification rand=%d seq=%d total=%d", st.RandWrites, st.SeqWrites, st.Writes)
 	}
 }
+
+// TestStreamStatsAndReset pins the read-ahead stream accounting —
+// sequential runs start streams, scattered seeks at the cap evict
+// them — and that ResetStats zeroes the stream counters and the live
+// stream contexts together with the exact counters: a snapshot after
+// reset starts from a clean slate, with the next read classified as a
+// fresh stream start, not a continuation of pre-reset history.
+func TestStreamStatsAndReset(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	const pages = 64
+	buf := make([]byte, 128)
+	for i := 0; i < pages; i++ {
+		d.AllocPage(f)
+	}
+	// Two interleaved sequential runs: two live streams.
+	for i := 0; i < 8; i++ {
+		if err := d.ReadPage(f, int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReadPage(f, int64(32+i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.StreamStarts < 2 || s.ActiveStreams < 2 {
+		t.Fatalf("stream stats = %+v, want >= 2 starts and active", s)
+	}
+	if s.SeqReads == 0 {
+		t.Fatalf("interleaved sequential runs classified no seq reads: %+v", s)
+	}
+
+	d.ResetStats()
+	s = d.Stats()
+	if s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v, want zero", s)
+	}
+
+	// The stream table was dropped with the counters: continuing one of
+	// the pre-reset runs is a fresh stream start (a seek), not a
+	// sequential continuation of forgotten history.
+	if err := d.ReadPage(f, 8, buf); err != nil {
+		t.Fatal(err)
+	}
+	s = d.Stats()
+	if s.StreamStarts != 1 || s.RandReads != 1 || s.SeqReads != 0 {
+		t.Fatalf("first post-reset read = %+v, want one fresh stream start", s)
+	}
+	if s.ActiveStreams != 1 {
+		t.Fatalf("active streams = %d, want 1", s.ActiveStreams)
+	}
+}

@@ -263,10 +263,16 @@ type CreateCMStmt struct {
 
 func (*CreateCMStmt) stmt() {}
 
-// ExplainStmt is EXPLAIN SELECT ...: report the chosen access method,
-// the index or CM it uses and the estimated cost, without executing.
+// ExplainStmt is EXPLAIN [ANALYZE] (SELECT ... | UPDATE ...): report
+// the operator tree, the index or CM it uses and the estimated cost.
+// Plain EXPLAIN only compiles; EXPLAIN ANALYZE executes the statement
+// (an UPDATE really writes, PostgreSQL-style) and reports measured
+// rows, pages and time beside the estimates. Exactly one of Sel and
+// Upd is non-nil.
 type ExplainStmt struct {
-	Sel *SelectStmt
+	Sel     *SelectStmt
+	Upd     *UpdateStmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}
@@ -290,15 +296,18 @@ const (
 	ShowCMs
 	ShowStats
 	ShowSoftFDs
+	ShowMetrics
 )
 
 // ShowStmt is SHOW TABLES | SHOW STATS | SHOW INDEXES FOR t |
-// SHOW CMS FOR t | SHOW SOFT FDS FOR t [MIN STRENGTH s] [WITH PAIRS].
+// SHOW CMS FOR t | SHOW SOFT FDS FOR t [MIN STRENGTH s] [WITH PAIRS] |
+// SHOW METRICS [LIKE 'pattern'].
 type ShowStmt struct {
 	What        ShowWhat
 	Table       string
 	MinStrength float64 // SHOW SOFT FDS threshold
 	Pairs       bool    // include two-attribute determinants
+	Like        string  // SHOW METRICS name filter ("" = all)
 }
 
 func (*ShowStmt) stmt() {}

@@ -46,9 +46,9 @@ import (
 //	coldef      := ident (INT|BIGINT|FLOAT|DOUBLE|REAL|STRING|TEXT|VARCHAR)
 //	cmcol       := ident cmopt*
 //	cmopt       := WIDTH number | PREFIX int | LEVEL int
-//	explain     := EXPLAIN select
+//	explain     := EXPLAIN [ANALYZE] (select | update)
 //	advise      := ADVISE CM FOR select [WITHIN number PERCENT]
-//	show        := SHOW TABLES | SHOW STATS
+//	show        := SHOW TABLES | SHOW STATS | SHOW METRICS [LIKE string]
 //	             | SHOW INDEXES FOR ident | SHOW CMS FOR ident
 //	             | SHOW SOFT FDS FOR ident [MIN STRENGTH number] [WITH PAIRS]
 //	commit      := COMMIT [ident]
@@ -89,28 +89,42 @@ func Parse(src string) (Stmt, error) {
 
 // ParseScript parses a ';'-separated sequence of statements.
 func ParseScript(src string) ([]Stmt, error) {
+	stmts, _, err := ParseScriptSpans(src)
+	return stmts, err
+}
+
+// ParseScriptSpans is ParseScript returning each statement's verbatim
+// source text alongside it (whitespace-trimmed, terminating semicolon
+// excluded), recovered from token positions — per-statement results
+// and the server's slow-query log report it.
+func ParseScriptSpans(src string) ([]Stmt, []string, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := &parser{toks: toks}
 	var stmts []Stmt
+	var texts []string
 	for {
 		for p.peek().Kind == TokSemi {
 			p.next()
 		}
 		if p.peek().Kind == TokEOF {
-			return stmts, nil
+			return stmts, texts, nil
 		}
+		start := p.peek().Pos
 		s, err := p.statement()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		stmts = append(stmts, s)
+		// The next token (';' or EOF) starts where this statement's
+		// source ends.
+		texts = append(texts, strings.TrimSpace(src[start:p.peek().Pos]))
 		switch p.peek().Kind {
 		case TokSemi, TokEOF:
 		default:
-			return nil, p.errf("expected ';' or end of input, got %s", p.peek().Kind)
+			return nil, nil, p.errf("expected ';' or end of input, got %s", p.peek().Kind)
 		}
 	}
 }
@@ -251,11 +265,21 @@ func (p *parser) statement() (Stmt, error) {
 		return p.createStmt()
 	case p.kw("explain"):
 		p.next()
+		stmt := &ExplainStmt{Analyze: p.acceptKw("analyze")}
+		if p.kw("update") {
+			upd, err := p.updateStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Upd = upd.(*UpdateStmt)
+			return stmt, nil
+		}
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Sel: sel}, nil
+		stmt.Sel = sel
+		return stmt, nil
 	case p.kw("advise"):
 		return p.adviseStmt()
 	case p.kw("show"):
@@ -971,6 +995,16 @@ func (p *parser) showStmt() (Stmt, error) {
 		return &ShowStmt{What: ShowTables}, nil
 	case p.acceptKw("stats"):
 		return &ShowStmt{What: ShowStats}, nil
+	case p.acceptKw("metrics"):
+		stmt := &ShowStmt{What: ShowMetrics}
+		if p.acceptKw("like") {
+			t, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			stmt.Like = t.Text
+		}
+		return stmt, nil
 	case p.acceptKw("indexes"):
 		table, err := p.forTable()
 		if err != nil {
@@ -1009,7 +1043,7 @@ func (p *parser) showStmt() (Stmt, error) {
 		}
 		return stmt, nil
 	default:
-		return nil, p.errf("expected TABLES, STATS, INDEXES, CMS or SOFT FDS after SHOW, got %s", p.describe())
+		return nil, p.errf("expected TABLES, STATS, METRICS, INDEXES, CMS or SOFT FDS after SHOW, got %s", p.describe())
 	}
 }
 

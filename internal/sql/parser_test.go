@@ -402,3 +402,62 @@ func TestKeywordsAreCaseInsensitive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParseExplainAnalyze pins the EXPLAIN [ANALYZE] grammar over both
+// plannable statement kinds.
+func TestParseExplainAnalyze(t *testing.T) {
+	e := mustParse(t, "EXPLAIN SELECT * FROM t WHERE a = 1").(*ExplainStmt)
+	if e.Analyze || e.Sel == nil || e.Upd != nil {
+		t.Errorf("EXPLAIN SELECT parsed wrong: %+v", e)
+	}
+	e = mustParse(t, "EXPLAIN ANALYZE SELECT * FROM t").(*ExplainStmt)
+	if !e.Analyze || e.Sel == nil || e.Upd != nil {
+		t.Errorf("EXPLAIN ANALYZE SELECT parsed wrong: %+v", e)
+	}
+	e = mustParse(t, "EXPLAIN UPDATE t SET a = 1 WHERE b = 2").(*ExplainStmt)
+	if e.Analyze || e.Upd == nil || e.Sel != nil {
+		t.Errorf("EXPLAIN UPDATE parsed wrong: %+v", e)
+	}
+	e = mustParse(t, "explain analyze update t set a = 1").(*ExplainStmt)
+	if !e.Analyze || e.Upd == nil || e.Upd.Table != "t" {
+		t.Errorf("EXPLAIN ANALYZE UPDATE parsed wrong: %+v", e)
+	}
+	if _, err := Parse("EXPLAIN ANALYZE CREATE TABLE t (a INT)"); err == nil {
+		t.Error("EXPLAIN ANALYZE of DDL parsed")
+	}
+}
+
+// TestParseShowMetrics pins SHOW METRICS and its optional LIKE pattern.
+func TestParseShowMetrics(t *testing.T) {
+	s := mustParse(t, "SHOW METRICS").(*ShowStmt)
+	if s.What != ShowMetrics || s.Like != "" {
+		t.Errorf("SHOW METRICS parsed wrong: %+v", s)
+	}
+	s = mustParse(t, "show metrics like 'pool.%'").(*ShowStmt)
+	if s.What != ShowMetrics || s.Like != "pool.%" {
+		t.Errorf("SHOW METRICS LIKE parsed wrong: %+v", s)
+	}
+	if _, err := Parse("SHOW METRICS LIKE 7"); err == nil {
+		t.Error("non-string LIKE pattern parsed")
+	}
+}
+
+// TestParseScriptSpans pins the statement-text capture the slow-query
+// log and the wire protocol report: one trimmed source span per parsed
+// statement, semicolons and surrounding blanks excluded.
+func TestParseScriptSpans(t *testing.T) {
+	src := "  SELECT * FROM t ;\n\nSHOW TABLES;; UPDATE t SET a = 1  "
+	stmts, spans, err := ParseScriptSpans(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT * FROM t", "SHOW TABLES", "UPDATE t SET a = 1"}
+	if len(stmts) != len(want) {
+		t.Fatalf("%d statements, want %d", len(stmts), len(want))
+	}
+	for i, w := range want {
+		if spans[i] != w {
+			t.Errorf("span %d = %q, want %q", i, spans[i], w)
+		}
+	}
+}

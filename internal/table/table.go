@@ -83,8 +83,16 @@ type Table struct {
 	secondary []*Index
 	cms       []*core.CM
 
+	// writeObs is the optional write-path metric set (see WriteObs),
+	// installed by SetWriteObs and read atomically by writer statements.
+	writeObs atomic.Pointer[WriteObs]
+
 	loaded bool
 }
+
+// SetWriteObs installs (or, with nil, removes) the write-path metric
+// set. Safe to call while writer statements run.
+func (t *Table) SetWriteObs(o *WriteObs) { t.writeObs.Store(o) }
 
 // New creates an empty table. Rows are added either with Load (bulk,
 // clustered) or Insert (appended, as in the paper's update experiments).

@@ -2,8 +2,10 @@ package table
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/heap"
+	"repro/internal/metrics"
 	"repro/internal/value"
 	"repro/internal/wal"
 )
@@ -32,6 +34,43 @@ import (
 // small enough that a waiting reader stalls for microseconds, large
 // enough to amortize the latch handoff across a bulk statement.
 const writeBatchRows = 128
+
+// WriteObs is the write path's metric set. All fields are optional
+// (nil disables that metric); the struct is installed atomically via
+// SetWriteObs so live writer statements never race a wiring change.
+type WriteObs struct {
+	// Publishes counts committed writer statements.
+	Publishes *metrics.Counter
+	// Aborts counts rolled-back writer statements.
+	Aborts *metrics.Counter
+	// Rows counts row versions written (inserted plus ended).
+	Rows *metrics.Counter
+	// LatchHold records the wall time of each exclusive latch hold in
+	// nanoseconds — the writeBatchRows-chunked holds plus the final
+	// publish hold, i.e. exactly the stalls a concurrent reader can see.
+	LatchHold *metrics.Histogram
+}
+
+// lockLatched takes the exclusive latch and, when latch observation is
+// wired, returns the acquisition time for unlockLatched to record.
+func (t *Table) lockLatched() time.Time {
+	t.mu.Lock()
+	if o := t.writeObs.Load(); o != nil && o.LatchHold != nil {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// unlockLatched releases the exclusive latch and records the hold time
+// started by lockLatched.
+func (t *Table) unlockLatched(start time.Time) {
+	t.mu.Unlock()
+	if !start.IsZero() {
+		if o := t.writeObs.Load(); o != nil {
+			o.LatchHold.ObserveSince(start)
+		}
+	}
+}
 
 // retraction is one old row version whose index entries and CM pairs are
 // removed when the statement publishes.
@@ -100,14 +139,14 @@ func (tx *WriteTxn) InsertBatch(rows []value.Row) error {
 		if end > len(rows) {
 			end = len(rows)
 		}
-		t.mu.Lock()
+		held := t.lockLatched()
 		for i := start; i < end; i++ {
 			if err := tx.applyInsert(rows[i], encs[i]); err != nil {
-				t.mu.Unlock()
+				t.unlockLatched(held)
 				return err
 			}
 		}
-		t.mu.Unlock()
+		t.unlockLatched(held)
 	}
 	return nil
 }
@@ -149,14 +188,14 @@ func (tx *WriteTxn) DeleteBatch(rids []heap.RID) error {
 		if end > len(rids) {
 			end = len(rids)
 		}
-		t.mu.Lock()
+		held := t.lockLatched()
 		for i := start; i < end; i++ {
 			if err := tx.applyDelete(rids[i]); err != nil {
-				t.mu.Unlock()
+				t.unlockLatched(held)
 				return err
 			}
 		}
-		t.mu.Unlock()
+		t.unlockLatched(held)
 	}
 	return nil
 }
@@ -213,18 +252,18 @@ func (tx *WriteTxn) UpdateBatch(olds []heap.RID, news []value.Row) error {
 		if end > len(olds) {
 			end = len(olds)
 		}
-		t.mu.Lock()
+		held := t.lockLatched()
 		for i := start; i < end; i++ {
 			if err := tx.applyDelete(olds[i]); err != nil {
-				t.mu.Unlock()
+				t.unlockLatched(held)
 				return err
 			}
 			if err := tx.applyInsert(news[i], encs[i]); err != nil {
-				t.mu.Unlock()
+				t.unlockLatched(held)
 				return err
 			}
 		}
-		t.mu.Unlock()
+		t.unlockLatched(held)
 	}
 	return nil
 }
@@ -237,7 +276,7 @@ func (tx *WriteTxn) UpdateBatch(olds []heap.RID, news []value.Row) error {
 // gate.
 func (tx *WriteTxn) Publish() error {
 	t := tx.t
-	t.mu.Lock()
+	held := t.lockLatched()
 	err := tx.applyRetractions()
 	if err == nil && t.log != nil {
 		for _, rec := range tx.recs {
@@ -249,7 +288,15 @@ func (tx *WriteTxn) Publish() error {
 	if err == nil {
 		t.clock.Store(tx.ts)
 	}
-	t.mu.Unlock()
+	t.unlockLatched(held)
+	if o := t.writeObs.Load(); o != nil {
+		if err == nil {
+			o.Publishes.Inc()
+			o.Rows.Add(int64(len(tx.inserted) + len(tx.ended)))
+		} else {
+			o.Aborts.Inc()
+		}
+	}
 	tx.release()
 	return err
 }
@@ -282,7 +329,7 @@ func (tx *WriteTxn) applyRetractions() error {
 // sees the statement. The writer gate is released.
 func (tx *WriteTxn) Abort() {
 	t := tx.t
-	t.mu.Lock()
+	held := t.lockLatched()
 	for i := len(tx.inserted) - 1; i >= 0; i-- {
 		u := tx.inserted[i]
 		_, _ = t.clustered.Delete(u.row, u.rid)
@@ -297,7 +344,10 @@ func (tx *WriteTxn) Abort() {
 	for i := len(tx.ended) - 1; i >= 0; i-- {
 		_ = t.heapf.ClearEnd(tx.ended[i])
 	}
-	t.mu.Unlock()
+	t.unlockLatched(held)
+	if o := t.writeObs.Load(); o != nil {
+		o.Aborts.Inc()
+	}
 	tx.release()
 }
 

@@ -12,8 +12,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -54,6 +56,18 @@ type Log struct {
 	// the public entry points pay it after unlocking so a flushing
 	// writer does not convoy appenders and stat readers.
 	owed time.Duration
+
+	// flushHist, when set, records each Flush barrier's wall time —
+	// the engine's commit-latency histogram. Stored atomically so a
+	// late SetFlushHistogram does not race in-flight flushes.
+	flushHist atomic.Pointer[metrics.Histogram]
+}
+
+// SetFlushHistogram wires a histogram that records each Flush's wall
+// time (commit latency, since every Commit ends in a Flush). A nil
+// histogram disables recording.
+func (l *Log) SetFlushHistogram(h *metrics.Histogram) {
+	l.flushHist.Store(h)
 }
 
 // takeOwed drains the deferred wait. Called with mu held.
@@ -152,6 +166,10 @@ func (l *Log) writeTail() {
 // Flush makes every appended record durable: it writes the partial tail
 // page and issues an fsync barrier.
 func (l *Log) Flush() {
+	var start time.Time
+	if l.flushHist.Load() != nil {
+		start = time.Now()
+	}
 	l.mu.Lock()
 	if l.length > l.flushed {
 		if l.page >= 0 && l.bufUsed > 0 && l.bufUsed < len(l.buf) {
@@ -164,6 +182,9 @@ func (l *Log) Flush() {
 	owed := l.takeOwed()
 	l.mu.Unlock()
 	l.disk.PayWait(owed)
+	if h := l.flushHist.Load(); h != nil {
+		h.ObserveSince(start)
+	}
 }
 
 // Replay decodes every record in order and passes it to fn, reading the

@@ -1,0 +1,132 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+// This file wires the DB onto internal/metrics: one registry per DB
+// exposing every layer's counters under stable dotted names. Storage
+// and WAL counters were already maintained by their layers, so they
+// surface as zero-cost func metrics read at snapshot time; only the
+// query-scan observer and the latency histograms add work to hot
+// paths, and those are gated by SetMetricsEnabled (an uncontended
+// counter update costs about one atomic add; disabled costs nothing —
+// see the BENCH_7 overhead experiment).
+//
+// The metric vocabulary (all values int64; durations in nanoseconds
+// under *_ns names; histograms expand to .count/.sum/.max/.p50/.p95/
+// .p99):
+//
+//   - disk.*: simulated-disk page traffic — reads, writes, their
+//     sequential/random split (seq_reads, rand_reads, seq_writes,
+//     rand_writes), seeks, syncs, the virtual clock (virtual_ns), real
+//     I/O wait slept under IOWaitScale (io_wait_ns) and read-ahead
+//     stream churn (stream_starts, stream_evictions, active_streams).
+//   - pool.*: buffer-pool totals (hits, misses, evictions,
+//     dirty_writes) plus the same four per shard (pool.shard3.hits).
+//   - wal.*: appends, flushes, bytes, and the wal.flush_ns histogram
+//     of commit-flush wall times.
+//   - table.*: MVCC write-path totals — publishes, aborts,
+//     rows_written, and table.latch_hold_ns, the histogram of
+//     exclusive-latch hold times per write batch.
+//   - query.*: scan-level physical work — tuples_examined (tuples the
+//     compiled filter evaluated), rows_scanned (survivors emitted),
+//     heap_pages (heap page visits) — and query.latency_ns, the
+//     per-statement wall-time histogram.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// initMetrics builds the DB's registry. Called once from Open after
+// the storage stack exists.
+func (db *DB) initMetrics() {
+	r := metrics.NewRegistry()
+	db.reg = r
+	db.scanObs = &exec.ScanObs{}
+	db.queryHist = r.Histogram("query.latency_ns", metrics.DurationBounds)
+
+	r.Func("disk.reads", func() int64 { return int64(db.disk.Stats().Reads) })
+	r.Func("disk.writes", func() int64 { return int64(db.disk.Stats().Writes) })
+	r.Func("disk.seq_reads", func() int64 { return int64(db.disk.Stats().SeqReads) })
+	r.Func("disk.rand_reads", func() int64 { return int64(db.disk.Stats().RandReads) })
+	r.Func("disk.seq_writes", func() int64 { return int64(db.disk.Stats().SeqWrites) })
+	r.Func("disk.rand_writes", func() int64 { return int64(db.disk.Stats().RandWrites) })
+	r.Func("disk.seeks", func() int64 { return int64(db.disk.Stats().Seeks()) })
+	r.Func("disk.syncs", func() int64 { return int64(db.disk.Stats().Syncs) })
+	r.Func("disk.virtual_ns", func() int64 { return int64(db.disk.Stats().Elapsed) })
+	r.Func("disk.io_wait_ns", func() int64 { return int64(db.disk.Stats().IOWait) })
+	r.Func("disk.stream_starts", func() int64 { return int64(db.disk.Stats().StreamStarts) })
+	r.Func("disk.stream_evictions", func() int64 { return int64(db.disk.Stats().StreamEvictions) })
+	r.Func("disk.active_streams", func() int64 { return int64(db.disk.Stats().ActiveStreams) })
+
+	r.Func("pool.hits", func() int64 { return int64(db.pool.Stats().Hits) })
+	r.Func("pool.misses", func() int64 { return int64(db.pool.Stats().Misses) })
+	r.Func("pool.evictions", func() int64 { return int64(db.pool.Stats().Evictions) })
+	r.Func("pool.dirty_writes", func() int64 { return int64(db.pool.Stats().DirtyWrites) })
+	for i := 0; i < db.pool.Shards(); i++ {
+		shard := i
+		prefix := fmt.Sprintf("pool.shard%d.", shard)
+		r.Func(prefix+"hits", func() int64 { return int64(db.pool.ShardStats()[shard].Hits) })
+		r.Func(prefix+"misses", func() int64 { return int64(db.pool.ShardStats()[shard].Misses) })
+		r.Func(prefix+"evictions", func() int64 { return int64(db.pool.ShardStats()[shard].Evictions) })
+		r.Func(prefix+"dirty_writes", func() int64 { return int64(db.pool.ShardStats()[shard].DirtyWrites) })
+	}
+
+	r.Func("wal.appends", func() int64 { return int64(db.log.Appends()) })
+	r.Func("wal.flushes", func() int64 { return int64(db.log.Flushes()) })
+	r.Func("wal.bytes", func() int64 { return db.log.Len() })
+	db.log.SetFlushHistogram(r.Histogram("wal.flush_ns", metrics.DurationBounds))
+
+	db.writeObs = &table.WriteObs{
+		Publishes: r.Counter("table.publishes"),
+		Aborts:    r.Counter("table.aborts"),
+		Rows:      r.Counter("table.rows_written"),
+		LatchHold: r.Histogram("table.latch_hold_ns", metrics.DurationBounds),
+	}
+
+	r.Func("query.tuples_examined", func() int64 { return db.scanObs.Tuples.Load() })
+	r.Func("query.rows_scanned", func() int64 { return db.scanObs.Rows.Load() })
+	r.Func("query.heap_pages", func() int64 { return db.scanObs.Pages.Load() })
+}
+
+// metricsOn reports whether hot-path instrumentation should record.
+func (db *DB) metricsOn() bool { return db.reg.Enabled() }
+
+// SetMetricsEnabled turns hot-path metrics collection on or off
+// (default on). Disabling detaches the scan observer and latency
+// histograms from the query path, so a hot scan pays nothing; the
+// storage-layer counters (disk, pool, WAL, write path) are maintained
+// by their layers regardless and keep reporting.
+func (db *DB) SetMetricsEnabled(on bool) { db.reg.SetEnabled(on) }
+
+// MetricsEnabled reports whether hot-path metrics collection is on.
+func (db *DB) MetricsEnabled() bool { return db.reg.Enabled() }
+
+// Metrics snapshots every metric whose name matches the SQL-LIKE
+// pattern ('%' matches any run, '_' any byte, "" matches all), sorted
+// by name — the engine behind SHOW METRICS and the server's
+// /debug/metrics endpoint.
+func (db *DB) Metrics(pattern string) []Metric {
+	samples := db.reg.Snapshot(pattern)
+	out := make([]Metric, len(samples))
+	for i, s := range samples {
+		out[i] = Metric{Name: s.Name, Value: s.Value}
+	}
+	return out
+}
+
+// ResetMetrics zeroes the registry's own counters and histograms
+// (query latency, WAL flush times, write-path totals) and the query
+// scan observer. Func-backed storage counters reset through
+// ResetStats instead.
+func (db *DB) ResetMetrics() {
+	db.reg.Reset()
+	db.scanObs.Tuples.Store(0)
+	db.scanObs.Rows.Store(0)
+	db.scanObs.Pages.Store(0)
+}

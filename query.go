@@ -285,14 +285,58 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 
 // PlanNode is one operator of an explained plan, bottom-up: an access
 // node first ("scan", "union" or "cm-agg"), then "filter", "project",
-// "agg", "having", "sort" and "limit" as the query uses them. Detail is
-// a human-readable summary (the method and structure for access nodes,
-// the expressions elsewhere). The chain is exactly what execution runs:
-// filter and project are fused into the access path's compiled tuple
-// filter and projection pushdown at run time.
+// "agg", "having", "sort", "limit" and "update" as the query uses
+// them. Detail is a human-readable summary (the method and structure
+// for access nodes, the expressions elsewhere). The chain is exactly
+// what execution runs: filter and project are fused into the access
+// path's compiled tuple filter and projection pushdown at run time.
 type PlanNode struct {
 	Kind   string
 	Detail string
+	// EstCost is the cost model's prediction for the node (access and
+	// cm-agg nodes; zero elsewhere and for forced methods).
+	EstCost time.Duration
+	// Actual holds the node's measured execution after an analyzed run
+	// (ExplainAnalyzeSpec, or SQL's EXPLAIN ANALYZE); nil after a plain
+	// EXPLAIN.
+	Actual *NodeActuals
+}
+
+// NodeActuals is one operator's measured execution from an analyzed
+// run — the live counterpart of the cost model's estimates (the
+// paper's Figure 6 estimated-vs-measured comparison, per node).
+type NodeActuals struct {
+	// Rows is the node's output cardinality (rows written, for the
+	// update node).
+	Rows int64
+	// TuplesIn is the node's input cardinality where it differs from
+	// Rows: tuples examined for access/filter nodes, rows folded for
+	// agg, rows sorted for sort. Zero for pure pass-through nodes.
+	TuplesIn int64
+	// HeapPages counts the query's own heap page visits (access nodes;
+	// exact, from the executors' per-chunk tallies).
+	HeapPages int64
+	// DiskReads and BufferHits are engine-wide deltas captured around
+	// the run and attributed to the access node — exact when the
+	// statement runs alone, approximate under concurrent load.
+	DiskReads  uint64
+	BufferHits uint64
+	// Elapsed is the node's phase wall time. Streaming plans fuse
+	// filter/project/agg into the access sweep, so the shared phase
+	// reports on the access node and fused nodes show zero.
+	Elapsed time.Duration
+}
+
+// RunActuals summarizes an analyzed run: result cardinality, wall
+// time and the physical-work totals behind the per-node actuals.
+type RunActuals struct {
+	Rows           int64
+	Elapsed        time.Duration
+	DiskReads      uint64
+	BufferHits     uint64
+	BufferMisses   uint64
+	TuplesExamined int64
+	HeapPages      int64
 }
 
 // PlanInfo describes the plan the engine would execute. Method, Uses
@@ -312,6 +356,9 @@ type PlanInfo struct {
 	TotalCols   int
 	// Nodes is the operator tree bottom-up; see PlanNode.
 	Nodes []PlanNode
+	// Analyzed summarizes the measured run after ExplainAnalyzeSpec or
+	// EXPLAIN ANALYZE; nil after a plain EXPLAIN.
+	Analyzed *RunActuals
 }
 
 // Explain returns the plan the cost model picks for the predicates,

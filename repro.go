@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/heap"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/table"
@@ -156,6 +157,15 @@ type DB struct {
 	log     *wal.Log
 	workers int
 
+	// Observability (see metrics.go): the registry names every layer's
+	// counters, scanObs receives engine-wide scan work when metrics are
+	// enabled, queryHist times statements, writeObs instruments the MVCC
+	// write path of every table.
+	reg       *metrics.Registry
+	scanObs   *exec.ScanObs
+	queryHist *metrics.Histogram
+	writeObs  *table.WriteObs
+
 	mu     sync.RWMutex // guards the tables map
 	tables map[string]*Table
 }
@@ -176,13 +186,15 @@ func Open(cfg Config) *DB {
 	if workers <= 0 {
 		workers = exec.DefaultWorkers()
 	}
-	return &DB{
+	db := &DB{
 		disk:    disk,
 		pool:    buffer.NewPool(disk, pages),
 		log:     wal.NewLog(disk),
 		workers: workers,
 		tables:  make(map[string]*Table),
 	}
+	db.initMetrics()
+	return db
 }
 
 // Workers returns the configured scan fan-out.
@@ -236,6 +248,7 @@ func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	inner.SetWriteObs(db.writeObs)
 	t := &Table{db: db, inner: inner, stats: exec.NewExactStats()}
 	db.tables[spec.Name] = t
 	return t, nil
@@ -409,6 +422,7 @@ func (t *Table) Update(sets []Set, preds ...Pred) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer t.db.observeQuery(time.Now())
 	return ut.Run(t.db.workers)
 }
 
@@ -444,7 +458,39 @@ func (t *Table) compileUpdate(sets []Set, anyOf [][]Pred) (*plan.UpdateTree, err
 	}
 	t.inner.RLock()
 	defer t.inner.RUnlock()
-	return plan.CompileUpdate(t.inner, plan.Spec{Disjuncts: disjuncts}, esets, t.stats)
+	spec := plan.Spec{Disjuncts: disjuncts}
+	if t.db.metricsOn() {
+		spec.Obs = t.db.scanObs
+	}
+	return plan.CompileUpdate(t.inner, spec, esets, t.stats)
+}
+
+// explainUpdate compiles an UPDATE without running it — plain EXPLAIN
+// UPDATE. The read side's access path is chosen exactly as Run would.
+func (t *Table) explainUpdate(sets []Set, anyOf [][]Pred) (PlanInfo, error) {
+	ut, err := t.compileUpdate(sets, anyOf)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	return facadePlan(ut.Explain()), nil
+}
+
+// analyzeUpdate compiles and executes an UPDATE while measuring
+// per-node actuals. EXPLAIN ANALYZE UPDATE really writes (PostgreSQL
+// semantics); it returns the rows updated and the measured plan.
+func (t *Table) analyzeUpdate(sets []Set, anyOf [][]Pred) (int64, PlanInfo, error) {
+	ut, err := t.compileUpdate(sets, anyOf)
+	if err != nil {
+		return 0, PlanInfo{}, err
+	}
+	defer t.db.observeQuery(time.Now())
+	n, an, err := ut.RunAnalyzed(t.db.workers)
+	if err != nil {
+		return 0, PlanInfo{}, err
+	}
+	pi := facadePlan(ut.Explain())
+	attachActuals(&pi, an)
+	return n, pi, nil
 }
 
 // Commit flushes the WAL with the prototype's two-phase-commit

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -159,11 +160,23 @@ func (t *Table) runTree(spec QuerySpec, workers int, sink plan.RowSink) error {
 	// statement reads the table as of this published version, so a writer
 	// statement publishing mid-scan changes nothing the query sees.
 	ps.Snap = t.inner.Snapshot()
+	if t.db.metricsOn() {
+		ps.Obs = t.db.scanObs
+	}
+	defer t.db.observeQuery(time.Now())
 	tree, err := plan.Compile(t.inner, ps, t.stats)
 	if err != nil {
 		return err
 	}
 	return tree.Run(workers, sink)
+}
+
+// observeQuery records one statement's wall time (started at start)
+// into the query latency histogram when metrics are enabled.
+func (db *DB) observeQuery(start time.Time) {
+	if db.metricsOn() {
+		db.queryHist.ObserveSince(start)
+	}
 }
 
 // planSpec resolves a QuerySpec's names against the table schema and
@@ -350,7 +363,11 @@ func (t *Table) explainSpec(spec QuerySpec) (PlanInfo, error) {
 	if err != nil {
 		return PlanInfo{}, err
 	}
-	info := tree.Explain()
+	return facadePlan(tree.Explain()), nil
+}
+
+// facadePlan converts the plan layer's Info into the facade PlanInfo.
+func facadePlan(info plan.Info) PlanInfo {
 	pi := PlanInfo{TotalCols: info.TotalCols, DecodedCols: info.DecodedCols}
 	switch {
 	case info.CMAgg:
@@ -367,7 +384,77 @@ func (t *Table) explainSpec(spec QuerySpec) (PlanInfo, error) {
 		}
 	}
 	for _, n := range info.Nodes {
-		pi.Nodes = append(pi.Nodes, PlanNode{Kind: n.Kind, Detail: n.Detail})
+		pi.Nodes = append(pi.Nodes, PlanNode{Kind: n.Kind, Detail: n.Detail, EstCost: n.Cost})
 	}
+	return pi
+}
+
+// attachActuals pairs an analyzed run's measurements with the plan's
+// nodes (same bottom-up order) and fills the run summary.
+func attachActuals(pi *PlanInfo, an *plan.Analysis) {
+	for i := range pi.Nodes {
+		if i >= len(an.Nodes) {
+			break
+		}
+		a := an.Nodes[i]
+		pi.Nodes[i].Actual = &NodeActuals{
+			Rows:       a.Rows,
+			TuplesIn:   a.TuplesIn,
+			HeapPages:  a.HeapPages,
+			DiskReads:  a.DiskReads,
+			BufferHits: a.BufferHits,
+			Elapsed:    a.Elapsed,
+		}
+	}
+	pi.Analyzed = &RunActuals{
+		Rows:           an.TotalRows,
+		Elapsed:        an.Elapsed,
+		DiskReads:      an.DiskReads,
+		BufferHits:     an.BufferHits,
+		BufferMisses:   an.BufferMisses,
+		TuplesExamined: an.TuplesExamined,
+		HeapPages:      an.HeapPages,
+	}
+}
+
+// ExplainAnalyzeSpec executes the spec for real and returns its plan
+// with measured actuals attached to every node — the native form of
+// SQL's EXPLAIN ANALYZE. Result rows are consumed and counted, not
+// returned (PostgreSQL semantics: the plan is the result). The run is
+// the exact Run code path, so side effects, locking and row flow are
+// identical to SelectAggregate/Select; its physical work still counts
+// into the engine-wide query.* metrics.
+func (db *DB) ExplainAnalyzeSpec(spec QuerySpec) (PlanInfo, error) {
+	tbl := db.Table(spec.Table)
+	if tbl == nil {
+		return PlanInfo{}, fmt.Errorf("repro: no table %q", spec.Table)
+	}
+	return tbl.analyzeSpec(spec)
+}
+
+// analyzeSpec compiles and executes the spec under a shared latch
+// hold, measuring per-node actuals.
+func (t *Table) analyzeSpec(spec QuerySpec) (PlanInfo, error) {
+	ps, err := t.planSpec(spec)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	t.inner.RLock()
+	defer t.inner.RUnlock()
+	ps.Snap = t.inner.Snapshot()
+	if t.db.metricsOn() {
+		ps.Obs = t.db.scanObs
+	}
+	defer t.db.observeQuery(time.Now())
+	tree, err := plan.Compile(t.inner, ps, t.stats)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	an, err := tree.RunAnalyzed(t.db.workers, func(value.Row) bool { return true })
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	pi := facadePlan(tree.Explain())
+	attachActuals(&pi, an)
 	return pi, nil
 }

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	sqlfe "repro/internal/sql"
 	"repro/internal/value"
@@ -27,10 +28,26 @@ type Result struct {
 	Plan     *PlanInfo // EXPLAIN only
 }
 
-// ScriptResult pairs one statement of a script with its outcome.
+// ScriptResult pairs one statement of a script with its outcome and
+// its execution measurements (the wire protocol and the server's
+// slow-query log report them).
 type ScriptResult struct {
 	Res *Result
 	Err error
+	// SQL is the statement's verbatim source text, recovered from the
+	// parser's token spans.
+	SQL string
+	// Rows is the number of result rows (mutating statements report 0
+	// here; their row count is Res.Affected).
+	Rows int
+	// PagesRead is the engine-wide disk page-read delta across the
+	// statement (per batch group for batched SELECTs) — exact when the
+	// script runs alone, approximate under concurrent load.
+	PagesRead uint64
+	// Elapsed is the statement's wall time. Consecutive SELECTs run as
+	// one SelectMany batch (see ExecScript), so each statement of a
+	// batch reports the batch group's wall time.
+	Elapsed time.Duration
 }
 
 // Kind returns the value's dynamic kind.
@@ -88,7 +105,7 @@ func (db *DB) Exec(stmt string) (*Result, error) {
 // executes); execution errors are per-statement and do not stop later
 // statements.
 func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
-	stmts, err := sqlfe.ParseScript(script)
+	stmts, texts, err := sqlfe.ParseScriptSpans(script)
 	if err != nil {
 		return nil, err
 	}
@@ -102,12 +119,38 @@ func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
 			j++
 		}
 		if j-i > 1 {
+			reads0 := db.disk.Stats().Reads
+			start := time.Now()
 			db.execSelectBatch(stmts[i:j], out[i:j])
+			elapsed := time.Since(start)
+			pages := db.disk.Stats().Reads - reads0
+			// The batch ran as one SelectMany group: each statement
+			// reports the group's wall time and page delta.
+			for k := i; k < j; k++ {
+				out[k].SQL = texts[k]
+				out[k].Elapsed = elapsed
+				out[k].PagesRead = pages
+				if out[k].Res != nil {
+					out[k].Rows = len(out[k].Res.Rows)
+				}
+			}
 			i = j
 			continue
 		}
+		reads0 := db.disk.Stats().Reads
+		start := time.Now()
 		res, err := db.execStmt(stmts[i])
-		out[i] = ScriptResult{Res: res, Err: err}
+		sr := ScriptResult{
+			Res:       res,
+			Err:       err,
+			SQL:       texts[i],
+			Elapsed:   time.Since(start),
+			PagesRead: db.disk.Stats().Reads - reads0,
+		}
+		if res != nil {
+			sr.Rows = len(res.Rows)
+		}
+		out[i] = sr
 		i++
 	}
 	return out, nil
@@ -452,13 +495,33 @@ func (db *DB) execDelete(cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error
 // Table.Update uses, carrying the full WHERE disjunction through so
 // UPDATE ... WHERE a OR b plans its access per disjunct like a SELECT.
 func (db *DB) execUpdate(cat sqlfe.Catalog, s *sqlfe.UpdateStmt) (*Result, error) {
-	b, err := sqlfe.BindUpdate(cat, s)
+	tbl, sets, anyOf, err := db.boundUpdateParts(cat, s)
 	if err != nil {
 		return nil, err
 	}
-	tbl, err := db.sqlTable(b.Table)
+	ut, err := tbl.compileUpdate(sets, anyOf)
 	if err != nil {
 		return nil, err
+	}
+	defer db.observeQuery(time.Now())
+	n, err := ut.Run(db.workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: int(n), Message: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+// boundUpdateParts binds an UPDATE and lowers it to the facade's
+// sets + WHERE disjunction — shared by execUpdate and EXPLAIN
+// [ANALYZE] UPDATE, so the explained plan is the executed one.
+func (db *DB) boundUpdateParts(cat sqlfe.Catalog, s *sqlfe.UpdateStmt) (*Table, []Set, [][]Pred, error) {
+	b, err := sqlfe.BindUpdate(cat, s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tbl, err := db.sqlTable(b.Table)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	sets := make([]Set, len(b.Sets))
 	for i, bs := range b.Sets {
@@ -471,15 +534,7 @@ func (db *DB) execUpdate(cat sqlfe.Catalog, s *sqlfe.UpdateStmt) (*Result, error
 	if len(anyOf) == 0 {
 		anyOf = [][]Pred{nil} // no WHERE: update every row
 	}
-	ut, err := tbl.compileUpdate(sets, anyOf)
-	if err != nil {
-		return nil, err
-	}
-	n, err := ut.Run(db.workers)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Affected: int(n), Message: fmt.Sprintf("UPDATE %d", n)}, nil
+	return tbl, sets, anyOf, nil
 }
 
 func (db *DB) execCreateTable(cat sqlfe.Catalog, s *sqlfe.CreateTableStmt) (*Result, error) {
@@ -546,22 +601,61 @@ func (db *DB) execCreateCM(cat sqlfe.Catalog, s *sqlfe.CreateCMStmt) (*Result, e
 }
 
 func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
+	if s.Upd != nil {
+		return db.execExplainUpdate(cat, s)
+	}
 	b, err := sqlfe.BindSelect(cat, s.Sel)
 	if err != nil {
 		return nil, err
+	}
+	if s.Analyze {
+		info, err := db.ExplainAnalyzeSpec(specFromBound(b))
+		if err != nil {
+			return nil, err
+		}
+		return analyzeResult(&info), nil
 	}
 	info, err := db.ExplainSpec(specFromBound(b))
 	if err != nil {
 		return nil, err
 	}
-	// One row per plan node, bottom-up. The first (access) row keeps the
-	// legacy method/uses/est_cost/decoded_cols shape — a union node puts
-	// "union" in the method column and the per-disjunct plans in uses, a
-	// cm-agg node puts "cm-agg" there with its statistics/sweep summary;
-	// the remaining rows carry each operator's kind and expressions.
+	return explainResult(&info), nil
+}
+
+// execExplainUpdate handles EXPLAIN [ANALYZE] UPDATE. Plain EXPLAIN
+// only compiles the update; EXPLAIN ANALYZE executes it — the rows
+// really change, and Affected reports how many.
+func (db *DB) execExplainUpdate(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
+	tbl, sets, anyOf, err := db.boundUpdateParts(cat, s.Upd)
+	if err != nil {
+		return nil, err
+	}
+	if s.Analyze {
+		n, info, err := tbl.analyzeUpdate(sets, anyOf)
+		if err != nil {
+			return nil, err
+		}
+		res := analyzeResult(&info)
+		res.Affected = int(n)
+		return res, nil
+	}
+	info, err := tbl.explainUpdate(sets, anyOf)
+	if err != nil {
+		return nil, err
+	}
+	return explainResult(&info), nil
+}
+
+// explainResult renders a compiled plan for EXPLAIN. One row per plan
+// node, bottom-up. The first (access) row keeps the legacy
+// method/uses/est_cost/decoded_cols shape — a union node puts "union"
+// in the method column and the per-disjunct plans in uses, a cm-agg
+// node puts "cm-agg" there with its statistics/sweep summary; the
+// remaining rows carry each operator's kind and expressions.
+func explainResult(info *PlanInfo) *Result {
 	res := &Result{
 		Columns: []string{"method", "uses", "est_cost", "decoded_cols"},
-		Plan:    &info,
+		Plan:    info,
 	}
 	for i, n := range info.Nodes {
 		if i == 0 {
@@ -584,7 +678,48 @@ func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, err
 			IntVal(0),
 		})
 	}
-	return res, nil
+	return res
+}
+
+// analyzeResult renders an analyzed plan for EXPLAIN ANALYZE: one row
+// per operator, bottom-up, the cost model's estimate beside the
+// measured work — the paper's estimated-vs-measured comparison
+// (Figure 6), live. actual_pages is the disk page-read delta
+// attributed to the node (the access node carries the run's I/O; an
+// index-only cm-agg answer shows 0); heap-page visits, tuples
+// examined and buffer hits total in the summary message.
+func analyzeResult(info *PlanInfo) *Result {
+	res := &Result{
+		Columns: []string{"node", "detail", "est_cost", "actual_rows", "actual_pages", "actual_time"},
+		Plan:    info,
+	}
+	for _, n := range info.Nodes {
+		est := ""
+		if n.EstCost > 0 {
+			est = n.EstCost.String()
+		}
+		var rows, pages int64
+		actualTime := ""
+		if n.Actual != nil {
+			rows = n.Actual.Rows
+			pages = int64(n.Actual.DiskReads)
+			actualTime = n.Actual.Elapsed.String()
+		}
+		res.Rows = append(res.Rows, Row{
+			StringVal(n.Kind),
+			StringVal(n.Detail),
+			StringVal(est),
+			IntVal(rows),
+			IntVal(pages),
+			StringVal(actualTime),
+		})
+	}
+	if a := info.Analyzed; a != nil {
+		res.Message = fmt.Sprintf(
+			"analyzed: %d rows in %s; %d tuples examined, %d heap pages, %d disk reads, %d buffer hits",
+			a.Rows, a.Elapsed, a.TuplesExamined, a.HeapPages, a.DiskReads, a.BufferHits)
+	}
+	return res
 }
 
 func (db *DB) execAdvise(cat sqlfe.Catalog, s *sqlfe.AdviseStmt) (*Result, error) {
@@ -681,6 +816,12 @@ func (db *DB) execShow(s *sqlfe.ShowStmt) (*Result, error) {
 				IntVal(int64(st.PoolMisses)),
 			}},
 		}, nil
+	case sqlfe.ShowMetrics:
+		res := &Result{Columns: []string{"metric", "value"}}
+		for _, m := range db.Metrics(s.Like) {
+			res.Rows = append(res.Rows, Row{StringVal(m.Name), IntVal(m.Value)})
+		}
+		return res, nil
 	case sqlfe.ShowSoftFDs:
 		tbl, err := db.sqlTable(s.Table)
 		if err != nil {
