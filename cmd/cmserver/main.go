@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/server"
@@ -30,12 +32,16 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress session logging")
 	slowMs := flag.Int("slow-query-ms", 0, "log statements at or past this wall time in ms (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "optional HTTP listen address for /debug/metrics, /debug/vars and /debug/pprof (empty = no listener)")
+	stmtTimeoutMs := flag.Int("stmt-timeout-ms", 0, "statement deadline in ms; statements past it fail with a timeout (0 = off)")
+	maxConns := flag.Int("max-conns", 0, "admission cap on concurrent sessions; excess connections are rejected with a busy error (0 = unlimited)")
+	drainMs := flag.Int("drain-ms", 5000, "grace period in ms for in-flight statements on shutdown before connections are cut")
 	flag.Parse()
 
 	db := repro.Open(repro.Config{
-		Workers:         *workers,
-		BufferPoolPages: *poolPages,
-		IOWaitScale:     *iowait,
+		Workers:          *workers,
+		BufferPoolPages:  *poolPages,
+		IOWaitScale:      *iowait,
+		StatementTimeout: time.Duration(*stmtTimeoutMs) * time.Millisecond,
 	})
 	if *demo {
 		if err := loadDemo(db); err != nil {
@@ -48,7 +54,7 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	srv := server.New(db, server.Config{Logf: logf, SlowQueryMs: *slowMs})
+	srv := server.New(db, server.Config{Logf: logf, SlowQueryMs: *slowMs, MaxConns: *maxConns})
 
 	if dln, err := server.StartDebug(*debugAddr, db); err != nil {
 		log.Fatalf("cmserver: debug listener: %v", err)
@@ -61,8 +67,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("cmserver: shutting down")
-		srv.Close()
+		log.Printf("cmserver: draining (up to %d ms for in-flight statements)", *drainMs)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainMs)*time.Millisecond)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("cmserver: drain cut short: %v", err)
+		}
 	}()
 
 	if err := srv.ListenAndServe(*addr); err != nil {

@@ -2,7 +2,10 @@
 // lines from stdin (or -e for one shot), sends each as one request line,
 // and renders the JSON responses as aligned tables. The \timing toggle
 // (psql-style) prints each statement's server-side wall time, row count
-// and disk pages read, plus the request's round-trip time.
+// and disk pages read, plus the request's round-trip time. -retry
+// retries transient connect failures with capped exponential backoff,
+// and timeout/cancellation/busy errors render distinctly from SQL
+// errors so scripts can tell them apart.
 //
 // Run with: go run ./cmd/cmsql -addr localhost:7433
 package main
@@ -12,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"strings"
@@ -39,9 +43,10 @@ type response struct {
 func main() {
 	addr := flag.String("addr", "localhost:7433", "cmserver address")
 	oneShot := flag.String("e", "", "execute this SQL and exit")
+	retry := flag.Int("retry", 0, "retry transient connect failures this many times with capped exponential backoff")
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
+	conn, err := dialRetry(*addr, *retry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmsql:", err)
 		os.Exit(1)
@@ -90,6 +95,48 @@ func main() {
 	}
 }
 
+// dialRetry connects to addr, retrying transient failures (server not
+// up yet, connection refused) up to retries extra attempts. Backoff
+// doubles from 100ms and caps at 2s, with up to 50% random jitter so a
+// thundering herd of clients does not reconnect in lockstep.
+func dialRetry(addr string, retries int) (net.Conn, error) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= retries {
+			return nil, err
+		}
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		fmt.Fprintf(os.Stderr, "cmsql: connect attempt %d/%d failed (%v); retrying in %v\n",
+			attempt+1, retries+1, err, sleep.Round(time.Millisecond))
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// printError renders a statement or request error, distinguishing the
+// engine's fault-tolerance outcomes — statement deadline, client or
+// server cancellation, admission rejection — from ordinary SQL errors.
+// Errors cross the wire as strings, so classification is by message.
+func printError(msg string) {
+	switch {
+	case strings.Contains(msg, "context deadline exceeded"):
+		fmt.Printf("timeout: %s\n", msg)
+	case strings.Contains(msg, "context canceled"):
+		fmt.Printf("cancelled: %s\n", msg)
+	case strings.Contains(msg, "too many connections"):
+		fmt.Printf("server busy: %s\n", msg)
+	default:
+		fmt.Printf("error: %s\n", msg)
+	}
+}
+
 // roundTrip sends one request line and renders the response; with
 // timing it also prints each statement's server-side measurements and
 // the request's round-trip time.
@@ -114,7 +161,7 @@ func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string, timing bool) erro
 		return fmt.Errorf("bad response: %w", err)
 	}
 	if resp.Error != "" {
-		fmt.Printf("error: %s\n", resp.Error)
+		printError(resp.Error)
 		return nil
 	}
 	for _, res := range resp.Results {
@@ -133,7 +180,7 @@ func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string, timing bool) erro
 // render prints one statement result as an aligned table.
 func render(res stmtResult) {
 	if res.Error != "" {
-		fmt.Printf("error: %s\n", res.Error)
+		printError(res.Error)
 		return
 	}
 	if len(res.Columns) == 0 {

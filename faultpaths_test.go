@@ -1,0 +1,209 @@
+// Error-path invariant tests: after an injected disk fault fails a
+// statement on any access method, the engine must be reusable — the
+// error is clean (wraps ErrInjected), no buffer frame stays pinned, the
+// table latch is free, and follow-up reads and writes succeed with no
+// rows lost.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// buildFaultDB loads a correlated table (c determines u) with a
+// secondary index and a CM on u, so all four access paths apply, sized
+// to span a few dozen heap pages.
+func buildFaultDB(t testing.TB, workers int) (*DB, *Table) {
+	t.Helper()
+	db := Open(Config{Workers: workers})
+	tbl, err := db.CreateTable(TableSpec{
+		Name: "ft",
+		Columns: []Column{
+			{Name: "c", Kind: Int},
+			{Name: "u", Kind: Int},
+			{Name: "tag", Kind: String},
+		},
+		ClusteredBy: []string{"c"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, 4000)
+	for c := 0; c < 4000; c++ {
+		rows = append(rows, Row{IntVal(int64(c)), IntVal(int64(c / 25)), StringVal(fmt.Sprintf("row-%04d", c))})
+	}
+	if err := tbl.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("u_idx", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateCM("u_cm", CMColumn{Name: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// countVia counts the rows matching u BETWEEN 10 AND 40 via the method.
+func countVia(tbl *Table, method AccessMethod) (int, error) {
+	n := 0
+	err := tbl.SelectVia(method, func(Row) bool { n++; return true },
+		Between("u", IntVal(10), IntVal(40)))
+	return n, err
+}
+
+// TestFaultPathsPerAccessMethod injects a read fault into a cold scan on
+// each access method and asserts the full invariant set: clean error,
+// zero pinned frames, free latch (a write goes through), and a correct
+// follow-up query.
+func TestFaultPathsPerAccessMethod(t *testing.T) {
+	const wantRows = 31 * 25 // u in [10,40], 25 rows per u
+	for _, workers := range []int{1, 4} {
+		db, tbl := buildFaultDB(t, workers)
+		for _, method := range []AccessMethod{TableScan, SortedIndexScan, PipelinedIndexScan, CMScan} {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, method), func(t *testing.T) {
+				if err := db.ColdCache(); err != nil {
+					t.Fatal(err)
+				}
+				db.SetFaultPlan(&FaultPlan{FailReadN: 2})
+				_, err := countVia(tbl, method)
+				db.SetFaultPlan(nil)
+				if err == nil {
+					t.Fatal("scan with an armed fault plan succeeded")
+				}
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("scan error %v does not wrap ErrInjected", err)
+				}
+				if pinned := db.pool.PinnedFrames(); pinned != 0 {
+					t.Fatalf("%d frames left pinned after fault", pinned)
+				}
+				// The latch must be free: a writer statement acquires it
+				// exclusively and would hang here if the failed scan leaked
+				// its shared hold.
+				if err := tbl.Insert(Row{IntVal(999999), IntVal(10), StringVal("probe")}); err != nil {
+					t.Fatalf("insert after fault: %v", err)
+				}
+				if n, err := tbl.Delete(Eq("c", IntVal(999999))); err != nil || n != 1 {
+					t.Fatalf("delete after fault: n=%d err=%v", n, err)
+				}
+				n, err := countVia(tbl, method)
+				if err != nil {
+					t.Fatalf("follow-up query: %v", err)
+				}
+				if n != wantRows {
+					t.Fatalf("follow-up query saw %d rows, want %d", n, wantRows)
+				}
+			})
+		}
+	}
+}
+
+// TestWALFaultFailsPublishCleanly arms a write fault so the WAL append
+// inside Publish fails, and asserts the writer statement dies cleanly:
+// the in-memory table, indexes and CMs keep their pre-statement state,
+// and after disarming the same batch applies fine.
+func TestWALFaultFailsPublishCleanly(t *testing.T) {
+	db, tbl := buildFaultDB(t, 1)
+	before, err := countVia(tbl, TableScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One WAL page is 8 KiB; a few hundred inserts overflow it, forcing
+	// Append to write the filled page to disk mid-Publish — the first
+	// disk write after arming, since nothing else flushes here.
+	batch := make([]Row, 400)
+	for i := range batch {
+		batch[i] = Row{IntVal(int64(100000 + i)), IntVal(17), StringVal(fmt.Sprintf("wal-fault-%03d", i))}
+	}
+	db.SetFaultPlan(&FaultPlan{FailWriteN: 1})
+	insertBatch := func() error {
+		internal := make([]value.Row, len(batch))
+		for i, r := range batch {
+			internal[i] = r.internal()
+		}
+		tx := tbl.inner.BeginWrite()
+		if err := tx.InsertBatch(internal); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Publish()
+	}
+	err = insertBatch()
+	db.SetFaultPlan(nil)
+	if err == nil {
+		t.Fatal("publish with an armed WAL write fault succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("publish error %v does not wrap ErrInjected", err)
+	}
+
+	// Nothing from the failed statement may be visible.
+	n := 0
+	if err := tbl.Select(func(Row) bool { n++; return true }, Ge("c", IntVal(100000))); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("failed publish leaked %d rows", n)
+	}
+	if got, err := countVia(tbl, TableScan); err != nil || got != before {
+		t.Fatalf("pre-existing rows after failed publish: n=%d err=%v, want %d", got, err, before)
+	}
+
+	// The same batch applies cleanly once the fault is gone.
+	if err := insertBatch(); err != nil {
+		t.Fatalf("retry after disarm: %v", err)
+	}
+	n = 0
+	if err := tbl.Select(func(Row) bool { n++; return true }, Ge("c", IntVal(100000))); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(batch) {
+		t.Fatalf("retried batch shows %d rows, want %d", n, len(batch))
+	}
+}
+
+// TestFaultDuringUpdateLeavesTableUnchanged fails an UPDATE with a
+// repeating injected fault and asserts full writer-statement atomicity:
+// no row changed, and the statement works after disarming. The fault
+// repeats (every 3rd access) rather than firing once because a
+// single-shot fault can land in the planner's statistics scan, which
+// deliberately treats stats as advisory and plans without them — the
+// statement itself then succeeds, which is correct fault tolerance but
+// not what this test wants to exercise.
+func TestFaultDuringUpdateLeavesTableUnchanged(t *testing.T) {
+	db, tbl := buildFaultDB(t, 4)
+	if err := db.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetFaultPlan(&FaultPlan{EveryKth: 3})
+	_, err := tbl.Update([]Set{{Col: "tag", Val: StringVal("mutated")}}, Between("u", IntVal(10), IntVal(40)))
+	db.SetFaultPlan(nil)
+	if err == nil {
+		t.Fatal("update with an armed fault plan succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("update error %v does not wrap ErrInjected", err)
+	}
+	n := 0
+	if err := tbl.Select(func(Row) bool { n++; return true }, Eq("tag", StringVal("mutated"))); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("failed update mutated %d rows", n)
+	}
+	if pinned := db.pool.PinnedFrames(); pinned != 0 {
+		t.Fatalf("%d frames left pinned after update fault", pinned)
+	}
+	changed, err := tbl.Update([]Set{{Col: "tag", Val: StringVal("mutated")}}, Between("u", IntVal(10), IntVal(40)))
+	if err != nil {
+		t.Fatalf("update after disarm: %v", err)
+	}
+	if changed != 31*25 {
+		t.Fatalf("update after disarm changed %d rows, want %d", changed, 31*25)
+	}
+}

@@ -342,6 +342,24 @@ func (p *Pool) Invalidate() {
 	}
 }
 
+// PinnedFrames returns the number of frames with a nonzero pin count.
+// Error-path tests assert it returns to zero after a cancelled or
+// fault-injected scan: a leaked pin would wedge eviction forever.
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			if sh.frames[i].used && sh.frames[i].pin > 0 {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // DirtyCount returns the number of dirty frames, used by experiments to
 // observe pool pressure.
 func (p *Pool) DirtyCount() int {

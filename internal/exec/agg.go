@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 
@@ -405,19 +406,20 @@ func AggregateOr(t *table.Table, oq OrQuery, op OrPlan, workers int, specs []Agg
 		}
 	}
 	need := aggNeedCols(len(t.Schema().Cols), oq, specs, groupBy)
-	return aggregatePages(t, pages, filter, need, oq.Snap, workers, specs, groupBy, oq.Obs)
+	return aggregatePages(oq.Ctx, t, pages, filter, need, oq.Snap, workers, specs, groupBy, oq.Obs)
 }
 
 // aggregatePages folds the tuples of the given pages (visible to snap)
 // into partial aggregates, one per fixed-size chunk, and merges the
 // partials in chunk order. obs, when non-nil, receives per-chunk
-// physical-work tallies (tuples examined, rows folded, page visits).
-func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, snap uint64, workers int, specs []AggSpec, groupBy []int, obs *ScanObs) ([]value.Row, error) {
+// physical-work tallies (tuples examined, rows folded, page visits);
+// ctx, when non-nil, cancels between chunks.
+func aggregatePages(ctx context.Context, t *table.Table, pages []int64, m tupleMatcher, need []int, snap uint64, workers int, specs []AggSpec, groupBy []int, obs *ScanObs) ([]value.Row, error) {
 	sch := t.Schema()
 	nchunks := (len(pages) + aggChunkPages - 1) / aggChunkPages
 	chunks := chunkSlices(len(pages), nchunks)
 	partials := make([]*GroupAgg, len(chunks))
-	err := runTasks(workers, len(chunks), func(i int) error {
+	err := runTasks(ctx, workers, len(chunks), func(i int) error {
 		ga := NewGroupAgg(sch, specs, groupBy)
 		scratch := make(value.Row, len(sch.Cols))
 		sub := pages[chunks[i][0]:chunks[i][1]]
@@ -426,6 +428,15 @@ func aggregatePages(t *table.Table, pages []int64, m tupleMatcher, need []int, s
 		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
 			var innerErr error
 			err := t.Heap().ScanPagesAt(lo, hi, snap, func(rid heap.RID, tuple []byte) bool {
+				if ctx != nil && rid.Page != ta.lastPage {
+					// Page boundary: poll for cancellation so the fold
+					// stops within one heap page even when the whole
+					// table fits inside a single chunk.
+					if err := ctxErr(ctx); err != nil {
+						innerErr = err
+						return false
+					}
+				}
 				ta.page(rid.Page)
 				ta.tuples++
 				ok, err := m.Matches(tuple)

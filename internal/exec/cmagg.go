@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -310,7 +311,7 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 	// pages, folding tuples that (a) satisfy the original predicates and
 	// (b) belong to an impure entry — pure entries' tuples are already
 	// in the statistics partial.
-	rids, err := cmBucketRIDs(t, p.ImpureBuckets, workers)
+	rids, err := cmBucketRIDs(p.q.Ctx, t, p.ImpureBuckets, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +323,7 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 	nchunks := (len(pages) + aggChunkPages - 1) / aggChunkPages
 	chunks := chunkSlices(len(pages), nchunks)
 	partials := make([]*GroupAgg, len(chunks))
-	err = runTasks(workers, len(chunks), func(i int) error {
+	err = runTasks(p.q.Ctx, workers, len(chunks), func(i int) error {
 		ga := NewGroupAgg(sch, p.specs, p.groupBy)
 		scratch := make(value.Row, len(sch.Cols))
 		sub := pages[chunks[i][0]:chunks[i][1]]
@@ -331,6 +332,14 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 		err := forEachPageRun(sub, maxGapFor(t), func(lo, hi int64) (bool, error) {
 			var innerErr error
 			err := t.Heap().ScanPagesAt(lo, hi, p.q.Snap, func(rid heap.RID, tuple []byte) bool {
+				if p.q.Ctx != nil && rid.Page != ta.lastPage {
+					// Page-boundary cancellation poll, mirroring the
+					// heap-visiting aggregation sweep.
+					if err := ctxErr(p.q.Ctx); err != nil {
+						innerErr = err
+						return false
+					}
+				}
 				ta.page(rid.Page)
 				ta.tuples++
 				ok, err := filter.Matches(tuple)
@@ -372,19 +381,30 @@ func (p *CMAggPlan) Run(t *table.Table, workers int) ([]value.Row, error) {
 
 // cmBucketRIDs collects the clustered-index RIDs of the given sorted
 // clustered buckets, fanning contiguous bucket runs across the worker
-// pool like parallelCMRIDs.
-func cmBucketRIDs(t *table.Table, buckets []int32, workers int) ([]heap.RID, error) {
+// pool like parallelCMRIDs. ctx, when non-nil, cancels between runs and
+// every cancelCheckRIDs collected RIDs within a run.
+func cmBucketRIDs(ctx context.Context, t *table.Table, buckets []int32, workers int) ([]heap.RID, error) {
 	runs := bucketRuns(buckets)
 	dir := t.Buckets()
 	ridLists := make([][]heap.RID, len(runs))
-	err := runTasks(workers, len(runs), func(i int) error {
+	err := runTasks(ctx, workers, len(runs), func(i int) error {
 		lo := dir.LowerBound(runs[i][0])
 		hiExcl, _ := dir.UpperBound(runs[i][1]) // nil means scan to the end
 		var rids []heap.RID
+		var ctxErrSeen error
 		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
+			if ctx != nil && len(rids)&(cancelCheckRIDs-1) == 0 {
+				if err := ctxErr(ctx); err != nil {
+					ctxErrSeen = err
+					return false
+				}
+			}
 			rids = append(rids, rid)
 			return true
 		})
+		if ctxErrSeen != nil {
+			return ctxErrSeen
+		}
 		ridLists[i] = rids
 		return err
 	})

@@ -124,12 +124,25 @@ func CMScan(t *table.Table, cm *core.CM, q Query, fn RowFunc) error {
 	dir := t.Buckets()
 	var rids []heap.RID
 	for _, run := range bucketRuns(buckets) {
+		if err := ctxErr(q.Ctx); err != nil {
+			return err
+		}
 		lo := dir.LowerBound(run[0])
 		hiExcl, _ := dir.UpperBound(run[1]) // nil means scan to the end
+		var ctxErrSeen error
 		err := t.Clustered().ScanKeyRange(lo, hiExcl, func(rid heap.RID) bool {
+			if q.Ctx != nil && len(rids)&(cancelCheckRIDs-1) == 0 {
+				if err := ctxErr(q.Ctx); err != nil {
+					ctxErrSeen = err
+					return false
+				}
+			}
 			rids = append(rids, rid)
 			return true
 		})
+		if ctxErrSeen != nil {
+			return ctxErrSeen
+		}
 		if err != nil {
 			return err
 		}

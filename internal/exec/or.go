@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -44,6 +45,9 @@ type OrQuery struct {
 	// (see Query.Obs and ScanObs); the per-disjunct RID collection and
 	// the shared page sweep all tally into it.
 	Obs *ScanObs
+	// Ctx, when non-nil, cancels the union exactly like Query.Ctx
+	// cancels a conjunctive scan.
+	Ctx context.Context
 }
 
 // NewOrQuery builds a disjunctive query from conjunctions.
@@ -184,7 +188,7 @@ func ChooseOrPlan(t *table.Table, oq OrQuery, sp StatsProvider) OrPlan {
 func collectPlanRIDs(t *table.Table, p Plan, q Query, workers int) ([]heap.RID, error) {
 	switch p.Method {
 	case MethodSorted, MethodPipelined:
-		return parallelRangeRIDs(p.Index, sortRanges(indexProbeRanges(p.Index.Cols, q)), workers)
+		return parallelRangeRIDs(q.Ctx, p.Index, sortRanges(indexProbeRanges(p.Index.Cols, q)), workers)
 	case MethodCM:
 		return parallelCMRIDs(t, p.CM, q, workers)
 	default:

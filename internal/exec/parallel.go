@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -45,15 +46,20 @@ type matchRow struct {
 }
 
 // runTasks executes run(0..n-1) across at most workers goroutines and
-// returns the first error. A failing task cancels tasks not yet started.
-// Used for fan-outs whose results are merged after the barrier (RID
-// collection); ordered streaming emission uses collectEmit instead.
-func runTasks(workers, n int, run func(task int) error) error {
+// returns the first error. A failing task cancels tasks not yet started,
+// and a cancelled ctx stops the fan-out between tasks and returns the
+// context's error. Used for fan-outs whose results are merged after the
+// barrier (RID collection); ordered streaming emission uses collectEmit
+// instead.
+func runTasks(ctx context.Context, workers, n int, run func(task int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			if err := run(i); err != nil {
 				return err
 			}
@@ -67,6 +73,8 @@ func runTasks(workers, n int, run func(task int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	stopWatch := watchCancel(ctx, &failed)
+	defer stopWatch()
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -89,6 +97,12 @@ func runTasks(workers, n int, run func(task int) error) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		// The run may have stopped because the watcher tripped the flag:
+		// report the cancellation instead of silently returning partial
+		// results.
+		firstErr = ctxErr(ctx)
+	}
 	return firstErr
 }
 
@@ -118,13 +132,17 @@ func chunkSlices(n, chunks int) [][2]int {
 // collectEmit runs scan(0..n-1) across the worker pool and streams each
 // chunk's rows to fn in chunk order as soon as all earlier chunks have
 // been emitted. When fn returns false, or a chunk fails, the shared
-// cancel flag stops in-flight and unstarted chunks.
-func collectEmit(workers, n int, scan func(chunk int, cancel *atomic.Bool) ([]matchRow, error), fn RowFunc) error {
+// cancel flag stops in-flight and unstarted chunks; a cancelled ctx
+// trips the same flag through a watcher goroutine, so every worker
+// stops within one chunk and the run returns the context's error.
+func collectEmit(ctx context.Context, workers, n int, scan func(chunk int, cancel *atomic.Bool) ([]matchRow, error), fn RowFunc) error {
 	type chunkResult struct {
 		rows []matchRow
 		err  error
 	}
 	var cancel atomic.Bool
+	stopWatch := watchCancel(ctx, &cancel)
+	defer stopWatch()
 	results := make([]chan chunkResult, n)
 	for i := range results {
 		results[i] = make(chan chunkResult, 1)
@@ -179,6 +197,12 @@ func collectEmit(workers, n int, scan func(chunk int, cancel *atomic.Bool) ([]ma
 		}
 	}
 	wg.Wait()
+	if firstErr == nil && !stopped {
+		// A context cancellation trips the shared flag without failing
+		// any chunk; report it rather than returning partial rows as a
+		// clean result.
+		firstErr = ctxErr(ctx)
+	}
 	return firstErr
 }
 
@@ -264,7 +288,7 @@ func parallelSweepPagesLS(t *table.Table, pages []int64, ls *lazyScan, workers i
 		return sweepPagesLS(t, pages, ls, fn)
 	}
 	chunks := chunkSlices(len(pages), scanChunks(workers, len(pages)))
-	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
+	return collectEmit(ls.ctx, workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
 		return collectPages(t, pages[chunks[i][0]:chunks[i][1]], ls, cancel)
 	}, fn)
 }
@@ -285,7 +309,7 @@ func parallelTableScanLS(t *table.Table, ls *lazyScan, workers int, fn RowFunc) 
 		return tableScanLS(t, ls, fn)
 	}
 	chunks := chunkSlices(int(n), scanChunks(workers, int(n)))
-	return collectEmit(workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
+	return collectEmit(ls.ctx, workers, len(chunks), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
 		return collectPageRange(t, int64(chunks[i][0]), int64(chunks[i][1])-1, ls, cancel, nil)
 	}, fn)
 }
@@ -294,9 +318,9 @@ func parallelTableScanLS(t *table.Table, ls *lazyScan, workers int, fn RowFunc) 
 // ranges, fanning ranges out across the worker pool. The returned order
 // is range-major (range i's RIDs before range i+1's), matching the
 // serial collectRIDs.
-func parallelRangeRIDs(ix *table.Index, ranges []probeRange, workers int) ([]heap.RID, error) {
+func parallelRangeRIDs(ctx context.Context, ix *table.Index, ranges []probeRange, workers int) ([]heap.RID, error) {
 	ridLists := make([][]heap.RID, len(ranges))
-	err := runTasks(workers, len(ranges), func(i int) error {
+	err := runTasks(ctx, workers, len(ranges), func(i int) error {
 		var rids []heap.RID
 		err := ix.ScanRange(ranges[i].Lo, ranges[i].Hi, func(rid heap.RID) bool {
 			rids = append(rids, rid)
@@ -326,7 +350,7 @@ func parallelCMRIDs(t *table.Table, cm *core.CM, q Query, workers int) ([]heap.R
 	runs := bucketRuns(buckets)
 	dir := t.Buckets()
 	ridLists := make([][]heap.RID, len(runs))
-	err = runTasks(workers, len(runs), func(i int) error {
+	err = runTasks(q.Ctx, workers, len(runs), func(i int) error {
 		lo := dir.LowerBound(runs[i][0])
 		hiExcl, _ := dir.UpperBound(runs[i][1]) // nil means scan to the end
 		var rids []heap.RID
@@ -355,7 +379,7 @@ func ParallelSortedIndexScan(t *table.Table, ix *table.Index, q Query, workers i
 	if workers <= 1 {
 		return SortedIndexScan(t, ix, q, fn)
 	}
-	rids, err := parallelRangeRIDs(ix, sortRanges(indexProbeRanges(ix.Cols, q)), workers)
+	rids, err := parallelRangeRIDs(q.Ctx, ix, sortRanges(indexProbeRanges(ix.Cols, q)), workers)
 	if err != nil {
 		return err
 	}
@@ -416,7 +440,7 @@ func BatchedIndexScan(t *table.Table, ix *table.Index, q Query, workers int, fn 
 		return PipelinedIndexScan(t, ix, q, fn)
 	}
 	ls := newLazyScan(t, q)
-	return collectEmit(workers, len(ranges), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
+	return collectEmit(ls.ctx, workers, len(ranges), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
 		return probeRangeBatched(t, ix, ranges[i], ls, cancel)
 	}, fn)
 }

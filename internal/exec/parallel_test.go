@@ -211,7 +211,7 @@ func TestParallelCMScanRejectsUncovered(t *testing.T) {
 // scheduling.
 func TestRunTasksError(t *testing.T) {
 	boom := fmt.Errorf("boom")
-	err := runTasks(4, 100, func(i int) error {
+	err := runTasks(nil, 4, 100, func(i int) error {
 		if i == 10 {
 			return boom
 		}

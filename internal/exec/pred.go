@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -191,6 +192,11 @@ type Query struct {
 	// locally and flush per chunk; nil keeps the hot path free of even
 	// that. See ScanObs.
 	Obs *ScanObs
+	// Ctx, when non-nil, cancels the scan: every access method polls it
+	// at chunk granularity (serial paths per heap page, RID collection
+	// every cancelCheckRIDs entries, parallel workers per chunk) and the
+	// run returns the context's error. nil never cancels.
+	Ctx context.Context
 }
 
 // NewQuery builds a query from predicates.

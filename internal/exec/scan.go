@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"sort"
 
 	"repro/internal/heap"
@@ -40,6 +41,10 @@ type lazyScan struct {
 	// obs receives per-chunk tally flushes when the query asked for
 	// observation (Query.Obs / OrQuery.Obs); nil drops them.
 	obs *ScanObs
+	// ctx, when non-nil, cancels the scan: emit polls it at page
+	// boundaries, so every serial path (table scan, pipelined probe,
+	// page sweep) stops within one heap page of cancellation.
+	ctx context.Context
 }
 
 func newLazyScan(t *table.Table, q Query) *lazyScan {
@@ -51,6 +56,7 @@ func newLazyScan(t *table.Table, q Query) *lazyScan {
 		snap:    q.Snap,
 		scratch: make(value.Row, len(sch.Cols)),
 		obs:     q.Obs,
+		ctx:     q.Ctx,
 	}
 }
 
@@ -66,6 +72,7 @@ func newOrLazyScan(t *table.Table, oq OrQuery) *lazyScan {
 		snap:    oq.Snap,
 		scratch: make(value.Row, len(sch.Cols)),
 		obs:     oq.Obs,
+		ctx:     oq.Ctx,
 	}
 }
 
@@ -75,6 +82,13 @@ func newOrLazyScan(t *table.Table, oq OrQuery) *lazyScan {
 // counts the page visit, the filter evaluation and any survivor; the
 // caller flushes it to ls.obs when its chunk ends.
 func (ls *lazyScan) emit(rid heap.RID, tuple []byte, fn RowFunc, ta *tally) (cont bool, err error) {
+	if ls.ctx != nil && rid.Page != ta.lastPage {
+		// Page boundary: poll for cancellation so a serial scan stops
+		// within one heap page of the context firing.
+		if err := ctxErr(ls.ctx); err != nil {
+			return false, err
+		}
+	}
 	ta.page(rid.Page)
 	ta.tuples++
 	ok, err := ls.filter.Matches(tuple)
@@ -211,14 +225,28 @@ func sortRanges(ranges []probeRange) []probeRange {
 	return ranges
 }
 
-// collectRIDs gathers the RIDs of every index entry in the probe ranges.
-func collectRIDs(ix *table.Index, ranges []probeRange) ([]heap.RID, error) {
+// collectRIDs gathers the RIDs of every index entry in the probe
+// ranges, polling ctx every cancelCheckRIDs entries.
+func collectRIDs(ctx context.Context, ix *table.Index, ranges []probeRange) ([]heap.RID, error) {
 	var rids []heap.RID
+	var ctxErrSeen error
 	for _, r := range ranges {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		err := ix.ScanRange(r.Lo, r.Hi, func(rid heap.RID) bool {
 			rids = append(rids, rid)
+			if ctx != nil && len(rids)&(cancelCheckRIDs-1) == 0 {
+				if err := ctxErr(ctx); err != nil {
+					ctxErrSeen = err
+					return false
+				}
+			}
 			return true
 		})
+		if ctxErrSeen != nil {
+			return nil, ctxErrSeen
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +308,7 @@ func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) er
 // the heap pages in physical order (PostgreSQL's bitmap heap scan).
 // Fetched pages are re-filtered with the full predicate set.
 func SortedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error {
-	rids, err := collectRIDs(ix, sortRanges(indexProbeRanges(ix.Cols, q)))
+	rids, err := collectRIDs(q.Ctx, ix, sortRanges(indexProbeRanges(ix.Cols, q)))
 	if err != nil {
 		return err
 	}

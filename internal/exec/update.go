@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/heap"
@@ -68,12 +69,16 @@ func ApplySets(src value.Row, sets []SetClause) value.Row {
 // rows, physical order) out of the chosen access path, and the write
 // phase replaces each under one writer statement. It returns the number
 // of rows updated. The caller must NOT hold the table latch — the writer
-// statement takes the writer gate itself and latches per batch.
-func UpdateByScan(t *table.Table, run func(fn RowFunc) error, sets []SetClause) (int64, error) {
+// statement takes the writer gate itself and latches per batch. ctx,
+// when non-nil, cancels both phases: the read phase through the access
+// path's own context and the write phase between latched bursts (a
+// cancelled write aborts cleanly, leaving the table untouched).
+func UpdateByScan(ctx context.Context, t *table.Table, run func(fn RowFunc) error, sets []SetClause) (int64, error) {
 	if err := CheckSets(t.Schema(), sets); err != nil {
 		return 0, err
 	}
 	tx := t.BeginWrite()
+	tx.SetContext(ctx)
 	var olds []heap.RID
 	var news []value.Row
 	err := run(func(rid heap.RID, row value.Row) bool {

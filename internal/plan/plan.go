@@ -24,6 +24,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -93,6 +94,10 @@ type Spec struct {
 	// here when metrics are enabled). An analyzed run measures into its
 	// own private ScanObs and folds the totals into Obs afterwards.
 	Obs *exec.ScanObs
+	// Ctx, when non-nil, cancels execution (see exec.Query.Ctx). Build
+	// stamps it onto each disjunct like Snap, so every access leg of the
+	// tree polls the same context. nil never cancels.
+	Ctx context.Context
 }
 
 // IsAggregate reports whether the spec computes aggregates or groups.
@@ -209,6 +214,7 @@ func Build(t *table.Table, spec Spec) (*Tree, error) {
 	}
 	for i := range spec.Disjuncts {
 		spec.Disjuncts[i].Snap = spec.Snap
+		spec.Disjuncts[i].Ctx = spec.Ctx
 	}
 	if len(spec.Disjuncts) > 1 && spec.Force != Auto {
 		return nil, fmt.Errorf("plan: OR queries plan access paths per disjunct; the method must be Auto")

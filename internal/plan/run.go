@@ -48,7 +48,7 @@ func (tr *Tree) Rows(workers int) ([]value.Row, error) {
 func (tr *Tree) runAccess(scanProj []int, workers int, emit exec.RowFunc) error {
 	obs := tr.scanObs()
 	if tr.useOr {
-		oq := exec.OrQuery{Disjuncts: tr.spec.Disjuncts, Proj: scanProj, Snap: tr.spec.Snap, Obs: obs}
+		oq := exec.OrQuery{Disjuncts: tr.spec.Disjuncts, Proj: scanProj, Snap: tr.spec.Snap, Obs: obs, Ctx: tr.spec.Ctx}
 		return tr.orPlan.RunParallel(tr.t, oq, workers, emit)
 	}
 	q := tr.spec.Disjuncts[0]
@@ -192,7 +192,7 @@ func (tr *Tree) runAggregate(workers int, sink RowSink) error {
 		tr.cmagg.SetObs(tr.scanObs())
 		rows, err = tr.cmagg.Run(tr.t, workers)
 	} else {
-		oq := exec.OrQuery{Disjuncts: spec.Disjuncts, Snap: spec.Snap, Obs: tr.scanObs()}
+		oq := exec.OrQuery{Disjuncts: spec.Disjuncts, Snap: spec.Snap, Obs: tr.scanObs(), Ctx: spec.Ctx}
 		rows, err = exec.AggregateOr(tr.t, oq, tr.orPlan, workers, spec.Aggs, spec.GroupBy)
 	}
 	tr.an.addAccessTime(start)

@@ -69,7 +69,7 @@ func CompileUpdate(t *table.Table, spec Spec, sets []exec.SetClause, sp exec.Sta
 // writer gate for the whole read + write span and latches per batch, so
 // concurrent readers are never blocked for more than one batch.
 func (ut *UpdateTree) Run(workers int) (int64, error) {
-	return exec.UpdateByScan(ut.inner.t, func(fn exec.RowFunc) error {
+	return exec.UpdateByScan(ut.inner.spec.Ctx, ut.inner.t, func(fn exec.RowFunc) error {
 		return ut.inner.runAccess(nil, workers, fn)
 	}, ut.sets)
 }
@@ -89,7 +89,7 @@ func (ut *UpdateTree) RunAnalyzed(workers int) (int64, *Analysis, error) {
 	disk := pool.Disk()
 	d0, p0 := disk.Stats(), pool.Stats()
 	start := time.Now()
-	affected, err := exec.UpdateByScan(tr.t, func(fn exec.RowFunc) error {
+	affected, err := exec.UpdateByScan(tr.spec.Ctx, tr.t, func(fn exec.RowFunc) error {
 		accessStart := time.Now()
 		defer func() { st.accessTime += time.Since(accessStart) }()
 		return tr.runAccess(nil, workers, func(rid heap.RID, row value.Row) bool {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,36 +22,62 @@ import (
 // instead of reporting anything useful.
 const maxLineBytes = 4 << 20
 
+// ErrServerBusy is the admission-control rejection: the server is at
+// its MaxConns cap. It travels to the client as the error of a one-line
+// JSON response before the connection closes, so clients can tell
+// "busy, retry later" apart from a network failure.
+var ErrServerBusy = errors.New("server: too many connections, try again later")
+
 // Config tunes a Server.
 type Config struct {
 	// Logf receives connection lifecycle lines; nil disables logging.
 	Logf func(format string, args ...any)
 	// SlowQueryMs, when positive, logs every statement whose wall time
 	// reaches this many milliseconds as one structured key=value line:
-	// session, statement index, elapsed, rows, pages, a plan summary
+	// session, statement index, elapsed, rows, pages, how the statement
+	// ended (completed, timeout, cancelled, error), a plan summary
 	// (derived lazily by explaining the statement — only slow
 	// statements pay for it) and the SQL text.
 	SlowQueryMs int
+	// MaxConns, when positive, caps concurrent sessions. A connection
+	// past the cap is answered with one JSON line carrying ErrServerBusy
+	// and closed; each rejection counts into the server.rejected metric.
+	MaxConns int
+	// MaxConcurrentStmts, when positive, bounds request lines executing
+	// at once across all sessions; excess requests wait at the gate and
+	// give up cleanly if their connection goes away while queued.
+	MaxConcurrentStmts int
 }
 
 // Server serves the line/JSON protocol over a shared database. Every
-// connection gets its own session goroutine; statement execution goes
-// straight through DB.ExecScript, so concurrent sessions interleave
-// under the engine's table latches exactly like native concurrent
-// callers.
+// connection gets its own session goroutine plus a reader goroutine, so
+// a client disconnect is noticed while a statement is still executing
+// and cancels it; statement execution goes through DB.ExecScriptCtx, so
+// concurrent sessions interleave under the engine's table latches
+// exactly like native concurrent callers.
 type Server struct {
 	db        *repro.DB
 	logf      func(format string, args ...any)
 	slowQuery time.Duration // 0 disables the slow-query log
+	maxConns  int
+	gate      chan struct{} // nil means unbounded statement concurrency
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closed   bool
 
 	wg       sync.WaitGroup
 	nextSess atomic.Int64
 	active   atomic.Int64
+}
+
+// session is one connection's server-side state. busy flips around each
+// statement execution so Shutdown can tell draining sessions (left to
+// finish their statement) from idle ones (closed immediately).
+type session struct {
+	conn net.Conn
+	busy atomic.Bool
 }
 
 // New creates a server over db.
@@ -59,18 +86,24 @@ func New(db *repro.DB, cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	var gate chan struct{}
+	if cfg.MaxConcurrentStmts > 0 {
+		gate = make(chan struct{}, cfg.MaxConcurrentStmts)
+	}
 	return &Server{
 		db:        db,
 		logf:      logf,
 		slowQuery: time.Duration(cfg.SlowQueryMs) * time.Millisecond,
-		conns:     make(map[net.Conn]struct{}),
+		maxConns:  cfg.MaxConns,
+		gate:      gate,
+		sessions:  make(map[*session]struct{}),
 	}
 }
 
 // ActiveSessions reports the number of connected sessions.
 func (s *Server) ActiveSessions() int { return int(s.active.Load()) }
 
-// ListenAndServe listens on addr and serves until Close.
+// ListenAndServe listens on addr and serves until Close or Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -79,7 +112,8 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts connections on ln until Close. It always closes ln.
+// Serve accepts connections on ln until Close or Shutdown. It always
+// closes ln.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -107,15 +141,34 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		if s.maxConns > 0 && len(s.sessions) >= s.maxConns {
+			s.mu.Unlock()
+			s.reject(conn)
+			continue
+		}
+		sess := &session{conn: conn}
+		s.sessions[sess] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.session(conn)
+		go s.run(sess)
 	}
 }
 
-// Close stops accepting, closes every live session and waits for their
-// goroutines to drain.
+// reject answers an over-capacity connection with one ErrServerBusy
+// JSON line and closes it. The write carries a short deadline so a
+// stalled client cannot hold up the accept loop.
+func (s *Server) reject(conn net.Conn) {
+	defer conn.Close()
+	s.db.RecordRejectedConn()
+	s.logf("cmserver: rejecting %s: %v", conn.RemoteAddr(), ErrServerBusy)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	b := marshalResponse(Response{Error: ErrServerBusy.Error()})
+	conn.Write(append(b, '\n'))
+}
+
+// Close stops accepting, closes every live session — cancelling any
+// statement mid-flight — and waits for their goroutines to drain. For a
+// graceful stop that lets running statements finish, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -124,8 +177,8 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
-	for conn := range s.conns {
-		conn.Close()
+	for sess := range s.sessions {
+		sess.conn.Close()
 	}
 	s.mu.Unlock()
 	var err error
@@ -136,16 +189,76 @@ func (s *Server) Close() error {
 	return err
 }
 
-// session runs one connection: read a line, execute, write a JSON line.
-func (s *Server) session(conn net.Conn) {
+// Shutdown drains the server: it stops accepting, closes idle sessions
+// immediately, and lets sessions that are mid-statement finish and
+// deliver their response before closing. If ctx expires first, the
+// remaining connections are closed — which cancels their in-flight
+// statements through the per-connection context — and ctx's error is
+// returned after every session goroutine has exited. Either way, no
+// goroutines are left behind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	var idle []net.Conn
+	for sess := range s.sessions {
+		if !sess.busy.Load() {
+			idle = append(idle, sess.conn)
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range idle {
+		c.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// draining reports whether Close or Shutdown has begun; sessions exit
+// after their current statement once it flips.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// run serves one connection. Reads happen on a dedicated reader
+// goroutine feeding whole request lines to this loop; when the reader
+// exits — client disconnect, oversized line, or our own close — it
+// cancels the connection context, aborting whatever statement this loop
+// is executing at that moment.
+func (s *Server) run(sess *session) {
 	defer s.wg.Done()
+	conn := sess.conn
 	id := s.nextSess.Add(1)
 	s.active.Add(1)
 	s.logf("cmserver: session %d open from %s (%d active)", id, conn.RemoteAddr(), s.active.Load())
 	var st sessionStats
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.sessions, sess)
 		s.mu.Unlock()
 		conn.Close()
 		s.active.Add(-1)
@@ -153,15 +266,34 @@ func (s *Server) session(conn net.Conn) {
 			id, st.statements, st.rows, st.pages, st.elapsed.Round(time.Microsecond), s.active.Load())
 	}()
 
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 64<<10), maxLineBytes)
-	w := bufio.NewWriter(conn)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	lines := make(chan string)
+	var readErr error
+	go func() {
+		defer connCancel()
+		defer close(lines)
+		scanner := bufio.NewScanner(conn)
+		scanner.Buffer(make([]byte, 64<<10), maxLineBytes)
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line == "" {
+				continue
+			}
+			select {
+			case lines <- line:
+			case <-connCtx.Done():
+				return
+			}
 		}
-		resp := s.handle(line, id, &st)
+		readErr = scanner.Err()
+	}()
+
+	w := bufio.NewWriter(conn)
+	for line := range lines {
+		sess.busy.Store(true)
+		resp := s.handle(connCtx, line, id, &st)
+		sess.busy.Store(false)
 		b := marshalResponse(resp)
 		if _, err := w.Write(append(b, '\n')); err != nil {
 			return
@@ -169,17 +301,15 @@ func (s *Server) session(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
-	}
-	// Scanner errors (oversized line, connection reset) end the session;
-	// there is no request boundary left to answer on. Reads cut short by
-	// our own Close are expected and not worth a log line.
-	if err := scanner.Err(); err != nil {
-		s.mu.Lock()
-		closed := s.closed
-		s.mu.Unlock()
-		if !closed {
-			s.logf("cmserver: session %d read error: %v", id, err)
+		if s.draining() {
+			return
 		}
+	}
+	// Reader errors (oversized line, connection reset) end the session;
+	// there is no request boundary left to answer on. Reads cut short by
+	// our own Close/Shutdown are expected and not worth a log line.
+	if readErr != nil && !s.draining() {
+		s.logf("cmserver: session %d read error: %v", id, readErr)
 	}
 }
 
@@ -192,9 +322,10 @@ type sessionStats struct {
 	elapsed    time.Duration
 }
 
-// handle executes one request line, folds its measurements into the
-// session stats, logs slow statements and returns the response.
-func (s *Server) handle(line string, sess int64, st *sessionStats) Response {
+// handle executes one request line under the connection's context,
+// folds its measurements into the session stats, logs slow statements
+// and returns the response.
+func (s *Server) handle(ctx context.Context, line string, sess int64, st *sessionStats) Response {
 	sqlText := line
 	if strings.HasPrefix(line, "{") {
 		var req Request
@@ -203,7 +334,15 @@ func (s *Server) handle(line string, sess int64, st *sessionStats) Response {
 		}
 		sqlText = req.SQL
 	}
-	results, err := s.db.ExecScript(sqlText)
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		case <-ctx.Done():
+			return Response{Error: "server: request abandoned at the statement gate: " + ctx.Err().Error()}
+		}
+	}
+	results, err := s.db.ExecScriptCtx(ctx, sqlText)
 	if err != nil {
 		return Response{Error: err.Error()}
 	}
@@ -213,7 +352,7 @@ func (s *Server) handle(line string, sess int64, st *sessionStats) Response {
 		st.rows += int64(r.Rows)
 		st.pages += r.PagesRead
 		st.elapsed += r.Elapsed
-		if s.slowQuery > 0 && r.Elapsed >= s.slowQuery && r.Err == nil {
+		if s.slowQuery > 0 && r.Elapsed >= s.slowQuery {
 			s.logSlowQuery(sess, i, r)
 		}
 		resp.Results[i] = capStmtResult(i, stmtResult(r))
@@ -221,11 +360,16 @@ func (s *Server) handle(line string, sess int64, st *sessionStats) Response {
 	return resp
 }
 
-// logSlowQuery emits one structured line for a statement at or past
-// the slow-query threshold.
+// logSlowQuery emits one structured line for a statement at or past the
+// slow-query threshold, including how it ended — completed, timeout,
+// cancelled (client disconnect) or error.
 func (s *Server) logSlowQuery(sess int64, idx int, r repro.ScriptResult) {
-	s.logf("cmserver: slow query session=%d stmt=%d elapsed_ms=%d rows=%d pages=%d plan=%q sql=%q",
-		sess, idx+1, r.Elapsed.Milliseconds(), r.Rows, r.PagesRead, s.planSummary(r.SQL), r.SQL)
+	plan := ""
+	if r.Err == nil {
+		plan = s.planSummary(r.SQL)
+	}
+	s.logf("cmserver: slow query session=%d stmt=%d elapsed_ms=%d rows=%d pages=%d outcome=%s plan=%q sql=%q",
+		sess, idx+1, r.Elapsed.Milliseconds(), r.Rows, r.PagesRead, repro.StatementOutcome(r.Err), plan, r.SQL)
 }
 
 // planSummary derives a one-line operator summary for the slow-query

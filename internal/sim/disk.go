@@ -18,7 +18,9 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +62,41 @@ func DefaultConfig() Config {
 // FileID names a file (segment) on the simulated disk.
 type FileID uint32
 
+// ErrInjected is the sentinel under every fault the disk injects from a
+// FaultPlan. Error paths match it with errors.Is to distinguish an
+// injected (or real) device fault from logic errors like out-of-range
+// page numbers.
+var ErrInjected = errors.New("sim: injected disk fault")
+
+// FaultPlan describes deterministic fault injection for chaos testing.
+// All trigger fields compose: an access fails when any armed trigger
+// matches, and the page-range gate (when set) restricts every trigger.
+// Counters are relative to SetFaultPlan, so re-installing a plan replays
+// the same fault sequence — runs are reproducible by construction, and
+// the probabilistic trigger draws from a stream seeded by Seed.
+type FaultPlan struct {
+	// FailReadN fails the Nth page read (1-based) exactly once.
+	FailReadN int64
+	// FailWriteN fails the Nth page write (1-based) exactly once.
+	FailWriteN int64
+	// EveryKth fails every Kth access (reads and writes pooled).
+	EveryKth int64
+	// PageLo/PageHi, when PageHi > 0, gate every trigger to accesses of
+	// pages in [PageLo, PageHi].
+	PageLo, PageHi int64
+	// ReadProb fails each read independently with this probability,
+	// drawn from a deterministic stream seeded by Seed.
+	ReadProb float64
+	// Seed seeds the ReadProb stream (0 behaves as an arbitrary fixed
+	// seed; equal seeds give equal fault sequences).
+	Seed int64
+}
+
+// armed reports whether the plan can trigger at all.
+func (fp FaultPlan) armed() bool {
+	return fp.FailReadN > 0 || fp.FailWriteN > 0 || fp.EveryKth > 0 || fp.ReadProb > 0
+}
+
 // Stats aggregates I/O counters and the virtual clock. Every field is
 // maintained and snapshotted under the one disk mutex, so a Stats read
 // mid-query is internally consistent — the read-ahead stream counters
@@ -86,6 +123,9 @@ type Stats struct {
 	// IOWait is the cumulative real sleep time paid in RealWaitScale
 	// mode (zero when real waits are disabled).
 	IOWait time.Duration
+
+	// InjectedFaults counts accesses failed by the installed FaultPlan.
+	InjectedFaults uint64
 }
 
 // Seeks returns the total number of random accesses including syncs.
@@ -119,6 +159,16 @@ type Disk struct {
 	streams []stream
 
 	stats Stats
+
+	// Fault injection (all under mu): the installed plan, the access
+	// counters it triggers on (relative to SetFaultPlan, so reinstalling
+	// a plan replays its fault sequence) and the seeded stream behind the
+	// probabilistic trigger.
+	fp          *FaultPlan
+	faultReads  int64
+	faultWrites int64
+	faultAccs   int64
+	faultRng    *rand.Rand
 
 	// owed pools un-slept real-wait time (RealWaitScale mode). Host
 	// sleep granularity is ~1 ms, far above a scaled sequential page
@@ -193,6 +243,65 @@ func (d *Disk) AllocPage(f FileID) int64 {
 	defer d.mu.Unlock()
 	d.files[f] = append(d.files[f], make([]byte, d.cfg.PageSize))
 	return int64(len(d.files[f]) - 1)
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+// Installation resets the plan's access counters and reseeds its
+// probability stream, so the same plan on the same workload injects the
+// same faults. Stats.InjectedFaults keeps accumulating across plans.
+func (d *Disk) SetFaultPlan(fp *FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fp != nil && !fp.armed() {
+		fp = nil
+	}
+	d.fp = fp
+	d.faultReads, d.faultWrites, d.faultAccs = 0, 0, 0
+	d.faultRng = nil
+	if fp != nil && fp.ReadProb > 0 {
+		d.faultRng = rand.New(rand.NewSource(fp.Seed))
+	}
+}
+
+// injectFault consults the installed FaultPlan for an access of page p
+// and returns the injected error when a trigger fires. Called with the
+// disk mutex held, before the access is charged or applied — an
+// injected fault costs nothing and moves no data, like a request the
+// device rejected.
+func (d *Disk) injectFault(f FileID, p int64, write bool) error {
+	fp := d.fp
+	if fp == nil {
+		return nil
+	}
+	d.faultAccs++
+	if write {
+		d.faultWrites++
+	} else {
+		d.faultReads++
+	}
+	if fp.PageHi > 0 && (p < fp.PageLo || p > fp.PageHi) {
+		return nil
+	}
+	fire := false
+	switch {
+	case !write && fp.FailReadN > 0 && d.faultReads == fp.FailReadN:
+		fire = true
+	case write && fp.FailWriteN > 0 && d.faultWrites == fp.FailWriteN:
+		fire = true
+	case fp.EveryKth > 0 && d.faultAccs%fp.EveryKth == 0:
+		fire = true
+	case !write && d.faultRng != nil && d.faultRng.Float64() < fp.ReadProb:
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	d.stats.InjectedFaults++
+	op := "read"
+	if write {
+		op = "write"
+	}
+	return fmt.Errorf("sim: %s of file %d page %d: %w", op, f, p, ErrInjected)
 }
 
 func (d *Disk) page(f FileID, p int64) ([]byte, error) {
@@ -297,6 +406,9 @@ func (d *Disk) ReadPageDeferWait(f FileID, p int64, dst []byte) (time.Duration, 
 	if err != nil {
 		return 0, err
 	}
+	if err := d.injectFault(f, p, false); err != nil {
+		return 0, err
+	}
 	cost := d.charge(f, p, false)
 	copy(dst, pg)
 	return cost, nil
@@ -316,6 +428,9 @@ func (d *Disk) WritePageDeferWait(f FileID, p int64, src []byte) (time.Duration,
 	defer d.mu.Unlock()
 	pg, err := d.page(f, p)
 	if err != nil {
+		return 0, err
+	}
+	if err := d.injectFault(f, p, true); err != nil {
 		return 0, err
 	}
 	cost := d.charge(f, p, true)

@@ -319,3 +319,13 @@ type CommitStmt struct {
 }
 
 func (*CommitStmt) stmt() {}
+
+// SetStmt is SET name = value: adjust a session/engine setting. The
+// only setting today is statement_timeout, whose value is a
+// non-negative millisecond count (0 disables the deadline).
+type SetStmt struct {
+	Name  string
+	Value int64
+}
+
+func (*SetStmt) stmt() {}

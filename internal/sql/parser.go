@@ -11,7 +11,7 @@ import (
 //
 //	script      := statement (';' statement)* [';']
 //	statement   := select | insert | delete | update | create | explain
-//	             | advise | show | commit
+//	             | advise | show | commit | set
 //	select      := SELECT [DISTINCT] exprs FROM ident [WHERE orexpr]
 //	               [GROUP BY ident (',' ident)*]
 //	               [HAVING havingcond (AND havingcond)*]
@@ -52,6 +52,7 @@ import (
 //	             | SHOW INDEXES FOR ident | SHOW CMS FOR ident
 //	             | SHOW SOFT FDS FOR ident [MIN STRENGTH number] [WITH PAIRS]
 //	commit      := COMMIT [ident]
+//	set         := SET ident '=' int
 //
 // Keywords are case-insensitive and reserved only positionally: a column
 // may be named "level" because the parser only treats LEVEL as a keyword
@@ -291,6 +292,8 @@ func (p *parser) statement() (Stmt, error) {
 			stmt.Table = p.next().Text
 		}
 		return stmt, nil
+	case p.kw("set"):
+		return p.setStmt()
 	default:
 		return nil, p.errf("expected a statement keyword, got %s", p.describe())
 	}
@@ -712,6 +715,22 @@ func (p *parser) insertStmt() (Stmt, error) {
 		}
 		p.next()
 	}
+}
+
+func (p *parser) setStmt() (Stmt, error) {
+	p.next() // SET
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEq); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(TokInt)
+	if err != nil {
+		return nil, err
+	}
+	return &SetStmt{Name: strings.ToLower(name), Value: t.Int}, nil
 }
 
 func (p *parser) deleteStmt() (Stmt, error) {

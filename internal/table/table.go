@@ -481,8 +481,12 @@ func (t *Table) Commit() error {
 	if err := t.log.Append(wal.Record{Type: wal.RecCommit, Target: t.cfg.Name}); err != nil {
 		return err
 	}
-	t.log.Flush() // PREPARE COMMIT
-	t.log.Flush() // COMMIT PREPARED
+	if err := t.log.Flush(); err != nil { // PREPARE COMMIT
+		return err
+	}
+	if err := t.log.Flush(); err != nil { // COMMIT PREPARED
+		return err
+	}
 	return nil
 }
 
@@ -569,7 +573,9 @@ func (t *Table) CheckpointCM(cm *core.CM, w io.Writer) (lsn int64, err error) {
 		if err := t.log.Append(wal.Record{Type: wal.RecCheckpoint, Target: t.cfg.Name}); err != nil {
 			return 0, err
 		}
-		t.log.Flush()
+		if err := t.log.Flush(); err != nil {
+			return 0, err
+		}
 		return t.log.Len(), nil
 	}
 	return 0, nil

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,6 +102,27 @@ type WriteTxn struct {
 	recs     []wal.Record
 	logged   bool
 	done     bool
+	ctx      context.Context
+}
+
+// SetContext attaches a cancellation context to the statement. Batch
+// application checks it between latch bursts: a cancelled statement
+// stops at the next chunk boundary with the context's error, leaving
+// the caller to Abort (the physical unwind restores the pre-statement
+// state). A nil context — the default — never cancels.
+func (tx *WriteTxn) SetContext(ctx context.Context) { tx.ctx = ctx }
+
+// ctxErr reports the statement context's cancellation error, if any.
+func (tx *WriteTxn) ctxErr() error {
+	if tx.ctx == nil {
+		return nil
+	}
+	select {
+	case <-tx.ctx.Done():
+		return tx.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // BeginWrite starts a writer statement: it acquires the writer gate and
@@ -135,6 +157,9 @@ func (tx *WriteTxn) InsertBatch(rows []value.Row) error {
 		encs[i] = enc
 	}
 	for start := 0; start < len(rows); start += writeBatchRows {
+		if err := tx.ctxErr(); err != nil {
+			return err
+		}
 		end := start + writeBatchRows
 		if end > len(rows) {
 			end = len(rows)
@@ -184,6 +209,9 @@ func (tx *WriteTxn) applyInsert(row value.Row, enc []byte) error {
 func (tx *WriteTxn) DeleteBatch(rids []heap.RID) error {
 	t := tx.t
 	for start := 0; start < len(rids); start += writeBatchRows {
+		if err := tx.ctxErr(); err != nil {
+			return err
+		}
 		end := start + writeBatchRows
 		if end > len(rids) {
 			end = len(rids)
@@ -248,6 +276,9 @@ func (tx *WriteTxn) UpdateBatch(olds []heap.RID, news []value.Row) error {
 		encs[i] = enc
 	}
 	for start := 0; start < len(olds); start += writeBatchRows {
+		if err := tx.ctxErr(); err != nil {
+			return err
+		}
 		end := start + writeBatchRows
 		if end > len(olds) {
 			end = len(olds)
@@ -269,16 +300,23 @@ func (tx *WriteTxn) UpdateBatch(olds []heap.RID, news []value.Row) error {
 }
 
 // Publish commits the statement: under one final exclusive latch hold it
-// applies the deferred retractions (index entries and CM pairs of replaced
-// and deleted versions — Algorithm 1's retraction half), appends the
-// statement's WAL records, and advances the published clock so new reader
-// snapshots see the statement's versions. Then it releases the writer
-// gate.
+// appends the statement's WAL records, applies the deferred retractions
+// (index entries and CM pairs of replaced and deleted versions —
+// Algorithm 1's retraction half), and advances the published clock so
+// new reader snapshots see the statement's versions. Then it releases
+// the writer gate.
+//
+// WAL appends go first on purpose: a failing log (injected or real disk
+// fault) then leaves the in-memory structures untouched, and the
+// physical unwind below restores exactly the pre-statement state — the
+// statement fails cleanly and the table stays consistent. A failed
+// Publish self-aborts; callers must not call Abort afterwards (doing so
+// is a no-op).
 func (tx *WriteTxn) Publish() error {
 	t := tx.t
 	held := t.lockLatched()
-	err := tx.applyRetractions()
-	if err == nil && t.log != nil {
+	var err error
+	if t.log != nil {
 		for _, rec := range tx.recs {
 			if err = t.log.Append(rec); err != nil {
 				break
@@ -286,7 +324,17 @@ func (tx *WriteTxn) Publish() error {
 		}
 	}
 	if err == nil {
+		// A retraction failure past this point restores the retracted
+		// entries (see applyRetractions) and unwinds, but the appended
+		// WAL records cannot be taken back; a later CM recovery replay
+		// would include the aborted statement. Retractions are in-memory
+		// except for B+Tree page faults, so the window is narrow.
+		err = tx.applyRetractions()
+	}
+	if err == nil {
 		t.clock.Store(tx.ts)
+	} else {
+		tx.unwind()
 	}
 	t.unlockLatched(held)
 	if o := t.writeObs.Load(); o != nil {
@@ -302,34 +350,50 @@ func (tx *WriteTxn) Publish() error {
 }
 
 // applyRetractions removes the index entries and CM pairs of every
-// retracted old version. Caller holds the latch.
+// retracted old version. Caller holds the latch. On error every
+// operation already applied is reverted (in reverse order, best
+// effort), so the old versions stay fully indexed and counted and the
+// caller sees a clean pre-retraction state.
 func (tx *WriteTxn) applyRetractions() error {
 	t := tx.t
-	for _, r := range tx.retract {
-		if _, err := t.clustered.Delete(r.row, r.rid); err != nil {
-			return err
+	var undo []func()
+	fail := func(err error) error {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
 		}
+		return err
+	}
+	for _, r := range tx.retract {
+		r := r
+		if _, err := t.clustered.Delete(r.row, r.rid); err != nil {
+			return fail(err)
+		}
+		undo = append(undo, func() { _ = t.clustered.Insert(r.row, r.rid) })
 		for _, ix := range t.secondary {
+			ix := ix
 			if _, err := ix.Delete(r.row, r.rid); err != nil {
-				return err
+				return fail(err)
 			}
+			undo = append(undo, func() { _ = ix.Insert(r.row, r.rid) })
 		}
 		for _, cm := range t.cms {
+			cm := cm
 			if err := cm.RemoveRow(r.row, r.cb); err != nil {
-				return err
+				return fail(err)
 			}
+			undo = append(undo, func() { cm.AddRow(r.row, r.cb) })
 		}
 	}
 	return nil
 }
 
-// Abort rolls the statement back: appended versions are physically
-// removed (heap, indexes, CMs) and logically-ended old versions are
-// restored to live. No WAL records were written, so recovery replay never
-// sees the statement. The writer gate is released.
-func (tx *WriteTxn) Abort() {
+// unwind physically removes the statement's work: appended versions are
+// deleted (heap, indexes, CMs) in reverse order and logically-ended old
+// versions are restored to live. Caller holds the latch. Inverse
+// operations are best-effort — they undo work that was just applied, so
+// a failure here means the structure was already inconsistent.
+func (tx *WriteTxn) unwind() {
 	t := tx.t
-	held := t.lockLatched()
 	for i := len(tx.inserted) - 1; i >= 0; i-- {
 		u := tx.inserted[i]
 		_, _ = t.clustered.Delete(u.row, u.rid)
@@ -344,6 +408,20 @@ func (tx *WriteTxn) Abort() {
 	for i := len(tx.ended) - 1; i >= 0; i-- {
 		_ = t.heapf.ClearEnd(tx.ended[i])
 	}
+}
+
+// Abort rolls the statement back: the physical unwind removes appended
+// versions and restores logically-ended old versions. No WAL records
+// were written, so recovery replay never sees the statement. The writer
+// gate is released. Abort after a failed Publish (which self-aborts) is
+// a no-op.
+func (tx *WriteTxn) Abort() {
+	if tx.done {
+		return
+	}
+	t := tx.t
+	held := t.lockLatched()
+	tx.unwind()
 	t.unlockLatched(held)
 	if o := t.writeObs.Load(); o != nil {
 		o.Aborts.Inc()

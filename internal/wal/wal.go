@@ -10,6 +10,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,12 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+// errBroken reports a log whose in-memory tail could not be
+// reconstructed after a failed append (the rollback read-back itself
+// faulted). Every later Append, Flush or Replay fails fast with it
+// rather than writing a tail image that no longer matches the log.
+var errBroken = errors.New("wal: log broken by an unrecoverable tail fault")
 
 // RecordType distinguishes logged operations.
 type RecordType uint8
@@ -52,6 +59,9 @@ type Log struct {
 	flushed int64 // bytes durably on disk
 	appends uint64
 	flushes uint64
+	// broken is set when a failed append could not be rolled back (see
+	// errBroken); it poisons every later operation.
+	broken bool
 	// owed accumulates deferred real-wait disk cost incurred under mu;
 	// the public entry points pay it after unlocking so a flushing
 	// writer does not convoy appenders and stat readers.
@@ -111,29 +121,82 @@ func (l *Log) Flushes() uint64 {
 // Append adds a record to the log buffer. The record becomes durable at
 // the next Flush. Record framing: type byte, target length (u16), target,
 // payload length (u32), payload.
+//
+// Append is atomic against disk faults: a failed page write rolls the
+// log back to its pre-append state (length, page and tail image), so a
+// later Append or Replay sees no torn record. Only when the rollback
+// itself cannot reconstruct the tail does the log mark itself broken.
 func (l *Log) Append(r Record) error {
 	if len(r.Target) > 0xFFFF {
 		return fmt.Errorf("wal: target name too long")
 	}
+	// Build the whole frame up front so one writeBytes call covers it
+	// and the rollback mark brackets the entire record.
+	frame := make([]byte, 0, 7+len(r.Target)+len(r.Payload))
+	frame = append(frame, byte(r.Type))
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(r.Target)))
+	frame = append(frame, r.Target...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(r.Payload)))
+	frame = append(frame, r.Payload...)
 	l.mu.Lock()
-	hdr := make([]byte, 0, 7+len(r.Target))
-	hdr = append(hdr, byte(r.Type))
-	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(r.Target)))
-	hdr = append(hdr, r.Target...)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(r.Payload)))
-	l.writeBytes(hdr)
-	l.writeBytes(r.Payload)
-	l.appends++
+	var err error
+	if l.broken {
+		err = errBroken
+	} else {
+		mark := walMark{length: l.length, page: l.page, bufUsed: l.bufUsed}
+		if err = l.writeBytes(frame); err != nil {
+			l.rollback(mark)
+			err = fmt.Errorf("wal: append: %w", err)
+		} else {
+			l.appends++
+		}
+	}
 	owed := l.takeOwed()
 	l.mu.Unlock()
 	l.disk.PayWait(owed)
-	return nil
+	return err
 }
 
-// writeBytes streams bytes across page boundaries, writing out full pages.
-func (l *Log) writeBytes(b []byte) {
+// walMark snapshots the append cursor for rollback.
+type walMark struct {
+	length  int64
+	page    int64
+	bufUsed int
+}
+
+// rollback restores the pre-append state after a failed writeBytes so
+// the log stays replayable. When the failed append had already rotated
+// past the marked page, that page was necessarily written out in full
+// (rotation only follows a successful tail write), so its committed
+// prefix reads back from disk. A failed read-back leaves the tail image
+// unreconstructable: the log marks itself broken.
+func (l *Log) rollback(m walMark) {
+	l.length = m.length
+	if l.page == m.page {
+		// The failed write never left the marked page; bytes past
+		// m.bufUsed are the torn record, masked by restoring the cursor.
+		l.bufUsed = m.bufUsed
+		return
+	}
+	if m.page >= 0 && m.bufUsed > 0 {
+		cost, err := l.disk.ReadPageDeferWait(l.file, m.page, l.buf)
+		l.owed += cost
+		if err != nil {
+			l.broken = true
+			return
+		}
+	}
+	l.page, l.bufUsed = m.page, m.bufUsed
+}
+
+// writeBytes streams bytes across page boundaries, writing out full
+// pages as they fill. Outside a call the cursor invariant holds:
+// l.bufUsed < len(l.buf) (a full page is written and rotated past
+// before returning), so Append's rollback only ever restores a
+// partially filled tail.
+func (l *Log) writeBytes(b []byte) error {
 	for len(b) > 0 {
-		if l.page < 0 || l.bufUsed == len(l.buf) {
+		if l.page < 0 {
 			l.rotatePage()
 		}
 		n := copy(l.buf[l.bufUsed:], b)
@@ -141,50 +204,75 @@ func (l *Log) writeBytes(b []byte) {
 		l.length += int64(n)
 		b = b[n:]
 		if l.bufUsed == len(l.buf) {
-			// Full page: write it immediately (sequential I/O).
-			l.writeTail()
+			// Full page: write it immediately (sequential I/O) and
+			// advance to the next page.
+			if err := l.writeTail(); err != nil {
+				return err
+			}
+			l.rotatePage()
 		}
 	}
+	return nil
 }
 
+// rotatePage advances the cursor to the next page, reusing a page a
+// rolled-back append already allocated before extending the file —
+// allocation holes would break Replay's contiguous page arithmetic.
 func (l *Log) rotatePage() {
-	l.page = l.disk.AllocPage(l.file)
+	next := l.page + 1
+	if next >= l.disk.NumPages(l.file) {
+		next = l.disk.AllocPage(l.file)
+	}
+	l.page = next
 	l.bufUsed = 0
 }
 
-func (l *Log) writeTail() {
-	// Errors cannot occur for a page we just allocated; sim.Disk only
-	// fails on out-of-range access. The real wait is deferred into
-	// l.owed and paid outside the log mutex.
+// writeTail writes the in-memory tail image to its page. The real wait
+// is deferred into l.owed and paid outside the log mutex.
+func (l *Log) writeTail() error {
 	cost, err := l.disk.WritePageDeferWait(l.file, l.page, l.buf)
 	l.owed += cost
 	if err != nil {
-		panic(fmt.Sprintf("wal: tail write: %v", err))
+		return fmt.Errorf("tail write: %w", err)
 	}
+	return nil
 }
 
 // Flush makes every appended record durable: it writes the partial tail
-// page and issues an fsync barrier.
-func (l *Log) Flush() {
+// page and issues an fsync barrier. On error nothing is marked durable;
+// the tail stays buffered and a later Flush retries it.
+func (l *Log) Flush() error {
 	var start time.Time
 	if l.flushHist.Load() != nil {
 		start = time.Now()
 	}
 	l.mu.Lock()
-	if l.length > l.flushed {
-		if l.page >= 0 && l.bufUsed > 0 && l.bufUsed < len(l.buf) {
-			l.writeTail()
+	var err error
+	switch {
+	case l.broken:
+		err = errBroken
+	case l.length > l.flushed:
+		if l.page >= 0 && l.bufUsed > 0 {
+			err = l.writeTail()
 		}
-		l.flushed = l.length
+		if err == nil {
+			l.flushed = l.length
+		}
 	}
-	l.owed += l.disk.SyncDeferWait()
-	l.flushes++
+	if err == nil {
+		l.owed += l.disk.SyncDeferWait()
+		l.flushes++
+	}
 	owed := l.takeOwed()
 	l.mu.Unlock()
 	l.disk.PayWait(owed)
-	if h := l.flushHist.Load(); h != nil {
+	if h := l.flushHist.Load(); h != nil && err == nil {
 		h.ObserveSince(start)
 	}
+	if err != nil && !errors.Is(err, errBroken) {
+		err = fmt.Errorf("wal: flush: %w", err)
+	}
+	return err
 }
 
 // Replay decodes every record in order and passes it to fn, reading the
@@ -202,9 +290,14 @@ func (l *Log) ReplayFrom(lsn int64, fn func(Record) bool) error {
 	payOwed := func() { l.disk.PayWait(l.takeOwed()) }
 	defer l.mu.Unlock()
 	defer payOwed() // runs before Unlock: recovery is exclusive anyway
+	if l.broken {
+		return errBroken
+	}
 	// Ensure the tail is readable from disk.
 	if l.page >= 0 && l.bufUsed > 0 {
-		l.writeTail()
+		if err := l.writeTail(); err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
 		l.flushed = l.length
 	}
 	if lsn < 0 || lsn > l.length {

@@ -35,8 +35,12 @@ import (
 //     exclusive-latch hold times per write batch.
 //   - query.*: scan-level physical work — tuples_examined (tuples the
 //     compiled filter evaluated), rows_scanned (survivors emitted),
-//     heap_pages (heap page visits) — and query.latency_ns, the
-//     per-statement wall-time histogram.
+//     heap_pages (heap page visits) — query.latency_ns, the
+//     per-statement wall-time histogram, and the fault-tolerance
+//     outcomes query.cancelled (statements ended by context
+//     cancellation) and query.timed_out (by statement deadline).
+//   - server.rejected: connections refused at admission (MaxConns).
+//   - disk.injected_faults: faults fired by the active sim.FaultPlan.
 type Metric struct {
 	Name  string
 	Value int64
@@ -63,6 +67,7 @@ func (db *DB) initMetrics() {
 	r.Func("disk.stream_starts", func() int64 { return int64(db.disk.Stats().StreamStarts) })
 	r.Func("disk.stream_evictions", func() int64 { return int64(db.disk.Stats().StreamEvictions) })
 	r.Func("disk.active_streams", func() int64 { return int64(db.disk.Stats().ActiveStreams) })
+	r.Func("disk.injected_faults", func() int64 { return int64(db.disk.Stats().InjectedFaults) })
 
 	r.Func("pool.hits", func() int64 { return int64(db.pool.Stats().Hits) })
 	r.Func("pool.misses", func() int64 { return int64(db.pool.Stats().Misses) })
@@ -92,6 +97,14 @@ func (db *DB) initMetrics() {
 	r.Func("query.tuples_examined", func() int64 { return db.scanObs.Tuples.Load() })
 	r.Func("query.rows_scanned", func() int64 { return db.scanObs.Rows.Load() })
 	r.Func("query.heap_pages", func() int64 { return db.scanObs.Pages.Load() })
+
+	// Fault-tolerance counters (this PR): statements ended by
+	// cancellation or deadline, and connections the server turned away
+	// at admission. They count regardless of SetMetricsEnabled — these
+	// are rare events on error paths, not hot-path instrumentation.
+	db.qCancelled = r.Counter("query.cancelled")
+	db.qTimedOut = r.Counter("query.timed_out")
+	db.srvRejected = r.Counter("server.rejected")
 }
 
 // metricsOn reports whether hot-path instrumentation should record.

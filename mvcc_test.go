@@ -185,7 +185,7 @@ func TestUpdateSQLNativeEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ut, err := natTbl.compileUpdate([]Set{{Col: "wide", Val: IntVal(7)}},
+	ut, err := natTbl.compileUpdate(nil, []Set{{Col: "wide", Val: IntVal(7)}},
 		[][]Pred{{Eq("qty", IntVal(42))}, {Eq("cat", IntVal(9))}})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -131,11 +132,22 @@ func (t *Table) Select(fn func(Row) bool, preds ...Pred) error {
 	return t.SelectVia(Auto, fn, preds...)
 }
 
+// SelectCtx is Select bounded by a context: every access method polls
+// ctx at chunk granularity (serial scans per heap page, parallel
+// workers per chunk), so a cancelled or expired statement stops within
+// one chunk's worth of pages and returns the context's error. A nil
+// ctx never cancels; the configured statement timeout applies either
+// way.
+func (t *Table) SelectCtx(ctx context.Context, fn func(Row) bool, preds ...Pred) error {
+	return t.runTree(ctx, QuerySpec{Table: t.Name(), Preds: preds}, t.db.workers,
+		func(r value.Row) bool { return fn(externalRow(r)) })
+}
+
 // SelectVia is Select with an explicit access method. SortedIndexScan,
 // PipelinedIndexScan and CMScan use the first applicable index or CM
 // (one whose leading column — any column, for CMs — is predicated).
 func (t *Table) SelectVia(method AccessMethod, fn func(Row) bool, preds ...Pred) error {
-	return t.runTree(QuerySpec{Table: t.Name(), Via: method, Preds: preds}, t.db.workers,
+	return t.runTree(nil, QuerySpec{Table: t.Name(), Via: method, Preds: preds}, t.db.workers,
 		func(r value.Row) bool { return fn(externalRow(r)) })
 }
 
@@ -150,7 +162,7 @@ func (t *Table) SelectProject(cols []string, fn func(Row) bool, preds ...Pred) e
 
 // SelectProjectVia is SelectProject with an explicit access method.
 func (t *Table) SelectProjectVia(method AccessMethod, cols []string, fn func(Row) bool, preds ...Pred) error {
-	return t.runTree(QuerySpec{Table: t.Name(), Via: method, Preds: preds, Cols: cols}, t.db.workers,
+	return t.runTree(nil, QuerySpec{Table: t.Name(), Via: method, Preds: preds, Cols: cols}, t.db.workers,
 		func(r value.Row) bool { return fn(externalRow(r)) })
 }
 
@@ -254,6 +266,15 @@ type QueryResult struct {
 // ORDER BY; each evaluates exactly as its single-query equivalent
 // (runSpec is shared), so batched and unbatched execution cannot drift.
 func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
+	return db.SelectManyCtx(nil, specs)
+}
+
+// SelectManyCtx is SelectMany bounded by a context shared across the
+// whole batch: cancelling ctx stops every in-flight query of the batch
+// (each fails with the context's error) and queries not yet started
+// fail immediately. A nil ctx never cancels; the configured statement
+// timeout still applies to each query individually.
+func (db *DB) SelectManyCtx(ctx context.Context, specs []QuerySpec) []QueryResult {
 	out := make([]QueryResult, len(specs))
 	workers := db.workers
 	if workers > len(specs) {
@@ -274,7 +295,7 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 				if i >= len(specs) {
 					return
 				}
-				rows, err := db.runSpec(specs[i], 1)
+				rows, err := db.runSpec(ctx, specs[i], 1)
 				out[i] = QueryResult{Rows: rows, Err: err}
 			}
 		}()

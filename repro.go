@@ -34,9 +34,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -137,6 +139,12 @@ type Config struct {
 	// a disk-bound system on hardware with internal I/O parallelism.
 	// Zero disables real waits; virtual-time accounting is unaffected.
 	IOWaitScale int
+	// StatementTimeout, when positive, bounds every statement's wall
+	// time: a statement exceeding it is cancelled through the engine's
+	// context checks and fails with context.DeadlineExceeded. Zero
+	// disables the deadline. Adjustable at runtime with
+	// SetStatementTimeout or SQL's SET statement_timeout.
+	StatementTimeout time.Duration
 }
 
 // DB is a database instance: one simulated disk, buffer pool and WAL
@@ -166,6 +174,15 @@ type DB struct {
 	queryHist *metrics.Histogram
 	writeObs  *table.WriteObs
 
+	// Fault tolerance (see cancel-related code in runspec.go):
+	// stmtTimeout is the per-statement deadline in nanoseconds (0 =
+	// none); the counters tally statements ended by cancellation or
+	// deadline and connections the server rejected at admission.
+	stmtTimeout atomic.Int64
+	qCancelled  *metrics.Counter
+	qTimedOut   *metrics.Counter
+	srvRejected *metrics.Counter
+
 	mu     sync.RWMutex // guards the tables map
 	tables map[string]*Table
 }
@@ -194,11 +211,28 @@ func Open(cfg Config) *DB {
 		tables:  make(map[string]*Table),
 	}
 	db.initMetrics()
+	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	return db
 }
 
 // Workers returns the configured scan fan-out.
 func (db *DB) Workers() int { return db.workers }
+
+// SetStatementTimeout changes the per-statement deadline at runtime
+// (Config.StatementTimeout); zero or negative disables it. Statements
+// already running keep the deadline they started with.
+func (db *DB) SetStatementTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	db.stmtTimeout.Store(int64(d))
+}
+
+// StatementTimeout reports the current per-statement deadline (zero =
+// disabled).
+func (db *DB) StatementTimeout() time.Duration {
+	return time.Duration(db.stmtTimeout.Load())
+}
 
 // Column declares one attribute of a table.
 type Column struct {
@@ -304,6 +338,23 @@ func (db *DB) ResetStats() {
 	db.pool.ResetStats()
 }
 
+// FaultPlan is the simulated disk's deterministic fault-injection plan,
+// an alias of sim.FaultPlan; its fields select which accesses fail (the
+// Nth read or write, every Kth access, a page range, a seeded read
+// probability).
+type FaultPlan = sim.FaultPlan
+
+// ErrInjected marks every error produced by an armed fault plan; test
+// with errors.Is.
+var ErrInjected = sim.ErrInjected
+
+// SetFaultPlan arms deterministic fault injection on the simulated disk
+// (nil or an all-zero plan disarms it). Injected faults surface from
+// whatever statement touched the failing page as clean errors wrapping
+// ErrInjected, leaving latches, buffer pins and MVCC state intact — the
+// harness behind the chaos tests and the README's fault-plan examples.
+func (db *DB) SetFaultPlan(fp *FaultPlan) { db.disk.SetFaultPlan(fp) }
+
 // ColdCache flushes and drops every cached page, modeling the paper's
 // between-runs cache drop. It takes every table's writer gate and latch
 // (in name order) so no statement is mid-flight and no query holds
@@ -378,14 +429,26 @@ func (t *Table) Insert(row Row) error {
 // none — concurrent readers never block and never observe a partial
 // delete.
 func (t *Table) Delete(preds ...Pred) (int, error) {
+	return t.DeleteCtx(nil, preds...)
+}
+
+// DeleteCtx is Delete bounded by a context: the collection scan and
+// the write batches both poll ctx, and a cancelled statement aborts
+// cleanly — the table keeps every row. A nil ctx never cancels; the
+// configured statement timeout applies either way.
+func (t *Table) DeleteCtx(ctx context.Context, preds ...Pred) (int, error) {
 	q, err := buildQuery(t, preds)
 	if err != nil {
 		return 0, err
 	}
+	ctx, cancel := t.db.stmtCtx(ctx)
+	defer cancel()
 	// The scan only collects RIDs: materialize nothing beyond the
 	// predicated columns.
 	q.Proj = []int{}
+	q.Ctx = ctx
 	tx := t.inner.BeginWrite()
+	tx.SetContext(ctx)
 	// Under the writer gate nothing mutates the table, so the collection
 	// scan reads the latest state without holding the latch.
 	var rids []heap.RID
@@ -398,9 +461,15 @@ func (t *Table) Delete(preds ...Pred) (int, error) {
 	}
 	if err != nil {
 		tx.Abort()
+		t.db.noteOutcome(err)
 		return 0, err
 	}
-	return len(rids), tx.Publish()
+	err = tx.Publish()
+	t.db.noteOutcome(err)
+	if err != nil {
+		return 0, err
+	}
+	return len(rids), nil
 }
 
 // Set is one assignment of an Update statement: the named column takes
@@ -418,12 +487,32 @@ type Set struct {
 // concurrent snapshot readers see the whole update or none of it. The
 // resulting table state is byte-identical for any Config.Workers.
 func (t *Table) Update(sets []Set, preds ...Pred) (int64, error) {
-	ut, err := t.compileUpdate(sets, [][]Pred{preds})
+	return t.UpdateCtx(nil, sets, preds...)
+}
+
+// UpdateCtx is Update bounded by a context: the read phase polls ctx
+// through its access path and the write phase between latched bursts,
+// so a cancelled statement aborts cleanly with the table unchanged. A
+// nil ctx never cancels; the configured statement timeout applies
+// either way.
+func (t *Table) UpdateCtx(ctx context.Context, sets []Set, preds ...Pred) (int64, error) {
+	return t.runUpdate(ctx, sets, [][]Pred{preds})
+}
+
+// runUpdate is the shared execution path of Update, UpdateCtx and
+// SQL's UPDATE: apply the statement timeout, compile, run, classify
+// the outcome.
+func (t *Table) runUpdate(ctx context.Context, sets []Set, anyOf [][]Pred) (int64, error) {
+	ctx, cancel := t.db.stmtCtx(ctx)
+	defer cancel()
+	ut, err := t.compileUpdate(ctx, sets, anyOf)
 	if err != nil {
 		return 0, err
 	}
 	defer t.db.observeQuery(time.Now())
-	return ut.Run(t.db.workers)
+	n, err := ut.Run(t.db.workers)
+	t.db.noteOutcome(err)
+	return n, err
 }
 
 // Update is the DB-level form of Table.Update, resolving the table by
@@ -436,10 +525,20 @@ func (db *DB) Update(table string, sets []Set, preds ...Pred) (int64, error) {
 	return t.Update(sets, preds...)
 }
 
+// UpdateCtx is the DB-level form of Table.UpdateCtx.
+func (db *DB) UpdateCtx(ctx context.Context, table string, sets []Set, preds ...Pred) (int64, error) {
+	t := db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("repro: no table %q", table)
+	}
+	return t.UpdateCtx(ctx, sets, preds...)
+}
+
 // compileUpdate lowers facade sets + a WHERE clause in disjunctive
 // normal form (one []Pred conjunction per disjunct) to a compiled
-// update tree under a shared latch hold.
-func (t *Table) compileUpdate(sets []Set, anyOf [][]Pred) (*plan.UpdateTree, error) {
+// update tree under a shared latch hold. ctx, when non-nil, cancels
+// the compiled tree's read and write phases.
+func (t *Table) compileUpdate(ctx context.Context, sets []Set, anyOf [][]Pred) (*plan.UpdateTree, error) {
 	disjuncts := make([]exec.Query, 0, len(anyOf))
 	for _, preds := range anyOf {
 		q, err := buildQuery(t, preds)
@@ -458,7 +557,7 @@ func (t *Table) compileUpdate(sets []Set, anyOf [][]Pred) (*plan.UpdateTree, err
 	}
 	t.inner.RLock()
 	defer t.inner.RUnlock()
-	spec := plan.Spec{Disjuncts: disjuncts}
+	spec := plan.Spec{Disjuncts: disjuncts, Ctx: ctx}
 	if t.db.metricsOn() {
 		spec.Obs = t.db.scanObs
 	}
@@ -468,7 +567,7 @@ func (t *Table) compileUpdate(sets []Set, anyOf [][]Pred) (*plan.UpdateTree, err
 // explainUpdate compiles an UPDATE without running it — plain EXPLAIN
 // UPDATE. The read side's access path is chosen exactly as Run would.
 func (t *Table) explainUpdate(sets []Set, anyOf [][]Pred) (PlanInfo, error) {
-	ut, err := t.compileUpdate(sets, anyOf)
+	ut, err := t.compileUpdate(nil, sets, anyOf)
 	if err != nil {
 		return PlanInfo{}, err
 	}
@@ -478,13 +577,16 @@ func (t *Table) explainUpdate(sets []Set, anyOf [][]Pred) (PlanInfo, error) {
 // analyzeUpdate compiles and executes an UPDATE while measuring
 // per-node actuals. EXPLAIN ANALYZE UPDATE really writes (PostgreSQL
 // semantics); it returns the rows updated and the measured plan.
-func (t *Table) analyzeUpdate(sets []Set, anyOf [][]Pred) (int64, PlanInfo, error) {
-	ut, err := t.compileUpdate(sets, anyOf)
+func (t *Table) analyzeUpdate(ctx context.Context, sets []Set, anyOf [][]Pred) (int64, PlanInfo, error) {
+	ctx, cancel := t.db.stmtCtx(ctx)
+	defer cancel()
+	ut, err := t.compileUpdate(ctx, sets, anyOf)
 	if err != nil {
 		return 0, PlanInfo{}, err
 	}
 	defer t.db.observeQuery(time.Now())
 	n, an, err := ut.RunAnalyzed(t.db.workers)
+	t.db.noteOutcome(err)
 	if err != nil {
 		return 0, PlanInfo{}, err
 	}

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -97,10 +99,18 @@ type Order struct {
 // byte-identical for any Config.Workers and any access path, float sums
 // included.
 func (db *DB) SelectAggregate(spec QuerySpec) ([]string, []Row, error) {
+	return db.SelectAggregateCtx(nil, spec)
+}
+
+// SelectAggregateCtx is SelectAggregate bounded by a context: the
+// aggregation stops at chunk granularity when ctx is cancelled or
+// expires and the error is the context's. A nil ctx never cancels
+// (the configured statement timeout still applies either way).
+func (db *DB) SelectAggregateCtx(ctx context.Context, spec QuerySpec) ([]string, []Row, error) {
 	if !spec.isAggregate() {
 		return nil, nil, fmt.Errorf("repro: SelectAggregate needs Aggs or GroupBy")
 	}
-	rows, err := db.runSpec(spec, db.workers)
+	rows, err := db.runSpec(ctx, spec, db.workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -124,20 +134,20 @@ func aggHeader(spec QuerySpec) []string {
 // the whole disjunction evaluates as one filtered table scan. Rows
 // arrive in physical order; return false from fn to stop early.
 func (t *Table) SelectAny(fn func(Row) bool, disjuncts ...[]Pred) error {
-	return t.runTree(QuerySpec{Table: t.Name(), AnyOf: disjuncts}, t.db.workers,
+	return t.runTree(nil, QuerySpec{Table: t.Name(), AnyOf: disjuncts}, t.db.workers,
 		func(r value.Row) bool { return fn(externalRow(r)) })
 }
 
 // runSpec evaluates one QuerySpec with the given scan fan-out,
 // returning the buffered result rows (projected for plain selects,
 // canonical GroupBy-then-Aggs shape for aggregate specs).
-func (db *DB) runSpec(spec QuerySpec, workers int) ([]Row, error) {
+func (db *DB) runSpec(ctx context.Context, spec QuerySpec, workers int) ([]Row, error) {
 	tbl := db.Table(spec.Table)
 	if tbl == nil {
 		return nil, fmt.Errorf("repro: no table %q", spec.Table)
 	}
 	var rows []Row
-	err := tbl.runTree(spec, workers, func(r value.Row) bool {
+	err := tbl.runTree(ctx, spec, workers, func(r value.Row) bool {
 		rows = append(rows, externalRow(r))
 		return true
 	})
@@ -148,10 +158,19 @@ func (db *DB) runSpec(spec QuerySpec, workers int) ([]Row, error) {
 }
 
 // runTree compiles the spec through the plan layer and runs it under a
-// shared latch hold, streaming output rows to sink.
-func (t *Table) runTree(spec QuerySpec, workers int, sink plan.RowSink) error {
+// shared latch hold, streaming output rows to sink. ctx (plus the
+// configured statement timeout) bounds the run; a cancelled or expired
+// statement returns the context's error and counts into
+// query.cancelled / query.timed_out.
+func (t *Table) runTree(ctx context.Context, spec QuerySpec, workers int, sink plan.RowSink) error {
 	ps, err := t.planSpec(spec)
 	if err != nil {
+		return err
+	}
+	ctx, cancel := t.db.stmtCtx(ctx)
+	defer cancel()
+	ps.Ctx = ctx
+	if err := t.db.ctxDead(ctx); err != nil {
 		return err
 	}
 	t.inner.RLock()
@@ -168,7 +187,9 @@ func (t *Table) runTree(spec QuerySpec, workers int, sink plan.RowSink) error {
 	if err != nil {
 		return err
 	}
-	return tree.Run(workers, sink)
+	err = tree.Run(workers, sink)
+	t.db.noteOutcome(err)
+	return err
 }
 
 // observeQuery records one statement's wall time (started at start)
@@ -178,6 +199,75 @@ func (db *DB) observeQuery(start time.Time) {
 		db.queryHist.ObserveSince(start)
 	}
 }
+
+// ctxDead reports the context's error when it is already done, doing
+// the statement-outcome accounting on the way out; a nil or live
+// context returns nil. Statement entry points call it after stmtCtx so
+// a dead statement does zero work — even plans that never touch a page
+// (index-only aggregation) report the cancellation, not a result.
+func (db *DB) ctxDead(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		err := ctx.Err()
+		db.noteOutcome(err)
+		return err
+	default:
+		return nil
+	}
+}
+
+// stmtCtx applies the configured statement timeout on top of ctx. With
+// no timeout it returns ctx unchanged (nil stays nil — the zero-cost
+// path); with one it derives a deadline context, from ctx or from
+// context.Background when ctx is nil. The returned cancel must run
+// when the statement ends.
+func (db *DB) stmtCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := db.StatementTimeout()
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// noteOutcome tallies how a statement ended: deadline expiries count
+// into query.timed_out, other cancellations into query.cancelled.
+// Completed statements and plain errors count into neither.
+func (db *DB) noteOutcome(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		db.qTimedOut.Inc()
+	case errors.Is(err, context.Canceled):
+		db.qCancelled.Inc()
+	}
+}
+
+// StatementOutcome classifies how a statement ended for logs and the
+// slow-query log: "completed" (nil error), "timeout" (statement
+// deadline), "cancelled" (context cancellation, e.g. a client
+// disconnect), or "error" (any other failure).
+func StatementOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "completed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
+// RecordRejectedConn bumps the server.rejected counter; the TCP server
+// calls it when admission control turns a connection away.
+func (db *DB) RecordRejectedConn() { db.srvRejected.Inc() }
 
 // planSpec resolves a QuerySpec's names against the table schema and
 // lowers it to the plan layer's index-based Spec — the single
@@ -429,14 +519,21 @@ func (db *DB) ExplainAnalyzeSpec(spec QuerySpec) (PlanInfo, error) {
 	if tbl == nil {
 		return PlanInfo{}, fmt.Errorf("repro: no table %q", spec.Table)
 	}
-	return tbl.analyzeSpec(spec)
+	return tbl.analyzeSpec(nil, spec)
 }
 
 // analyzeSpec compiles and executes the spec under a shared latch
-// hold, measuring per-node actuals.
-func (t *Table) analyzeSpec(spec QuerySpec) (PlanInfo, error) {
+// hold, measuring per-node actuals. ctx (plus the statement timeout)
+// bounds the run like runTree.
+func (t *Table) analyzeSpec(ctx context.Context, spec QuerySpec) (PlanInfo, error) {
 	ps, err := t.planSpec(spec)
 	if err != nil {
+		return PlanInfo{}, err
+	}
+	ctx, cancel := t.db.stmtCtx(ctx)
+	defer cancel()
+	ps.Ctx = ctx
+	if err := t.db.ctxDead(ctx); err != nil {
 		return PlanInfo{}, err
 	}
 	t.inner.RLock()
@@ -451,6 +548,7 @@ func (t *Table) analyzeSpec(spec QuerySpec) (PlanInfo, error) {
 		return PlanInfo{}, err
 	}
 	an, err := tree.RunAnalyzed(t.db.workers, func(value.Row) bool { return true })
+	t.db.noteOutcome(err)
 	if err != nil {
 		return PlanInfo{}, err
 	}

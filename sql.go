@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -91,11 +92,19 @@ func (db *DB) Tables() []string {
 
 // Exec parses and executes one SQL statement.
 func (db *DB) Exec(stmt string) (*Result, error) {
+	return db.ExecCtx(nil, stmt)
+}
+
+// ExecCtx is Exec bounded by a context: a cancelled or expired ctx
+// stops the statement at chunk granularity (see SelectCtx) and the
+// statement fails with the context's error. A nil ctx never cancels;
+// the configured statement timeout applies either way.
+func (db *DB) ExecCtx(ctx context.Context, stmt string) (*Result, error) {
 	parsed, err := sqlfe.Parse(stmt)
 	if err != nil {
 		return nil, err
 	}
-	return db.execStmt(parsed)
+	return db.execStmt(ctx, parsed)
 }
 
 // ExecScript parses a ';'-separated script and executes its statements
@@ -105,6 +114,16 @@ func (db *DB) Exec(stmt string) (*Result, error) {
 // executes); execution errors are per-statement and do not stop later
 // statements.
 func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
+	return db.ExecScriptCtx(nil, script)
+}
+
+// ExecScriptCtx is ExecScript bounded by a context shared by every
+// statement of the script: cancelling ctx fails the running statement
+// (and any in-flight batch) with the context's error; later statements
+// still execute and fail the same way until the script ends. A nil ctx
+// never cancels; the configured statement timeout applies per
+// statement either way.
+func (db *DB) ExecScriptCtx(ctx context.Context, script string) ([]ScriptResult, error) {
 	stmts, texts, err := sqlfe.ParseScriptSpans(script)
 	if err != nil {
 		return nil, err
@@ -121,7 +140,7 @@ func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
 		if j-i > 1 {
 			reads0 := db.disk.Stats().Reads
 			start := time.Now()
-			db.execSelectBatch(stmts[i:j], out[i:j])
+			db.execSelectBatch(ctx, stmts[i:j], out[i:j])
 			elapsed := time.Since(start)
 			pages := db.disk.Stats().Reads - reads0
 			// The batch ran as one SelectMany group: each statement
@@ -139,7 +158,7 @@ func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
 		}
 		reads0 := db.disk.Stats().Reads
 		start := time.Now()
-		res, err := db.execStmt(stmts[i])
+		res, err := db.execStmt(ctx, stmts[i])
 		sr := ScriptResult{
 			Res:       res,
 			Err:       err,
@@ -163,7 +182,7 @@ func (db *DB) ExecScript(script string) ([]ScriptResult, error) {
 // (projected or not, aggregate, ordered, OR) behaves exactly like its
 // unbatched twin; LIMIT flows into QuerySpec.Limit and stops plain
 // scans early.
-func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
+func (db *DB) execSelectBatch(ctx context.Context, stmts []sqlfe.Stmt, out []ScriptResult) {
 	cat := catalogDB{db}
 	bounds := make([]*sqlfe.BoundSelect, len(stmts))
 	specs := make([]QuerySpec, 0, len(stmts))
@@ -184,7 +203,7 @@ func (db *DB) execSelectBatch(stmts []sqlfe.Stmt, out []ScriptResult) {
 		specAt[i] = len(specs)
 		specs = append(specs, specFromBound(b))
 	}
-	results := db.SelectMany(specs)
+	results := db.SelectManyCtx(ctx, specs)
 	for i, b := range bounds {
 		if b == nil || specAt[i] < 0 {
 			continue
@@ -393,17 +412,17 @@ func (db *DB) sqlTable(name string) (*Table, error) {
 	return t, nil
 }
 
-func (db *DB) execStmt(stmt sqlfe.Stmt) (*Result, error) {
+func (db *DB) execStmt(ctx context.Context, stmt sqlfe.Stmt) (*Result, error) {
 	cat := catalogDB{db}
 	switch s := stmt.(type) {
 	case *sqlfe.SelectStmt:
-		return db.execSelect(cat, s)
+		return db.execSelect(ctx, cat, s)
 	case *sqlfe.InsertStmt:
 		return db.execInsert(cat, s)
 	case *sqlfe.DeleteStmt:
-		return db.execDelete(cat, s)
+		return db.execDelete(ctx, cat, s)
 	case *sqlfe.UpdateStmt:
-		return db.execUpdate(cat, s)
+		return db.execUpdate(ctx, cat, s)
 	case *sqlfe.CreateTableStmt:
 		return db.execCreateTable(cat, s)
 	case *sqlfe.CreateIndexStmt:
@@ -411,11 +430,13 @@ func (db *DB) execStmt(stmt sqlfe.Stmt) (*Result, error) {
 	case *sqlfe.CreateCMStmt:
 		return db.execCreateCM(cat, s)
 	case *sqlfe.ExplainStmt:
-		return db.execExplain(cat, s)
+		return db.execExplain(ctx, cat, s)
 	case *sqlfe.AdviseStmt:
 		return db.execAdvise(cat, s)
 	case *sqlfe.ShowStmt:
 		return db.execShow(s)
+	case *sqlfe.SetStmt:
+		return db.execSet(s)
 	case *sqlfe.CommitStmt:
 		return db.execCommit(s)
 	default:
@@ -423,7 +444,23 @@ func (db *DB) execStmt(stmt sqlfe.Stmt) (*Result, error) {
 	}
 }
 
-func (db *DB) execSelect(cat sqlfe.Catalog, s *sqlfe.SelectStmt) (*Result, error) {
+// execSet applies a SET statement. The only setting today is
+// statement_timeout, in milliseconds (0 disables), mirroring
+// DB.SetStatementTimeout.
+func (db *DB) execSet(s *sqlfe.SetStmt) (*Result, error) {
+	switch s.Name {
+	case "statement_timeout":
+		if s.Value < 0 {
+			return nil, fmt.Errorf("sql: SET statement_timeout takes a non-negative millisecond count")
+		}
+		db.SetStatementTimeout(time.Duration(s.Value) * time.Millisecond)
+		return &Result{Message: fmt.Sprintf("SET statement_timeout = %d", s.Value)}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown setting %q (supported: statement_timeout)", s.Name)
+	}
+}
+
+func (db *DB) execSelect(ctx context.Context, cat sqlfe.Catalog, s *sqlfe.SelectStmt) (*Result, error) {
 	b, err := sqlfe.BindSelect(cat, s)
 	if err != nil {
 		return nil, err
@@ -434,7 +471,7 @@ func (db *DB) execSelect(cat sqlfe.Catalog, s *sqlfe.SelectStmt) (*Result, error
 	}
 	// One lowering for every SELECT form (projection pushdown,
 	// aggregates, ORDER BY, OR), shared with the ExecScript batch path.
-	rows, err := db.runSpec(specFromBound(b), db.workers)
+	rows, err := db.runSpec(ctx, specFromBound(b), db.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +512,7 @@ func (db *DB) execInsert(cat sqlfe.Catalog, s *sqlfe.InsertStmt) (*Result, error
 	}, nil
 }
 
-func (db *DB) execDelete(cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error) {
+func (db *DB) execDelete(ctx context.Context, cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error) {
 	b, err := sqlfe.BindDelete(cat, s)
 	if err != nil {
 		return nil, err
@@ -484,7 +521,7 @@ func (db *DB) execDelete(cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	n, err := tbl.Delete(predsFromBound(b.Where)...)
+	n, err := tbl.DeleteCtx(ctx, predsFromBound(b.Where)...)
 	if err != nil {
 		return nil, err
 	}
@@ -494,17 +531,12 @@ func (db *DB) execDelete(cat sqlfe.Catalog, s *sqlfe.DeleteStmt) (*Result, error
 // execUpdate lowers a bound UPDATE onto the same compiled update path
 // Table.Update uses, carrying the full WHERE disjunction through so
 // UPDATE ... WHERE a OR b plans its access per disjunct like a SELECT.
-func (db *DB) execUpdate(cat sqlfe.Catalog, s *sqlfe.UpdateStmt) (*Result, error) {
+func (db *DB) execUpdate(ctx context.Context, cat sqlfe.Catalog, s *sqlfe.UpdateStmt) (*Result, error) {
 	tbl, sets, anyOf, err := db.boundUpdateParts(cat, s)
 	if err != nil {
 		return nil, err
 	}
-	ut, err := tbl.compileUpdate(sets, anyOf)
-	if err != nil {
-		return nil, err
-	}
-	defer db.observeQuery(time.Now())
-	n, err := ut.Run(db.workers)
+	n, err := tbl.runUpdate(ctx, sets, anyOf)
 	if err != nil {
 		return nil, err
 	}
@@ -600,16 +632,20 @@ func (db *DB) execCreateCM(cat sqlfe.Catalog, s *sqlfe.CreateCMStmt) (*Result, e
 	return &Result{Message: fmt.Sprintf("CREATE CORRELATION MAP %s", s.Name)}, nil
 }
 
-func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
+func (db *DB) execExplain(ctx context.Context, cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
 	if s.Upd != nil {
-		return db.execExplainUpdate(cat, s)
+		return db.execExplainUpdate(ctx, cat, s)
 	}
 	b, err := sqlfe.BindSelect(cat, s.Sel)
 	if err != nil {
 		return nil, err
 	}
 	if s.Analyze {
-		info, err := db.ExplainAnalyzeSpec(specFromBound(b))
+		tbl, err := db.sqlTable(b.Table)
+		if err != nil {
+			return nil, err
+		}
+		info, err := tbl.analyzeSpec(ctx, specFromBound(b))
 		if err != nil {
 			return nil, err
 		}
@@ -625,13 +661,13 @@ func (db *DB) execExplain(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, err
 // execExplainUpdate handles EXPLAIN [ANALYZE] UPDATE. Plain EXPLAIN
 // only compiles the update; EXPLAIN ANALYZE executes it — the rows
 // really change, and Affected reports how many.
-func (db *DB) execExplainUpdate(cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
+func (db *DB) execExplainUpdate(ctx context.Context, cat sqlfe.Catalog, s *sqlfe.ExplainStmt) (*Result, error) {
 	tbl, sets, anyOf, err := db.boundUpdateParts(cat, s.Upd)
 	if err != nil {
 		return nil, err
 	}
 	if s.Analyze {
-		n, info, err := tbl.analyzeUpdate(sets, anyOf)
+		n, info, err := tbl.analyzeUpdate(ctx, sets, anyOf)
 		if err != nil {
 			return nil, err
 		}
