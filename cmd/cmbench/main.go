@@ -39,9 +39,10 @@ var cmaggJSON = flag.String("cmagg-json", "BENCH_5.json", "output path for the -
 var mvccJSON = flag.String("mvcc-json", "BENCH_6.json", "output path for the -exp mvcc JSON report")
 var obsJSON = flag.String("obs-json", "BENCH_7.json", "output path for the -exp obs JSON report")
 var cancelJSON = flag.String("cancel-json", "BENCH_8.json", "output path for the -exp cancel JSON report")
+var cacheJSON = flag.String("cache-json", "BENCH_9.json", "output path for the -exp cache JSON report")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|cmagg|mvcc|obs|cancel|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|cmagg|mvcc|obs|cancel|cache|all")
 	scale := flag.Int("scale", 1, "row-count multiplier over the bench defaults")
 	flag.Parse()
 
@@ -235,10 +236,17 @@ func run(exp string, scale int) error {
 		}
 		ran = true
 	}
+	if all || exp == "cache" {
+		section("scan-resistant caching + bloom probes")
+		if err := runCache(scale, out); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (try %s)", exp,
 			strings.Join([]string{"figure1", "figure2", "figure3", "table3", "tables45",
-				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "cmagg", "mvcc", "obs", "cancel", "all"}, "|"))
+				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "cmagg", "mvcc", "obs", "cancel", "cache", "all"}, "|"))
 	}
 	return nil
 }
@@ -1298,5 +1306,316 @@ func runCancel(scale int, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *cancelJSON)
+	return nil
+}
+
+// cacheReport is the BENCH_9.json document: hot-probe tail latency
+// under a concurrent full-table sweep with admission off vs on, plus
+// the bloom-probe half (absent-key point probes on a cold cache).
+type cacheReport struct {
+	Experiment       string          `json:"experiment"`
+	Rows             int             `json:"rows"`
+	PoolPages        int             `json:"pool_pages"`
+	TablePages       int64           `json:"table_pages"`
+	HotKeys          int             `json:"hot_keys"`
+	Probes           int             `json:"probes"`
+	P99NoAdmissionMs float64         `json:"p99_no_admission_ms"`
+	P99AdmissionMs   float64         `json:"p99_admission_ms"`
+	P99Ratio         float64         `json:"p99_ratio"`
+	Admitted         int64           `json:"admitted"`
+	Rejected         int64           `json:"rejected"`
+	SketchResets     int64           `json:"sketch_resets"`
+	IndexBloomSkips  int64           `json:"index_bloom_skips"`
+	CMBloomSkips     int64           `json:"cm_bloom_skips"`
+	AbsentProbeReads int64           `json:"absent_probe_reads"`
+	Metrics          metricsSnapshot `json:"metrics"`
+}
+
+// metricVal reads one named metric from a DB's registry snapshot.
+func metricVal(db *repro.DB, name string) int64 {
+	for _, m := range db.Metrics(name) {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// cacheHotProbes builds a padded table several times larger than the
+// buffer pool, warms a small hot set of point-probe pages, then times
+// repeated hot probes while a background goroutine sweeps the full
+// table continuously. Returns the probe latencies and the pool's
+// admission counters. The same deterministic workload runs with
+// admission off and on; only Config.ScanResistant differs.
+func cacheHotProbes(scanResistant bool, rows, poolPages, hotKeys, probes int) (
+	[]time.Duration, int64, int64, int64, int64, *repro.DB, error) {
+	db := repro.Open(repro.Config{
+		Workers:         4,
+		IOWaitScale:     8,
+		BufferPoolPages: poolPages,
+		ScanResistant:   scanResistant,
+	})
+	tbl, err := db.CreateTable(repro.TableSpec{
+		Name: "padded",
+		Columns: []repro.Column{
+			{Name: "c", Kind: repro.Int},
+			{Name: "u", Kind: repro.Int},
+			{Name: "pad", Kind: repro.String},
+		},
+		ClusteredBy: []string{"c"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		return nil, 0, 0, 0, 0, nil, err
+	}
+	pad := strings.Repeat("x", 200)
+	data := make([]repro.Row, rows)
+	for i := range data {
+		data[i] = repro.Row{repro.IntVal(int64(i)), repro.IntVal(int64(i)), repro.StringVal(pad)}
+	}
+	if err := tbl.Load(data); err != nil {
+		return nil, 0, 0, 0, 0, nil, err
+	}
+	if err := tbl.CreateIndex("u_ix", "u"); err != nil {
+		return nil, 0, 0, 0, 0, nil, err
+	}
+	if err := db.ColdCache(); err != nil {
+		return nil, 0, 0, 0, 0, nil, err
+	}
+
+	// The hot set: point probes spread across the heap, repeated until
+	// their frequency estimates dwarf any sweep page's single touch.
+	hot := make([]int64, hotKeys)
+	for i := range hot {
+		hot[i] = int64(i * rows / hotKeys)
+	}
+	probe := func(key int64) (int, error) {
+		n := 0
+		err := tbl.SelectVia(repro.PipelinedIndexScan, func(repro.Row) bool {
+			n++
+			return true
+		}, repro.Eq("u", repro.IntVal(key)))
+		return n, err
+	}
+	for round := 0; round < 24; round++ {
+		for _, k := range hot {
+			if n, err := probe(k); err != nil {
+				return nil, 0, 0, 0, 0, nil, err
+			} else if n != 1 {
+				return nil, 0, 0, 0, 0, nil, fmt.Errorf("cache: warm probe for %d saw %d rows, want 1", k, n)
+			}
+		}
+	}
+
+	// Background sweeper: full table scans, back to back, until the
+	// timed probes finish. Each sweep touches every heap page — the
+	// workload that flushes an unprotected pool.
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		for !stop.Load() {
+			n := 0
+			if err := tbl.SelectVia(repro.TableScan, func(repro.Row) bool { n++; return true }); err != nil {
+				done <- err
+				return
+			}
+			if n != rows {
+				done <- fmt.Errorf("cache: sweep saw %d rows, want %d", n, rows)
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	lat := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		k := hot[i%len(hot)]
+		start := time.Now()
+		n, err := probe(k)
+		if err != nil {
+			stop.Store(true)
+			<-done
+			return nil, 0, 0, 0, 0, nil, err
+		}
+		lat = append(lat, time.Since(start))
+		if n != 1 {
+			stop.Store(true)
+			<-done
+			return nil, 0, 0, 0, 0, nil, fmt.Errorf("cache: hot probe for %d saw %d rows, want 1", k, n)
+		}
+	}
+	stop.Store(true)
+	if err := <-done; err != nil {
+		return nil, 0, 0, 0, 0, nil, err
+	}
+
+	admitted := metricVal(db, "pool.admitted")
+	rejected := metricVal(db, "pool.rejected")
+	resets := metricVal(db, "pool.sketch_resets")
+	hits := metricVal(db, "pool.hits")
+	return lat, admitted, rejected, resets, hits, db, nil
+}
+
+// runCache measures this PR's two cache layers. Admission: p99 latency
+// of hot point probes racing a continuous full-table sweep on a pool
+// far smaller than the table, with W-TinyLFU off then on — the hot
+// working set must survive the sweep, and p99 must improve at least
+// 2x (asserted here, so CI fails if scan resistance regresses). Bloom
+// probes: with ProbeBlooms, absent-key point probes through an index
+// and a CM on a cold cache must read zero pages. Written as JSON
+// (BENCH_9.json).
+func runCache(scale int, out *os.File) error {
+	rows := 16000 * scale
+	const (
+		poolPages = 256
+		hotKeys   = 32
+		probes    = 800
+	)
+
+	// Table-pages census on a throwaway DB (no waits, no sweeps).
+	census := repro.Open(repro.Config{BufferPoolPages: poolPages})
+	ctbl, err := census.CreateTable(repro.TableSpec{
+		Name:        "padded",
+		Columns:     []repro.Column{{Name: "c", Kind: repro.Int}, {Name: "u", Kind: repro.Int}, {Name: "pad", Kind: repro.String}},
+		ClusteredBy: []string{"c"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		return err
+	}
+	pad := strings.Repeat("x", 200)
+	cdata := make([]repro.Row, rows)
+	for i := range cdata {
+		cdata[i] = repro.Row{repro.IntVal(int64(i)), repro.IntVal(int64(i)), repro.StringVal(pad)}
+	}
+	if err := ctbl.Load(cdata); err != nil {
+		return err
+	}
+	if err := census.ColdCache(); err != nil {
+		return err
+	}
+	readsBefore := int64(census.Stats().Reads)
+	if err := ctbl.Select(func(repro.Row) bool { return true }); err != nil {
+		return err
+	}
+	tablePages := int64(census.Stats().Reads) - readsBefore
+	if tablePages <= poolPages {
+		return fmt.Errorf("cache: table spans %d pages, need more than the %d-frame pool for the sweep to matter",
+			tablePages, poolPages)
+	}
+
+	fmt.Fprintf(out, "%d rows over %d heap pages, %d-frame pool, %d hot keys, %d timed probes\n",
+		rows, tablePages, poolPages, hotKeys, probes)
+
+	latOff, _, _, _, _, _, err := cacheHotProbes(false, rows, poolPages, hotKeys, probes)
+	if err != nil {
+		return err
+	}
+	latOn, admitted, rejected, resets, _, dbOn, err := cacheHotProbes(true, rows, poolPages, hotKeys, probes)
+	if err != nil {
+		return err
+	}
+	p99Off := p99(latOff)
+	p99On := p99(latOn)
+	ratio := float64(p99Off) / float64(p99On)
+	fmt.Fprintf(out, "%-28s %14s\n", "variant", "hot p99 [ms]")
+	fmt.Fprintf(out, "%-28s %14.3f\n", "no admission", float64(p99Off.Microseconds())/1000)
+	fmt.Fprintf(out, "%-28s %14.3f\n", "scan-resistant", float64(p99On.Microseconds())/1000)
+	fmt.Fprintf(out, "p99 ratio: %.2fx  (admitted %d, rejected %d, sketch resets %d)\n",
+		ratio, admitted, rejected, resets)
+
+	// Bloom half: absent-key point probes on a cold cache read nothing.
+	db := repro.Open(repro.Config{BufferPoolPages: poolPages, ProbeBlooms: true})
+	tbl, err := db.CreateTable(repro.TableSpec{
+		Name:        "probed",
+		Columns:     []repro.Column{{Name: "c", Kind: repro.Int}, {Name: "u", Kind: repro.Int}},
+		ClusteredBy: []string{"c"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		return err
+	}
+	bdata := make([]repro.Row, rows)
+	for i := range bdata {
+		bdata[i] = repro.Row{repro.IntVal(int64(i)), repro.IntVal(int64(i % 50))}
+	}
+	if err := tbl.Load(bdata); err != nil {
+		return err
+	}
+	if err := tbl.CreateIndex("u_ix", "u"); err != nil {
+		return err
+	}
+	if err := tbl.CreateCM("u_cm", repro.CMColumn{Name: "u"}); err != nil {
+		return err
+	}
+	if err := db.ColdCache(); err != nil {
+		return err
+	}
+	absentReadsBefore := int64(db.Stats().Reads)
+	for i := 0; i < 16; i++ {
+		absent := repro.IntVal(int64(1000 + i)) // u values are 0..49
+		if err := tbl.SelectVia(repro.PipelinedIndexScan, func(repro.Row) bool {
+			return true
+		}, repro.Eq("u", absent)); err != nil {
+			return err
+		}
+		if err := tbl.SelectViaCM("u_cm", func(repro.Row) bool {
+			return true
+		}, repro.Eq("u", absent)); err != nil {
+			return err
+		}
+	}
+	absentReads := int64(db.Stats().Reads) - absentReadsBefore
+	ixSkips := metricVal(db, "index.bloom_skips")
+	cmSkips := metricVal(db, "cm.bloom_skips")
+	fmt.Fprintf(out, "absent-key probes: %d disk reads, %d index bloom skips, %d cm bloom skips\n",
+		absentReads, ixSkips, cmSkips)
+
+	rep := cacheReport{
+		Experiment:       "cache",
+		Rows:             rows,
+		PoolPages:        poolPages,
+		TablePages:       tablePages,
+		HotKeys:          hotKeys,
+		Probes:           probes,
+		P99NoAdmissionMs: float64(p99Off.Microseconds()) / 1000,
+		P99AdmissionMs:   float64(p99On.Microseconds()) / 1000,
+		P99Ratio:         ratio,
+		Admitted:         admitted,
+		Rejected:         rejected,
+		SketchResets:     resets,
+		IndexBloomSkips:  ixSkips,
+		CMBloomSkips:     cmSkips,
+		AbsentProbeReads: absentReads,
+		Metrics:          snapshotDB(dbOn),
+	}
+	f, err := os.Create(*cacheJSON)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *cacheJSON)
+
+	if ratio < 2.0 {
+		return fmt.Errorf("cache: scan-resistant p99 %.3fms is only %.2fx better than the %.3fms baseline (need >= 2x)",
+			float64(p99On.Microseconds())/1000, ratio, float64(p99Off.Microseconds())/1000)
+	}
+	if rejected == 0 {
+		return fmt.Errorf("cache: admission rejected nothing — the sweep never hit the filter")
+	}
+	if absentReads != 0 {
+		return fmt.Errorf("cache: absent-key probes read %d pages, want 0 (blooms must prune them)", absentReads)
+	}
+	if ixSkips == 0 || cmSkips == 0 {
+		return fmt.Errorf("cache: bloom skip counters idle (index %d, cm %d) — probes bypassed the filters", ixSkips, cmSkips)
+	}
 	return nil
 }

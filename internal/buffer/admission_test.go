@@ -1,0 +1,229 @@
+package buffer
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// touchHot drives repeated Get traffic over the given pages so the
+// admission filter accumulates frequency for them.
+func touchHot(t *testing.T, p *Pool, f sim.FileID, pages []int64, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for _, pg := range pages {
+			fr, err := p.Get(f, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(fr, false)
+		}
+	}
+}
+
+// TestCacheAdmissionHotPagesSurviveSweep is the core scan-resistance
+// property: after hot pages build frequency, a one-pass sweep over a
+// large cold file must not evict them — re-reading the hot set hits
+// without misses, while the same sweep on a no-admission pool flushes
+// the hot set entirely.
+func TestCacheAdmissionHotPagesSurviveSweep(t *testing.T) {
+	const frames, hotN, sweepN = 32, 8, 512
+	run := func(admission bool) (hotMissesAfterSweep uint64) {
+		d := sim.NewDisk(sim.Config{PageSize: 64})
+		p := NewPool(d, frames)
+		if admission {
+			p.EnableAdmission()
+		}
+		f := d.CreateFile()
+		var hot []int64
+		for i := 0; i < hotN; i++ {
+			pg, fr, err := p.NewPage(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(fr, true)
+			hot = append(hot, pg)
+		}
+		var cold []int64
+		for i := 0; i < sweepN; i++ {
+			pg, fr, err := p.NewPage(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(fr, true)
+			cold = append(cold, pg)
+		}
+		if err := p.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		p.Invalidate()
+		// Build hot frequency, then sweep the cold range once.
+		touchHot(t, p, f, hot, 8)
+		for _, pg := range cold {
+			fr, err := p.Get(f, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(fr, false)
+		}
+		before := p.Stats().Misses
+		touchHot(t, p, f, hot, 1)
+		return p.Stats().Misses - before
+	}
+	withAdm := run(true)
+	withoutAdm := run(false)
+	if withAdm != 0 {
+		t.Errorf("admission pool lost %d hot pages to the sweep, want 0", withAdm)
+	}
+	if withoutAdm == 0 {
+		t.Errorf("no-admission pool kept the whole hot set through a %d-page sweep; sweep too small to distinguish", sweepN)
+	}
+}
+
+// TestCacheAdmissionProbationChurn checks the probation-frame design:
+// a cold sweep against a frequency-laden pool is rejected page after
+// page and must recycle (roughly) one frame, leaving the resident set
+// intact and counting every rejection.
+func TestCacheAdmissionProbationChurn(t *testing.T) {
+	const frames = 16
+	d := sim.NewDisk(sim.Config{PageSize: 64})
+	p := NewPool(d, frames)
+	p.EnableAdmission()
+	f := d.CreateFile()
+	var hot, cold []int64
+	for i := 0; i < frames; i++ {
+		pg, fr, err := p.NewPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fr, true)
+		hot = append(hot, pg)
+	}
+	for i := 0; i < 128; i++ {
+		pg, fr, err := p.NewPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fr, true)
+		cold = append(cold, pg)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Invalidate()
+	touchHot(t, p, f, hot, 8) // residency + frequency
+	st0 := p.Stats()
+	for _, pg := range cold {
+		fr, err := p.Get(f, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fr, false)
+	}
+	st := p.Stats()
+	if got := st.Rejected - st0.Rejected; got == 0 {
+		t.Fatalf("cold sweep over a hot pool produced no rejections: %+v", st)
+	}
+	if st.Admitted-st0.Admitted > uint64(len(cold))/4 {
+		t.Errorf("cold one-touch pages admitted %d times, want rare: %+v", st.Admitted-st0.Admitted, st)
+	}
+	if p.PinnedFrames() != 0 {
+		t.Errorf("PinnedFrames = %d after sweep, want 0", p.PinnedFrames())
+	}
+}
+
+// TestCacheAdmissionSerialIdentity asserts the byte-identity contract:
+// the same Get sequence returns the same page bytes with admission on
+// and off — admission only changes which frames stay resident.
+func TestCacheAdmissionSerialIdentity(t *testing.T) {
+	build := func(admission bool) ([]int64, *Pool, sim.FileID) {
+		d := sim.NewDisk(sim.Config{PageSize: 64})
+		p := NewPool(d, 8)
+		if admission {
+			p.EnableAdmission()
+		}
+		f := d.CreateFile()
+		var pages []int64
+		for i := 0; i < 64; i++ {
+			pg, fr, err := p.NewPage(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr.Data[0] = byte(i)
+			fr.Data[1] = byte(i >> 4)
+			p.Unpin(fr, true)
+			pages = append(pages, pg)
+		}
+		return pages, p, f
+	}
+	pagesOn, pOn, fOn := build(true)
+	pagesOff, pOff, fOff := build(false)
+	// Interleaved re-reads in a fixed pattern: bytes must match pairwise.
+	for step := 0; step < 200; step++ {
+		i := (step * 7) % len(pagesOn)
+		frOn, err := pOn.Get(fOn, pagesOn[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frOff, err := pOff.Get(fOff, pagesOff[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frOn.Data[0] != frOff.Data[0] || frOn.Data[1] != frOff.Data[1] {
+			t.Fatalf("step %d page %d: admission bytes %v vs plain %v", step, i, frOn.Data[:2], frOff.Data[:2])
+		}
+		pOn.Unpin(frOn, false)
+		pOff.Unpin(frOff, false)
+	}
+}
+
+// TestCacheResetStatsCoversEveryField is the satellite regression for
+// counters added after PR 7: it drives traffic that moves every Stats
+// field (including the admission counters), snapshots, resets, and
+// asserts — by reflection, so a future field cannot dodge the test —
+// that every field reads zero after ResetStats.
+func TestCacheResetStatsCoversEveryField(t *testing.T) {
+	d := sim.NewDisk(sim.Config{PageSize: 64})
+	p := NewPool(d, 16)
+	p.EnableAdmission()
+	f := d.CreateFile()
+	var pages []int64
+	for i := 0; i < 256; i++ {
+		pg, fr, err := p.NewPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(fr, true)
+		pages = append(pages, pg)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Invalidate()
+	touchHot(t, p, f, pages[:4], 16)
+	for r := 0; r < 8; r++ { // enough touches to close a sample window
+		touchHot(t, p, f, pages, 1)
+	}
+	st := reflect.ValueOf(p.Stats())
+	for i := 0; i < st.NumField(); i++ {
+		if st.Field(i).Uint() == 0 {
+			t.Errorf("workload left Stats.%s at zero; extend the workload so reset coverage is meaningful", st.Type().Field(i).Name)
+		}
+	}
+	p.ResetStats()
+	after := reflect.ValueOf(p.Stats())
+	for i := 0; i < after.NumField(); i++ {
+		if v := after.Field(i).Uint(); v != 0 {
+			t.Errorf("ResetStats left Stats.%s = %d, want 0", after.Type().Field(i).Name, v)
+		}
+	}
+	for si, ss := range p.ShardStats() {
+		sv := reflect.ValueOf(ss)
+		for i := 0; i < sv.NumField(); i++ {
+			if v := sv.Field(i).Uint(); v != 0 {
+				t.Errorf("ResetStats left shard %d %s = %d, want 0", si, sv.Type().Field(i).Name, v)
+			}
+		}
+	}
+}

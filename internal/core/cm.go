@@ -24,7 +24,9 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/filter"
 	"repro/internal/keyenc"
 	"repro/internal/value"
 )
@@ -93,7 +95,29 @@ type CM struct {
 	// restored from a checkpoint (whose format predates the statistics)
 	// cannot answer aggregates index-only until rebuilt.
 	statsInvalid bool
+	// bloom, when enabled, summarizes the CM's distinct (bucketed) keys
+	// so a point probe for an absent key skips the lookup (and the heap
+	// fetches behind it) entirely. Maintained through the Algorithm-1
+	// hooks: entry adds a key on first sight, RemoveRow retracts it when
+	// its last pair disappears. nil means no bloom (the default).
+	bloom *filter.Bloom
+	// bloomExpected remembers the sizing EnableBloom was called with so
+	// Reset and checkpoint recovery can rebuild an equivalent filter.
+	bloomExpected int64
+	// bloomSkips counts probes the bloom answered negatively (atomic:
+	// lookups run concurrently under the table read latch).
+	bloomSkips atomic.Int64
 }
+
+// cmBloomSeed keeps CM bloom hashing deterministic across runs; the
+// bloom also serializes its seed, so a recovered filter answers
+// identically.
+const cmBloomSeed = 0xC0AB10C5F17E
+
+// cmBloomFPP is the CM bloom's target false-positive rate. A false
+// positive only costs the probe the bloom would have skipped, so a
+// modest rate keeps the filter small (CMs are the compact structure).
+const cmBloomFPP = 0.01
 
 // entry size accounting: per distinct key 2 (len) + len + 4 (pair count);
 // per pair 4 (bucket id) + 4 (count).
@@ -171,6 +195,46 @@ func (cm *CM) AddRow(row value.Row, cbucket int32) {
 	}
 }
 
+// EnableBloom arms the CM's key bloom filter, sized for expectedN
+// distinct keys, and seeds it with the keys already present. Callers
+// hold the table write latch (like AddRow).
+func (cm *CM) EnableBloom(expectedN int64) {
+	cm.bloomExpected = expectedN
+	cm.bloom = filter.NewBloom(expectedN, cmBloomFPP, cmBloomSeed)
+	for k := range cm.m {
+		cm.bloom.Add([]byte(k))
+	}
+}
+
+// BloomEnabled reports whether the CM maintains a key bloom filter.
+func (cm *CM) BloomEnabled() bool { return cm.bloom != nil }
+
+// BloomSkips returns how many point probes the bloom pruned.
+func (cm *CM) BloomSkips() int64 { return cm.bloomSkips.Load() }
+
+// BloomSizeBytes returns the bloom filter's footprint (0 when disabled).
+func (cm *CM) BloomSizeBytes() int64 {
+	if cm.bloom == nil {
+		return 0
+	}
+	return cm.bloom.SizeBytes()
+}
+
+// ProbePossible reports whether a point lookup for the given
+// CM-attribute values can possibly match: false (definitive, counted
+// as a bloom skip) only when the bloom proves the bucketed key absent.
+// Without a bloom it always reports true.
+func (cm *CM) ProbePossible(vals []value.Value) bool {
+	if cm.bloom == nil {
+		return true
+	}
+	if cm.bloom.MayContain(cm.keyForValues(vals)) {
+		return true
+	}
+	cm.bloomSkips.Add(1)
+	return false
+}
+
 // entry resolves (creating on first sight) the stats block for a pair.
 func (cm *CM) entry(key []byte, cbucket int32) *EntryStats {
 	set, ok := cm.m[string(key)]
@@ -178,6 +242,9 @@ func (cm *CM) entry(key []byte, cbucket int32) *EntryStats {
 		set = make(map[int32]*EntryStats, 2)
 		cm.m[string(key)] = set
 		cm.size += keyOverhead + int64(len(key))
+		if cm.bloom != nil {
+			cm.bloom.Add(key)
+		}
 	}
 	st, ok := set[cbucket]
 	if !ok {
@@ -215,6 +282,9 @@ func (cm *CM) RemoveRow(row value.Row, cbucket int32) error {
 		if len(set) == 0 {
 			delete(cm.m, string(key))
 			cm.size -= keyOverhead + int64(len(key))
+			if cm.bloom != nil {
+				cm.bloom.Remove(key)
+			}
 		}
 		return nil
 	}
@@ -380,23 +450,27 @@ func (cm *CM) CPerU() float64 {
 }
 
 // Checkpoint format versioning. The original (v1) layout opens with the
-// key count; the stats-carrying v2 layout opens with a magic word no
-// plausible v1 key count can collide with (it decodes as ~3.2 billion
-// keys), so Deserialize distinguishes the two from the first four bytes.
+// key count; versioned layouts open with a magic word no plausible v1
+// key count can collide with (it decodes as ~3.2 billion keys), so
+// Deserialize distinguishes the formats from the first four bytes.
+// v2 added per-entry statistics; v3 appends an optional key bloom
+// filter after the entries. Deserialize reads all three.
 const (
 	cmCheckpointMagic   uint32 = 0xC0AB10C5
-	cmCheckpointVersion uint32 = 2
+	cmCheckpointVersion uint32 = 3
 )
 
-// Serialize writes the CM checkpoint in the current (v2) binary format,
+// Serialize writes the CM checkpoint in the current (v3) binary format,
 // which carries the full per-entry statistics so a recovered CM keeps its
-// index-only aggregation pushdown:
+// index-only aggregation pushdown, plus the key bloom when one is
+// enabled:
 //
 //	[magic u32][version u32][nStatCols u32][statCol i32]*
 //	[numKeys u32] then per key
 //	  [klen u16][key][npairs u32] per pair (buckets sorted)
 //	    [bucket i32][count i64][mmdirty u8]
 //	    per stat col [sumI i64][sumF f64][min value][max value]
+//	[bloomPresent u8][bloom bytes when present]
 //
 // Values serialize as a kind byte (0 int, 1 float, 2 string) and their
 // payload (i64, f64, or u32-length-prefixed bytes). Keys and buckets are
@@ -475,6 +549,18 @@ func (cm *CM) Serialize(w io.Writer) error {
 					return err
 				}
 			}
+		}
+	}
+	present := byte(0)
+	if cm.bloom != nil {
+		present = 1
+	}
+	if _, err := w.Write([]byte{present}); err != nil {
+		return err
+	}
+	if cm.bloom != nil {
+		if _, err := cm.bloom.WriteTo(w); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -579,14 +665,17 @@ func readValue(r io.Reader, buf []byte) (value.Value, error) {
 }
 
 // Deserialize replaces the CM's contents from a checkpoint, accepting
-// both formats. A v2 checkpoint whose stat-column layout matches the spec
-// restores the per-entry statistics in full, so index-only aggregation
-// (cm-agg) works immediately. A legacy v1 checkpoint — or a v2 one
-// written under a different stat-column layout — carries no usable
-// statistics; the pair counts load and the statistics are marked invalid,
-// which the table layer repairs with a heap-scan rebuild at recovery.
-// The spec is unchanged: callers pair a checkpoint with the CM it came
-// from.
+// every format. A v2/v3 checkpoint whose stat-column layout matches the
+// spec restores the per-entry statistics in full, so index-only
+// aggregation (cm-agg) works immediately. A legacy v1 checkpoint — or a
+// newer one written under a different stat-column layout — carries no
+// usable statistics; the pair counts load and the statistics are marked
+// invalid, which the table layer repairs with a heap-scan rebuild at
+// recovery. When the CM has its bloom enabled, a v3 checkpoint's bloom
+// is adopted directly; older checkpoints (or v3 ones written without a
+// bloom) trigger a rebuild from the loaded keys, so negative-probe
+// pruning survives recovery either way. The spec is unchanged: callers
+// pair a checkpoint with the CM it came from.
 func (cm *CM) Deserialize(r io.Reader) error {
 	var buf [9]byte
 	if _, err := io.ReadFull(r, buf[:4]); err != nil {
@@ -594,12 +683,17 @@ func (cm *CM) Deserialize(r io.Reader) error {
 	}
 	head := binary.LittleEndian.Uint32(buf[:4])
 	if head != cmCheckpointMagic {
-		return cm.deserializeV1(r, head)
+		if err := cm.deserializeV1(r, head); err != nil {
+			return err
+		}
+		cm.rebuildBloom()
+		return nil
 	}
 	if _, err := io.ReadFull(r, buf[:8]); err != nil {
 		return err
 	}
-	if ver := binary.LittleEndian.Uint32(buf[:4]); ver != cmCheckpointVersion {
+	ver := binary.LittleEndian.Uint32(buf[:4])
+	if ver != 2 && ver != cmCheckpointVersion {
 		return fmt.Errorf("core: unsupported CM checkpoint version %d", ver)
 	}
 	nstat := int(binary.LittleEndian.Uint32(buf[4:8]))
@@ -688,7 +782,43 @@ func (cm *CM) Deserialize(r io.Reader) error {
 	cm.pairs = pairs
 	cm.size = size
 	cm.statsInvalid = !layoutOK
+	var loaded *filter.Bloom
+	if ver >= 3 {
+		if _, err := io.ReadFull(r, buf[:1]); err != nil {
+			return err
+		}
+		if buf[0] != 0 {
+			b, err := filter.ReadBloom(r)
+			if err != nil {
+				return err
+			}
+			loaded = b
+		}
+	}
+	if cm.bloom != nil {
+		if loaded != nil {
+			cm.bloom = loaded
+		} else {
+			cm.rebuildBloom()
+		}
+	}
 	return nil
+}
+
+// rebuildBloom repopulates an enabled bloom from the CM's current keys
+// (no-op when the bloom is disabled), growing the sizing when the
+// loaded key count outstrips the original expectation.
+func (cm *CM) rebuildBloom() {
+	if cm.bloom == nil {
+		return
+	}
+	if n := int64(len(cm.m)); n > cm.bloomExpected {
+		cm.bloomExpected = n
+	}
+	cm.bloom = filter.NewBloom(cm.bloomExpected, cmBloomFPP, cmBloomSeed)
+	for k := range cm.m {
+		cm.bloom.Add([]byte(k))
+	}
 }
 
 // deserializeV1 finishes reading a legacy checkpoint whose leading u32
@@ -737,10 +867,14 @@ func (cm *CM) deserializeV1(r io.Reader, nk uint32) error {
 
 // Reset empties the CM (keys, pairs, size accounting) and marks its
 // statistics valid again: the entry point for a full rebuild, after which
-// the caller re-adds every live row with AddRow.
+// the caller re-adds every live row with AddRow. An enabled bloom is
+// rebuilt empty at its original sizing.
 func (cm *CM) Reset() {
 	cm.m = make(map[string]map[int32]*EntryStats)
 	cm.pairs = 0
 	cm.size = 0
 	cm.statsInvalid = false
+	if cm.bloom != nil {
+		cm.bloom = filter.NewBloom(cm.bloomExpected, cmBloomFPP, cmBloomSeed)
+	}
 }

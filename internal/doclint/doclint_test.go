@@ -32,6 +32,7 @@ var lintedDirs = []string{
 	"../wal",     // the write-ahead log
 	"../table",   // table latches + MVCC write path
 	"../costmodel",
+	"../filter", // count-min sketch + bloom filters (PR 9)
 }
 
 // TestExportedSymbolsAreDocumented parses every non-test file of the

@@ -42,6 +42,19 @@ func cmBuckets(cm *core.CM, q Query) ([]int32, error) {
 			}
 			combos = next
 		}
+		if cm.BloomEnabled() {
+			// The bloom summarizes bucketed keys, so a combo it rejects
+			// has no CM entry and can contribute no buckets — drop it
+			// before the lookup and count the skip.
+			kept := combos[:0]
+			for _, combo := range combos {
+				if cm.ProbePossible(combo) {
+					kept = append(kept, combo)
+				}
+			}
+			q.Obs.AddBlooms(int64(len(combos) - len(kept)))
+			combos = kept
+		}
 		return cm.LookupMany(combos), nil
 	}
 

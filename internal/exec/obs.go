@@ -21,6 +21,17 @@ type ScanObs struct {
 	// batch or chunk counts again; buffer-pool hit/miss deltas say
 	// whether a visit touched the disk).
 	Pages atomic.Int64
+	// Blooms counts point probes a bloom filter pruned (index or CM):
+	// lookups that returned empty without touching the structure.
+	Blooms atomic.Int64
+}
+
+// AddBlooms folds pruned-probe counts into o (nil obs: drop).
+func (o *ScanObs) AddBlooms(n int64) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.Blooms.Add(n)
 }
 
 // Add folds another observation set into o (used to roll analyzed-run

@@ -188,7 +188,7 @@ func ChooseOrPlan(t *table.Table, oq OrQuery, sp StatsProvider) OrPlan {
 func collectPlanRIDs(t *table.Table, p Plan, q Query, workers int) ([]heap.RID, error) {
 	switch p.Method {
 	case MethodSorted, MethodPipelined:
-		return parallelRangeRIDs(q.Ctx, p.Index, sortRanges(indexProbeRanges(p.Index.Cols, q)), workers)
+		return parallelRangeRIDs(q.Ctx, p.Index, sortRanges(probeRanges(p.Index, q)), workers)
 	case MethodCM:
 		return parallelCMRIDs(t, p.CM, q, workers)
 	default:

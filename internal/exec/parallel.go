@@ -379,7 +379,7 @@ func ParallelSortedIndexScan(t *table.Table, ix *table.Index, q Query, workers i
 	if workers <= 1 {
 		return SortedIndexScan(t, ix, q, fn)
 	}
-	rids, err := parallelRangeRIDs(q.Ctx, ix, sortRanges(indexProbeRanges(ix.Cols, q)), workers)
+	rids, err := parallelRangeRIDs(q.Ctx, ix, sortRanges(probeRanges(ix, q)), workers)
 	if err != nil {
 		return err
 	}
@@ -431,14 +431,17 @@ const probeBatchSize = 4096
 // (nothing to fan out, and the serial iterator keeps first-match
 // economics), it is exactly PipelinedIndexScan.
 func BatchedIndexScan(t *table.Table, ix *table.Index, q Query, workers int, fn RowFunc) error {
-	ranges := indexProbeRanges(ix.Cols, q) // serial emission order: as returned
+	ranges, point := indexProbeRanges(ix.Cols, q) // serial emission order: as returned
 	if workers <= 1 || len(ranges) < 2 {
 		// A single probe range has nothing to fan out, and the serial
 		// iterator keeps the pipelined path's first-match economics: a
 		// LIMIT-1 caller stops after a handful of fetches instead of
-		// waiting for the whole range's RIDs to collect.
+		// waiting for the whole range's RIDs to collect. The pipelined
+		// path prunes with the bloom itself, so don't prune here too
+		// (it would double-count the skips).
 		return PipelinedIndexScan(t, ix, q, fn)
 	}
+	ranges = pruneRanges(ix, ranges, point, q.Obs)
 	ls := newLazyScan(t, q)
 	return collectEmit(ls.ctx, workers, len(ranges), func(i int, cancel *atomic.Bool) ([]matchRow, error) {
 		return probeRangeBatched(t, ix, ranges[i], ls, cancel)

@@ -165,8 +165,15 @@ type probeRange struct {
 // predicate terminates the key prefix — matching how a composite B+Tree
 // can only use the prefix of its key for ranges (the effect behind the
 // paper's Table 6, where B+Tree(ra, dec) degrades on two-range queries).
-func indexProbeRanges(cols []int, q Query) []probeRange {
+//
+// pointComplete reports that every index column was consumed by an
+// equality or IN predicate: each returned range is then a single full
+// attribute key (Lo == Hi), which is the precondition for bloom-filter
+// pruning — a partial prefix or range endpoint is not a key the bloom
+// ever saw.
+func indexProbeRanges(cols []int, q Query) (ranges []probeRange, pointComplete bool) {
 	prefixes := [][]byte{nil}
+	consumed := 0
 	for _, col := range cols {
 		p := q.IndexablePredOn(col)
 		if p == nil {
@@ -177,6 +184,7 @@ func indexProbeRanges(cols []int, q Query) []probeRange {
 			for i := range prefixes {
 				prefixes[i] = keyenc.AppendValue(prefixes[i], p.Vals[0])
 			}
+			consumed++
 			continue
 		case OpIn:
 			var next [][]byte
@@ -188,6 +196,7 @@ func indexProbeRanges(cols []int, q Query) []probeRange {
 				}
 			}
 			prefixes = next
+			consumed++
 			// Further key columns could extend each branch; stop here
 			// and re-filter instead, as real optimizers commonly do.
 		case OpRange:
@@ -203,7 +212,7 @@ func indexProbeRanges(cols []int, q Query) []probeRange {
 				}
 				out = append(out, probeRange{Lo: lo, Hi: hi})
 			}
-			return out
+			return out, false
 		}
 		break
 	}
@@ -211,7 +220,34 @@ func indexProbeRanges(cols []int, q Query) []probeRange {
 	for i, pre := range prefixes {
 		out[i] = probeRange{Lo: pre, Hi: pre}
 	}
-	return out
+	return out, consumed == len(cols)
+}
+
+// probeRanges builds the query's probe ranges over ix and, when every
+// range is a complete point key and the index carries a bloom filter,
+// drops the ranges the bloom proves empty — those probes then cost zero
+// tree descents and zero page reads. Pruned probes are counted into the
+// query's observation set.
+func probeRanges(ix *table.Index, q Query) []probeRange {
+	ranges, point := indexProbeRanges(ix.Cols, q)
+	return pruneRanges(ix, ranges, point, q.Obs)
+}
+
+// pruneRanges drops point-complete probe ranges the index bloom proves
+// empty, counting each into obs. Non-point ranges (or a bloom-less
+// index) pass through untouched.
+func pruneRanges(ix *table.Index, ranges []probeRange, pointComplete bool, obs *ScanObs) []probeRange {
+	if !pointComplete || !ix.BloomEnabled() {
+		return ranges
+	}
+	kept := ranges[:0]
+	for _, r := range ranges {
+		if ix.ProbePossible(r.Lo) {
+			kept = append(kept, r)
+		}
+	}
+	obs.AddBlooms(int64(len(ranges) - len(kept)))
+	return kept
 }
 
 // sortRanges orders probe ranges by their lower bound — the paper's
@@ -263,7 +299,7 @@ func collectRIDs(ctx context.Context, ix *table.Index, ranges []probeRange) ([]h
 func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error {
 	ls := newLazyScan(t, q)
 	h := t.Heap()
-	ranges := indexProbeRanges(ix.Cols, q)
+	ranges := probeRanges(ix, q)
 	ta := newTally()
 	defer func() { ta.flush(ls.obs) }()
 	// One view closure for the whole scan (a fresh closure per probed
@@ -308,7 +344,7 @@ func PipelinedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) er
 // the heap pages in physical order (PostgreSQL's bitmap heap scan).
 // Fetched pages are re-filtered with the full predicate set.
 func SortedIndexScan(t *table.Table, ix *table.Index, q Query, fn RowFunc) error {
-	rids, err := collectRIDs(q.Ctx, ix, sortRanges(indexProbeRanges(ix.Cols, q)))
+	rids, err := collectRIDs(q.Ctx, ix, sortRanges(probeRanges(ix, q)))
 	if err != nil {
 		return err
 	}

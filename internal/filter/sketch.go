@@ -1,0 +1,200 @@
+// Package filter provides the compact probabilistic summaries the
+// engine layers in front of expensive I/O: a count-min sketch and the
+// W-TinyLFU admission policy built on it (the buffer pool's scan
+// resistance), and a counting bloom filter (negative-probe skipping
+// for secondary indexes and correlation maps).
+//
+// Everything here is deterministic — hashing is seeded explicitly and
+// no structure consults a clock or a random source — so engine runs
+// stay reproducible. None of the types are safe for concurrent use on
+// their own; callers bring their own serialization (the pool's shard
+// locks, the table latch).
+package filter
+
+// Hash64 hashes key bytes under a seed: FNV-1a folded through a
+// splitmix-style finalizer, so single-byte differences avalanche
+// across the word. All filter structures consume pre-hashed uint64
+// keys derived from this (or any other well-mixed) hash.
+func Hash64(key []byte, seed uint64) uint64 {
+	h := seed ^ 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer, used to derive independent hash
+// functions from one base hash.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// sketchDepth is the number of independent rows of a count-min sketch.
+// Four rows put the estimate's error tail at (1/2)^4 of the stream per
+// row width — the standard W-TinyLFU configuration.
+const sketchDepth = 4
+
+// Sketch is a count-min sketch: sketchDepth rows of power-of-two width,
+// each indexed by an independently seeded hash of the key. Add
+// increments one counter per row; Estimate returns the minimum across
+// rows, which can only overcount (hash collisions inflate counters,
+// nothing decrements them outside Halve). Counters are uint32, wide
+// enough that saturation is unreachable at admission-control windows.
+type Sketch struct {
+	rows  [sketchDepth][]uint32
+	seeds [sketchDepth]uint64
+	shift uint // 64 - log2(width): multiply-shift row indexing
+}
+
+// NewSketch creates a sketch of at least width counters per row
+// (rounded up to a power of two, minimum 16), seeded deterministically
+// from seed.
+func NewSketch(width int, seed uint64) *Sketch {
+	w := 16
+	for w < width {
+		w <<= 1
+	}
+	shift := uint(64)
+	for x := w; x > 1; x >>= 1 {
+		shift--
+	}
+	s := &Sketch{shift: shift}
+	for i := range s.rows {
+		s.rows[i] = make([]uint32, w)
+		s.seeds[i] = mix64(seed + uint64(i)*0x9E3779B97F4A7C15)
+	}
+	return s
+}
+
+// Width returns the per-row counter count.
+func (s *Sketch) Width() int { return len(s.rows[0]) }
+
+// index maps a hashed key to row i's counter slot.
+func (s *Sketch) index(i int, h uint64) uint64 {
+	return (mix64(h ^ s.seeds[i])) >> s.shift
+}
+
+// Add counts one occurrence of the hashed key.
+func (s *Sketch) Add(h uint64) {
+	for i := range s.rows {
+		s.rows[i][s.index(i, h)]++
+	}
+}
+
+// Estimate returns the key's estimated count: the row minimum, which
+// is always >= the true count of occurrences added since the last
+// Halve/Reset (collisions only inflate).
+func (s *Sketch) Estimate(h uint64) uint32 {
+	est := s.rows[0][s.index(0, h)]
+	for i := 1; i < sketchDepth; i++ {
+		if c := s.rows[i][s.index(i, h)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Halve ages the sketch by halving every counter (rounding down) — the
+// periodic decay that lets admission frequencies track the recent
+// window instead of all history.
+func (s *Sketch) Halve() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] >>= 1
+		}
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Sketch) Reset() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// TinyLFU is the W-TinyLFU admission filter: a doorkeeper bitset in
+// front of a count-min sketch, aged by halving once per sample window.
+// A key's first occurrence in a window only sets its doorkeeper bit;
+// repeat occurrences count in the sketch, so one-touch keys (a scan's
+// pages) never build frequency while genuinely hot keys do. Estimate
+// adds the doorkeeper bit back, so a key seen once still beats a key
+// not seen at all.
+type TinyLFU struct {
+	sketch   *Sketch
+	door     []uint64
+	doorMask uint64
+	samples  int
+	window   int
+	resets   uint64
+}
+
+// NewTinyLFU sizes an admission filter for a cache of capacity
+// entries: the sketch and doorkeeper hold ~8x capacity counters/bits
+// (over-provisioned so a scan's one-touch keys can't inflate estimates
+// through collisions within one window) and the aging window is 10x
+// capacity touches (the standard TinyLFU sample size).
+func NewTinyLFU(capacity int, seed uint64) *TinyLFU {
+	if capacity < 16 {
+		capacity = 16
+	}
+	s := NewSketch(8*capacity, seed)
+	words := (s.Width() + 63) / 64
+	return &TinyLFU{
+		sketch:   s,
+		door:     make([]uint64, words),
+		doorMask: uint64(s.Width()) - 1,
+		window:   10 * capacity,
+	}
+}
+
+// doorBit locates the hashed key's doorkeeper bit.
+func (t *TinyLFU) doorBit(h uint64) (word int, bit uint64) {
+	i := mix64(h^0xA0761D6478BD642F) & t.doorMask
+	return int(i >> 6), 1 << (i & 63)
+}
+
+// Touch records one access to the hashed key and reports whether the
+// sample window closed (the caller's cue to count a sketch reset): at
+// window boundaries the sketch halves and the doorkeeper clears.
+func (t *TinyLFU) Touch(h uint64) (aged bool) {
+	w, b := t.doorBit(h)
+	if t.door[w]&b == 0 {
+		t.door[w] |= b
+	} else {
+		t.sketch.Add(h)
+	}
+	t.samples++
+	if t.samples >= t.window {
+		t.sketch.Halve()
+		for i := range t.door {
+			t.door[i] = 0
+		}
+		t.samples = 0
+		t.resets++
+		return true
+	}
+	return false
+}
+
+// Estimate returns the hashed key's frequency estimate in the current
+// window: the sketch estimate plus its doorkeeper bit.
+func (t *TinyLFU) Estimate(h uint64) uint32 {
+	est := t.sketch.Estimate(h)
+	if w, b := t.doorBit(h); t.door[w]&b != 0 {
+		est++
+	}
+	return est
+}
+
+// Resets returns how many sample windows have closed (sketch halvings).
+func (t *TinyLFU) Resets() uint64 { return t.resets }

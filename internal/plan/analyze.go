@@ -76,6 +76,10 @@ type NodeActuals struct {
 	// filter/project/agg into the access sweep, so their shared phase
 	// reports on the access node and fused nodes show zero.
 	Elapsed time.Duration
+	// BloomSkips counts point probes a bloom filter pruned for this
+	// query (access nodes only): lookups answered empty with zero tree
+	// descents and zero page reads.
+	BloomSkips int64
 }
 
 // Analysis is an analyzed run's full measurement: per-node actuals
@@ -96,6 +100,9 @@ type Analysis struct {
 	// (exact, from the per-chunk tallies).
 	TuplesExamined int64
 	HeapPages      int64
+	// BloomSkips totals the point probes bloom filters pruned during
+	// the run (exact, counted at the probe sites).
+	BloomSkips int64
 }
 
 // RunAnalyzed executes the optimized tree like Run while measuring
@@ -126,6 +133,7 @@ func (tr *Tree) RunAnalyzed(workers int, sink RowSink) (*Analysis, error) {
 	// Fold the private scan observations into the engine-wide counters
 	// so analyzed queries still show up in SHOW METRICS totals.
 	tr.spec.Obs.Add(st.obs.Tuples.Load(), st.obs.Rows.Load(), st.obs.Pages.Load())
+	tr.spec.Obs.AddBlooms(st.obs.Blooms.Load())
 
 	an := &Analysis{
 		TotalRows:      st.outRows,
@@ -135,6 +143,7 @@ func (tr *Tree) RunAnalyzed(workers int, sink RowSink) (*Analysis, error) {
 		BufferMisses:   p1.Misses - p0.Misses,
 		TuplesExamined: st.obs.Tuples.Load(),
 		HeapPages:      st.obs.Pages.Load(),
+		BloomSkips:     st.obs.Blooms.Load(),
 	}
 	an.Nodes = tr.nodeActuals(st, an)
 	return an, nil
@@ -178,6 +187,7 @@ func (tr *Tree) actualsFor(k Kind, st *analysisState, an *Analysis) NodeActuals 
 			DiskReads:  an.DiskReads,
 			BufferHits: an.BufferHits,
 			Elapsed:    st.accessTime,
+			BloomSkips: st.obs.Blooms.Load(),
 		}
 	case KindCMAgg:
 		// Index-only answers show zero physical work here; a hybrid
@@ -189,6 +199,7 @@ func (tr *Tree) actualsFor(k Kind, st *analysisState, an *Analysis) NodeActuals 
 			DiskReads:  an.DiskReads,
 			BufferHits: an.BufferHits,
 			Elapsed:    st.accessTime,
+			BloomSkips: st.obs.Blooms.Load(),
 		}
 	case KindFilter:
 		return NodeActuals{Rows: scanRows, TuplesIn: tuples}

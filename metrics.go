@@ -27,15 +27,21 @@ import (
 //     I/O wait slept under IOWaitScale (io_wait_ns) and read-ahead
 //     stream churn (stream_starts, stream_evictions, active_streams).
 //   - pool.*: buffer-pool totals (hits, misses, evictions,
-//     dirty_writes) plus the same four per shard (pool.shard3.hits).
+//     dirty_writes, and — under ScanResistant — admitted, rejected,
+//     sketch_resets) plus the same counters per shard
+//     (pool.shard3.hits).
 //   - wal.*: appends, flushes, bytes, and the wal.flush_ns histogram
 //     of commit-flush wall times.
 //   - table.*: MVCC write-path totals — publishes, aborts,
 //     rows_written, and table.latch_hold_ns, the histogram of
 //     exclusive-latch hold times per write batch.
+//   - index.bloom_skips / cm.bloom_skips: point probes the per-index
+//     and per-CM bloom filters answered negatively without touching a
+//     page (ProbeBlooms), summed over every table's structures.
 //   - query.*: scan-level physical work — tuples_examined (tuples the
 //     compiled filter evaluated), rows_scanned (survivors emitted),
-//     heap_pages (heap page visits) — query.latency_ns, the
+//     heap_pages (heap page visits), bloom_skips (probes pruned by
+//     bloom filters) — query.latency_ns, the
 //     per-statement wall-time histogram, and the fault-tolerance
 //     outcomes query.cancelled (statements ended by context
 //     cancellation) and query.timed_out (by statement deadline).
@@ -73,6 +79,9 @@ func (db *DB) initMetrics() {
 	r.Func("pool.misses", func() int64 { return int64(db.pool.Stats().Misses) })
 	r.Func("pool.evictions", func() int64 { return int64(db.pool.Stats().Evictions) })
 	r.Func("pool.dirty_writes", func() int64 { return int64(db.pool.Stats().DirtyWrites) })
+	r.Func("pool.admitted", func() int64 { return int64(db.pool.Stats().Admitted) })
+	r.Func("pool.rejected", func() int64 { return int64(db.pool.Stats().Rejected) })
+	r.Func("pool.sketch_resets", func() int64 { return int64(db.pool.Stats().SketchResets) })
 	for i := 0; i < db.pool.Shards(); i++ {
 		shard := i
 		prefix := fmt.Sprintf("pool.shard%d.", shard)
@@ -80,6 +89,8 @@ func (db *DB) initMetrics() {
 		r.Func(prefix+"misses", func() int64 { return int64(db.pool.ShardStats()[shard].Misses) })
 		r.Func(prefix+"evictions", func() int64 { return int64(db.pool.ShardStats()[shard].Evictions) })
 		r.Func(prefix+"dirty_writes", func() int64 { return int64(db.pool.ShardStats()[shard].DirtyWrites) })
+		r.Func(prefix+"admitted", func() int64 { return int64(db.pool.ShardStats()[shard].Admitted) })
+		r.Func(prefix+"rejected", func() int64 { return int64(db.pool.ShardStats()[shard].Rejected) })
 	}
 
 	r.Func("wal.appends", func() int64 { return int64(db.log.Appends()) })
@@ -97,6 +108,28 @@ func (db *DB) initMetrics() {
 	r.Func("query.tuples_examined", func() int64 { return db.scanObs.Tuples.Load() })
 	r.Func("query.rows_scanned", func() int64 { return db.scanObs.Rows.Load() })
 	r.Func("query.heap_pages", func() int64 { return db.scanObs.Pages.Load() })
+	r.Func("query.bloom_skips", func() int64 { return db.scanObs.Blooms.Load() })
+
+	// Bloom-filter prune totals, summed over every table's secondary
+	// indexes and CMs at snapshot time (zero without ProbeBlooms).
+	r.Func("index.bloom_skips", func() int64 {
+		var n int64
+		for _, t := range db.allTables() {
+			for _, ix := range t.inner.Indexes() {
+				n += ix.BloomSkips()
+			}
+		}
+		return n
+	})
+	r.Func("cm.bloom_skips", func() int64 {
+		var n int64
+		for _, t := range db.allTables() {
+			for _, cm := range t.inner.CMs() {
+				n += cm.BloomSkips()
+			}
+		}
+		return n
+	})
 
 	// Fault-tolerance counters (this PR): statements ended by
 	// cancellation or deadline, and connections the server turned away
@@ -142,4 +175,5 @@ func (db *DB) ResetMetrics() {
 	db.scanObs.Tuples.Store(0)
 	db.scanObs.Rows.Store(0)
 	db.scanObs.Pages.Store(0)
+	db.scanObs.Blooms.Store(0)
 }

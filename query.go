@@ -346,6 +346,10 @@ type NodeActuals struct {
 	// filter/project/agg into the access sweep, so the shared phase
 	// reports on the access node and fused nodes show zero.
 	Elapsed time.Duration
+	// BloomSkips counts point probes a bloom filter pruned for this
+	// statement (access nodes only; exact, counted at the probe
+	// sites). Zero without Config.ProbeBlooms.
+	BloomSkips int64
 }
 
 // RunActuals summarizes an analyzed run: result cardinality, wall
@@ -358,6 +362,9 @@ type RunActuals struct {
 	BufferMisses   uint64
 	TuplesExamined int64
 	HeapPages      int64
+	// BloomSkips totals the point probes bloom filters pruned during
+	// the run (index and CM blooms combined).
+	BloomSkips int64
 }
 
 // PlanInfo describes the plan the engine would execute. Method, Uses

@@ -145,6 +145,18 @@ type Config struct {
 	// disables the deadline. Adjustable at runtime with
 	// SetStatementTimeout or SQL's SET statement_timeout.
 	StatementTimeout time.Duration
+	// ScanResistant arms W-TinyLFU admission control on the buffer
+	// pool: on a miss, the incoming page takes a resident frame only
+	// when its access frequency beats the eviction candidate's, so a
+	// one-pass analytic sweep cannot flush the hot point-lookup working
+	// set. Query results are unaffected — admission changes only which
+	// pages stay cached. Off by default.
+	ScanResistant bool
+	// ProbeBlooms arms key bloom filters on every secondary index and
+	// correlation map built (or recovered) after Open: point probes for
+	// absent keys then answer without touching a single page. Off by
+	// default.
+	ProbeBlooms bool
 }
 
 // DB is a database instance: one simulated disk, buffer pool and WAL
@@ -164,6 +176,9 @@ type DB struct {
 	pool    *buffer.Pool
 	log     *wal.Log
 	workers int
+	// probeBlooms mirrors Config.ProbeBlooms into every table created
+	// through this DB.
+	probeBlooms bool
 
 	// Observability (see metrics.go): the registry names every layer's
 	// counters, scanObs receives engine-wide scan work when metrics are
@@ -203,12 +218,17 @@ func Open(cfg Config) *DB {
 	if workers <= 0 {
 		workers = exec.DefaultWorkers()
 	}
+	pool := buffer.NewPool(disk, pages)
+	if cfg.ScanResistant {
+		pool.EnableAdmission()
+	}
 	db := &DB{
-		disk:    disk,
-		pool:    buffer.NewPool(disk, pages),
-		log:     wal.NewLog(disk),
-		workers: workers,
-		tables:  make(map[string]*Table),
+		disk:        disk,
+		pool:        pool,
+		log:         wal.NewLog(disk),
+		workers:     workers,
+		tables:      make(map[string]*Table),
+		probeBlooms: cfg.ProbeBlooms,
 	}
 	db.initMetrics()
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
@@ -278,6 +298,7 @@ func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
 		ClusteredCols: ccols,
 		BucketPages:   spec.BucketPages,
 		BucketTuples:  spec.BucketTuples,
+		ProbeBlooms:   db.probeBlooms,
 	})
 	if err != nil {
 		return nil, err

@@ -494,6 +494,7 @@ func attachActuals(pi *PlanInfo, an *plan.Analysis) {
 			DiskReads:  a.DiskReads,
 			BufferHits: a.BufferHits,
 			Elapsed:    a.Elapsed,
+			BloomSkips: a.BloomSkips,
 		}
 	}
 	pi.Analyzed = &RunActuals{
@@ -504,6 +505,7 @@ func attachActuals(pi *PlanInfo, an *plan.Analysis) {
 		BufferMisses:   an.BufferMisses,
 		TuplesExamined: an.TuplesExamined,
 		HeapPages:      an.HeapPages,
+		BloomSkips:     an.BloomSkips,
 	}
 }
 
