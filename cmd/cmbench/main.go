@@ -29,6 +29,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/heap"
+	"repro/internal/load"
 	"repro/internal/sim"
 	"repro/internal/table"
 	"repro/internal/value"
@@ -40,9 +41,10 @@ var mvccJSON = flag.String("mvcc-json", "BENCH_6.json", "output path for the -ex
 var obsJSON = flag.String("obs-json", "BENCH_7.json", "output path for the -exp obs JSON report")
 var cancelJSON = flag.String("cancel-json", "BENCH_8.json", "output path for the -exp cancel JSON report")
 var cacheJSON = flag.String("cache-json", "BENCH_9.json", "output path for the -exp cache JSON report")
+var wireJSON = flag.String("wire-json", "BENCH_10.json", "output path for the -exp wire JSON report")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|cmagg|mvcc|obs|cancel|cache|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure2|figure3|table3|tables45|figure6|figure7|figure8|figure9|figure10|table6|parallel|lazy|agg|cmagg|mvcc|obs|cancel|cache|wire|all")
 	scale := flag.Int("scale", 1, "row-count multiplier over the bench defaults")
 	flag.Parse()
 
@@ -243,10 +245,17 @@ func run(exp string, scale int) error {
 		}
 		ran = true
 	}
+	if all || exp == "wire" {
+		section("cross-connection coalescing over the wire")
+		if err := runWire(scale, out); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (try %s)", exp,
 			strings.Join([]string{"figure1", "figure2", "figure3", "table3", "tables45",
-				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "cmagg", "mvcc", "obs", "cancel", "cache", "all"}, "|"))
+				"figure6", "figure7", "figure8", "figure9", "figure10", "table6", "parallel", "lazy", "agg", "cmagg", "mvcc", "obs", "cancel", "cache", "wire", "all"}, "|"))
 	}
 	return nil
 }
@@ -1616,6 +1625,72 @@ func runCache(scale int, out *os.File) error {
 	}
 	if ixSkips == 0 || cmSkips == 0 {
 		return fmt.Errorf("cache: bloom skip counters idle (index %d, cm %d) — probes bypassed the filters", ixSkips, cmSkips)
+	}
+	return nil
+}
+
+// wireReport is the BENCH_10.json document: cross-connection batch
+// coalescing against per-statement execution, measured over real TCP
+// connections by the load generator.
+type wireReport struct {
+	Experiment string      `json:"experiment"`
+	Conns      int         `json:"conns"`
+	Requests   int         `json:"requests"`
+	Mix        load.Mix    `json:"mix"`
+	Off        load.Report `json:"off"`
+	On         load.Report `json:"on"`
+	Speedup    float64     `json:"speedup"`
+}
+
+// runWire measures what cross-connection batch coalescing buys on the
+// point-probe workload: 64 client connections each issuing tiny
+// single-row probes against an I/O-bound server whose statement gate
+// sits far below its worker pool. Per-statement execution burns one
+// gate slot per probe and leaves the pool idle; the batcher glues
+// probes arriving within its 200µs window into one batch that fans out
+// pool-wide under a single slot. The aggregate throughput speedup must
+// be at least 2x — asserted here, so the CI smoke job fails if
+// coalescing regresses. Written as JSON (BENCH_10.json).
+func runWire(scale int, out *os.File) error {
+	cfg := load.CompareConfig{Conns: 64, Requests: 3000 * scale}
+	rep, err := load.RunCompare(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d conns, %d point probes per leg, identical server shape (gate 4, 16 workers, IOWaitScale 5)\n",
+		cfg.Conns, cfg.Requests)
+	fmt.Fprintf(out, "%-16s %12s %14s %12s %12s\n", "variant", "req/s", "rows/s", "p50 [ms]", "p99 [ms]")
+	for _, leg := range []struct {
+		name string
+		r    load.Report
+	}{{"per-statement", rep.Off}, {"coalesced", rep.On}} {
+		fmt.Fprintf(out, "%-16s %12.0f %14.0f %12.3f %12.3f\n", leg.name,
+			leg.r.ReqPerSec, leg.r.RowsPerSec,
+			float64(leg.r.P50NS)/1e6, float64(leg.r.P99NS)/1e6)
+	}
+	fmt.Fprintf(out, "speedup: %.2fx\n", rep.Speedup)
+
+	wr := wireReport{
+		Experiment: "wire",
+		Conns:      cfg.Conns,
+		Requests:   cfg.Requests,
+		Mix:        load.Mix{Point: 1},
+		Off:        rep.Off,
+		On:         rep.On,
+		Speedup:    rep.Speedup,
+	}
+	blob, err := json.MarshalIndent(wr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*wireJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *wireJSON)
+
+	if rep.Speedup < 2.0 {
+		return fmt.Errorf("wire: coalescing speedup %.2fx is below the 2x floor (off %.0f req/s, on %.0f req/s)",
+			rep.Speedup, rep.Off.ReqPerSec, rep.On.ReqPerSec)
 	}
 	return nil
 }

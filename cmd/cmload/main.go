@@ -1,0 +1,233 @@
+// Command cmload is the production load generator: it drives the
+// paper's Figure 6 / Table 6 correlated workloads (point probes, CM
+// range sweeps, aggregates) against a cmserver over hundreds to
+// thousands of concurrent TCP connections, closed- or open-loop, and
+// reports p50/p95/p99/max latency with request and row throughput as
+// JSON (BENCH_load.json by default).
+//
+// With -addr it targets a running server; without it, it self-serves
+// the correlated-items fixture in-process (see -rows/-workers/-pool/
+// -iowait/-gate/-coalesce). -compare runs the workload twice against
+// identical self-served servers — coalescing off, then on — and
+// reports the speedup; -assert-speedup fails the process below a
+// floor, which is how CI pins the coalescing win.
+//
+// Run with: go run ./cmd/cmload -conns 64 -requests 3000 -compare
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target server address (empty = self-serve the correlated-items fixture)")
+	conns := flag.Int("conns", 64, "concurrent connections")
+	requests := flag.Int("requests", 3000, "total requests across all connections (0 = run for -duration)")
+	durationMs := flag.Int("duration-ms", 0, "run duration in ms (with -requests: whichever ends first)")
+	rate := flag.Int("rate", 0, "open-loop aggregate request rate per second (0 = closed loop)")
+	chunk := flag.Int("chunk", 0, "opt connections into chunked results with this many rows per frame (0 = buffered)")
+	token := flag.String("token", "", "authentication token for servers started with -auth-token")
+	mixFlag := flag.String("mix", "point=1", "workload mix weights, e.g. point=8,range=1,agg=1")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", "BENCH_load.json", "comma-separated JSON output paths (empty = none)")
+	compare := flag.Bool("compare", false, "run coalescing off vs on against self-served servers and report the speedup")
+	assertSpeedup := flag.Float64("assert-speedup", 0, "with -compare: exit nonzero when the coalescing speedup is below this")
+	rows := flag.Int("rows", 0, "self-serve: items table rows (0 = 60000)")
+	workers := flag.Int("workers", 16, "self-serve: scan worker pool size")
+	poolPages := flag.Int("pool", 0, "self-serve: buffer pool pages (0 = 256)")
+	iowait := flag.Int("iowait", 0, "self-serve: IOWaitScale (0 = 10)")
+	gate := flag.Int("gate", 4, "self-serve: max request lines executing at once (0 = unbounded)")
+	coalesce := flag.Bool("coalesce", false, "self-serve: enable cross-connection coalescing (ignored with -compare, which runs both)")
+	flag.Parse()
+
+	raiseFDLimit(*conns)
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	srvCfg := load.ServerConfig{
+		Rows:        *rows,
+		Workers:     *workers,
+		PoolPages:   *poolPages,
+		IOWaitScale: *iowait,
+		Gate:        *gate,
+		Coalesce:    *coalesce,
+	}
+
+	result := map[string]any{
+		"bench":    "load",
+		"conns":    *conns,
+		"requests": *requests,
+		"mix":      mix,
+		"chunk":    *chunk,
+		"seed":     *seed,
+	}
+	if *compare {
+		rep, err := load.RunCompare(load.CompareConfig{
+			Conns:     *conns,
+			Requests:  *requests,
+			Mix:       mix,
+			ChunkRows: *chunk,
+			Seed:      *seed,
+			Server:    srvCfg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		result["experiment"] = "cross-connection coalescing off vs on (identical workload and server shape: " +
+			"statement gate far below the worker pool, I/O-bound point probes; a coalesced batch " +
+			"fills the pool under one gate slot)"
+		result["off"] = rep.Off
+		result["on"] = rep.On
+		result["speedup"] = rep.Speedup
+		printReport("coalesce off", rep.Off)
+		printReport("coalesce on ", rep.On)
+		fmt.Printf("speedup: %.2fx\n", rep.Speedup)
+		if *assertSpeedup > 0 {
+			result["assert_speedup"] = *assertSpeedup
+			if rep.Speedup < *assertSpeedup {
+				writeOut(*out, result)
+				fatal(fmt.Errorf("coalescing speedup %.2fx is below the asserted %.2fx floor", rep.Speedup, *assertSpeedup))
+			}
+		}
+		writeOut(*out, result)
+		return
+	}
+
+	target := *addr
+	if target == "" {
+		f, err := load.StartServer(srvCfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		target = f.Addr
+		fmt.Printf("self-serving on %s (rows=%d workers=%d pool=%d iowait=%d gate=%d coalesce=%v)\n",
+			target, orDefault(*rows, 60000), *workers, orDefault(*poolPages, 256), orDefault(*iowait, 10), *gate, *coalesce)
+	}
+	rep, err := load.Run(load.Config{
+		Addr:       target,
+		Conns:      *conns,
+		Requests:   *requests,
+		Duration:   time.Duration(*durationMs) * time.Millisecond,
+		RatePerSec: *rate,
+		ChunkRows:  *chunk,
+		AuthToken:  *token,
+		Mix:        mix,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	result["report"] = rep
+	printReport("load", rep)
+	writeOut(*out, result)
+}
+
+// parseMix parses "point=8,range=1,agg=1" style weights.
+func parseMix(s string) (load.Mix, error) {
+	var m load.Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		var ok = true
+		switch {
+		case strings.HasPrefix(part, "point="):
+			_, err := fmt.Sscanf(part, "point=%d", &n)
+			ok = err == nil
+			m.Point = n
+		case strings.HasPrefix(part, "range="):
+			_, err := fmt.Sscanf(part, "range=%d", &n)
+			ok = err == nil
+			m.Range = n
+		case strings.HasPrefix(part, "agg="):
+			_, err := fmt.Sscanf(part, "agg=%d", &n)
+			ok = err == nil
+			m.Agg = n
+		default:
+			ok = false
+		}
+		if !ok {
+			return m, fmt.Errorf("bad -mix component %q (want point=N,range=N,agg=N)", part)
+		}
+	}
+	return m, nil
+}
+
+// printReport renders one run's summary line pair.
+func printReport(name string, r load.Report) {
+	fmt.Printf("%s: conns=%d requests=%d errors=%d rows=%d elapsed=%v\n",
+		name, r.Conns, r.Requests, r.Errors, r.Rows, time.Duration(r.ElapsedNS).Round(time.Millisecond))
+	fmt.Printf("%s: %.0f req/s  %.0f rows/s  p50=%v p95=%v p99=%v max=%v\n",
+		name, r.ReqPerSec, r.RowsPerSec,
+		time.Duration(r.P50NS).Round(time.Microsecond),
+		time.Duration(r.P95NS).Round(time.Microsecond),
+		time.Duration(r.P99NS).Round(time.Microsecond),
+		time.Duration(r.MaxNS).Round(time.Microsecond))
+}
+
+// writeOut writes the result JSON to every comma-separated path.
+func writeOut(paths string, result map[string]any) {
+	if paths == "" {
+		return
+	}
+	b, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", p)
+	}
+}
+
+// raiseFDLimit lifts RLIMIT_NOFILE toward the hard cap when the
+// requested connection count needs it — thousands of sockets plus the
+// server side of each (when self-serving) exceed the common 1024 soft
+// default. Best-effort: failure leaves the limit alone and the dial
+// loop reports any exhaustion.
+func raiseFDLimit(conns int) {
+	need := uint64(conns)*2 + 256
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil || lim.Cur >= need {
+		return
+	}
+	lim.Cur = lim.Max
+	if need < lim.Cur {
+		lim.Cur = need
+	}
+	syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}
+
+// orDefault substitutes d for a zero flag value in log lines.
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// fatal prints the error and exits nonzero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmload:", err)
+	os.Exit(1)
+}

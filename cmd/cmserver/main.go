@@ -34,7 +34,15 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional HTTP listen address for /debug/metrics, /debug/vars and /debug/pprof (empty = no listener)")
 	stmtTimeoutMs := flag.Int("stmt-timeout-ms", 0, "statement deadline in ms; statements past it fail with a timeout (0 = off)")
 	maxConns := flag.Int("max-conns", 0, "admission cap on concurrent sessions; excess connections are rejected with a busy error (0 = unlimited)")
+	maxStmts := flag.Int("max-stmts", 0, "cap on request lines executing at once across all sessions; a coalesced batch takes one slot (0 = unlimited)")
 	drainMs := flag.Int("drain-ms", 5000, "grace period in ms for in-flight statements on shutdown before connections are cut")
+	authToken := flag.String("auth-token", "", "require AUTH <token> as each connection's first line (empty = no auth)")
+	writeTimeoutMs := flag.Int("write-timeout-ms", 30000, "per-frame write deadline in ms for chunked streaming; clients that stop reading past it are cut (0 = none)")
+	chunkQueue := flag.Int("chunk-queue", 0, "per-request send-queue depth in frames for chunked streaming (0 = default 4)")
+	coalesce := flag.Bool("coalesce", false, "coalesce single-SELECT lines from different sessions into cross-connection batches")
+	coalesceWindowUs := flag.Int("coalesce-window-us", 200, "coalescing window in µs: a batch flushes this long after its first statement")
+	coalesceMax := flag.Int("coalesce-max", 32, "statements per coalesced batch; a full batch flushes immediately")
+	coalesceStripes := flag.Int("coalesce-stripes", 1, "independent coalescing stripes (cuts submit-side lock contention)")
 	flag.Parse()
 
 	db := repro.Open(repro.Config{
@@ -54,7 +62,19 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	srv := server.New(db, server.Config{Logf: logf, SlowQueryMs: *slowMs, MaxConns: *maxConns})
+	srv := server.New(db, server.Config{
+		Logf:               logf,
+		SlowQueryMs:        *slowMs,
+		MaxConns:           *maxConns,
+		MaxConcurrentStmts: *maxStmts,
+		AuthToken:          *authToken,
+		WriteTimeout:       time.Duration(*writeTimeoutMs) * time.Millisecond,
+		ChunkQueue:         *chunkQueue,
+		Coalesce:           *coalesce,
+		CoalesceWindow:     time.Duration(*coalesceWindowUs) * time.Microsecond,
+		CoalesceMax:        *coalesceMax,
+		CoalesceStripes:    *coalesceStripes,
+	})
 
 	if dln, err := server.StartDebug(*debugAddr, db); err != nil {
 		log.Fatalf("cmserver: debug listener: %v", err)

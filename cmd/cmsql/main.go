@@ -2,22 +2,31 @@
 // lines from stdin (or -e for one shot), sends each as one request line,
 // and renders the JSON responses as aligned tables. The \timing toggle
 // (psql-style) prints each statement's server-side wall time, row count
-// and disk pages read, plus the request's round-trip time. -retry
-// retries transient connect failures with capped exponential backoff,
-// and timeout/cancellation/busy errors render distinctly from SQL
-// errors so scripts can tell them apart.
+// and disk pages read (plus chunk count in chunked mode) and the
+// request's round-trip time. -retry retries transient connect failures
+// with capped exponential backoff, and timeout/cancellation/busy errors
+// render distinctly from SQL errors so scripts can tell them apart.
+//
+// -token sends AUTH <token> as the connection's first line for servers
+// started with -auth-token. -chunk N opts the session into wire
+// protocol v2 (SET wire_chunk_rows = N): results stream in and render
+// incrementally as chunk frames arrive, so a result of any size
+// displays in bounded memory. -format csv emits results as CSV for
+// piping instead of aligned tables.
 //
 // Run with: go run ./cmd/cmsql -addr localhost:7433
 package main
 
 import (
 	"bufio"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -33,6 +42,7 @@ type stmtResult struct {
 	ElapsedNS int64  `json:"elapsed_ns"`
 	RowCount  int    `json:"row_count"`
 	PagesRead uint64 `json:"pages_read"`
+	Chunks    int    `json:"chunks"`
 }
 
 type response struct {
@@ -40,11 +50,39 @@ type response struct {
 	Error   string       `json:"error"`
 }
 
+// frame mirrors one wire-protocol-v2 response line.
+type frame struct {
+	Chunk *chunkFrame `json:"chunk"`
+	Done  *response   `json:"done"`
+}
+
+type chunkFrame struct {
+	Stmt    int                 `json:"stmt"`
+	Columns []string            `json:"columns"`
+	Rows    [][]json.RawMessage `json:"rows"`
+}
+
+// client bundles the connection with the session's rendering options.
+type client struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	chunk  int    // wire_chunk_rows; 0 = buffered v1 responses
+	format string // "table" or "csv"
+	csv    *csv.Writer
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:7433", "cmserver address")
 	oneShot := flag.String("e", "", "execute this SQL and exit")
 	retry := flag.Int("retry", 0, "retry transient connect failures this many times with capped exponential backoff")
+	token := flag.String("token", "", "authentication token, sent as AUTH <token> before anything else")
+	chunk := flag.Int("chunk", 0, "opt into chunked results with this many rows per frame (0 = buffered)")
+	format := flag.String("format", "table", "output format: table (aligned) or csv (for piping)")
 	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintln(os.Stderr, "cmsql: -format must be table or csv")
+		os.Exit(1)
+	}
 
 	conn, err := dialRetry(*addr, *retry)
 	if err != nil {
@@ -52,10 +90,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer conn.Close()
-	serverReader := bufio.NewReaderSize(conn, 4<<20)
+	c := &client{
+		conn:   conn,
+		r:      bufio.NewReaderSize(conn, 4<<20),
+		chunk:  *chunk,
+		format: *format,
+		csv:    csv.NewWriter(os.Stdout),
+	}
+	if err := c.setup(*token); err != nil {
+		fmt.Fprintln(os.Stderr, "cmsql:", err)
+		os.Exit(1)
+	}
 
 	if *oneShot != "" {
-		if err := roundTrip(conn, serverReader, *oneShot, false); err != nil {
+		if err := c.roundTrip(*oneShot, false); err != nil {
 			fmt.Fprintln(os.Stderr, "cmsql:", err)
 			os.Exit(1)
 		}
@@ -88,11 +136,63 @@ func main() {
 			}
 			continue
 		}
-		if err := roundTrip(conn, serverReader, line, timing); err != nil {
+		if err := c.roundTrip(line, timing); err != nil {
 			fmt.Fprintln(os.Stderr, "cmsql:", err)
 			return
 		}
 	}
+}
+
+// setup authenticates (when a token is given) and opts the session into
+// chunked results (when -chunk is set), consuming the server's plain
+// responses to both.
+func (c *client) setup(token string) error {
+	if token != "" {
+		if _, err := c.conn.Write([]byte("AUTH " + token + "\n")); err != nil {
+			return err
+		}
+		resp, err := c.readResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("auth: %s", resp.Error)
+		}
+	}
+	if c.chunk > 0 {
+		req, _ := json.Marshal(map[string]string{"sql": fmt.Sprintf("SET wire_chunk_rows = %d", c.chunk)})
+		if _, err := c.conn.Write(append(req, '\n')); err != nil {
+			return err
+		}
+		resp, err := c.readResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("chunk setup: %s", resp.Error)
+		}
+		for _, r := range resp.Results {
+			if r.Error != "" {
+				return fmt.Errorf("chunk setup: %s", r.Error)
+			}
+		}
+	}
+	return nil
+}
+
+// readResponse reads and decodes one v1 response line.
+func (c *client) readResponse() (*response, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("server closed the connection: %w", err)
+	}
+	var resp response
+	dec := json.NewDecoder(strings.NewReader(string(line)))
+	dec.UseNumber()
+	if err := dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("bad response: %w", err)
+	}
+	return &resp, nil
 }
 
 // dialRetry connects to addr, retrying transient failures (server not
@@ -137,39 +237,56 @@ func printError(msg string) {
 	}
 }
 
-// roundTrip sends one request line and renders the response; with
-// timing it also prints each statement's server-side measurements and
-// the request's round-trip time.
-func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string, timing bool) error {
+// roundTrip sends one request line and renders the response — one
+// buffered line, or a chunked frame stream rendered incrementally as
+// the frames arrive; with timing it also prints each statement's
+// server-side measurements and the request's round-trip time.
+func (c *client) roundTrip(sqlText string, timing bool) error {
 	req, err := json.Marshal(map[string]string{"sql": sqlText})
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	if _, err := conn.Write(append(req, '\n')); err != nil {
+	if _, err := c.conn.Write(append(req, '\n')); err != nil {
 		return err
 	}
-	line, err := r.ReadBytes('\n')
+	if n, ok := chunkSetRows(sqlText); ok {
+		// The server acks this setting as one buffered line in either
+		// mode; switch our reader to match only once it succeeds.
+		resp, err := c.readResponse()
+		if err != nil {
+			return err
+		}
+		failed := resp.Error != ""
+		if failed {
+			printError(resp.Error)
+		}
+		for _, res := range resp.Results {
+			if res.Error != "" {
+				failed = true
+			}
+			c.render(res)
+		}
+		if !failed {
+			c.chunk = n
+		}
+		return nil
+	}
+	if c.chunk > 0 {
+		return c.readChunked(start, timing)
+	}
+	resp, err := c.readResponse()
 	if err != nil {
-		return fmt.Errorf("server closed the connection: %w", err)
+		return err
 	}
 	rtt := time.Since(start)
-	var resp response
-	dec := json.NewDecoder(strings.NewReader(string(line)))
-	dec.UseNumber()
-	if err := dec.Decode(&resp); err != nil {
-		return fmt.Errorf("bad response: %w", err)
-	}
 	if resp.Error != "" {
 		printError(resp.Error)
 		return nil
 	}
 	for _, res := range resp.Results {
-		render(res)
-		if timing && res.ElapsedNS > 0 {
-			fmt.Printf("time: %v  rows: %d  pages: %d\n",
-				time.Duration(res.ElapsedNS).Round(time.Microsecond), res.RowCount, res.PagesRead)
-		}
+		c.render(res)
+		c.printTiming(res, timing)
 	}
 	if timing {
 		fmt.Printf("round trip: %v\n", rtt.Round(time.Microsecond))
@@ -177,8 +294,113 @@ func roundTrip(conn net.Conn, r *bufio.Reader, sqlText string, timing bool) erro
 	return nil
 }
 
-// render prints one statement result as an aligned table.
-func render(res stmtResult) {
+// chunkSetRows recognizes a lone SET wire_chunk_rows = N line, so an
+// interactive session typing it keeps the client's reader in step with
+// the server's response mode (mirrors the server's own intercept; the
+// -chunk flag sends the same statement at setup).
+func chunkSetRows(sqlText string) (int, bool) {
+	f := strings.Fields(strings.ReplaceAll(
+		strings.TrimSuffix(strings.TrimSpace(sqlText), ";"), "=", " = "))
+	if len(f) != 4 || !strings.EqualFold(f[0], "SET") ||
+		!strings.EqualFold(f[1], "wire_chunk_rows") || f[2] != "=" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(f[3])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// readChunked drains one chunked response stream, rendering each chunk
+// frame as it arrives and finishing each streamed statement from the
+// summary frame.
+func (c *client) readChunked(start time.Time, timing bool) error {
+	streamed := make(map[int]int) // stmt -> rows rendered so far
+	for {
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("server closed the connection: %w", err)
+		}
+		var f frame
+		dec := json.NewDecoder(strings.NewReader(string(line)))
+		dec.UseNumber()
+		if err := dec.Decode(&f); err != nil {
+			return fmt.Errorf("bad frame: %w", err)
+		}
+		switch {
+		case f.Chunk != nil:
+			first := streamed[f.Chunk.Stmt] == 0
+			c.renderChunk(f.Chunk, first)
+			streamed[f.Chunk.Stmt] += len(f.Chunk.Rows)
+		case f.Done != nil:
+			rtt := time.Since(start)
+			if f.Done.Error != "" {
+				printError(f.Done.Error)
+				return nil
+			}
+			for i, res := range f.Done.Results {
+				if res.Error != "" {
+					printError(res.Error)
+				} else if streamed[i] > 0 || res.Chunks > 0 {
+					if c.format == "table" {
+						fmt.Printf("(%d rows, %d chunks)\n", res.RowCount, res.Chunks)
+					}
+				} else {
+					c.render(res) // no rows streamed: message/ok/empty table
+				}
+				c.printTiming(res, timing)
+			}
+			if timing {
+				fmt.Printf("round trip: %v\n", rtt.Round(time.Microsecond))
+			}
+			return nil
+		default:
+			return fmt.Errorf("bad frame: neither chunk nor done in %q", strings.TrimSpace(string(line)))
+		}
+	}
+}
+
+// printTiming prints one statement's \timing footer.
+func (c *client) printTiming(res stmtResult, timing bool) {
+	if !timing || res.ElapsedNS == 0 {
+		return
+	}
+	line := fmt.Sprintf("time: %v  rows: %d  pages: %d",
+		time.Duration(res.ElapsedNS).Round(time.Microsecond), res.RowCount, res.PagesRead)
+	if res.Chunks > 0 {
+		line += fmt.Sprintf("  chunks: %d", res.Chunks)
+	}
+	fmt.Println(line)
+}
+
+// renderChunk renders one chunk frame's rows incrementally: CSV rows
+// flush straight through; table mode aligns within the chunk (widths
+// cannot look ahead across frames) and prints the header before the
+// statement's first chunk.
+func (c *client) renderChunk(cf *chunkFrame, first bool) {
+	if c.format == "csv" {
+		if first && len(cf.Columns) > 0 {
+			c.csv.Write(cf.Columns)
+		}
+		for _, row := range cf.Rows {
+			c.csv.Write(renderCells(row))
+		}
+		c.csv.Flush()
+		return
+	}
+	cells := make([][]string, 0, len(cf.Rows)+1)
+	if first && len(cf.Columns) > 0 {
+		cells = append(cells, cf.Columns)
+	}
+	for _, row := range cf.Rows {
+		cells = append(cells, renderCells(row))
+	}
+	printAligned(cells, first)
+}
+
+// render prints one buffered statement result.
+func (c *client) render(res stmtResult) {
 	if res.Error != "" {
 		printError(res.Error)
 		return
@@ -191,34 +413,57 @@ func render(res stmtResult) {
 		}
 		return
 	}
+	if c.format == "csv" {
+		c.csv.Write(res.Columns)
+		for _, row := range res.Rows {
+			c.csv.Write(renderCells(row))
+		}
+		c.csv.Flush()
+		return
+	}
 	cells := make([][]string, 0, len(res.Rows)+1)
 	cells = append(cells, res.Columns)
 	for _, row := range res.Rows {
-		line := make([]string, len(row))
-		for i, raw := range row {
-			line[i] = renderCell(raw)
-		}
-		cells = append(cells, line)
+		cells = append(cells, renderCells(row))
 	}
-	widths := make([]int, len(res.Columns))
+	printAligned(cells, true)
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// renderCells formats one row of JSON cells.
+func renderCells(row []json.RawMessage) []string {
+	line := make([]string, len(row))
+	for i, raw := range row {
+		line[i] = renderCell(raw)
+	}
+	return line
+}
+
+// printAligned prints rows (the first being the header when header is
+// true) as an aligned table, with a separator rule under the header.
+func printAligned(cells [][]string, header bool) {
+	if len(cells) == 0 {
+		return
+	}
+	widths := make([]int, len(cells[0]))
 	for _, line := range cells {
-		for i, c := range line {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+		for i, cell := range line {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
 			}
 		}
 	}
 	for li, line := range cells {
 		parts := make([]string, len(line))
-		for i, c := range line {
+		for i, cell := range line {
 			w := 0
 			if i < len(widths) {
 				w = widths[i]
 			}
-			parts[i] = fmt.Sprintf("%-*s", w, c)
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
 		}
 		fmt.Println(strings.TrimRight(strings.Join(parts, "  "), " "))
-		if li == 0 {
+		if header && li == 0 {
 			seps := make([]string, len(widths))
 			for i, w := range widths {
 				seps[i] = strings.Repeat("-", w)
@@ -226,7 +471,6 @@ func render(res stmtResult) {
 			fmt.Println(strings.Join(seps, "  "))
 		}
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
 }
 
 // renderCell formats one JSON cell: numbers print verbatim (UseNumber

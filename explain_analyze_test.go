@@ -321,7 +321,9 @@ func TestShowMetricsSQL(t *testing.T) {
 		names[r[0].Str()] = true
 	}
 	for _, want := range []string{"disk.reads", "pool.hits", "wal.appends",
-		"table.rows_written", "query.latency_ns.count", "query.rows_scanned"} {
+		"table.rows_written", "query.latency_ns.count", "query.rows_scanned",
+		"server.stream_chunks", "server.backpressure_waits_ns",
+		"server.coalesced_batches", "server.coalesced_stmts", "server.auth_failures"} {
 		if !names[want] {
 			t.Errorf("SHOW METRICS lacks %s", want)
 		}

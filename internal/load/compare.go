@@ -1,0 +1,94 @@
+package load
+
+import (
+	"fmt"
+	"time"
+)
+
+// CompareConfig describes one coalescing A/B measurement: the same
+// workload driven twice against identical self-served servers, first
+// with cross-connection coalescing off, then on.
+type CompareConfig struct {
+	// Conns and Requests size the workload (defaults 64 and 3000).
+	Conns    int
+	Requests int
+	// Mix weights the statement classes (zero value = point probes,
+	// the class coalescing targets).
+	Mix Mix
+	// ChunkRows, when positive, runs both legs in chunked mode.
+	ChunkRows int
+	// Seed makes the workload reproducible (0 picks seed 1).
+	Seed int64
+	// Server configures both legs' servers; its Coalesce field is
+	// overridden per leg. A zero value takes the measurement defaults:
+	// 16 workers, 128 pool pages, IOWaitScale 5, statement gate 4 —
+	// an I/O-bound server whose statement gate is far below the worker
+	// pool, the production shape where coalescing pays (tiny point
+	// probes cannot use a statement's pool-wide fan-out, so per-
+	// statement execution wastes the pool; a coalesced batch fills it
+	// under one gate slot).
+	Server ServerConfig
+}
+
+// CompareReport carries both legs and the coalescing speedup in
+// aggregate request throughput.
+type CompareReport struct {
+	Off     Report  `json:"off"`
+	On      Report  `json:"on"`
+	Speedup float64 `json:"speedup"`
+}
+
+// RunCompare measures cross-connection coalescing: one leg with the
+// batcher off, one with it on, identical workload and server shape,
+// speedup = on.req_per_sec / off.req_per_sec.
+func RunCompare(cfg CompareConfig) (CompareReport, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 64
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 3000
+	}
+	srv := cfg.Server
+	if srv.Workers == 0 {
+		srv.Workers = 16
+	}
+	if srv.Gate == 0 {
+		srv.Gate = 4
+	}
+	if srv.PoolPages == 0 {
+		srv.PoolPages = 128
+	}
+	if srv.IOWaitScale == 0 {
+		srv.IOWaitScale = 5
+	}
+	var rep CompareReport
+	for _, leg := range []struct {
+		coalesce bool
+		out      *Report
+	}{{false, &rep.Off}, {true, &rep.On}} {
+		sc := srv
+		sc.Coalesce = leg.coalesce
+		f, err := StartServer(sc)
+		if err != nil {
+			return rep, err
+		}
+		r, err := Run(Config{
+			Addr:      f.Addr,
+			Conns:     cfg.Conns,
+			Requests:  cfg.Requests,
+			ChunkRows: cfg.ChunkRows,
+			Mix:       cfg.Mix,
+			Seed:      cfg.Seed,
+			Duration:  5 * time.Minute, // backstop; Requests ends the leg
+		})
+		f.Close()
+		if err != nil {
+			return rep, fmt.Errorf("load: coalesce=%v leg: %w", leg.coalesce, err)
+		}
+		*leg.out = r
+	}
+	if rep.Off.ReqPerSec > 0 {
+		rep.Speedup = rep.On.ReqPerSec / rep.Off.ReqPerSec
+	}
+	return rep, nil
+}

@@ -1,0 +1,370 @@
+// Package load is the production load generator behind cmd/cmload and
+// cmbench's wire experiment: it drives the paper's Figure 6 / Table 6
+// correlated workloads (point probes, CM range sweeps, aggregates)
+// against a cmserver over real TCP connections — configurable up to
+// thousands — in closed- or open-loop arrival, and reports latency
+// percentiles (p50/p95/p99/max) with request and row throughput. It
+// can also self-serve: StartServer builds the correlated-items fixture
+// and a server in-process, and RunCompare measures cross-connection
+// batch coalescing against per-statement execution on identical
+// workloads.
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// Mix weights the workload's statement classes. Zero-valued weights
+// disable a class; an all-zero Mix means point probes only.
+type Mix struct {
+	// Point weights single-subcategory point probes
+	// (SELECT price FROM items WHERE subcat = k) — the statements
+	// cross-connection coalescing batches.
+	Point int `json:"point"`
+	// Range weights the paper's Figure 6 IN-list sweeps: 16 scattered
+	// subcategories per query (datagen.CorrelatedLookup).
+	Range int `json:"range"`
+	// Agg weights per-category aggregates
+	// (SELECT COUNT(*), AVG(price) FROM items WHERE cat = c).
+	Agg int `json:"agg"`
+}
+
+// Config describes one load run against an already-listening server.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the number of concurrent connections (default 1).
+	Conns int
+	// Requests, when positive, stops the run after this many requests
+	// in total across all connections.
+	Requests int
+	// Duration, when positive, stops the run after this much wall time;
+	// with Requests it is a cap (whichever ends first). One of the two
+	// must be set.
+	Duration time.Duration
+	// RatePerSec, when positive, switches to open-loop arrival: the
+	// generator targets this aggregate request rate, spread evenly
+	// across connections, instead of issuing back-to-back (closed
+	// loop). Latencies are measured from actual send time (coordinated
+	// omission is not corrected).
+	RatePerSec int
+	// ChunkRows, when positive, opts every connection into wire
+	// protocol v2 with this many rows per frame.
+	ChunkRows int
+	// AuthToken, when non-empty, is sent as AUTH <token> first.
+	AuthToken string
+	// Mix weights the statement classes (zero value = point probes).
+	Mix Mix
+	// Seed makes the workload reproducible (0 picks seed 1).
+	Seed int64
+}
+
+// Report is one load run's measured outcome. Latency fields are
+// nanoseconds over the merged per-request samples.
+type Report struct {
+	Conns      int     `json:"conns"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Rows       int64   `json:"rows"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	P50NS      int64   `json:"p50_ns"`
+	P95NS      int64   `json:"p95_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	MaxNS      int64   `json:"max_ns"`
+}
+
+// Run executes one load run and aggregates the per-connection
+// measurements. A connection that fails to dial or authenticate fails
+// the run; per-request statement errors (timeouts, injected faults)
+// count into Report.Errors and the run continues.
+func Run(cfg Config) (Report, error) {
+	if cfg.Addr == "" {
+		return Report{}, fmt.Errorf("load: no server address")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("load: set Requests or Duration")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	conns := make([]*lconn, cfg.Conns)
+	for i := range conns {
+		c, err := dialConn(cfg)
+		if err != nil {
+			for _, p := range conns[:i] {
+				p.close()
+			}
+			return Report{}, fmt.Errorf("load: conn %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.close()
+		}
+	}()
+
+	var issued atomic.Int64
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	var interval time.Duration
+	if cfg.RatePerSec > 0 {
+		interval = time.Duration(cfg.Conns) * time.Second / time.Duration(cfg.RatePerSec)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *lconn) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			next := start
+			if interval > 0 {
+				// Stagger open-loop senders across the first interval.
+				next = start.Add(interval * time.Duration(i) / time.Duration(len(conns)))
+			}
+			for {
+				if cfg.Requests > 0 && issued.Add(1) > int64(cfg.Requests) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				if !c.do(statement(cfg.Mix, rng)) {
+					return // connection unusable
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Conns: cfg.Conns, ElapsedNS: elapsed.Nanoseconds()}
+	var lats []int64
+	for _, c := range conns {
+		rep.Requests += len(c.lats)
+		rep.Errors += c.errors
+		rep.Rows += c.rows
+		lats = append(lats, c.lats...)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	if n := len(lats); n > 0 {
+		rep.P50NS = lats[n/2]
+		rep.P95NS = lats[n*95/100]
+		rep.P99NS = lats[n*99/100]
+		rep.MaxNS = lats[n-1]
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / secs
+		rep.RowsPerSec = float64(rep.Rows) / secs
+	}
+	return rep, nil
+}
+
+// statement draws one workload statement from the mix.
+func statement(m Mix, rng *rand.Rand) string {
+	total := m.Point + m.Range + m.Agg
+	if total <= 0 {
+		m, total = Mix{Point: 1}, 1
+	}
+	n := rng.Intn(total)
+	switch {
+	case n < m.Point:
+		return fmt.Sprintf("SELECT price FROM items WHERE subcat = %d", rng.Intn(datagen.CorrelatedSubcats))
+	case n < m.Point+m.Range:
+		subcats := datagen.CorrelatedLookup(rng.Intn(4096), 16)
+		parts := make([]string, len(subcats))
+		for i, s := range subcats {
+			parts[i] = fmt.Sprintf("%d", s)
+		}
+		return fmt.Sprintf("SELECT price FROM items WHERE subcat IN (%s)", strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("SELECT COUNT(*), AVG(price) FROM items WHERE cat = %d", rng.Intn(datagen.CorrelatedCats))
+	}
+}
+
+// lconn is one load connection with its local measurements (merged
+// after the run; only its own goroutine touches them).
+type lconn struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	chunk  int
+	lats   []int64
+	rows   int64
+	errors int
+}
+
+// wireResult is the minimal client-side mirror of the server's
+// per-statement response.
+type wireResult struct {
+	RowCount int    `json:"row_count"`
+	Error    string `json:"error"`
+}
+
+// wireResponse mirrors one v1 response line.
+type wireResponse struct {
+	Results []wireResult `json:"results"`
+	Error   string       `json:"error"`
+}
+
+// wireFrame mirrors one v2 frame line; chunk rows stay raw (the load
+// generator counts them, it does not decode cells).
+type wireFrame struct {
+	Chunk *struct {
+		Rows []json.RawMessage `json:"rows"`
+	} `json:"chunk"`
+	Done *wireResponse `json:"done"`
+}
+
+// dialConn connects, authenticates and opts into chunked mode per cfg.
+func dialConn(cfg Config) (*lconn, error) {
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &lconn{conn: conn, r: bufio.NewReaderSize(conn, 16<<10), chunk: cfg.ChunkRows}
+	if cfg.AuthToken != "" {
+		if err := c.expectOK("AUTH " + cfg.AuthToken); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("auth: %w", err)
+		}
+	}
+	if cfg.ChunkRows > 0 {
+		if err := c.expectOK(fmt.Sprintf("SET wire_chunk_rows = %d", cfg.ChunkRows)); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("chunk setup: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// expectOK sends one raw line and requires a clean v1 response.
+func (c *lconn) expectOK(line string) error {
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		return err
+	}
+	raw, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	for _, r := range resp.Results {
+		if r.Error != "" {
+			return fmt.Errorf("%s", r.Error)
+		}
+	}
+	return nil
+}
+
+// do sends one statement and consumes its full response, recording the
+// request latency and row count. It reports false when the connection
+// is no longer usable.
+func (c *lconn) do(sql string) bool {
+	start := time.Now()
+	if _, err := c.conn.Write([]byte(sql + "\n")); err != nil {
+		c.errors++
+		return false
+	}
+	rows, ok, stmtErr := c.readResult()
+	if !ok {
+		c.errors++
+		return false
+	}
+	c.lats = append(c.lats, time.Since(start).Nanoseconds())
+	c.rows += rows
+	if stmtErr {
+		c.errors++
+	}
+	return true
+}
+
+// readResult consumes one response — a v1 line or a v2 frame stream —
+// returning the row count, connection liveness, and whether any
+// statement reported an error.
+func (c *lconn) readResult() (rows int64, ok, stmtErr bool) {
+	if c.chunk <= 0 {
+		raw, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return 0, false, false
+		}
+		var resp wireResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return 0, false, false
+		}
+		if resp.Error != "" {
+			return 0, true, true
+		}
+		for _, r := range resp.Results {
+			rows += int64(r.RowCount)
+			if r.Error != "" {
+				stmtErr = true
+			}
+		}
+		return rows, true, stmtErr
+	}
+	for {
+		raw, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return rows, false, false
+		}
+		var f wireFrame
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return rows, false, false
+		}
+		switch {
+		case f.Chunk != nil:
+			rows += int64(len(f.Chunk.Rows))
+		case f.Done != nil:
+			if f.Done.Error != "" {
+				return rows, true, true
+			}
+			for _, r := range f.Done.Results {
+				if r.Error != "" {
+					stmtErr = true
+				}
+			}
+			return rows, true, stmtErr
+		default:
+			return rows, false, false
+		}
+	}
+}
+
+// close shuts the connection down.
+func (c *lconn) close() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}

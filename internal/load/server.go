@@ -1,0 +1,133 @@
+package load
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// ServerConfig describes a self-served measurement server: the
+// correlated-items fixture (datagen.CorrelatedItems, with a secondary
+// index and a correlation map on subcat — the Figure 6 physical
+// design) behind a TCP server on a loopback port.
+type ServerConfig struct {
+	// Rows sizes the items table (default 60000, the benchmark suite's
+	// standard scale — about 1250 heap pages).
+	Rows int
+	// Workers is the DB's scan worker pool (default GOMAXPROCS).
+	Workers int
+	// PoolPages sizes the buffer pool (default 256: far smaller than
+	// the table, so probes miss and pay simulated I/O like a working
+	// set that does not fit in memory).
+	PoolPages int
+	// IOWaitScale makes simulated I/O really block the calling
+	// goroutine at 1/scale of the virtual cost (default 10: a 5.5ms
+	// seek sleeps 0.55ms). This is what makes concurrency observable:
+	// overlapped probes overlap their sleeps.
+	IOWaitScale int
+	// Gate bounds request lines executing at once
+	// (Config.MaxConcurrentStmts; default 0 = unbounded). Production
+	// servers bound statement concurrency because one statement may
+	// fan out across the whole worker pool; a coalesced batch takes
+	// one slot — which is exactly where coalescing pays.
+	Gate int
+	// StatementTimeout is the per-statement deadline (0 = none).
+	StatementTimeout time.Duration
+	// AuthToken, Coalesce, CoalesceWindow, CoalesceMax and
+	// CoalesceStripes pass through to server.Config.
+	AuthToken       string
+	Coalesce        bool
+	CoalesceWindow  time.Duration
+	CoalesceMax     int
+	CoalesceStripes int
+}
+
+// Fixture is one self-served server: the database, the listening
+// address and the server handle. Close shuts both down.
+type Fixture struct {
+	DB   *repro.DB
+	Srv  *server.Server
+	Addr string
+}
+
+// StartServer builds the correlated-items database, starts a server
+// over it on a loopback port and returns the running fixture.
+func StartServer(cfg ServerConfig) (*Fixture, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 60000
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 256
+	}
+	if cfg.IOWaitScale <= 0 {
+		cfg.IOWaitScale = 10
+	}
+	db := repro.Open(repro.Config{
+		Workers:          cfg.Workers,
+		BufferPoolPages:  cfg.PoolPages,
+		IOWaitScale:      cfg.IOWaitScale,
+		StatementTimeout: cfg.StatementTimeout,
+	})
+	if err := loadItems(db, cfg.Rows); err != nil {
+		return nil, err
+	}
+	srv := server.New(db, server.Config{
+		MaxConcurrentStmts: cfg.Gate,
+		AuthToken:          cfg.AuthToken,
+		WriteTimeout:       30 * time.Second,
+		Coalesce:           cfg.Coalesce,
+		CoalesceWindow:     cfg.CoalesceWindow,
+		CoalesceMax:        cfg.CoalesceMax,
+		CoalesceStripes:    cfg.CoalesceStripes,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return &Fixture{DB: db, Srv: srv, Addr: ln.Addr().String()}, nil
+}
+
+// Close stops the fixture's server (cutting any live connections).
+func (f *Fixture) Close() { f.Srv.Close() }
+
+// loadItems builds the correlated-items table with the benchmark
+// suite's standard physical design.
+func loadItems(db *repro.DB, rows int) error {
+	tbl, err := db.CreateTable(repro.TableSpec{
+		Name: "items",
+		Columns: []repro.Column{
+			{Name: "cat", Kind: repro.Int},
+			{Name: "subcat", Kind: repro.Int},
+			{Name: "price", Kind: repro.Int},
+			{Name: "desc", Kind: repro.String},
+		},
+		ClusteredBy: []string{"cat"},
+		BucketPages: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("load: create items: %w", err)
+	}
+	items := datagen.CorrelatedItems(rows)
+	data := make([]repro.Row, len(items))
+	for i, it := range items {
+		data[i] = repro.Row{
+			repro.IntVal(it.Cat), repro.IntVal(it.Subcat),
+			repro.IntVal(it.Price), repro.StringVal(it.Desc),
+		}
+	}
+	if err := tbl.Load(data); err != nil {
+		return fmt.Errorf("load: load items: %w", err)
+	}
+	if err := tbl.CreateIndex("ix_subcat", "subcat"); err != nil {
+		return fmt.Errorf("load: index: %w", err)
+	}
+	if err := tbl.CreateCM("subcat_cm", repro.CMColumn{Name: "subcat"}); err != nil {
+		return fmt.Errorf("load: cm: %w", err)
+	}
+	return nil
+}

@@ -33,6 +33,43 @@ import (
 //	line cap answers with a per-statement "error" naming the statement
 //	and its row count; the session stays alive and later statements
 //	still run.
+//
+// Wire protocol v2 — chunked results. A session opts in with
+//
+//	SET wire_chunk_rows = N
+//
+// (a server-side session setting, answered with a plain v1 response;
+// N = 0 switches back to buffered mode). While it is set, every
+// request is answered by a stream of JSON lines instead of one:
+//
+//	{"chunk": {"stmt": I, "columns": [...], "rows": [[...], ...]}}  (0+ times)
+//	{"done":  {"results": [stmtResult, ...], "error": "..."}}       (exactly once)
+//
+// Chunk frames carry up to N result rows of statement I (0-based
+// within the request line); "columns" appears only on a statement's
+// first frame. Frames for a statement arrive in row order and rows
+// are encoded exactly as buffered mode encodes them, so the
+// concatenation of a statement's chunk rows is byte-identical to the
+// "rows" array a buffered response would have carried. The "done"
+// frame is the v1 response with each streamed statement's "rows"
+// omitted ("row_count" still counts them, and "chunks" reports how
+// many frames carried them); its "error" field covers whole-line
+// failures exactly as in v1. The 4 MiB line cap still bounds every
+// frame — it is a framing limit now, not a result-size limit, so a
+// streamed result of any size completes as long as each single row
+// fits in a frame. Statements inside one chunked request run strictly
+// in order (no intra-line SELECT batching: rows must leave in
+// statement order).
+//
+// Authentication. When the server is started with a token, the first
+// line of every connection must be
+//
+//	AUTH <token>
+//
+// answered with {"results":[{"message":"AUTH ok"}]} on success;
+// anything else is answered with one JSON error line and the
+// connection closes. Servers without a token accept and answer an
+// AUTH line the same way, so clients can always send one.
 
 // Request is the JSON form of one client request line.
 type Request struct {
@@ -51,6 +88,28 @@ type StmtResult struct {
 	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
 	RowCount  int    `json:"row_count,omitempty"`
 	PagesRead uint64 `json:"pages_read,omitempty"`
+	// Chunks counts the chunk frames that carried this statement's rows
+	// in wire-protocol-v2 streaming mode (0 in buffered responses and
+	// for statements that streamed no rows).
+	Chunks int `json:"chunks,omitempty"`
+}
+
+// Frame is one line of a wire-protocol-v2 response stream: either a
+// chunk of result rows or the terminating summary. Exactly one field
+// is set.
+type Frame struct {
+	Chunk *ChunkFrame `json:"chunk,omitempty"`
+	Done  *Response   `json:"done,omitempty"`
+}
+
+// ChunkFrame carries a run of result rows for one statement of the
+// request line. Columns is set only on the statement's first frame.
+// Rows are pre-encoded exactly as buffered mode encodes them, so
+// reassembled chunked results are byte-identical to buffered ones.
+type ChunkFrame struct {
+	Stmt    int               `json:"stmt"`
+	Columns []string          `json:"columns,omitempty"`
+	Rows    []json.RawMessage `json:"rows"`
 }
 
 // Response is one JSON response line.

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro"
+	sqlfe "repro/internal/sql"
 )
 
 // maxLineBytes bounds one request line (a giant INSERT script still
@@ -45,8 +47,34 @@ type Config struct {
 	MaxConns int
 	// MaxConcurrentStmts, when positive, bounds request lines executing
 	// at once across all sessions; excess requests wait at the gate and
-	// give up cleanly if their connection goes away while queued.
+	// give up cleanly if their connection goes away while queued. A
+	// coalesced batch takes one slot for the whole batch.
 	MaxConcurrentStmts int
+	// AuthToken, when non-empty, requires every connection's first line
+	// to be "AUTH <token>" (constant-time compare). A wrong or missing
+	// token gets one JSON error line and the connection closes; each
+	// failure counts into server.auth_failures.
+	AuthToken string
+	// WriteTimeout, when positive, bounds each chunk-frame write in
+	// wire-protocol-v2 streaming mode: a client that stops reading past
+	// it has its connection failed, which cancels the producing
+	// statement. Zero leaves socket writes unbounded.
+	WriteTimeout time.Duration
+	// ChunkQueue is the per-request send-queue depth (in frames) for
+	// chunked streaming; when the queue is full the producing statement
+	// blocks — backpressure — until the client drains a frame or the
+	// statement's context dies. Zero means the default of 4.
+	ChunkQueue int
+	// Coalesce enables the cross-connection batch coalescer: single
+	// SELECT request lines from different sessions arriving within
+	// CoalesceWindow (default 200µs) are collected — up to CoalesceMax
+	// (default 32) per batch, across CoalesceStripes stripes (default
+	// 1) — and executed as one ExecPreparedBatch fan-out under one
+	// statement-gate slot.
+	Coalesce        bool
+	CoalesceWindow  time.Duration
+	CoalesceMax     int
+	CoalesceStripes int
 }
 
 // Server serves the line/JSON protocol over a shared database. Every
@@ -56,11 +84,15 @@ type Config struct {
 // concurrent sessions interleave under the engine's table latches
 // exactly like native concurrent callers.
 type Server struct {
-	db        *repro.DB
-	logf      func(format string, args ...any)
-	slowQuery time.Duration // 0 disables the slow-query log
-	maxConns  int
-	gate      chan struct{} // nil means unbounded statement concurrency
+	db           *repro.DB
+	logf         func(format string, args ...any)
+	slowQuery    time.Duration // 0 disables the slow-query log
+	maxConns     int
+	gate         chan struct{} // nil means unbounded statement concurrency
+	authToken    string
+	writeTimeout time.Duration
+	chunkQueue   int
+	coalesce     *batcher // nil means no cross-connection coalescing
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -90,14 +122,25 @@ func New(db *repro.DB, cfg Config) *Server {
 	if cfg.MaxConcurrentStmts > 0 {
 		gate = make(chan struct{}, cfg.MaxConcurrentStmts)
 	}
-	return &Server{
-		db:        db,
-		logf:      logf,
-		slowQuery: time.Duration(cfg.SlowQueryMs) * time.Millisecond,
-		maxConns:  cfg.MaxConns,
-		gate:      gate,
-		sessions:  make(map[*session]struct{}),
+	chunkQueue := cfg.ChunkQueue
+	if chunkQueue <= 0 {
+		chunkQueue = 4
 	}
+	s := &Server{
+		db:           db,
+		logf:         logf,
+		slowQuery:    time.Duration(cfg.SlowQueryMs) * time.Millisecond,
+		maxConns:     cfg.MaxConns,
+		gate:         gate,
+		authToken:    cfg.AuthToken,
+		writeTimeout: cfg.WriteTimeout,
+		chunkQueue:   chunkQueue,
+		sessions:     make(map[*session]struct{}),
+	}
+	if cfg.Coalesce {
+		s.coalesce = newBatcher(s, cfg.CoalesceWindow, cfg.CoalesceMax, cfg.CoalesceStripes)
+	}
+	return s
 }
 
 // ActiveSessions reports the number of connected sessions.
@@ -290,18 +333,20 @@ func (s *Server) run(sess *session) {
 	}()
 
 	w := bufio.NewWriter(conn)
-	for line := range lines {
-		sess.busy.Store(true)
-		resp := s.handle(connCtx, line, id, &st)
-		sess.busy.Store(false)
+	writeResp := func(resp Response) bool {
 		b := marshalResponse(resp)
 		if _, err := w.Write(append(b, '\n')); err != nil {
-			return
+			return false
 		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-		if s.draining() {
+		return w.Flush() == nil
+	}
+	authed := s.authToken == ""
+	chunkRows := 0 // 0 = buffered v1 responses; set by SET wire_chunk_rows
+	for line := range lines {
+		sess.busy.Store(true)
+		ok := s.dispatch(connCtx, conn, line, id, sess, &st, writeResp, &authed, &chunkRows)
+		sess.busy.Store(false)
+		if !ok || s.draining() {
 			return
 		}
 	}
@@ -322,18 +367,152 @@ type sessionStats struct {
 	elapsed    time.Duration
 }
 
-// handle executes one request line under the connection's context,
-// folds its measurements into the session stats, logs slow statements
-// and returns the response.
-func (s *Server) handle(ctx context.Context, line string, sess int64, st *sessionStats) Response {
-	sqlText := line
-	if strings.HasPrefix(line, "{") {
-		var req Request
-		if err := json.Unmarshal([]byte(line), &req); err != nil {
-			return Response{Error: fmt.Sprintf("server: bad JSON request: %v", err)}
+// dispatch routes one request line: AUTH enforcement first, then the
+// SET wire_chunk_rows session intercept, then — when the coalescer is
+// on and the line is a single plain SELECT — the cross-connection
+// batch path, and finally ordinary execution in chunked or buffered
+// mode. It reports false when the session must close (failed auth, a
+// dead connection, a failed write).
+func (s *Server) dispatch(ctx context.Context, conn net.Conn, line string, id int64, sess *session, st *sessionStats, writeResp func(Response) bool, authed *bool, chunkRows *int) bool {
+	if token, isAuth := cutAuth(line); isAuth {
+		if s.authOK(token) {
+			*authed = true
+			return writeResp(Response{Results: []StmtResult{{Message: "AUTH ok"}}})
 		}
-		sqlText = req.SQL
+		s.db.RecordAuthFailure()
+		s.logf("cmserver: session %d auth failure", id)
+		writeResp(Response{Error: "server: authentication failed"})
+		return false
 	}
+	if !*authed {
+		s.db.RecordAuthFailure()
+		s.logf("cmserver: session %d auth failure (no AUTH line)", id)
+		writeResp(Response{Error: "server: authentication required (send AUTH <token> as the first line)"})
+		return false
+	}
+	sqlText, jsonErr := requestSQL(line)
+	if jsonErr != nil {
+		if *chunkRows > 0 {
+			p := s.newChunkPump(ctx, func() {}, conn, *chunkRows)
+			return p.finish(Response{Error: jsonErr.Error()}) == nil
+		}
+		return writeResp(Response{Error: jsonErr.Error()})
+	}
+	if n, ok := parseWireChunkSet(sqlText); ok {
+		if n < 0 {
+			return writeResp(Response{Error: "server: SET wire_chunk_rows takes a non-negative row count"})
+		}
+		*chunkRows = n
+		return writeResp(Response{Results: []StmtResult{{Message: fmt.Sprintf("SET wire_chunk_rows = %d", n)}}})
+	}
+	if s.coalesce != nil {
+		if prep := s.db.PrepareSelect(sqlText); prep != nil {
+			sr := <-s.coalesce.submit(ctx, prep)
+			s.accountStmt(id, 0, sr, st)
+			if *chunkRows > 0 {
+				return s.respondChunkedResult(ctx, conn, sr, *chunkRows)
+			}
+			return writeResp(Response{Results: []StmtResult{capStmtResult(0, stmtResult(sr))}})
+		}
+	}
+	if *chunkRows > 0 {
+		return s.handleChunked(ctx, conn, sqlText, id, *chunkRows, st)
+	}
+	return writeResp(s.handle(ctx, sqlText, id, st))
+}
+
+// cutAuth recognizes an AUTH request line and extracts its token.
+func cutAuth(line string) (string, bool) {
+	if line == "AUTH" {
+		return "", true
+	}
+	return strings.CutPrefix(line, "AUTH ")
+}
+
+// authOK checks a presented token against the configured one in
+// constant time. Servers without a token accept any AUTH line, so
+// clients can send one unconditionally.
+func (s *Server) authOK(token string) bool {
+	if s.authToken == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(token), []byte(s.authToken)) == 1
+}
+
+// requestSQL extracts the SQL text from a request line (raw SQL, or
+// the JSON {"sql": ...} form when the line starts with '{').
+func requestSQL(line string) (string, error) {
+	if !strings.HasPrefix(line, "{") {
+		return line, nil
+	}
+	var req Request
+	if err := json.Unmarshal([]byte(line), &req); err != nil {
+		return "", fmt.Errorf("server: bad JSON request: %v", err)
+	}
+	return req.SQL, nil
+}
+
+// parseWireChunkSet recognizes a request line that is exactly one
+// SET wire_chunk_rows = N statement — the session-level setting the
+// server intercepts before the engine (which only knows engine-wide
+// settings) would reject it.
+func parseWireChunkSet(sqlText string) (int, bool) {
+	stmts, _, err := sqlfe.ParseScriptSpans(sqlText)
+	if err != nil || len(stmts) != 1 {
+		return 0, false
+	}
+	set, ok := stmts[0].(*sqlfe.SetStmt)
+	if !ok || set.Name != "wire_chunk_rows" {
+		return 0, false
+	}
+	return int(set.Value), true
+}
+
+// accountStmt folds one statement's measurements into the session
+// stats and logs it when it crossed the slow-query threshold — shared
+// by the buffered, chunked and coalesced response paths.
+func (s *Server) accountStmt(sess int64, idx int, r repro.ScriptResult, st *sessionStats) {
+	st.statements++
+	st.rows += int64(r.Rows)
+	st.pages += r.PagesRead
+	st.elapsed += r.Elapsed
+	if s.slowQuery > 0 && r.Elapsed >= s.slowQuery {
+		s.logSlowQuery(sess, idx, r)
+	}
+}
+
+// respondChunkedResult replays one coalesced (buffered) statement
+// result as a chunked response stream, so coalescing and chunked mode
+// compose: the rows go out in frames through the same pump —
+// backpressure included — followed by the summary frame.
+func (s *Server) respondChunkedResult(connCtx context.Context, conn net.Conn, sr repro.ScriptResult, chunkRows int) bool {
+	reqCtx, cancel := context.WithCancel(connCtx)
+	defer cancel()
+	p := s.newChunkPump(reqCtx, cancel, conn, chunkRows)
+	rs := p.streamer()
+	if sr.Err == nil && sr.Res != nil && len(sr.Res.Columns) > 0 {
+		rs.Ctx(0, reqCtx)
+		rs.Begin(0, sr.Res.Columns)
+		for _, row := range sr.Res.Rows {
+			if !rs.Row(0, row) {
+				break
+			}
+		}
+		rs.End(0)
+	}
+	out := stmtResult(sr)
+	out.Rows = nil // rows went out in chunk frames
+	out.Chunks = p.chunks[0]
+	if fe := p.rowErr[0]; fe != nil {
+		out = StmtResult{Error: fe.Error(), ElapsedNS: out.ElapsedNS, PagesRead: out.PagesRead}
+	}
+	return p.finish(Response{Results: []StmtResult{out}}) == nil
+}
+
+// handle executes one request line's SQL under the connection's
+// context, folds its measurements into the session stats, logs slow
+// statements and returns the buffered response.
+func (s *Server) handle(ctx context.Context, sqlText string, sess int64, st *sessionStats) Response {
 	if s.gate != nil {
 		select {
 		case s.gate <- struct{}{}:
@@ -348,13 +527,7 @@ func (s *Server) handle(ctx context.Context, line string, sess int64, st *sessio
 	}
 	resp := Response{Results: make([]StmtResult, len(results))}
 	for i, r := range results {
-		st.statements++
-		st.rows += int64(r.Rows)
-		st.pages += r.PagesRead
-		st.elapsed += r.Elapsed
-		if s.slowQuery > 0 && r.Elapsed >= s.slowQuery {
-			s.logSlowQuery(sess, i, r)
-		}
+		s.accountStmt(sess, i, r, st)
 		resp.Results[i] = capStmtResult(i, stmtResult(r))
 	}
 	return resp

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro"
+)
+
+// This file is the wire-protocol-v2 streaming engine: a chunk pump
+// that turns the facade's RowStreamer callbacks into bounded,
+// backpressured chunk frames on the connection. The session goroutine
+// produces frames (it is the one running ExecScriptStreamCtx); a
+// dedicated writer goroutine drains them onto the socket with
+// per-frame write deadlines. A full frame queue blocks the producing
+// statement at chunk granularity — real backpressure, accounted into
+// server.backpressure_waits_ns — until the client reads, the statement
+// deadline fires, or the connection dies.
+
+// frameSlack reserves room inside maxLineBytes for the chunk frame's
+// JSON envelope ({"chunk":{"stmt":...,"columns":[...],"rows":[...]}})
+// and per-row separators, so a frame flushed just under the row-bytes
+// budget still encodes under the line cap.
+const frameSlack = 64 << 10
+
+// chunkPump adapts one chunked request: the RowStreamer callbacks
+// accumulate encoded rows into the current frame, flushing at the
+// session's wire_chunk_rows count or the frame byte budget. All fields
+// except the frames channel are touched only by the session goroutine.
+type chunkPump struct {
+	s         *Server
+	reqCtx    context.Context // request context: connection + write-failure cancel
+	cancel    context.CancelFunc
+	frames    chan []byte
+	writerErr chan error // writer's exit status, buffered 1
+	chunkRows int
+
+	stmtCtx  context.Context // current statement's effective context
+	stmt     int
+	columns  []string // pending header for the current statement's first frame
+	rows     []json.RawMessage
+	rowBytes int
+	chunks   map[int]int   // statement -> frames sent
+	rowErr   map[int]error // statement -> framing error (row too large)
+	waited   time.Duration // total backpressure block time this request
+}
+
+// newChunkPump wires a pump and starts its writer goroutine. cancel
+// must cancel the request context; the writer invokes it when a write
+// fails or times out, which aborts the producing statement.
+func (s *Server) newChunkPump(reqCtx context.Context, cancel context.CancelFunc, conn net.Conn, chunkRows int) *chunkPump {
+	p := &chunkPump{
+		s:         s,
+		reqCtx:    reqCtx,
+		cancel:    cancel,
+		frames:    make(chan []byte, s.chunkQueue),
+		writerErr: make(chan error, 1),
+		chunkRows: chunkRows,
+		chunks:    make(map[int]int),
+		rowErr:    make(map[int]error),
+	}
+	go p.writeLoop(conn)
+	return p
+}
+
+// writeLoop drains frames onto the socket, one line per frame, flushed
+// immediately so the client streams. On a write error it cancels the
+// request — aborting the producing statement — and keeps draining so
+// the producer can never block forever on a dead connection.
+func (p *chunkPump) writeLoop(conn net.Conn) {
+	var err error
+	for line := range p.frames {
+		if err != nil {
+			continue // drain after failure
+		}
+		if p.s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(p.s.writeTimeout))
+		}
+		if _, werr := conn.Write(append(line, '\n')); werr != nil {
+			err = werr
+			p.cancel()
+		}
+	}
+	if p.s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	p.writerErr <- err
+}
+
+// streamer returns the RowStreamer that feeds this pump.
+func (p *chunkPump) streamer() repro.RowStreamer {
+	return repro.RowStreamer{
+		Ctx: func(stmt int, ctx context.Context) {
+			p.stmtCtx = ctx
+		},
+		Begin: func(stmt int, columns []string) {
+			p.stmt = stmt
+			p.columns = columns
+			p.rows = p.rows[:0]
+			p.rowBytes = 0
+		},
+		Row: func(stmt int, row repro.Row) bool {
+			b, err := json.Marshal(encodeRow(row))
+			if err != nil { // unreachable for engine value kinds
+				p.rowErr[stmt] = fmt.Errorf("server: row encoding failed: %v", err)
+				return false
+			}
+			if len(b) > maxLineBytes-frameSlack {
+				p.rowErr[stmt] = fmt.Errorf(
+					"server: statement %d produced a %d-byte row, past the %d-byte frame cap",
+					stmt+1, len(b), maxLineBytes)
+				return false
+			}
+			if p.rowBytes > 0 && p.rowBytes+len(b) > maxLineBytes-frameSlack {
+				if !p.flush() {
+					return false
+				}
+			}
+			p.rows = append(p.rows, b)
+			p.rowBytes += len(b) + 1
+			if len(p.rows) >= p.chunkRows {
+				return p.flush()
+			}
+			return true
+		},
+		End: func(stmt int) {
+			if len(p.rows) > 0 && p.rowErr[stmt] == nil {
+				p.flush()
+			}
+			p.stmtCtx = nil
+		},
+	}
+}
+
+// flush frames the accumulated rows and sends them to the writer,
+// blocking — with backpressure accounting — when the queue is full.
+// It reports false when the statement's context died while blocked,
+// which aborts the statement.
+func (p *chunkPump) flush() bool {
+	cf := &ChunkFrame{Stmt: p.stmt, Columns: p.columns, Rows: p.rows}
+	line, err := json.Marshal(Frame{Chunk: cf})
+	if err != nil { // unreachable: inputs are RawMessage and strings
+		p.rowErr[p.stmt] = fmt.Errorf("server: chunk encoding failed: %v", err)
+		return false
+	}
+	p.columns = nil
+	p.rows = nil
+	p.rowBytes = 0
+	if !p.send(line) {
+		return false
+	}
+	p.chunks[p.stmt]++
+	p.s.db.RecordStreamChunk()
+	return true
+}
+
+// send queues one frame line for the writer. The fast path never
+// blocks; when the queue is full it blocks under the statement's
+// context (falling back to the request context) and records the wait
+// as backpressure.
+func (p *chunkPump) send(line []byte) bool {
+	select {
+	case p.frames <- line:
+		return true
+	default:
+	}
+	ctx := p.stmtCtx
+	if ctx == nil {
+		ctx = p.reqCtx
+	}
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		p.waited += d
+		p.s.db.RecordBackpressureWait(d)
+	}()
+	select {
+	case p.frames <- line:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// finish sends the done frame, closes the queue and waits for the
+// writer to drain, returning the writer's error (nil when every frame
+// — including the summary — reached the socket).
+func (p *chunkPump) finish(done Response) error {
+	line, err := json.Marshal(Frame{Done: &done})
+	if err != nil {
+		line, _ = json.Marshal(Frame{Done: &Response{
+			Error: "server: response encoding failed: " + err.Error()}})
+	}
+	p.frames <- line // writer drains even after failure; never blocks forever
+	close(p.frames)
+	return <-p.writerErr
+}
+
+// handleChunked executes one request line's SQL in chunked mode: rows
+// stream through the pump as the executor produces them, then the
+// summary frame reports per-statement outcomes with rows omitted. It
+// returns false when the connection is no longer usable (a frame write
+// failed, or the connection died while queued at the statement gate).
+func (s *Server) handleChunked(connCtx context.Context, conn net.Conn, sqlText string, sess int64, chunkRows int, st *sessionStats) bool {
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		case <-connCtx.Done():
+			return false
+		}
+	}
+	reqCtx, cancel := context.WithCancel(connCtx)
+	defer cancel()
+	p := s.newChunkPump(reqCtx, cancel, conn, chunkRows)
+	results, err := s.db.ExecScriptStreamCtx(reqCtx, sqlText, p.streamer())
+	if err != nil {
+		return p.finish(Response{Error: err.Error()}) == nil
+	}
+	resp := Response{Results: make([]StmtResult, len(results))}
+	for i, r := range results {
+		if fe := p.rowErr[i]; fe != nil {
+			// A framing failure (row past the frame cap) surfaced to the
+			// facade as an abort; report the real reason instead.
+			r.Err = fe
+		}
+		s.accountStmt(sess, i, r, st)
+		sr := stmtResult(r)
+		sr.Rows = nil // rows went out in chunk frames
+		sr.Chunks = p.chunks[i]
+		resp.Results[i] = sr
+	}
+	return p.finish(resp) == nil
+}

@@ -320,9 +320,11 @@ type CommitStmt struct {
 
 func (*CommitStmt) stmt() {}
 
-// SetStmt is SET name = value: adjust a session/engine setting. The
-// only setting today is statement_timeout, whose value is a
-// non-negative millisecond count (0 disables the deadline).
+// SetStmt is SET name = value: adjust a session/engine setting.
+// The engine executes statement_timeout (a non-negative millisecond
+// count; 0 disables the deadline); wire_chunk_rows is a server
+// session setting the wire layer intercepts before execution (rows
+// per chunk frame; 0 restores buffered responses).
 type SetStmt struct {
 	Name  string
 	Value int64

@@ -46,6 +46,15 @@ import (
 //     outcomes query.cancelled (statements ended by context
 //     cancellation) and query.timed_out (by statement deadline).
 //   - server.rejected: connections refused at admission (MaxConns).
+//   - server.stream_chunks / server.backpressure_waits_ns: chunk
+//     frames sent in wire-protocol-v2 streaming mode, and nanoseconds
+//     producing statements spent blocked on full per-connection send
+//     queues (real backpressure, not buffering).
+//   - server.coalesced_batches / server.coalesced_stmts:
+//     cross-connection batches the server's coalescer flushed and the
+//     statements they carried (stmts/batches = achieved batch size).
+//   - server.auth_failures: connections that failed token
+//     authentication.
 //   - disk.injected_faults: faults fired by the active sim.FaultPlan.
 type Metric struct {
 	Name  string
@@ -138,6 +147,16 @@ func (db *DB) initMetrics() {
 	db.qCancelled = r.Counter("query.cancelled")
 	db.qTimedOut = r.Counter("query.timed_out")
 	db.srvRejected = r.Counter("server.rejected")
+
+	// Wire protocol v2 counters: chunked streaming, backpressure,
+	// cross-connection coalescing, auth. Like the fault-tolerance
+	// counters they record regardless of SetMetricsEnabled — one atomic
+	// add per chunk frame or batch flush, nowhere near a scan hot path.
+	db.srvChunks = r.Counter("server.stream_chunks")
+	db.srvBackpressure = r.Counter("server.backpressure_waits_ns")
+	db.srvBatches = r.Counter("server.coalesced_batches")
+	db.srvBatchStmts = r.Counter("server.coalesced_stmts")
+	db.srvAuthFailures = r.Counter("server.auth_failures")
 }
 
 // metricsOn reports whether hot-path instrumentation should record.

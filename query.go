@@ -3,8 +3,6 @@ package repro
 import (
 	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/advisor"
@@ -275,33 +273,11 @@ func (db *DB) SelectMany(specs []QuerySpec) []QueryResult {
 // fail immediately. A nil ctx never cancels; the configured statement
 // timeout still applies to each query individually.
 func (db *DB) SelectManyCtx(ctx context.Context, specs []QuerySpec) []QueryResult {
-	out := make([]QueryResult, len(specs))
-	workers := db.workers
-	if workers > len(specs) {
-		workers = len(specs)
+	ctxs := make([]context.Context, len(specs))
+	for i := range ctxs {
+		ctxs[i] = ctx
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(specs) {
-					return
-				}
-				rows, err := db.runSpec(ctx, specs[i], 1)
-				out[i] = QueryResult{Rows: rows, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return db.selectManyEach(ctxs, specs)
 }
 
 // PlanNode is one operator of an explained plan, bottom-up: an access

@@ -198,6 +198,16 @@ type DB struct {
 	qTimedOut   *metrics.Counter
 	srvRejected *metrics.Counter
 
+	// Wire protocol v2 (see stream.go and internal/server): chunked
+	// streaming, send-queue backpressure, cross-connection coalescing
+	// and token-auth failures, recorded by the server through the
+	// Record* methods in runspec.go.
+	srvChunks       *metrics.Counter
+	srvBackpressure *metrics.Counter
+	srvBatches      *metrics.Counter
+	srvBatchStmts   *metrics.Counter
+	srvAuthFailures *metrics.Counter
+
 	mu     sync.RWMutex // guards the tables map
 	tables map[string]*Table
 }
@@ -358,6 +368,11 @@ func (db *DB) ResetStats() {
 	db.disk.ResetStats()
 	db.pool.ResetStats()
 }
+
+// PinnedFrames reports buffer-pool frames currently pinned. It is zero
+// whenever no statement is mid-scan, so tests assert on it after
+// aborted or cancelled statements to prove every page was released.
+func (db *DB) PinnedFrames() int { return db.pool.PinnedFrames() }
 
 // FaultPlan is the simulated disk's deterministic fault-injection plan,
 // an alias of sim.FaultPlan; its fields select which accesses fail (the

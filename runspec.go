@@ -269,6 +269,26 @@ func StatementOutcome(err error) string {
 // calls it when admission control turns a connection away.
 func (db *DB) RecordRejectedConn() { db.srvRejected.Inc() }
 
+// RecordStreamChunk bumps the server.stream_chunks counter; the TCP
+// server calls it per chunk frame sent in wire-protocol-v2 streaming.
+func (db *DB) RecordStreamChunk() { db.srvChunks.Inc() }
+
+// RecordBackpressureWait adds d to server.backpressure_waits_ns; the
+// TCP server calls it after a producing statement blocked on a full
+// per-connection send queue for d.
+func (db *DB) RecordBackpressureWait(d time.Duration) { db.srvBackpressure.Add(int64(d)) }
+
+// RecordCoalescedBatch counts one flushed cross-connection batch of n
+// statements into server.coalesced_batches / server.coalesced_stmts.
+func (db *DB) RecordCoalescedBatch(n int) {
+	db.srvBatches.Inc()
+	db.srvBatchStmts.Add(int64(n))
+}
+
+// RecordAuthFailure bumps the server.auth_failures counter; the TCP
+// server calls it when a connection fails token authentication.
+func (db *DB) RecordAuthFailure() { db.srvAuthFailures.Inc() }
+
 // planSpec resolves a QuerySpec's names against the table schema and
 // lowers it to the plan layer's index-based Spec — the single
 // translation between the public facade vocabulary and the physical

@@ -444,9 +444,12 @@ func (db *DB) execStmt(ctx context.Context, stmt sqlfe.Stmt) (*Result, error) {
 	}
 }
 
-// execSet applies a SET statement. The only setting today is
+// execSet applies a SET statement. The engine's only setting is
 // statement_timeout, in milliseconds (0 disables), mirroring
-// DB.SetStatementTimeout.
+// DB.SetStatementTimeout; wire_chunk_rows is a server session setting
+// that the wire layer intercepts before statements reach the engine,
+// so the error below names it for clients talking to the engine
+// directly.
 func (db *DB) execSet(s *sqlfe.SetStmt) (*Result, error) {
 	switch s.Name {
 	case "statement_timeout":
@@ -456,7 +459,7 @@ func (db *DB) execSet(s *sqlfe.SetStmt) (*Result, error) {
 		db.SetStatementTimeout(time.Duration(s.Value) * time.Millisecond)
 		return &Result{Message: fmt.Sprintf("SET statement_timeout = %d", s.Value)}, nil
 	default:
-		return nil, fmt.Errorf("sql: unknown setting %q (supported: statement_timeout)", s.Name)
+		return nil, fmt.Errorf("sql: unknown setting %q (supported: statement_timeout; wire_chunk_rows is a server session setting)", s.Name)
 	}
 }
 

@@ -1,0 +1,349 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sqlfe "repro/internal/sql"
+	"repro/internal/value"
+)
+
+// This file is the streaming twin of sql.go's buffered script
+// execution, plus the prepared-statement batch entry the server's
+// cross-connection coalescer uses. ExecScriptStreamCtx delivers result
+// rows through callbacks as the executor produces them — the wire
+// protocol's chunked mode pumps them straight onto the connection
+// instead of materializing a statement's whole result — and
+// ExecPreparedBatch funnels single SELECTs that arrived on different
+// connections through one SelectMany-style fan-out while keeping
+// per-statement contexts, snapshots and outcomes.
+
+// ErrStreamAborted is the error recorded for a streamed statement whose
+// consumer returned false from RowStreamer.Row while the statement's
+// context was still live — the server maps a dead client connection to
+// it. The executor unwinds cleanly (no pinned frames, no goroutines);
+// rows already delivered stay delivered.
+var ErrStreamAborted = errors.New("repro: stream consumer aborted the statement")
+
+// RowStreamer receives a script's result rows as the executor produces
+// them. Begin is called once per row-producing statement (SELECT, but
+// also EXPLAIN, SHOW, ADVISE) with the result header before any of its
+// rows; Row delivers the rows in result order and stops the statement
+// when it returns false; End marks the statement's last row (it runs
+// even when the statement ends in an error after Begin). Statements
+// that produce no result rows (INSERT, DDL, COMMIT) trigger none of the
+// callbacks — their outcome travels only in the ScriptResult. Rows
+// passed to Row are freshly materialized and may be retained. Any nil
+// callback is skipped.
+type RowStreamer struct {
+	Begin func(stmt int, columns []string)
+	Row   func(stmt int, row Row) bool
+	End   func(stmt int)
+	// Ctx, when set, receives the statement's effective context — the
+	// caller's ctx plus the configured statement timeout — just before
+	// Begin. A consumer whose Row callback can block (a bounded send
+	// queue with backpressure) selects on this context so a statement
+	// deadline or cancellation unblocks it; the statement then fails
+	// with the context's error rather than hanging on a stalled
+	// consumer. The context is only valid until End.
+	Ctx func(stmt int, ctx context.Context)
+}
+
+func (rs RowStreamer) begin(stmt int, cols []string) {
+	if rs.Begin != nil {
+		rs.Begin(stmt, cols)
+	}
+}
+
+func (rs RowStreamer) row(stmt int, row Row) bool {
+	if rs.Row == nil {
+		return true
+	}
+	return rs.Row(stmt, row)
+}
+
+func (rs RowStreamer) end(stmt int) {
+	if rs.End != nil {
+		rs.End(stmt)
+	}
+}
+
+func (rs RowStreamer) announceCtx(stmt int, ctx context.Context) {
+	if rs.Ctx != nil {
+		rs.Ctx(stmt, ctx)
+	}
+}
+
+// ExecScriptStreamCtx executes a ';'-separated script like
+// ExecScriptCtx, but streams result rows to rs instead of buffering
+// them: each returned ScriptResult carries the statement's header,
+// measurements and error while its Res.Rows stays nil — the rows went
+// through rs.Row as the scan produced them, so a SELECT of any size
+// runs in bounded memory. Statements execute strictly in order (the
+// buffered path's consecutive-SELECT batching does not apply; rows must
+// leave in statement order), each under ctx plus the configured
+// statement timeout.
+//
+// When rs.Row returns false the running statement stops at row
+// granularity and fails with the context's error if ctx is dead, or
+// ErrStreamAborted otherwise; statements not yet started fail the same
+// way without executing. A parse error fails the whole script and
+// nothing executes.
+func (db *DB) ExecScriptStreamCtx(ctx context.Context, script string, rs RowStreamer) ([]ScriptResult, error) {
+	stmts, texts, err := sqlfe.ParseScriptSpans(script)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScriptResult, len(stmts))
+	for i, stmt := range stmts {
+		reads0 := db.disk.Stats().Reads
+		start := time.Now()
+		var sr ScriptResult
+		if sel, ok := stmt.(*sqlfe.SelectStmt); ok {
+			sr = db.streamSelect(ctx, sel, i, rs)
+		} else {
+			sr = db.streamOther(ctx, stmt, i, rs)
+		}
+		sr.SQL = texts[i]
+		sr.Elapsed = time.Since(start)
+		sr.PagesRead = db.disk.Stats().Reads - reads0
+		out[i] = sr
+		if errors.Is(sr.Err, ErrStreamAborted) {
+			// The consumer walked away while the context was still
+			// live: there is nobody to stream to, so later statements
+			// fail without running. (A dead context instead flows
+			// through each remaining statement and fails it fast, the
+			// same way the buffered path behaves.)
+			for j := i + 1; j < len(stmts); j++ {
+				out[j] = ScriptResult{Err: ErrStreamAborted, SQL: texts[j]}
+			}
+			break
+		}
+	}
+	return out, nil
+}
+
+// streamSelect executes one SELECT, streaming its rows through rs. It
+// derives the statement's effective context (caller ctx + statement
+// timeout) up front and announces it through rs.Ctx, so a consumer
+// blocked in Row unblocks when the deadline fires; the nested deadline
+// runTree derives internally is a no-op shadow of this one.
+func (db *DB) streamSelect(ctx context.Context, s *sqlfe.SelectStmt, stmt int, rs RowStreamer) ScriptResult {
+	b, err := sqlfe.BindSelect(catalogDB{db}, s)
+	if err != nil {
+		return ScriptResult{Err: err}
+	}
+	sctx, cancel := db.stmtCtx(ctx)
+	defer cancel()
+	rs.announceCtx(stmt, sctx)
+	rs.begin(stmt, b.Cols)
+	defer rs.end(stmt)
+	if b.Limit == 0 {
+		return ScriptResult{Res: &Result{Columns: b.Cols}}
+	}
+	tbl := db.Table(b.Table)
+	if tbl == nil {
+		return ScriptResult{Err: fmt.Errorf("repro: no table %q", b.Table)}
+	}
+	rows := 0
+	aborted := false
+	err = tbl.runTree(sctx, specFromBound(b), db.workers, func(r value.Row) bool {
+		row := externalRow(r)
+		if b.IsAggregate() {
+			pr := make(Row, len(b.OutPerm))
+			for j, p := range b.OutPerm {
+				pr[j] = row[p]
+			}
+			row = pr
+		}
+		if !rs.row(stmt, row) {
+			aborted = true
+			return false
+		}
+		rows++
+		return true
+	})
+	if err == nil && aborted {
+		if sctx != nil && sctx.Err() != nil {
+			err = sctx.Err()
+			db.noteOutcome(err)
+		} else {
+			err = ErrStreamAborted
+		}
+	}
+	if err != nil {
+		return ScriptResult{Err: err}
+	}
+	return ScriptResult{Res: &Result{Columns: b.Cols}, Rows: rows}
+}
+
+// streamOther executes a non-SELECT statement buffered (their results
+// are small — SHOW, EXPLAIN, ADVISE output or a message) and then
+// replays any result rows through rs so the consumer sees one uniform
+// row stream; the returned Res keeps its header but drops the rows.
+func (db *DB) streamOther(ctx context.Context, stmt sqlfe.Stmt, i int, rs RowStreamer) ScriptResult {
+	res, err := db.execStmt(ctx, stmt)
+	if err != nil {
+		return ScriptResult{Err: err}
+	}
+	sr := ScriptResult{Res: res}
+	if len(res.Columns) == 0 {
+		return sr
+	}
+	sctx, cancel := db.stmtCtx(ctx)
+	defer cancel()
+	rs.announceCtx(i, sctx)
+	rs.begin(i, res.Columns)
+	defer rs.end(i)
+	for _, row := range res.Rows {
+		if !rs.row(i, row) {
+			if sctx != nil && sctx.Err() != nil {
+				sr.Err = sctx.Err()
+			} else {
+				sr.Err = ErrStreamAborted
+			}
+			sr.Res = nil
+			return sr
+		}
+		sr.Rows++
+	}
+	res.Rows = nil
+	return sr
+}
+
+// PreparedSelect is one parsed-and-bound plain SELECT line, ready for
+// the server's cross-connection coalescer: PrepareSelect recognizes the
+// line, ExecPreparedBatch executes many of them (from different
+// connections) as one SelectMany-style batch, and ShapeRows is already
+// applied — result rows come back in SELECT-list order.
+type PreparedSelect struct {
+	bound *sqlfe.BoundSelect
+	sql   string
+}
+
+// Columns returns the SELECT's result header.
+func (p *PreparedSelect) Columns() []string { return p.bound.Cols }
+
+// SQL returns the statement's verbatim source text.
+func (p *PreparedSelect) SQL() string { return p.sql }
+
+// PrepareSelect parses line and returns a PreparedSelect when it is
+// exactly one well-formed SELECT statement over this database — the
+// coalescible shape. Anything else (a multi-statement script, another
+// statement form, a parse or bind error) returns nil, and the caller
+// falls back to the ordinary execution path, which reports any error
+// with identical text.
+func (db *DB) PrepareSelect(line string) *PreparedSelect {
+	stmts, texts, err := sqlfe.ParseScriptSpans(line)
+	if err != nil || len(stmts) != 1 {
+		return nil
+	}
+	sel, ok := stmts[0].(*sqlfe.SelectStmt)
+	if !ok {
+		return nil
+	}
+	b, err := sqlfe.BindSelect(catalogDB{db}, sel)
+	if err != nil {
+		return nil
+	}
+	return &PreparedSelect{bound: b, sql: texts[0]}
+}
+
+// ExecPreparedBatch executes a batch of prepared SELECTs — typically
+// collected from different connections by the server's coalescer — as
+// one SelectMany fan-out across the worker pool. ctxs[i] bounds
+// statement i alone (nil entries never cancel): each statement keeps
+// its own context, its own MVCC snapshot (captured per statement inside
+// the run, exactly as if it had executed alone), its own outcome and
+// its own error. Like the script batch path, each statement reports the
+// batch group's wall time and page-read delta.
+func (db *DB) ExecPreparedBatch(ctxs []context.Context, preps []*PreparedSelect) []ScriptResult {
+	out := make([]ScriptResult, len(preps))
+	specs := make([]QuerySpec, 0, len(preps))
+	specCtxs := make([]context.Context, 0, len(preps))
+	specAt := make([]int, len(preps)) // prep -> index into specs, -1 = not run
+	for i, p := range preps {
+		if p.bound.Limit == 0 { // LIMIT 0: nothing to run
+			out[i] = ScriptResult{Res: &Result{Columns: p.bound.Cols}, SQL: p.sql}
+			specAt[i] = -1
+			continue
+		}
+		specAt[i] = len(specs)
+		specs = append(specs, specFromBound(p.bound))
+		var ctx context.Context
+		if i < len(ctxs) {
+			ctx = ctxs[i]
+		}
+		specCtxs = append(specCtxs, ctx)
+	}
+	reads0 := db.disk.Stats().Reads
+	start := time.Now()
+	results := db.selectManyEach(specCtxs, specs)
+	elapsed := time.Since(start)
+	pages := db.disk.Stats().Reads - reads0
+	for i, p := range preps {
+		if specAt[i] < 0 {
+			continue
+		}
+		r := results[specAt[i]]
+		sr := ScriptResult{SQL: p.sql, Elapsed: elapsed, PagesRead: pages}
+		if r.Err != nil {
+			sr.Err = r.Err
+		} else {
+			sr.Res = &Result{Columns: p.bound.Cols, Rows: selectShapeRows(p.bound, r.Rows)}
+			sr.Rows = len(sr.Res.Rows)
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// SelectManyEachCtx is SelectManyCtx with one context per query:
+// ctxs[i] bounds specs[i] alone, so cancelling one caller's context
+// stops only that caller's query — the semantics a server needs when
+// queries from independent clients share a batch. ctxs may be shorter
+// than specs; missing or nil entries never cancel.
+func (db *DB) SelectManyEachCtx(ctxs []context.Context, specs []QuerySpec) []QueryResult {
+	return db.selectManyEach(ctxs, specs)
+}
+
+// selectManyEach runs the specs across the worker pool, each under its
+// own context — the engine behind SelectMany, SelectManyCtx and
+// ExecPreparedBatch.
+func (db *DB) selectManyEach(ctxs []context.Context, specs []QuerySpec) []QueryResult {
+	out := make([]QueryResult, len(specs))
+	workers := db.workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(specs) {
+					return
+				}
+				var ctx context.Context
+				if i < len(ctxs) {
+					ctx = ctxs[i]
+				}
+				rows, err := db.runSpec(ctx, specs[i], 1)
+				out[i] = QueryResult{Rows: rows, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
